@@ -1,0 +1,33 @@
+"""Shared plumbing for the experiment harness.
+
+Each ``bench_eN_*.py`` regenerates one experiment from DESIGN.md §4:
+an ``experiment()`` function sweeps the workload grid, returns a
+rendered table (written to ``benchmarks/results/`` and printed), and the
+enclosing test asserts the *shape* of the result — who wins, and which
+growth model explains the scaling — per the reproduction contract
+(absolute constants are simulator-specific; shapes are the claims).
+
+Run everything:  pytest benchmarks/ --benchmark-only -s
+or one table:    python benchmarks/bench_e1_activation_time.py
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.analysis.tables import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, tables: Iterable[Table]) -> str:
+    """Print tables and persist them under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n\n".join(t.render() for t in tables)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    return text

@@ -1,0 +1,129 @@
+"""E10 — the |U| = O(1) special case: O(log log n) expected time with
+O(log n / log log n) processors (§1.2, §3 note).
+
+Single-request updates and queries over an n sweep up to 2^20 on the
+list-prefix structure (the cheapest structure to build that big), plus
+dynamic contraction up to 2^14.  Expected shape: spans grow by only a
+few units per 16x of n and fit the loglog model better than log.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.analysis.fitting import fit_model
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.listprefix.structure import IncrementalListPrefix
+from repro.pram.frames import SpanTracker
+from repro.splitting.activation import activate, deactivate
+from repro.splitting.rbsts import RBSTS
+from repro.trees.builders import random_expression_tree
+
+from _common import emit
+
+NS_PREFIX = [1 << e for e in (8, 12, 16, 20)]
+NS_CONTRACT = [1 << e for e in (8, 11, 14)]
+
+
+def run_prefix(seed: int, n: int):
+    lp = IncrementalListPrefix(sum_monoid(INTEGER), range(n), seed=seed)
+    h = lp.handle_at(n // 2)
+    t_upd, t_q = SpanTracker(), SpanTracker()
+    lp.batch_set([(h, 7)], t_upd)
+    lp.batch_prefix([h], t_q)
+    t_act = SpanTracker()
+    res = activate(lp.tree, [h], t_act)
+    deactivate(res)
+    return {
+        "update_span": t_upd.span,
+        "query_span": t_q.span,
+        "activation_rounds": res.rounds_total,
+        "procs": res.processors,
+    }
+
+
+def run_contract(seed: int, n: int):
+    tree = random_expression_tree(INTEGER, n, seed=seed)
+    engine = DynamicTreeContraction(tree, seed=seed + 1)
+    leaf = tree.leaves_in_order()[n // 3].nid
+    tracker = SpanTracker()
+    engine.batch_set_leaf_values([(leaf, 3)], tracker)
+    assert engine.value() == tree.evaluate()
+    return {"span": tracker.span}
+
+
+def experiment():
+    tables = []
+    shape_ok = True
+
+    t1 = Table(
+        "E10: |U| = 1 on incremental list prefix (mean of 3 seeds)",
+        ["n", "log2 n", "loglog2 n", "update span", "query span", "act rounds", "procs"],
+    )
+    cells = sweep([{"n": n} for n in NS_PREFIX], run_prefix)
+    upd = []
+    for cell in cells:
+        n = cell.params["n"]
+        t1.add(
+            n,
+            math.log2(n),
+            math.log2(math.log2(n)),
+            cell.mean("update_span"),
+            cell.mean("query_span"),
+            cell.mean("activation_rounds"),
+            cell.mean("procs"),
+        )
+        upd.append(cell.mean("update_span"))
+        # Processors bounded by c * log n / log log n.
+        bound = math.log2(n) / math.log2(math.log2(n))
+        if cell.mean("procs") > 10 * bound + 6:
+            shape_ok = False
+    # loglog must explain update spans at least as well as log.
+    if fit_model(NS_PREFIX, upd, "loglog").r2 + 0.05 < fit_model(NS_PREFIX, upd, "log").r2:
+        shape_ok = False
+    # Growth envelope: 4096x bigger n, at most +8 span.
+    if upd[-1] - upd[0] > 8:
+        shape_ok = False
+    tables.append(t1)
+
+    t2 = Table(
+        "E10: |U| = 1 on dynamic contraction (mean of 3 seeds)",
+        ["n", "log2 n", "update span"],
+    )
+    cells = sweep([{"n": n} for n in NS_CONTRACT], run_contract)
+    spans = [c.mean("span") for c in cells]
+    for cell in cells:
+        t2.add(cell.params["n"], math.log2(cell.params["n"]), cell.mean("span"))
+    if spans[-1] - spans[0] > 8:
+        shape_ok = False
+    tables.append(t2)
+    return tables, shape_ok
+
+
+def test_e10_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e10_loglog", tables)
+    assert shape_ok
+
+
+def test_e10_single_prefix_update_microbenchmark(benchmark):
+    lp = IncrementalListPrefix(sum_monoid(INTEGER), range(1 << 14), seed=10)
+    h = lp.handle_at(1 << 13)
+    counter = [0]
+
+    def op():
+        counter[0] += 1
+        lp.batch_set([(h, counter[0])])
+
+    benchmark(op)
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e10_loglog", tables)
+    sys.exit(0 if ok else 1)

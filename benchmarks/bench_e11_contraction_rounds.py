@@ -1,0 +1,89 @@
+"""E11 — §4.2: the randomized (RBSTS-guided) contraction takes a number
+of rounds equal to the splitting tree's depth — expected O(log n) —
+versus exactly ⌈log2 L⌉ for deterministic Kosaraju–Delcher.
+
+Sweeps n for both schedulers on random and caterpillar inputs.
+Expected shape: randomized rounds ≈ c·log2 n with c in a small constant
+band (the price of the dynamically-maintainable schedule); both are
+independent of the input tree's depth.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.analysis.fitting import best_model
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.algebra.rings import INTEGER
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.contraction.static_kd import contract
+from repro.trees.builders import caterpillar_tree, random_expression_tree
+
+from _common import emit
+
+NS = [1 << e for e in (6, 8, 10, 12)]
+
+
+def run_cell(seed: int, n: int, shape: str):
+    import random
+
+    if shape == "random":
+        tree = random_expression_tree(INTEGER, n, seed=seed)
+    else:
+        tree = caterpillar_tree(INTEGER, n, random.Random(seed))
+    det = contract(tree).rounds
+    engine = DynamicTreeContraction(tree, seed=seed + 1)
+    return {"randomized": engine.rounds(), "deterministic": det}
+
+
+def experiment():
+    tables = []
+    shape_ok = True
+    for shape in ("random", "caterpillar"):
+        table = Table(
+            f"E11: contraction rounds on {shape} trees (mean of 5 seeds)",
+            ["n (leaves)", "ceil(log2 n)", "deterministic KD", "randomized (RBSTS)", "ratio"],
+        )
+        cells = sweep([{"n": n, "shape": shape} for n in NS], run_cell, seeds=range(5))
+        rand_rounds = []
+        for cell in cells:
+            n = cell.params["n"]
+            ratio = cell.mean("randomized") / math.ceil(math.log2(n))
+            table.add(
+                n,
+                math.ceil(math.log2(n)),
+                cell.mean("deterministic"),
+                cell.mean("randomized"),
+                ratio,
+            )
+            rand_rounds.append(cell.mean("randomized"))
+            if not 1.0 <= ratio <= 5.0:
+                shape_ok = False
+        # Log model must explain the randomized rounds well (linear can
+        # edge it out on 4 nearly-collinear points, so assert fit
+        # quality rather than a model beauty contest).
+        from repro.analysis.fitting import fit_model
+
+        if fit_model(NS, rand_rounds, "log").r2 < 0.95:
+            shape_ok = False
+        tables.append(table)
+    return tables, shape_ok
+
+
+def test_e11_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e11_contraction_rounds", tables)
+    assert shape_ok
+
+
+def test_e11_static_contraction_microbenchmark(benchmark):
+    tree = random_expression_tree(INTEGER, 2048, seed=11)
+    benchmark(lambda: contract(tree))
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e11_contraction_rounds", tables)
+    sys.exit(0 if ok else 1)

@@ -1,0 +1,113 @@
+"""E13 — §6 extension: dynamic series-parallel graph properties.
+
+The paper's closing section promises incremental maintenance of
+coloring, minimum covering set, maximum matching on SP-like graphs; the
+subsequent paper never appeared, so this experiment characterises the
+substrate built here (DESIGN.md §5.7-adjacent caveat applies: wounds
+are measured in the decomposition tree).
+
+Sweeps graph size for three §6 properties under concurrent reweight
+batches, reporting the healed wound against the |U| log m budget and
+the incremental-vs-recompute work ratio.  Expected shape: wound /
+(|U| log2 m) in a constant band on random decomposition shapes;
+recompute work grows linearly while incremental wound stays near
+|U| log m.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.graphs.builders import random_sp_tree
+from repro.graphs.dynamic import DynamicSPProperty
+from repro.graphs.problems import (
+    count_colorings,
+    maximum_matching,
+    minimum_vertex_cover,
+)
+from repro.pram.frames import SpanTracker
+
+from _common import emit
+
+MS = [1 << e for e in (8, 10, 12)]
+U = 8
+
+PROBLEMS = {
+    "maximum matching": maximum_matching,
+    "min vertex cover": minimum_vertex_cover,
+    "3-colorings": lambda: count_colorings(3),
+}
+
+
+def run_cell(seed: int, m: int, prob_name: str):
+    rng = random.Random(seed * 13 + m)
+    tree = random_sp_tree(m, seed=seed + m)
+    prop = DynamicSPProperty(tree, PROBLEMS[prob_name]())
+    edges = tree.edges()
+    updates = [(e.nid, rng.randint(1, 9)) for e in rng.sample(edges, U)]
+    tracker = SpanTracker()
+    wound = prop.batch_reweight(updates, tracker)
+    return {
+        "wound": wound,
+        "span": tracker.span,
+        "recompute_work": 2 * m - 1,  # full bottom-up table pass
+    }
+
+
+def experiment():
+    tables = []
+    shape_ok = True
+    for prob_name in PROBLEMS:
+        table = Table(
+            f"E13: {prob_name}, |U| = {U} reweights (mean of 3 seeds)",
+            ["m (edges)", "wound", "span", "wound/(U log m)", "recompute work"],
+        )
+        cells = sweep(
+            [{"m": m, "prob_name": prob_name} for m in MS], run_cell
+        )
+        for cell in cells:
+            m = cell.params["m"]
+            norm = cell.mean("wound") / (U * math.log2(m))
+            table.add(
+                m,
+                cell.mean("wound"),
+                cell.mean("span"),
+                norm,
+                cell.mean("recompute_work"),
+            )
+            if norm > 10.0:
+                shape_ok = False
+            if cell.mean("wound") >= cell.mean("recompute_work") / 2:
+                shape_ok = False  # incremental must beat recompute
+        tables.append(table)
+    return tables, shape_ok
+
+
+def test_e13_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e13_sp_graphs", tables)
+    assert shape_ok
+
+
+def test_e13_reweight_microbenchmark(benchmark):
+    tree = random_sp_tree(1 << 10, seed=13)
+    prop = DynamicSPProperty(tree, maximum_matching())
+    rng = random.Random(13)
+    edges = tree.edges()
+
+    def op():
+        prop.batch_reweight(
+            [(e.nid, rng.randint(1, 9)) for e in rng.sample(edges, 8)]
+        )
+
+    benchmark(op)
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e13_sp_graphs", tables)
+    sys.exit(0 if ok else 1)

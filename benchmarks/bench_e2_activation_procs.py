@@ -1,0 +1,85 @@
+"""E2 — Theorem 2.1: processors used are O(|U| log n / log(|U| log n)).
+
+Sweeps n and |U| and reports activation processor counts against the
+theorem's bound expression, plus the instruction-level PRAM program's
+peak processors as a cross-check.  Expected shape: the measured/bound
+ratio stays below a constant across the whole grid.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.splitting.activation import activate, deactivate
+from repro.splitting.activation_pram import activate_on_machine
+from repro.splitting.rbsts import RBSTS
+
+from _common import emit
+
+NS = [1 << e for e in (10, 13, 16)]
+US = [1, 8, 64]
+
+
+def bound(u: int, n: int) -> float:
+    logn = math.log2(n)
+    return u * logn / math.log2(max(2.0, u * logn))
+
+
+def run_cell(seed: int, n: int, u: int):
+    tree = RBSTS(range(n), seed=seed * 7919 + n % 997)
+    rng = random.Random(seed + u * 13)
+    leaves = [tree.leaf_at(i) for i in rng.sample(range(n), min(u, n))]
+    res = activate(tree, leaves)
+    deactivate(res)
+    pram = activate_on_machine(tree, leaves)
+    return {
+        "procs": res.processors,
+        "peak": res.peak_processors,
+        "pram_peak": pram.metrics.peak_processors,
+        "bound": bound(u, n),
+    }
+
+
+def experiment():
+    table = Table(
+        "E2: activation processors vs Theorem 2.1 bound (mean of 3 seeds)",
+        ["n", "|U|", "processors", "peak", "PRAM peak", "bound", "ratio"],
+    )
+    shape_ok = True
+    cells = sweep([{"n": n, "u": u} for n in NS for u in US], run_cell)
+    for cell in cells:
+        ratio = cell.mean("procs") / cell.mean("bound")
+        table.add(
+            cell.params["n"],
+            cell.params["u"],
+            cell.mean("procs"),
+            cell.mean("peak"),
+            cell.mean("pram_peak"),
+            cell.mean("bound"),
+            ratio,
+        )
+        if ratio > 12.0:  # constant-factor envelope
+            shape_ok = False
+    return [table], shape_ok
+
+
+def test_e2_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e2_activation_procs", tables)
+    assert shape_ok
+
+
+def test_e2_pram_microbenchmark(benchmark):
+    tree = RBSTS(range(1 << 12), seed=2)
+    leaves = [tree.leaf_at(i) for i in random.Random(2).sample(range(1 << 12), 8)]
+    benchmark(lambda: activate_on_machine(tree, leaves))
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e2_activation_procs", tables)
+    sys.exit(0 if ok else 1)

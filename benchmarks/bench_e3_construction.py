@@ -1,0 +1,105 @@
+"""E3 — Lemma 2.1: RBSTS construction in O(log n) expected parallel
+time with O(n / log n) processors; expected depth O(log n).
+
+Reports construction span/work from the Lemma 2.1 cost model, the Brent
+processor count work/span, and depth statistics over seeds.  Expected
+shape: depth/log2(n) stays in a narrow constant band; span tracks
+log n; processors stay within a constant of n/log n.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.analysis.fitting import best_model
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.pram.frames import SpanTracker
+from repro.splitting.build import build_subtree
+from repro.splitting.node import BSTNode
+from repro.splitting.rbsts import RBSTS
+from repro.splitting.shortcuts import presence_threshold
+
+from _common import emit
+
+NS = [1 << e for e in (8, 10, 12, 14, 16)]
+
+
+def run_cell(seed: int, n: int):
+    import random
+
+    leaves = []
+    for i in range(n):
+        leaf = BSTNode(i)
+        leaf.item = i
+        leaves.append(leaf)
+    ids = [n]
+
+    def new_node():
+        node = BSTNode(ids[0])
+        ids[0] += 1
+        return node
+
+    tracker = SpanTracker()
+    root = build_subtree(
+        leaves,
+        random.Random(seed * 101 + n),
+        base_depth=0,
+        ancestor_path=(),
+        shortcut_height_threshold=presence_threshold(n),
+        new_node=new_node,
+        tracker=tracker,
+    )
+    return {
+        "depth": root.height,
+        "span": tracker.span,
+        "work": tracker.work,
+        "procs": tracker.processors_for(),
+    }
+
+
+def experiment():
+    table = Table(
+        "E3: RBSTS construction (mean of 5 seeds)",
+        ["n", "depth", "depth/log2 n", "span", "work", "Brent procs", "n/log2 n"],
+    )
+    shape_ok = True
+    cells = sweep([{"n": n} for n in NS], run_cell, seeds=range(5))
+    depths = []
+    for cell in cells:
+        n = cell.params["n"]
+        logn = math.log2(n)
+        depths.append(cell.mean("depth"))
+        table.add(
+            n,
+            cell.mean("depth"),
+            cell.mean("depth") / logn,
+            cell.mean("span"),
+            cell.mean("work"),
+            cell.mean("procs"),
+            n / logn,
+        )
+        if not 1.0 <= cell.mean("depth") / logn <= 4.5:
+            shape_ok = False
+        if cell.mean("procs") > 4 * n / logn:
+            shape_ok = False
+    if best_model(NS, depths, candidates=("loglog", "log", "linear")).model != "log":
+        shape_ok = False
+    return [table], shape_ok
+
+
+def test_e3_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e3_construction", tables)
+    assert shape_ok
+
+
+def test_e3_build_microbenchmark(benchmark):
+    benchmark(lambda: RBSTS(range(1 << 12), seed=3))
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e3_construction", tables)
+    sys.exit(0 if ok else 1)

@@ -1,0 +1,99 @@
+"""E4 — Theorems 2.2/2.3: batch insert/delete in O(log(|U| log n))
+expected time; expected rebuilt mass E[S] = O(|U| log n).
+
+Sweeps n and |U| for both batch insertion and batch deletion, reporting
+span and rebuild mass against the |U| log n budget.  Expected shape:
+mass/( |U| log n ) bounded by a constant; span far below the
+sequential |U| log n.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.pram.frames import SpanTracker
+from repro.splitting.rbsts import RBSTS
+
+from _common import emit
+
+NS = [1 << e for e in (10, 13, 16)]
+US = [1, 8, 64]
+
+
+def run_insert(seed: int, n: int, u: int):
+    rng = random.Random(seed * 37 + n + u)
+    tree = RBSTS(range(n), seed=seed + n)
+    tracker = SpanTracker()
+    tree.batch_insert(
+        [(rng.randint(0, tree.n_leaves), i) for i in range(u)], tracker
+    )
+    return {
+        "span": tracker.span,
+        "mass": tree.last_batch_stats["rebuild_mass"],
+        "sites": tree.last_batch_stats["sites"],
+    }
+
+
+def run_delete(seed: int, n: int, u: int):
+    rng = random.Random(seed * 41 + n + u)
+    tree = RBSTS(range(n), seed=seed + n + 1)
+    victims = [tree.leaf_at(i) for i in rng.sample(range(n), u)]
+    tracker = SpanTracker()
+    tree.batch_delete(victims, tracker)
+    return {
+        "span": tracker.span,
+        "mass": tree.last_batch_stats["rebuild_mass"],
+        "sites": tree.last_batch_stats["sites"],
+    }
+
+
+def experiment():
+    tables = []
+    shape_ok = True
+    for label, runner in (("insert", run_insert), ("delete", run_delete)):
+        table = Table(
+            f"E4: batch {label} (mean of 5 seeds)",
+            ["n", "|U|", "span", "rebuild mass", "sites", "mass/(U log n)"],
+        )
+        cells = sweep(
+            [{"n": n, "u": u} for n in NS for u in US], runner, seeds=range(5)
+        )
+        for cell in cells:
+            n, u = cell.params["n"], cell.params["u"]
+            norm = cell.mean("mass") / (u * math.log2(n))
+            table.add(
+                n, u, cell.mean("span"), cell.mean("mass"), cell.mean("sites"), norm
+            )
+            if norm > 12.0:
+                shape_ok = False
+            # Span envelope: c * log(|U| log n) + c' (Theorem 2.2/2.3).
+            if cell.mean("span") > 6 * math.log2(max(4.0, u * math.log2(n))) + 12:
+                shape_ok = False
+        tables.append(table)
+    return tables, shape_ok
+
+
+def test_e4_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e4_updates", tables)
+    assert shape_ok
+
+
+def test_e4_batch_insert_microbenchmark(benchmark):
+    rng = random.Random(4)
+
+    def op():
+        tree = RBSTS(range(2048), seed=4)
+        tree.batch_insert([(rng.randint(0, 2048), i) for i in range(16)])
+
+    benchmark(op)
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e4_updates", tables)
+    sys.exit(0 if ok else 1)

@@ -1,0 +1,87 @@
+"""E5 — Theorem 3.1: incremental list prefix batches in
+O(log(|U| log n)) expected time with O(|U| log n / log(|U| log n))
+processors.
+
+Sweeps n and |U| over mixed batches (prefix queries, value updates,
+insertions) and reports span, work, and Brent processors against the
+theorem's expressions.  Expected shape: span within a constant of
+log2(|U| log2 n); work within a constant of |U| log2 n.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.listprefix.structure import IncrementalListPrefix
+from repro.pram.frames import SpanTracker
+
+from _common import emit
+
+NS = [1 << e for e in (10, 13, 16)]
+US = [1, 8, 64]
+
+
+def run_cell(seed: int, n: int, u: int, kind: str):
+    rng = random.Random(seed * 17 + n + u)
+    lp = IncrementalListPrefix(sum_monoid(INTEGER), range(n), seed=seed + n)
+    hs = lp.handles()
+    tracker = SpanTracker()
+    if kind == "query":
+        lp.batch_prefix([hs[i] for i in rng.sample(range(n), u)], tracker)
+    elif kind == "update":
+        lp.batch_set(
+            [(hs[i], rng.randint(-9, 9)) for i in rng.sample(range(n), u)],
+            tracker,
+        )
+    else:  # insert
+        lp.batch_insert(
+            [(rng.randint(0, n), rng.randint(-9, 9)) for _ in range(u)], tracker
+        )
+    return {"span": tracker.span, "work": tracker.work, "procs": tracker.processors_for()}
+
+
+def experiment():
+    tables = []
+    shape_ok = True
+    for kind in ("query", "update", "insert"):
+        table = Table(
+            f"E5: list-prefix batch {kind} (mean of 3 seeds)",
+            ["n", "|U|", "span", "work", "procs", "span/log2(U log n)"],
+        )
+        cells = sweep(
+            [{"n": n, "u": u, "kind": kind} for n in NS for u in US], run_cell
+        )
+        for cell in cells:
+            n, u = cell.params["n"], cell.params["u"]
+            target = math.log2(max(2.0, u * math.log2(n)))
+            ratio = cell.mean("span") / target
+            table.add(n, u, cell.mean("span"), cell.mean("work"), cell.mean("procs"), ratio)
+            if ratio > 14.0:
+                shape_ok = False
+        tables.append(table)
+    return tables, shape_ok
+
+
+def test_e5_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e5_listprefix", tables)
+    assert shape_ok
+
+
+def test_e5_batch_prefix_microbenchmark(benchmark):
+    lp = IncrementalListPrefix(sum_monoid(INTEGER), range(1 << 12), seed=5)
+    hs = lp.handles()
+    targets = [hs[i] for i in random.Random(5).sample(range(1 << 12), 32)]
+    benchmark(lambda: lp.batch_prefix(targets))
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e5_listprefix", tables)
+    sys.exit(0 if ok else 1)

@@ -1,0 +1,117 @@
+"""E6 — Theorems 4.1/4.2: dynamic tree contraction processes a batch of
+|U| requests in O(log(|U| log n)) expected time, with a wound of
+O(|U| log n) rake-tree labels.
+
+Sweeps n and |U| across the four request types.  Reported: batch span,
+healed wound size (RT(W) for label updates, fresh RT nodes for
+structural updates) normalised by |U| log n.  Expected shape: the
+normalised wound stays below a constant; span is flat-ish in n.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.algebra.rings import INTEGER
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import random_expression_tree
+from repro.trees.nodes import add_op, mul_op
+
+from _common import emit
+
+NS = [1 << e for e in (9, 11, 13)]
+US = [1, 8, 32]
+
+
+def run_cell(seed: int, n: int, u: int, kind: str):
+    rng = random.Random(seed * 23 + n + u)
+    tree = random_expression_tree(INTEGER, n, seed=seed + n)
+    engine = DynamicTreeContraction(tree, seed=seed + n + 1)
+    tracker = SpanTracker()
+    if kind == "value":
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        engine.batch_set_leaf_values(
+            [(nid, rng.randint(-5, 5)) for nid in rng.sample(leaves, u)], tracker
+        )
+        wound = engine.last_stats["wound"]
+    elif kind == "op":
+        internal = [x.nid for x in tree.nodes_preorder() if not x.is_leaf]
+        engine.batch_set_ops(
+            [
+                (nid, add_op() if rng.random() < 0.5 else mul_op())
+                for nid in rng.sample(internal, min(u, len(internal)))
+            ],
+            tracker,
+        )
+        wound = engine.last_stats["wound"]
+    elif kind == "grow":
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        engine.batch_grow(
+            [(nid, add_op(), 1, 2) for nid in rng.sample(leaves, u)], tracker
+        )
+        wound = engine.last_stats["fresh_rt_nodes"]
+    else:  # query
+        ids = rng.sample([x.nid for x in tree.nodes_preorder()], u)
+        engine.query_values(ids, tracker)
+        wound = 0
+    assert engine.value() == tree.evaluate()
+    return {"span": tracker.span, "wound": wound}
+
+
+def experiment():
+    tables = []
+    shape_ok = True
+    for kind in ("value", "op", "grow", "query"):
+        table = Table(
+            f"E6: dynamic contraction, batch {kind} (mean of 3 seeds)",
+            ["n", "|U|", "span", "wound", "wound/(U log n)"],
+        )
+        cells = sweep(
+            [{"n": n, "u": u, "kind": kind} for n in NS for u in US], run_cell
+        )
+        for cell in cells:
+            n, u = cell.params["n"], cell.params["u"]
+            norm = cell.mean("wound") / (u * math.log2(n))
+            table.add(n, u, cell.mean("span"), cell.mean("wound"), norm)
+            if norm > 20.0:
+                shape_ok = False
+        # Span should be nearly flat in n for fixed |U|.
+        for u in US:
+            spans = [
+                c.mean("span") for c in cells if c.params["u"] == u
+            ]
+            if spans[-1] > spans[0] + 18:
+                shape_ok = False
+        tables.append(table)
+    return tables, shape_ok
+
+
+def test_e6_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e6_dynamic_contraction", tables)
+    assert shape_ok
+
+
+def test_e6_value_update_microbenchmark(benchmark):
+    tree = random_expression_tree(INTEGER, 2048, seed=6)
+    engine = DynamicTreeContraction(tree, seed=7)
+    leaves = [l.nid for l in tree.leaves_in_order()]
+    rng = random.Random(6)
+
+    def op():
+        engine.batch_set_leaf_values(
+            [(nid, rng.randint(-5, 5)) for nid in rng.sample(leaves, 8)]
+        )
+
+    benchmark(op)
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e6_dynamic_contraction", tables)
+    sys.exit(0 if ok else 1)

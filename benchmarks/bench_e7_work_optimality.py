@@ -1,0 +1,128 @@
+"""E7 — §1.2 work-optimality and the crossover picture.
+
+"With the known sequential algorithms, a sequence of |U| requests takes
+O(|U| log n) time, so our parallel algorithms are work-optimal."
+
+Three-way comparison at fixed n over a |U| sweep, on the same leaf
+update workload:
+
+* parallel batch (this paper): span O(log(|U| log n)), work O(|U| log n)
+* sequential one-at-a-time:    span = work = Θ(|U| log n)
+* recompute-from-scratch:      work = Θ(n) per batch regardless of |U|
+
+Expected shape: parallel work within a constant of sequential work
+(work-optimality); parallel span flat-ish in |U|; speedup
+(seq span / par span) grows roughly like |U| log n / log(|U| log n);
+recompute only wins once |U| log n approaches n.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.algebra.rings import INTEGER
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.baselines.recompute import RecomputeBaseline
+from repro.baselines.sequential import SequentialContraction
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import random_expression_tree
+
+from _common import emit
+
+N = 1 << 12
+US = [1, 4, 16, 64, 256]
+
+
+def run_cell(seed: int, u: int):
+    rng = random.Random(seed * 29 + u)
+    trees = [random_expression_tree(INTEGER, N, seed=seed) for _ in range(3)]
+    leaves = [l.nid for l in trees[0].leaves_in_order()]
+    updates = [(nid, rng.randint(-5, 5)) for nid in rng.sample(leaves, u)]
+
+    par = DynamicTreeContraction(trees[0], seed=seed + 1)
+    seq = SequentialContraction(trees[1], seed=seed + 1)
+    rec = RecomputeBaseline(trees[2])
+
+    t_par, t_seq, t_rec = SpanTracker(), SpanTracker(), SpanTracker()
+    par.batch_set_leaf_values(updates, t_par)
+    seq.batch_set_leaf_values(updates, t_seq)
+    rec.batch_set_leaf_values(updates, t_rec)
+    assert par.value() == seq.value() == rec.value()
+    return {
+        "par_span": t_par.span,
+        "par_work": t_par.work,
+        "seq_span": t_seq.span,
+        "rec_work": t_rec.work,
+        "speedup": t_seq.span / max(1, t_par.span),
+    }
+
+
+def experiment():
+    table = Table(
+        f"E7: work-optimality at n = {N} (mean of 3 seeds)",
+        [
+            "|U|",
+            "par span",
+            "par work",
+            "seq span(=work)",
+            "recompute work",
+            "speedup seq/par",
+            "par work / seq work",
+        ],
+    )
+    shape_ok = True
+    cells = sweep([{"u": u} for u in US], run_cell)
+    speedups = []
+    for cell in cells:
+        u = cell.params["u"]
+        work_ratio = cell.mean("par_work") / cell.mean("seq_span")
+        table.add(
+            u,
+            cell.mean("par_span"),
+            cell.mean("par_work"),
+            cell.mean("seq_span"),
+            cell.mean("rec_work"),
+            cell.mean("speedup"),
+            work_ratio,
+        )
+        speedups.append(cell.mean("speedup"))
+        if work_ratio > 6.0:  # work-optimality envelope
+            shape_ok = False
+    # Speedup must grow monotonically-ish with |U| and exceed 10 at 256.
+    if speedups[-1] < 10 or speedups[-1] < speedups[0]:
+        shape_ok = False
+    # Crossover: recompute's fixed O(n) work beats the incremental
+    # algorithm's |U| log n work only for the largest batch sizes.
+    small, large = cells[0], cells[-1]
+    if small.mean("par_work") > small.mean("rec_work"):
+        shape_ok = False  # incremental must win at |U| = 1
+    return [table], shape_ok
+
+
+def test_e7_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e7_work_optimality", tables)
+    assert shape_ok
+
+
+def test_e7_single_update_microbenchmark(benchmark):
+    tree = random_expression_tree(INTEGER, N, seed=0)
+    engine = DynamicTreeContraction(tree, seed=1)
+    leaf = tree.leaves_in_order()[100].nid
+    counter = [0]
+
+    def op():
+        counter[0] += 1
+        engine.batch_set_leaf_values([(leaf, counter[0] % 7)])
+
+    benchmark(op)
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e7_work_optimality", tables)
+    sys.exit(0 if ok else 1)

@@ -1,0 +1,131 @@
+"""E8 — Theorem 5.1: tree properties, Eulerian tour and expression
+evaluation all inherit the O(log(|U| log n)) / O(|U| log n / ...)
+bounds.
+
+One table per application over an n sweep at fixed |U|: batch span of
+the application's query path, with correctness asserted against
+oracles inside the run.  Expected shape: spans nearly flat in n.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.algebra.rings import INTEGER
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.applications.euler import DynamicEulerTour
+from repro.applications.expressions import DynamicExpression
+from repro.applications.preorder import DynamicPreorder
+from repro.applications.properties import DynamicTreeProperties
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import random_expression_tree
+from repro.trees.traversal import preorder_ids
+
+from _common import emit
+
+NS = [1 << e for e in (8, 10, 12)]
+U = 8
+
+
+def run_expression(seed: int, n: int):
+    expr = DynamicExpression.from_random(INTEGER, n, seed=seed)
+    rng = random.Random(seed + n)
+    tracker = SpanTracker()
+    leaves = rng.sample(expr.leaf_ids(), U)
+    expr.batch_set_values([(nid, rng.randint(-5, 5)) for nid in leaves], tracker)
+    assert expr.value() == expr.tree.evaluate()
+    q = SpanTracker()
+    ids = rng.sample(expr.internal_ids(), U)
+    values = expr.subexpression_values(ids, q)
+    assert values == [expr.tree.evaluate(at=i) for i in ids]
+    return {"update_span": tracker.span, "query_span": q.span}
+
+
+def run_tour(seed: int, n: int):
+    tree = random_expression_tree(INTEGER, n, seed=seed)
+    tour = DynamicEulerTour(tree, seed=seed + 1)
+    rng = random.Random(seed + n)
+    ids = rng.sample([x.nid for x in tree.nodes_preorder()], U)
+    tracker = SpanTracker()
+    depths = tour.batch_depths(ids, tracker)
+    assert depths == [tree.depth_of(i) for i in ids]
+    q = SpanTracker()
+    rank = {nid: i for i, nid in enumerate(preorder_ids(tree))}
+    pre = tour.batch_preorder(ids, q)
+    assert pre == [rank[i] for i in ids]
+    return {"update_span": tracker.span, "query_span": q.span}
+
+
+def run_properties(seed: int, n: int):
+    rng = random.Random(seed + n)
+    props = DynamicTreeProperties(seed=seed)
+    # grow to ~n leaves in batches
+    while len(props.tree.leaves_in_order()) < n:
+        leaves = [l.nid for l in props.tree.leaves_in_order()]
+        props.batch_grow(rng.sample(leaves, min(16, len(leaves))))
+    ids = rng.sample([x.nid for x in props.tree.nodes_preorder()], U)
+    tracker = SpanTracker()
+    sizes = props.batch_subtree_sizes(ids, tracker)
+
+    def oracle(nid):
+        cnt, st = 0, [props.tree.node(nid)]
+        while st:
+            x = st.pop()
+            cnt += 1
+            if not x.is_leaf:
+                st.extend([x.left, x.right])
+        return cnt
+
+    assert sizes == [oracle(i) for i in ids]
+    q = SpanTracker()
+    props.batch_num_ancestors(ids, q)
+    return {"update_span": tracker.span, "query_span": q.span}
+
+
+RUNNERS = {
+    "expression evaluation": run_expression,
+    "euler tour (depth/preorder)": run_tour,
+    "descendant counts": run_properties,
+}
+
+
+def experiment():
+    tables = []
+    shape_ok = True
+    for label, runner in RUNNERS.items():
+        table = Table(
+            f"E8: {label}, |U| = {U} (mean of 3 seeds)",
+            ["n", "batch span", "query span"],
+        )
+        cells = sweep([{"n": n} for n in NS], runner)
+        spans = []
+        for cell in cells:
+            table.add(cell.params["n"], cell.mean("update_span"), cell.mean("query_span"))
+            spans.append(cell.mean("update_span"))
+        # Nearly flat in n (log(|U| log n) growth only).
+        if spans[-1] > spans[0] + 20:
+            shape_ok = False
+        tables.append(table)
+    return tables, shape_ok
+
+
+def test_e8_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e8_applications", tables)
+    assert shape_ok
+
+
+def test_e8_tour_depth_microbenchmark(benchmark):
+    tree = random_expression_tree(INTEGER, 2048, seed=8)
+    tour = DynamicEulerTour(tree, seed=9)
+    ids = random.Random(8).sample([x.nid for x in tree.nodes_preorder()], 8)
+    benchmark(lambda: tour.batch_depths(ids))
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e8_applications", tables)
+    sys.exit(0 if ok else 1)

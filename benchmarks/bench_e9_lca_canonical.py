@@ -1,0 +1,117 @@
+"""E9 — Theorem 5.2: least common ancestors and canonical forms.
+
+LCA: batch queries over an n sweep (span nearly flat), answers checked
+against pointer chasing.  Canonical forms: wound size per structural
+batch against the |U| log n budget on random (balanced-ish) trees, with
+isomorphism decisions checked against recomputed codes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.algebra.rings import INTEGER
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+from repro.applications.canonical import CanonicalForms
+from repro.applications.lca import DynamicLCA
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import random_expression_tree
+from repro.trees.nodes import add_op
+
+from _common import emit
+
+NS = [1 << e for e in (8, 10, 12)]
+U = 8
+
+
+def oracle_lca(tree, x, y):
+    seen = set()
+    node = tree.node(x)
+    while node is not None:
+        seen.add(node.nid)
+        node = node.parent
+    node = tree.node(y)
+    while node.nid not in seen:
+        node = node.parent
+    return node.nid
+
+
+def run_lca(seed: int, n: int):
+    tree = random_expression_tree(INTEGER, n, seed=seed)
+    lca = DynamicLCA(tree, seed=seed + 1)
+    rng = random.Random(seed + n)
+    ids = [x.nid for x in tree.nodes_preorder()]
+    pairs = [tuple(rng.sample(ids, 2)) for _ in range(U)]
+    tracker = SpanTracker()
+    got = lca.batch_lca(pairs, tracker)
+    assert got == [oracle_lca(tree, a, b) for a, b in pairs]
+    return {"span": tracker.span}
+
+
+def run_canonical(seed: int, n: int):
+    rng = random.Random(seed + n)
+    tree = random_expression_tree(INTEGER, n, seed=seed)
+    table = {}
+    forms = CanonicalForms(tree, table=table)
+    targets = rng.sample([l.nid for l in tree.leaves_in_order()], U)
+    for nid in targets:
+        tree.grow_leaf(nid, add_op(), 1, 1)
+    tracker = SpanTracker()
+    wound = forms.batch_grow(targets, tracker)
+    # Cross-check against a from-scratch recomputation.
+    fresh = CanonicalForms(tree, table=table)
+    assert forms.root_code() == fresh.root_code()
+    return {"wound": wound, "span": tracker.span}
+
+
+def experiment():
+    tables = []
+    shape_ok = True
+
+    t1 = Table(f"E9: batch LCA, {U} pairs (mean of 3 seeds)", ["n", "span"])
+    lca_cells = sweep([{"n": n} for n in NS], run_lca)
+    spans = []
+    for cell in lca_cells:
+        t1.add(cell.params["n"], cell.mean("span"))
+        spans.append(cell.mean("span"))
+    if spans[-1] > spans[0] + 20:
+        shape_ok = False
+    tables.append(t1)
+
+    t2 = Table(
+        f"E9: canonical forms, {U} concurrent grows (mean of 3 seeds)",
+        ["n", "wound (codes)", "span", "wound/(U log n)"],
+    )
+    can_cells = sweep([{"n": n} for n in NS], run_canonical)
+    for cell in can_cells:
+        n = cell.params["n"]
+        norm = cell.mean("wound") / (U * math.log2(n))
+        t2.add(n, cell.mean("wound"), cell.mean("span"), norm)
+        if norm > 8.0:
+            shape_ok = False
+    tables.append(t2)
+    return tables, shape_ok
+
+
+def test_e9_experiment(benchmark):
+    tables, shape_ok = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("e9_lca_canonical", tables)
+    assert shape_ok
+
+
+def test_e9_lca_microbenchmark(benchmark):
+    tree = random_expression_tree(INTEGER, 2048, seed=9)
+    lca = DynamicLCA(tree, seed=10)
+    rng = random.Random(9)
+    ids = [x.nid for x in tree.nodes_preorder()]
+    a, b = rng.sample(ids, 2)
+    benchmark(lambda: lca.lca(a, b))
+
+
+if __name__ == "__main__":
+    tables, ok = experiment()
+    emit("e9_lca_canonical", tables)
+    sys.exit(0 if ok else 1)

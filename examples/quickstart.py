@@ -1,0 +1,87 @@
+"""Quickstart: dynamic parallel tree contraction in five minutes.
+
+Builds a random arithmetic expression over the integers, then processes
+concurrent batches of the paper's four request types — leaf relabels,
+operator changes, sub-expression growth, pruning and node-value queries
+— printing the simulated parallel cost (span) of each batch next to the
+sequential and recompute baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import INTEGER, DynamicExpression, SpanTracker, add_op, mul_op
+from repro.baselines import RecomputeBaseline
+
+
+def main() -> None:
+    rng = random.Random(7)
+    n = 4096
+    expr = DynamicExpression.from_random(INTEGER, n, seed=1)
+    print(f"expression with {expr.n_leaves()} leaves")
+    print(f"value (exactly maintained, O(1) read): {expr.value()}")
+
+    # --- a batch of concurrent leaf updates -----------------------------
+    leaves = expr.leaf_ids()
+    updates = [(nid, rng.randint(-9, 9)) for nid in rng.sample(leaves, 16)]
+    tracker = SpanTracker()
+    expr.batch_set_values(updates, tracker)
+    print(
+        f"\nbatch of {len(updates)} leaf updates:"
+        f" span={tracker.span} work={tracker.work}"
+        f" (wound: {expr.last_stats['wound']} rake-tree labels)"
+    )
+
+    # versus recomputing from scratch:
+    shadow = DynamicExpression.from_random(INTEGER, n, seed=1)
+    base = RecomputeBaseline(shadow.tree)
+    t_base = SpanTracker()
+    base.batch_set_leaf_values(updates, t_base)
+    print(
+        f"recompute-from-scratch baseline: span={t_base.span} "
+        f"work={t_base.work}  ({t_base.work // max(1, tracker.work)}x more work)"
+    )
+    assert expr.value() == base.value()
+
+    # --- concurrent operator flips ------------------------------------
+    internal = expr.internal_ids()
+    tracker = SpanTracker()
+    expr.batch_set_ops(
+        [(nid, mul_op()) for nid in rng.sample(internal, 4)], tracker
+    )
+    print(f"\n4 operator changes: span={tracker.span}, value={expr.value()}")
+
+    # --- grow and prune sub-expressions ----------------------------------
+    tracker = SpanTracker()
+    created = expr.batch_grow(
+        [(nid, add_op(), 1, 2) for nid in rng.sample(expr.leaf_ids(), 8)],
+        tracker,
+    )
+    print(
+        f"\ngrew 8 leaf pairs: span={tracker.span}, "
+        f"fresh rake-tree nodes={expr.last_stats['fresh_rt_nodes']}"
+    )
+    # ... and prune two of the freshly grown pairs back off.
+    grown_parents = [
+        expr.tree.node(left).parent.nid for left, _ in created[:2]
+    ]
+    tracker = SpanTracker()
+    expr.batch_prune([(nid, 0) for nid in grown_parents], tracker)
+    print(f"pruned 2 pairs back: span={tracker.span}, value={expr.value()}")
+
+    # --- query values at interior nodes -----------------------------------
+    tracker = SpanTracker()
+    targets = rng.sample(expr.internal_ids(), 5)
+    values = expr.subexpression_values(targets, tracker)
+    print(f"\n5 sub-expression queries: span={tracker.span}")
+    for nid, v in zip(targets, values):
+        print(f"  node {nid}: {v}")
+
+    print("\nconsistency:", expr.value() == expr.tree.evaluate())
+
+
+if __name__ == "__main__":
+    main()

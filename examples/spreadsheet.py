@@ -1,0 +1,125 @@
+"""A miniature aggregation spreadsheet on dynamic tree contraction.
+
+The motivating §5 workload: a big reactive formula — here, a revenue
+roll-up ``Σ_region Π(price, volume, fx-rate)`` over thousands of line
+items — that must stay consistent while many cells change *at once*
+(e.g. an FX feed ticks every European line simultaneously).
+
+The whole sheet is one expression tree: line items are ``price * volume
+* fx`` products, regions sum their line items, and the grand total sums
+the regions.  A batch of cell edits is one concurrent update-set ``U``;
+dynamic parallel tree contraction heals the sheet in
+``O(log(|U| log n))`` simulated parallel time rather than re-evaluating
+all ``n`` cells.
+
+Run:  python examples/spreadsheet.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import FLOAT, DynamicExpression, ExprTree, SpanTracker, add_op, mul_op
+from repro.baselines import RecomputeBaseline
+
+
+def build_sheet(n_regions: int, items_per_region: int, seed: int = 0):
+    """Returns (expression, cell map): cells[(region, item, field)] ->
+    leaf node id for field in {'price', 'volume', 'fx'}."""
+    rng = random.Random(seed)
+    tree = ExprTree(FLOAT, root_value=0.0)
+    cells = {}
+    region_leaf = tree.root.nid
+    for region in range(n_regions):
+        if region < n_regions - 1:
+            region_leaf, rest = tree.grow_leaf(region_leaf, add_op(), 0.0, 0.0)
+        else:
+            rest = None
+        # Chain the region's items under a sum.
+        item_leaf = region_leaf
+        for item in range(items_per_region):
+            if item < items_per_region - 1:
+                item_leaf, nxt = tree.grow_leaf(item_leaf, add_op(), 0.0, 0.0)
+            else:
+                nxt = None
+            # price * (volume * fx)
+            price, vol_fx = tree.grow_leaf(
+                item_leaf, mul_op(), round(rng.uniform(1, 99), 2), 1.0
+            )
+            volume, fx = tree.grow_leaf(
+                vol_fx, mul_op(), float(rng.randint(1, 500)), 1.0
+            )
+            cells[(region, item, "price")] = price
+            cells[(region, item, "volume")] = volume
+            cells[(region, item, "fx")] = fx
+            item_leaf = nxt
+        region_leaf = rest
+    return DynamicExpression(tree, seed=seed + 1), cells
+
+
+def main() -> None:
+    rng = random.Random(42)
+    n_regions, items = 40, 50
+    sheet, cells = build_sheet(n_regions, items)
+    n_cells = len(cells)
+    print(f"sheet with {n_regions} regions x {items} items = {n_cells} cells")
+    print(f"grand total: {sheet.value():,.2f}")
+
+    # --- FX tick: every 'fx' cell of four regions changes at once --------
+    # (|U| = 200 of n = 6000 cells; past |U| ~ n/log n incremental work
+    # approaches a full recompute — see benchmarks/bench_e7.)
+    tick = [
+        (cells[(r, i, "fx")], round(rng.uniform(0.8, 1.2), 4))
+        for r in range(4)
+        for i in range(items)
+    ]
+    tracker = SpanTracker()
+    t0 = time.perf_counter()
+    sheet.batch_set_values(tick, tracker)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"\nFX tick: {len(tick)} concurrent cell edits -> "
+        f"span={tracker.span}, work={tracker.work}, "
+        f"wall={elapsed * 1000:.1f} ms"
+    )
+    print(f"new grand total: {sheet.value():,.2f}")
+
+    # --- versus recomputing the whole sheet --------------------------------
+    shadow, shadow_cells = build_sheet(n_regions, items)
+    base = RecomputeBaseline(shadow.tree)
+    t_base = SpanTracker()
+    base.batch_set_leaf_values(tick, t_base)
+    print(
+        f"recompute baseline work: {t_base.work} "
+        f"({t_base.work / max(1, tracker.work):.1f}x the incremental work)"
+    )
+    assert abs(base.value() - sheet.value()) < 1e-6 * abs(sheet.value())
+
+    # --- single-cell edit: the |U| = 1, O(log log n) case ------------------
+    tracker = SpanTracker()
+    sheet.batch_set_values([(cells[(3, 7, "price")], 123.45)], tracker)
+    print(
+        f"\nsingle cell edit: span={tracker.span} "
+        f"(tree has {n_cells} cells; log2 = "
+        f"{n_cells.bit_length()})"
+    )
+    print(f"grand total: {sheet.value():,.2f}")
+
+    # --- drill-down: query a region subtotal without recomputation ---------
+    region_root = sheet.tree.node(cells[(3, 0, "price")]).parent.parent
+    while True:
+        parent = region_root.parent
+        if parent is None or parent.op is None or parent.op.kind != "add":
+            break
+        # climb to the region's sum node (first add above the items)
+        break
+    tracker = SpanTracker()
+    (subtotal,) = sheet.subexpression_values([region_root.nid], tracker)
+    print(f"\nregion-3 line subtotal query: {subtotal:,.2f} (span={tracker.span})")
+
+    print("\nsheet consistent:", abs(sheet.value() - sheet.tree.evaluate()) < 1e-6)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Shim for offline environments without the `wheel` package, where
+# `pip install -e .` cannot build editable metadata. `python setup.py
+# develop` provides the same editable install from pyproject.toml.
+setup()

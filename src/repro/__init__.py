@@ -1,0 +1,125 @@
+"""repro — Dynamic Parallel Tree Contraction (Reif & Tate, SPAA 1994).
+
+A complete reproduction of the paper's system on a simulated CRCW PRAM:
+
+* :mod:`repro.pram` — the machine model (step-synchronous CRCW simulator
+  plus analytic work/span accounting);
+* :mod:`repro.algebra` — commutative (semi)rings, monoids and affine
+  maps (the §4.2 label calculus);
+* :mod:`repro.trees` — the dynamic binary expression tree ``T``;
+* :mod:`repro.splitting` — the RBSTS, batch insert/delete with random
+  rebuilding, and the Theorem 2.1 processor-activation procedure;
+* :mod:`repro.listprefix` — the §3 incremental list-prefix structure;
+* :mod:`repro.contraction` — randomized Kosaraju–Delcher contraction,
+  the rake tree, and the §4 dynamic parallel tree contraction;
+* :mod:`repro.applications` — §5: expression evaluation, tree
+  properties, Euler tours, preorder numbering, LCA, canonical forms;
+* :mod:`repro.baselines` — sequential / recompute / no-shortcut /
+  link-cut-tree comparators;
+* :mod:`repro.analysis` — experiment runner, curve fitting, tables.
+
+Quickstart::
+
+    from repro import DynamicExpression, INTEGER
+    expr = DynamicExpression.from_random(INTEGER, n_leaves=1000, seed=1)
+    print(expr.value())                     # full evaluation
+    leaf = expr.some_leaf()
+    expr.batch_set_values([(leaf, 42)])     # O(log(|U| log n)) sim. time
+    print(expr.value())
+"""
+
+from .algebra import (
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    Affine1,
+    Affine2,
+    Ring,
+    modular_ring,
+    tropical_semiring,
+)
+from .algebra.monoid import (
+    Monoid,
+    argmin_monoid,
+    count_monoid,
+    max_monoid,
+    min_monoid,
+    sum_monoid,
+)
+from .applications import (
+    CanonicalForms,
+    DynamicEulerTour,
+    DynamicExpression,
+    DynamicLCA,
+    DynamicPreorder,
+    DynamicTreeProperties,
+)
+from .baselines import (
+    LinkCutForest,
+    RecomputeBaseline,
+    SequentialContraction,
+    activate_by_walking,
+)
+from .contraction import DynamicTreeContraction, contract
+from .graphs import DynamicSPProperty, SPTree, random_sp_tree
+from .listprefix import IncrementalListPrefix
+from .pram import Machine, Metrics, SpanTracker, WritePolicy
+from .splitting import RBSTS, Summarizer, activate, deactivate
+from .trees import (
+    ExprTree,
+    add_op,
+    balanced_tree,
+    caterpillar_tree,
+    mul_op,
+    random_expression_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ring",
+    "INTEGER",
+    "FLOAT",
+    "BOOLEAN",
+    "modular_ring",
+    "tropical_semiring",
+    "Affine1",
+    "Affine2",
+    "Monoid",
+    "sum_monoid",
+    "count_monoid",
+    "min_monoid",
+    "max_monoid",
+    "argmin_monoid",
+    "Machine",
+    "Metrics",
+    "SpanTracker",
+    "WritePolicy",
+    "RBSTS",
+    "Summarizer",
+    "activate",
+    "deactivate",
+    "ExprTree",
+    "add_op",
+    "mul_op",
+    "balanced_tree",
+    "caterpillar_tree",
+    "random_expression_tree",
+    "IncrementalListPrefix",
+    "DynamicTreeContraction",
+    "contract",
+    "DynamicExpression",
+    "DynamicEulerTour",
+    "DynamicLCA",
+    "DynamicPreorder",
+    "DynamicTreeProperties",
+    "CanonicalForms",
+    "LinkCutForest",
+    "RecomputeBaseline",
+    "SequentialContraction",
+    "activate_by_walking",
+    "SPTree",
+    "DynamicSPProperty",
+    "random_sp_tree",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Algebraic substrate: commutative (semi)rings and affine maps.
+
+These are the label domains of the dynamic tree-contraction machinery
+(§4.2 of Reif & Tate 1994).
+"""
+
+from .rings import BOOLEAN, FLOAT, INTEGER, Ring, modular_ring, tropical_semiring
+from .affine import Affine1, Affine2
+
+__all__ = [
+    "Ring",
+    "INTEGER",
+    "FLOAT",
+    "BOOLEAN",
+    "modular_ring",
+    "tropical_semiring",
+    "Affine1",
+    "Affine2",
+]

@@ -1,0 +1,136 @@
+"""Affine maps over ``ring`` and ``ring**2`` — the §4.2 healing machinery.
+
+Two layers:
+
+* :class:`Affine1` — a map ``x -> a*x + b`` on ring elements.  This is the
+  *label* domain of Kosaraju–Delcher tree contraction: each contracted
+  node carries an ``Affine1`` telling how its eventual value depends on
+  the one uncontracted subtree below it.
+
+* :class:`Affine2` — a map ``(x, y) -> M @ (x, y) + c`` on *pairs* of ring
+  elements, i.e. a 2x2 ring matrix plus an offset vector.  Theorem 4.2's
+  key observation is that every rake-tree label operation is affine in
+  each argument separately, so once one child of a rake-tree node is
+  known, the node becomes an ``Affine2`` acting on the other child's
+  ``(A, B)`` label.  ``Affine2`` composition is associative, which is what
+  lets the wounded rake-tree fragment ``RT(W)`` be re-evaluated *by tree
+  contraction itself* rather than level-by-level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from .rings import Ring
+
+__all__ = ["Affine1", "Affine2"]
+
+
+@dataclass(frozen=True)
+class Affine1:
+    """The map ``x -> a*x + b`` over ``ring``.
+
+    Instances are immutable; composition returns a new map.  Over a ring,
+    the set of such maps is closed under composition and composition is
+    associative (this is the linchpin of the paper's §4.2 argument).
+    """
+
+    ring: Ring
+    a: Any
+    b: Any
+
+    @classmethod
+    def identity(cls, ring: Ring) -> "Affine1":
+        return cls(ring, ring.one, ring.zero)
+
+    @classmethod
+    def constant(cls, ring: Ring, value: Any) -> "Affine1":
+        """The map that ignores its input: ``x -> value`` (a leaf label)."""
+        return cls(ring, ring.zero, value)
+
+    def __call__(self, x: Any) -> Any:
+        r = self.ring
+        return r.add(r.mul(self.a, x), self.b)
+
+    def compose(self, inner: "Affine1") -> "Affine1":
+        """Return ``self ∘ inner``: ``x -> self(inner(x))``.
+
+        ``a(cx + d) + b = (ac)x + (ad + b)`` — exactly the paper's
+        small-compress label rule ``(A,B),(C,D) -> (AC, AD + B)``.
+        """
+        r = self.ring
+        return Affine1(
+            r,
+            r.mul(self.a, inner.a),
+            r.add(r.mul(self.a, inner.b), self.b),
+        )
+
+    def equal(self, other: "Affine1") -> bool:
+        return self.ring.eq(self.a, other.a) and self.ring.eq(self.b, other.b)
+
+
+Vec2 = Tuple[Any, Any]
+
+
+@dataclass(frozen=True)
+class Affine2:
+    """The map ``v -> M @ v + c`` on pairs of ring elements.
+
+    ``m`` is stored row-major as ``((m00, m01), (m10, m11))`` and ``c`` as
+    ``(c0, c1)``.  Used to re-evaluate wounded rake trees by contraction:
+    partially applying one (known) argument of a rake-tree binary label
+    operation yields an ``Affine2`` in the other argument, and these
+    compose associatively.
+    """
+
+    ring: Ring
+    m: Tuple[Vec2, Vec2]
+    c: Vec2
+
+    @classmethod
+    def identity(cls, ring: Ring) -> "Affine2":
+        z, o = ring.zero, ring.one
+        return cls(ring, ((o, z), (z, o)), (z, z))
+
+    @classmethod
+    def constant(cls, ring: Ring, value: Vec2) -> "Affine2":
+        """The map that ignores its input and returns ``value``."""
+        z = ring.zero
+        return cls(ring, ((z, z), (z, z)), (value[0], value[1]))
+
+    def __call__(self, v: Vec2) -> Vec2:
+        r = self.ring
+        (m00, m01), (m10, m11) = self.m
+        c0, c1 = self.c
+        x, y = v
+        out0 = r.add(r.add(r.mul(m00, x), r.mul(m01, y)), c0)
+        out1 = r.add(r.add(r.mul(m10, x), r.mul(m11, y)), c1)
+        return (out0, out1)
+
+    def compose(self, inner: "Affine2") -> "Affine2":
+        """Return ``self ∘ inner`` (apply ``inner`` first)."""
+        r = self.ring
+        (a00, a01), (a10, a11) = self.m
+        (b00, b01), (b10, b11) = inner.m
+        bc0, bc1 = inner.c
+        ac0, ac1 = self.c
+        m00 = r.add(r.mul(a00, b00), r.mul(a01, b10))
+        m01 = r.add(r.mul(a00, b01), r.mul(a01, b11))
+        m10 = r.add(r.mul(a10, b00), r.mul(a11, b10))
+        m11 = r.add(r.mul(a10, b01), r.mul(a11, b11))
+        c0 = r.add(r.add(r.mul(a00, bc0), r.mul(a01, bc1)), ac0)
+        c1 = r.add(r.add(r.mul(a10, bc0), r.mul(a11, bc1)), ac1)
+        return Affine2(r, ((m00, m01), (m10, m11)), (c0, c1))
+
+    def equal(self, other: "Affine2") -> bool:
+        eq = self.ring.eq
+        return (
+            all(
+                eq(self.m[i][j], other.m[i][j])
+                for i in range(2)
+                for j in range(2)
+            )
+            and eq(self.c[0], other.c[0])
+            and eq(self.c[1], other.c[1])
+        )

@@ -1,0 +1,7 @@
+"""Experiment support: runners, growth-model fits, table rendering."""
+
+from .fitting import MODELS, Fit, best_model, fit_model
+from .runner import CellStats, sweep
+from .tables import Table
+
+__all__ = ["Table", "Fit", "fit_model", "best_model", "MODELS", "CellStats", "sweep"]

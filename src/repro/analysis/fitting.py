@@ -1,0 +1,68 @@
+"""Growth-model fitting for the scaling experiments.
+
+The theorems predict how simulated costs grow with ``n`` and ``|U|``:
+``log n`` for naive walking and construction, ``log log n`` for
+``|U| = O(1)`` activation, ``log(|U| log n)`` in general.  These helpers
+fit ``y ≈ a·f(n) + b`` by least squares and report R², so benchmarks can
+assert *which model explains the data* rather than absolute constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+__all__ = ["Fit", "fit_model", "best_model", "MODELS"]
+
+
+@dataclass(frozen=True)
+class Fit:
+    model: str
+    a: float
+    b: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.a * MODELS[self.model](x) + self.b
+
+
+MODELS: Dict[str, Callable[[float], float]] = {
+    "const": lambda n: 1.0,
+    "loglog": lambda n: math.log2(max(2.0, math.log2(max(2.0, n)))),
+    "log": lambda n: math.log2(max(2.0, n)),
+    "sqrt": lambda n: math.sqrt(n),
+    "linear": lambda n: float(n),
+}
+
+
+def fit_model(xs: Sequence[float], ys: Sequence[float], model: str) -> Fit:
+    """Least-squares fit of ``y = a * MODELS[model](x) + b``."""
+    f = MODELS[model]
+    fx = np.array([f(x) for x in xs], dtype=float)
+    y = np.array(ys, dtype=float)
+    A = np.vstack([fx, np.ones_like(fx)]).T
+    (a, b), *_ = np.linalg.lstsq(A, y, rcond=None)
+    pred = a * fx + b
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return Fit(model=model, a=float(a), b=float(b), r2=r2)
+
+
+def best_model(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    candidates: Sequence[str] = ("const", "loglog", "log", "linear"),
+) -> Fit:
+    """The candidate model with the highest R² (ties favour the slower-
+    growing model, listed first)."""
+    best: Fit | None = None
+    for name in candidates:
+        fit = fit_model(xs, ys, name)
+        if best is None or fit.r2 > best.r2 + 1e-9:
+            best = fit
+    assert best is not None
+    return best

@@ -1,0 +1,56 @@
+"""Seeded experiment execution with repetition and aggregation.
+
+Every benchmark sweeps a parameter grid and, because the structures are
+randomized, repeats each cell over several seeds; this helper owns that
+loop so the benchmark files stay declarative.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["CellStats", "sweep"]
+
+
+@dataclass
+class CellStats:
+    """Aggregated measurements for one grid cell."""
+
+    params: Mapping[str, Any]
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, measurements: Mapping[str, float]) -> None:
+        for key, value in measurements.items():
+            self.samples.setdefault(key, []).append(float(value))
+
+    def mean(self, key: str) -> float:
+        return statistics.fmean(self.samples[key])
+
+    def stdev(self, key: str) -> float:
+        vals = self.samples[key]
+        return statistics.stdev(vals) if len(vals) > 1 else 0.0
+
+    def max(self, key: str) -> float:
+        return max(self.samples[key])
+
+
+def sweep(
+    grid: Sequence[Mapping[str, Any]],
+    run: Callable[..., Mapping[str, float]],
+    *,
+    seeds: Iterable[int] = (0, 1, 2),
+) -> List[CellStats]:
+    """Run ``run(seed=s, **params)`` for every grid cell × seed.
+
+    ``run`` returns a mapping of measurement name to value; results are
+    aggregated per cell.
+    """
+    out: List[CellStats] = []
+    for params in grid:
+        cell = CellStats(params=params)
+        for seed in seeds:
+            cell.add(run(seed=seed, **params))
+        out.append(cell)
+    return out

@@ -1,0 +1,20 @@
+"""§5 — applications of dynamic parallel tree contraction."""
+
+from .canonical import CanonicalForms
+from .cse import CommonSubexpressions
+from .euler import DynamicEulerTour, tour_monoid
+from .expressions import DynamicExpression
+from .lca import DynamicLCA
+from .preorder import DynamicPreorder
+from .properties import DynamicTreeProperties
+
+__all__ = [
+    "DynamicExpression",
+    "DynamicEulerTour",
+    "tour_monoid",
+    "DynamicLCA",
+    "DynamicPreorder",
+    "DynamicTreeProperties",
+    "CanonicalForms",
+    "CommonSubexpressions",
+]

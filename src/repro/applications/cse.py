@@ -1,0 +1,150 @@
+"""Dynamic common subexpression elimination (§1's application list).
+
+The paper's introduction names common subexpression elimination among
+the classic tree-contraction applications.  Two sub-expressions are
+*common* when they compute the same function: same shape, same
+operators, same leaf values, respecting operand order for
+non-commutative presentation but collapsing commutative reorderings of
+``+``/``*`` operands (both ops are commutative here, so children are
+interned unordered along with the op kind/constant).
+
+Built on the same interning idea as canonical forms but keyed on
+semantic content, with the same root-path healing discipline; pairs
+with :class:`~repro.applications.expressions.DynamicExpression` to keep
+a live duplicate-subexpression index over a dynamic expression tree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import UnknownNodeError
+from ..pram.frames import SpanTracker
+from ..trees.expr import ExprTree
+
+__all__ = ["CommonSubexpressions"]
+
+
+class CommonSubexpressions:
+    """Exactly-maintained semantic codes + a duplicate index.
+
+    ``classes()`` returns, at any time, every set of 2+ node ids whose
+    subtrees compute identical sub-expressions — the CSE opportunities.
+    """
+
+    def __init__(self, tree: ExprTree) -> None:
+        self.tree = tree
+        self._table: Dict[Tuple, int] = {}
+        self._next = 1
+        self.code: Dict[int, int] = {}
+        self._members: Dict[int, Set[int]] = defaultdict(set)
+        stack: List[Tuple[Any, bool]] = [(tree.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.is_leaf:
+                self._assign(node.nid, self._intern(("leaf", node.value)))
+            elif expanded:
+                self._assign(node.nid, self._node_code(node))
+            else:
+                stack.append((node, True))
+                stack.append((node.right, False))
+                stack.append((node.left, False))
+
+    # -- interning --------------------------------------------------------
+    def _intern(self, key: Tuple) -> int:
+        got = self._table.get(key)
+        if got is None:
+            got = self._next
+            self._next += 1
+            self._table[key] = got
+        return got
+
+    def _node_code(self, node) -> int:
+        a = self.code[node.left.nid]
+        b = self.code[node.right.nid]
+        # + and * are commutative: order-insensitive key.
+        if a > b:
+            a, b = b, a
+        const = node.op.const
+        return self._intern(("op", node.op.kind, const, a, b))
+
+    def _assign(self, nid: int, code: int) -> None:
+        old = self.code.get(nid)
+        if old is not None:
+            self._members[old].discard(nid)
+            if not self._members[old]:
+                del self._members[old]
+        self.code[nid] = code
+        self._members[code].add(nid)
+
+    def _drop(self, nid: int) -> None:
+        old = self.code.pop(nid, None)
+        if old is not None:
+            self._members[old].discard(nid)
+            if not self._members[old]:
+                del self._members[old]
+
+    # -- queries ------------------------------------------------------------
+    def code_of(self, nid: int) -> int:
+        try:
+            return self.code[nid]
+        except KeyError:
+            raise UnknownNodeError(f"node {nid} has no code") from None
+
+    def equivalent(self, a: int, b: int) -> bool:
+        """Do the subtrees at ``a`` and ``b`` compute the same value
+        structurally (same expression up to commutativity)?  O(1)."""
+        return self.code_of(a) == self.code_of(b)
+
+    def classes(self, min_size: int = 2) -> List[Set[int]]:
+        """All current duplicate classes with at least ``min_size``
+        members (the CSE opportunities), largest first."""
+        out = [set(m) for m in self._members.values() if len(m) >= min_size]
+        out.sort(key=len, reverse=True)
+        return out
+
+    def duplicates_of(self, nid: int) -> Set[int]:
+        """Other nodes computing the same sub-expression as ``nid``."""
+        return set(self._members[self.code_of(nid)]) - {nid}
+
+    # -- maintenance -----------------------------------------------------
+    def batch_refresh(
+        self,
+        dirty: Sequence[int],
+        removed: Sequence[int] = (),
+        tracker: Optional[SpanTracker] = None,
+    ) -> int:
+        """Heal after edits: ``dirty`` nodes (and everything on their
+        root paths) are recoded; ``removed`` node ids are dropped.
+        Returns the wound size."""
+        for nid in removed:
+            self._drop(nid)
+        wound: Dict[int, Any] = {}
+        for nid in dirty:
+            node = self.tree.node(nid)
+            while node is not None and node.nid not in wound:
+                wound[node.nid] = node
+                node = node.parent
+        # Recode bottom-up by depth.  New children of grown nodes may
+        # not be in `wound`; code them first.
+        for node in wound.values():
+            if not node.is_leaf:
+                for child in (node.left, node.right):
+                    if child.nid not in self.code and child.is_leaf:
+                        self._assign(
+                            child.nid, self._intern(("leaf", child.value))
+                        )
+        for node in sorted(
+            wound.values(), key=lambda x: -self.tree.depth_of(x.nid)
+        ):
+            if node.is_leaf:
+                self._assign(node.nid, self._intern(("leaf", node.value)))
+            else:
+                self._assign(node.nid, self._node_code(node))
+        if tracker is not None:
+            import math
+
+            k = len(wound) + 1
+            tracker.charge(work=k, span=max(1, math.ceil(math.log2(k + 1))))
+        return len(wound)

@@ -1,0 +1,216 @@
+"""Dynamic Eulerian tours (§5, Theorem 5.1).
+
+The Euler tour of the dynamic tree ``T`` is maintained as a sequence of
+*events* inside an incremental list-prefix structure (§3): a leaf
+contributes one ``enter`` event; an internal node contributes ``enter``
+plus one ``up`` event per child.  Growing a leaf splices four events in
+after its ``enter``; pruning removes them — both are ordinary §2 batch
+sequence updates, so the whole tour machinery inherits the
+``O(log(|U| log n))`` bounds.
+
+Each event carries the monoid element ``(sum, minpref, argmin, enters)``
+over its ±1 depth weight, which answers every §5 tour query from prefix
+folds:
+
+* ``depth`` / number of ancestors — prefix ``sum`` at the node's
+  ``enter`` event, minus one;
+* ``preorder`` number — prefix ``enters`` count;
+* LCA — range argmin of the running depth between two ``enter`` events
+  (see lca.py).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.monoid import Monoid
+from ..errors import TreeStructureError, UnknownNodeError
+from ..listprefix.structure import IncrementalListPrefix
+from ..pram.frames import SpanTracker
+from ..splitting.node import BSTNode
+from ..trees.expr import ExprTree
+from ..trees.nodes import Op
+
+__all__ = ["tour_monoid", "DynamicEulerTour"]
+
+_INF = float("inf")
+
+# Element: (sum, minpref, argmin_node, enter_count).
+#   sum        — total of the ±1 depth weights in the segment;
+#   minpref    — minimum prefix sum within the segment;
+#   argmin     — the node visited at the (leftmost) minimising event;
+#   enters     — number of 'enter' events in the segment.
+_IDENTITY = (0, _INF, None, 0)
+
+
+def _combine(a, b):
+    sa, ma, aa, ea = a
+    sb, mb, ab, eb = b
+    m2 = sa + mb
+    if ma <= m2:
+        m, arg = ma, aa
+    else:
+        m, arg = m2, ab
+    return (sa + sb, m, arg, ea + eb)
+
+
+def tour_monoid() -> Monoid:
+    """The product monoid folded over Euler-tour events."""
+    return Monoid("euler-tour", _IDENTITY, _combine)
+
+
+def _element(event: Tuple[int, str]) -> Tuple[int, float, Optional[int], int]:
+    nid, kind = event
+    if kind == "enter":
+        return (1, 1, nid, 1)
+    return (-1, -1, nid, 0)
+
+
+class DynamicEulerTour:
+    """Maintains the Euler tour of a dynamic full binary tree.
+
+    Owns the tree-shape bookkeeping only; it can shadow any
+    :class:`~repro.trees.expr.ExprTree` as long as every structural
+    update is reported via :meth:`batch_grow` / :meth:`batch_prune`.
+    """
+
+    def __init__(self, tree: ExprTree, *, seed: int = 0) -> None:
+        self.tree = tree
+        events: List[Tuple[int, str]] = []
+        # Build the initial tour iteratively.
+        stack: List[Tuple[Any, int]] = [(tree.root, 0)]
+        while stack:
+            node, state = stack.pop()
+            if state == 0:
+                events.append((node.nid, "enter"))
+                if not node.is_leaf:
+                    stack.append((node, 1))
+                    stack.append((node.left, 0))
+            elif state == 1:
+                events.append((node.nid, "up"))
+                stack.append((node, 2))
+                stack.append((node.right, 0))
+            else:
+                events.append((node.nid, "up"))
+        self.seq = IncrementalListPrefix(
+            tour_monoid(), [ _element(e) for e in events ], seed=seed
+        )
+        # Per-node event handles: enter + (for internals) the two ups.
+        self.enter: Dict[int, BSTNode] = {}
+        self.ups: Dict[int, List[BSTNode]] = {}
+        for event, handle in zip(events, self.seq.handles()):
+            nid, kind = event
+            if kind == "enter":
+                self.enter[nid] = handle
+            else:
+                self.ups.setdefault(nid, []).append(handle)
+
+    # -- queries ------------------------------------------------------------
+    def tour_length(self) -> int:
+        return len(self.seq)
+
+    def position(self, nid: int) -> int:
+        """Index of the node's 'enter' event in the tour (O(depth))."""
+        return self.seq.index_of(self._enter(nid))
+
+    def batch_depths(
+        self, node_ids: Sequence[int], tracker: Optional[SpanTracker] = None
+    ) -> List[int]:
+        """Number of ancestors of each node (depth; root = 0)."""
+        handles = [self._enter(nid) for nid in node_ids]
+        folds = self.seq.batch_prefix(handles, tracker)
+        return [f[0] - 1 for f in folds]
+
+    def batch_preorder(
+        self, node_ids: Sequence[int], tracker: Optional[SpanTracker] = None
+    ) -> List[int]:
+        """Preorder numbers (0-based) — incrementally maintained (§1.1):
+        computed from prefix enter-counts on demand."""
+        handles = [self._enter(nid) for nid in node_ids]
+        folds = self.seq.batch_prefix(handles, tracker)
+        return [f[3] - 1 for f in folds]
+
+    def lca(
+        self, x: int, y: int, tracker: Optional[SpanTracker] = None
+    ) -> int:
+        """Least common ancestor via range argmin of the running depth."""
+        if x == y:
+            return x
+        hx, hy = self._enter(x), self._enter(y)
+        if self.seq.index_of(hx) > self.seq.index_of(hy):
+            hx, hy = hy, hx
+        fold = self.seq.range_fold(hx, hy, tracker)
+        arg = fold[2]
+        assert arg is not None
+        return arg
+
+    def tour_nodes(self) -> List[int]:
+        """The node sequence of the current tour (O(n); for tests)."""
+        return [handle.item[2] for handle in self.seq.handles()]
+
+    # -- structural maintenance ------------------------------------------
+    def batch_grow(
+        self,
+        grown: Sequence[Tuple[int, int, int]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        """Register grow events: ``(parent_id, left_id, right_id)`` per
+        grown leaf.  Call *after* the tree itself was updated."""
+        inserts: List[Tuple[int, Any]] = []
+        order: List[Tuple[int, str, int]] = []  # (nid, kind, up_index)
+        for parent_id, left_id, right_id in grown:
+            pos = self.seq.index_of(self._enter(parent_id)) + 1
+            # after 'enter parent': enter left, up parent, enter right, up parent
+            inserts.extend(
+                [
+                    (pos, _element((left_id, "enter"))),
+                    (pos, _element((parent_id, "up"))),
+                    (pos, _element((right_id, "enter"))),
+                    (pos, _element((parent_id, "up"))),
+                ]
+            )
+            order.extend(
+                [
+                    (left_id, "enter", 0),
+                    (parent_id, "up", 0),
+                    (right_id, "enter", 0),
+                    (parent_id, "up", 1),
+                ]
+            )
+        handles = self.seq.batch_insert(inserts, tracker)
+        for (nid, kind, _), h in zip(order, handles):
+            if kind == "enter":
+                self.enter[nid] = h
+            else:
+                self.ups.setdefault(nid, []).append(h)
+
+    def batch_prune(
+        self,
+        pruned: Sequence[Tuple[int, int, int]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        """Register prune events: ``(parent_id, left_id, right_id)`` for
+        each node whose two leaf children were deleted."""
+        doomed: List[BSTNode] = []
+        for parent_id, left_id, right_id in pruned:
+            try:
+                doomed.append(self.enter.pop(left_id))
+                doomed.append(self.enter.pop(right_id))
+                ups = self.ups.pop(parent_id)
+            except KeyError:
+                raise UnknownNodeError(
+                    f"prune of {parent_id} references unknown children"
+                ) from None
+            if len(ups) != 2:
+                raise TreeStructureError(
+                    f"node {parent_id} has {len(ups)} up events"
+                )
+            doomed.extend(ups)
+        self.seq.batch_delete(doomed, tracker)
+
+    # -- internals ----------------------------------------------------------
+    def _enter(self, nid: int) -> BSTNode:
+        try:
+            return self.enter[nid]
+        except KeyError:
+            raise UnknownNodeError(f"node {nid} not in the tour") from None

@@ -1,0 +1,105 @@
+"""Dynamic expression evaluation (§5, Theorem 5.1).
+
+:class:`DynamicExpression` is the user-facing facade over
+:class:`~repro.contraction.DynamicTreeContraction`: an arithmetic
+expression over a commutative (semi)ring whose value is exactly
+maintained under concurrent batches of leaf-value changes, operator
+changes, sub-expression growth and pruning.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..algebra.rings import Ring
+from ..pram.frames import SpanTracker
+from ..trees.builders import random_expression_tree
+from ..trees.expr import ExprTree
+from ..trees.nodes import Op
+from ..contraction.dynamic import DynamicTreeContraction
+
+__all__ = ["DynamicExpression"]
+
+
+class DynamicExpression:
+    """A dynamically maintained expression tree.
+
+    Construct from an existing :class:`~repro.trees.expr.ExprTree` or
+    via :meth:`from_random`.  All mutation goes through the batch
+    methods; the current value is always available in O(1).
+    """
+
+    def __init__(self, tree: ExprTree, *, seed: int = 0) -> None:
+        self.tree = tree
+        self.engine = DynamicTreeContraction(tree, seed=seed)
+
+    @classmethod
+    def from_random(
+        cls,
+        ring: Ring,
+        n_leaves: int,
+        *,
+        seed: int = 0,
+        mul_probability: float = 0.3,
+    ) -> "DynamicExpression":
+        tree = random_expression_tree(
+            ring, n_leaves, seed=seed, mul_probability=mul_probability
+        )
+        return cls(tree, seed=seed + 1)
+
+    # -- inspection --------------------------------------------------------
+    def value(self) -> Any:
+        """The expression's value (exactly maintained)."""
+        return self.engine.value()
+
+    def n_leaves(self) -> int:
+        return len(self.tree.leaves_in_order())
+
+    def leaf_ids(self) -> List[int]:
+        return [leaf.nid for leaf in self.tree.leaves_in_order()]
+
+    def internal_ids(self) -> List[int]:
+        return [n.nid for n in self.tree.nodes_preorder() if not n.is_leaf]
+
+    def some_leaf(self) -> int:
+        return self.leaf_ids()[0]
+
+    def subexpression_values(
+        self, node_ids: Sequence[int], tracker: Optional[SpanTracker] = None
+    ) -> List[Any]:
+        """Recompute values at specified nodes (§4.1 query)."""
+        return self.engine.query_values(node_ids, tracker)
+
+    # -- updates ------------------------------------------------------------
+    def batch_set_values(
+        self,
+        updates: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        self.engine.batch_set_leaf_values(updates, tracker)
+
+    def batch_set_ops(
+        self,
+        updates: Sequence[Tuple[int, Op]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        self.engine.batch_set_ops(updates, tracker)
+
+    def batch_grow(
+        self,
+        requests: Sequence[Tuple[int, Op, Any, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Tuple[int, int]]:
+        return self.engine.batch_grow(requests, tracker)
+
+    def batch_prune(
+        self,
+        requests: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        self.engine.batch_prune(requests, tracker)
+
+    @property
+    def last_stats(self) -> dict:
+        return self.engine.last_stats

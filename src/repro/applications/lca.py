@@ -1,0 +1,56 @@
+"""Dynamic least common ancestors (§5, Theorem 5.2).
+
+The classical reduction: LCA(x, y) is the shallowest node visited by
+the Euler tour between the first visits of ``x`` and ``y``.  The tour
+lives in the §3 list-prefix structure with a (sum, min-prefix, argmin)
+monoid, so a batch of LCA queries costs ``O(log(|U| log n))`` expected
+— and the structure stays correct under concurrent grow/prune batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..pram.frames import SpanTracker
+from ..trees.expr import ExprTree
+from .euler import DynamicEulerTour
+
+__all__ = ["DynamicLCA"]
+
+
+class DynamicLCA:
+    """Batch LCA queries over a dynamic tree.
+
+    A thin, intention-revealing facade over
+    :class:`~repro.applications.euler.DynamicEulerTour`; structural
+    updates must be reported through :meth:`batch_grow` /
+    :meth:`batch_prune` like the tour's.
+    """
+
+    def __init__(self, tree: ExprTree, *, seed: int = 0) -> None:
+        self.tour = DynamicEulerTour(tree, seed=seed)
+
+    def lca(self, x: int, y: int, tracker: Optional[SpanTracker] = None) -> int:
+        return self.tour.lca(x, y, tracker)
+
+    def batch_lca(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[int]:
+        """Answer a batch of LCA queries.
+
+        Each range-argmin is independent; the batch is charged as one
+        parallel round over the union parse tree (the per-pair folds
+        run concurrently on the activated processors).
+        """
+        tracker = tracker if tracker is not None else SpanTracker()
+        return tracker.parallel(
+            [(lambda p=pair: self.tour.lca(p[0], p[1], tracker)) for pair in pairs]
+        )
+
+    def batch_grow(self, grown, tracker: Optional[SpanTracker] = None) -> None:
+        self.tour.batch_grow(grown, tracker)
+
+    def batch_prune(self, pruned, tracker: Optional[SpanTracker] = None) -> None:
+        self.tour.batch_prune(pruned, tracker)

@@ -1,0 +1,44 @@
+"""Dynamic preorder numbering (§1.1's running example, §5 Theorem 5.1).
+
+Preorder numbers are the paper's example of a quantity that must be
+*incrementally* rather than *exactly* maintained: one structural edit
+shifts the preorder number of Ω(n) nodes, so the numbers are derived on
+demand from exactly-maintained counts — here, prefix enter-counts over
+the dynamic Euler tour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..pram.frames import SpanTracker
+from ..trees.expr import ExprTree
+from .euler import DynamicEulerTour
+
+__all__ = ["DynamicPreorder"]
+
+
+class DynamicPreorder:
+    """0-based preorder numbers over a dynamic tree."""
+
+    def __init__(self, tree: ExprTree, *, seed: int = 0) -> None:
+        self.tour = DynamicEulerTour(tree, seed=seed)
+
+    def number(self, nid: int) -> int:
+        """Single query (sequential O(log n) path walk, §1.1)."""
+        fold = self.tour.seq.prefix(self.tour._enter(nid))
+        return fold[3] - 1
+
+    def batch_numbers(
+        self,
+        node_ids: Sequence[int],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[int]:
+        """Concurrent queries in ``O(log(|U| log n))`` expected span."""
+        return self.tour.batch_preorder(node_ids, tracker)
+
+    def batch_grow(self, grown, tracker: Optional[SpanTracker] = None) -> None:
+        self.tour.batch_grow(grown, tracker)
+
+    def batch_prune(self, pruned, tracker: Optional[SpanTracker] = None) -> None:
+        self.tour.batch_prune(pruned, tracker)

@@ -1,0 +1,131 @@
+"""Standard tree properties, dynamically maintained (§5, Theorem 5.1).
+
+:class:`DynamicTreeProperties` owns a dynamic full binary tree and
+maintains, under concurrent grow/prune batches:
+
+* **number of descendants** — *exactly maintained* (the paper's §1.1
+  showcase): subtree sizes are an expression evaluation with leaf value
+  ``1`` and node operation ``x + y + 1``, maintained by dynamic tree
+  contraction; queries read the contraction's removal records;
+* **number of ancestors / depth** and **preorder numbering** —
+  *incrementally maintained* via the dynamic Euler tour (§1.1 explains
+  why preorder cannot be exactly maintained: one edit moves Ω(n)
+  preorder numbers);
+* ancestor tests (from tour positions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..algebra.rings import INTEGER
+from ..contraction.dynamic import DynamicTreeContraction
+from ..pram.frames import SpanTracker
+from ..trees.expr import ExprTree
+from ..trees.nodes import add_op
+from .euler import DynamicEulerTour
+
+__all__ = ["DynamicTreeProperties"]
+
+_SIZE_OP = add_op(const=1)  # size(v) = size(left) + size(right) + 1
+
+
+class DynamicTreeProperties:
+    """A dynamic rooted full binary tree with maintained shape queries.
+
+    The tree is shape-only: construct with the number of initial leaves
+    you need (grown from a single root) or adopt the shape of an
+    existing tree via :meth:`from_shape`.
+    """
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.tree = ExprTree(INTEGER, root_value=1)
+        self.sizes = DynamicTreeContraction(self.tree, seed=seed)
+        self.tour = DynamicEulerTour(self.tree, seed=seed + 1)
+
+    @classmethod
+    def from_shape(cls, shape: ExprTree, *, seed: int = 0) -> "DynamicTreeProperties":
+        """Build a property tracker mirroring ``shape``'s topology.
+
+        Returns the tracker plus nothing else; node ids in the tracker's
+        tree correspond to ``shape``'s preorder (use the returned
+        tracker's own tree for queries).
+        """
+        props = cls(seed=seed)
+        # Mirror by replaying grows in BFS order over the shape.
+        mapping = {shape.root.nid: props.tree.root.nid}
+        frontier = [shape.root]
+        while frontier:
+            batch = []
+            next_frontier = []
+            for node in frontier:
+                if node.is_leaf:
+                    continue
+                batch.append((mapping[node.nid], node))
+                next_frontier.extend([node.left, node.right])
+            if batch:
+                created = props.batch_grow([mine for mine, _ in batch])
+                for (mine, theirs), (lid, rid) in zip(batch, created):
+                    mapping[theirs.left.nid] = lid  # type: ignore[union-attr]
+                    mapping[theirs.right.nid] = rid  # type: ignore[union-attr]
+            frontier = next_frontier
+        props.mapping_from_shape = mapping  # type: ignore[attr-defined]
+        return props
+
+    # -- structure -----------------------------------------------------------
+    def batch_grow(
+        self,
+        leaf_ids: Sequence[int],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Tuple[int, int]]:
+        """Add two children below each given leaf; returns id pairs."""
+        reqs = [(nid, _SIZE_OP, 1, 1) for nid in leaf_ids]
+        created = self.sizes.batch_grow(reqs, tracker)
+        self.tour.batch_grow(
+            [(nid, l, r) for nid, (l, r) in zip(leaf_ids, created)], tracker
+        )
+        return created
+
+    def batch_prune(
+        self,
+        node_ids: Sequence[int],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        """Delete the two leaf children of each given node."""
+        pruned = []
+        for nid in node_ids:
+            node = self.tree.node(nid)
+            if node.is_leaf:
+                raise ValueError(f"node {nid} is a leaf")
+            pruned.append((nid, node.left.nid, node.right.nid))  # type: ignore[union-attr]
+        self.sizes.batch_prune([(nid, 1) for nid in node_ids], tracker)
+        self.tour.batch_prune(pruned, tracker)
+
+    # -- queries ------------------------------------------------------------
+    def n_nodes(self) -> int:
+        """Total node count — exactly maintained, O(1)."""
+        return self.sizes.value()
+
+    def batch_subtree_sizes(
+        self, node_ids: Sequence[int], tracker: Optional[SpanTracker] = None
+    ) -> List[int]:
+        return self.sizes.query_values(node_ids, tracker)
+
+    def batch_num_descendants(
+        self, node_ids: Sequence[int], tracker: Optional[SpanTracker] = None
+    ) -> List[int]:
+        return [s - 1 for s in self.batch_subtree_sizes(node_ids, tracker)]
+
+    def batch_num_ancestors(
+        self, node_ids: Sequence[int], tracker: Optional[SpanTracker] = None
+    ) -> List[int]:
+        return self.tour.batch_depths(node_ids, tracker)
+
+    def batch_preorder(
+        self, node_ids: Sequence[int], tracker: Optional[SpanTracker] = None
+    ) -> List[int]:
+        return self.tour.batch_preorder(node_ids, tracker)
+
+    def is_ancestor(self, x: int, y: int) -> bool:
+        """True iff ``x`` is a (weak) ancestor of ``y``."""
+        return self.tour.lca(x, y) == x

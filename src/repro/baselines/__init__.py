@@ -1,0 +1,15 @@
+"""Comparators: the algorithms the paper improves upon."""
+
+from .linkcut import LinkCutForest
+from .naive_walk import WalkActivationResult, activate_by_walking, deactivate_walk
+from .recompute import RecomputeBaseline
+from .sequential import SequentialContraction
+
+__all__ = [
+    "LinkCutForest",
+    "activate_by_walking",
+    "deactivate_walk",
+    "WalkActivationResult",
+    "RecomputeBaseline",
+    "SequentialContraction",
+]

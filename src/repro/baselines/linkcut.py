@@ -1,0 +1,235 @@
+"""Sleator–Tarjan link-cut trees — the cited sequential baseline [16].
+
+The paper positions its structure against the sequential dynamic-tree
+data structures of Sleator & Tarjan and Fredrickson (§1.1): ``O(log n)``
+amortised per operation, inherently one-request-at-a-time.  This is a
+classic splay-based implementation for *rooted* trees (no evert, which
+the paper's setting never needs): ``link``, ``cut``, ``find_root``,
+``lca``, node-value updates, and path aggregates (sum / min / length)
+from a node to its tree root.
+
+It doubles as an oracle in the test suite and as the sequential
+comparator in experiment E7: a batch of ``|U|`` requests costs
+``Θ(|U| log n)`` here versus the paper's ``O(log(|U| log n))`` span.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["LinkCutForest"]
+
+_INF = float("inf")
+
+
+class _Node:
+    __slots__ = (
+        "key",
+        "value",
+        "left",
+        "right",
+        "parent",
+        "agg_sum",
+        "agg_min",
+        "agg_len",
+        "ops",
+    )
+
+    def __init__(self, key: int, value: float) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.parent: Optional[_Node] = None
+        self.agg_sum = value
+        self.agg_min = value
+        self.agg_len = 1
+        self.ops = 0  # splay rotations, for cost accounting
+
+    # -- splay-tree plumbing -----------------------------------------------
+    def is_splay_root(self) -> bool:
+        p = self.parent
+        return p is None or (p.left is not self and p.right is not self)
+
+    def pull(self) -> None:
+        s, m, n = self.value, self.value, 1
+        for c in (self.left, self.right):
+            if c is not None:
+                s += c.agg_sum
+                if c.agg_min < m:
+                    m = c.agg_min
+                n += c.agg_len
+        self.agg_sum, self.agg_min, self.agg_len = s, m, n
+
+
+class LinkCutForest:
+    """A forest of rooted trees over integer keys."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, _Node] = {}
+        self.rotations = 0  # total splay rotations (the O(log n) cost)
+
+    # -- node management -----------------------------------------------------
+    def make_node(self, key: int, value: float = 0.0) -> None:
+        if key in self._nodes:
+            raise KeyError(f"key {key} already present")
+        self._nodes[key] = _Node(key, value)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def set_value(self, key: int, value: float) -> None:
+        node = self._node(key)
+        self._access(node)
+        node.value = value
+        node.pull()
+
+    def get_value(self, key: int) -> float:
+        return self._node(key).value
+
+    # -- dynamic-tree operations ----------------------------------------------
+    def link(self, child: int, parent: int) -> None:
+        """Attach tree root ``child`` below ``parent``."""
+        c, p = self._node(child), self._node(parent)
+        self._access(c)
+        if c.left is not None:
+            raise ValueError(f"{child} is not the root of its tree")
+        if self._find_root_node(p) is c:
+            raise ValueError("link would create a cycle")
+        self._access(c)
+        self._access(p)
+        c.left = p
+        p.parent = c
+        c.pull()
+
+    def cut(self, child: int) -> None:
+        """Detach ``child`` from its parent (it becomes a root)."""
+        c = self._node(child)
+        self._access(c)
+        if c.left is None:
+            raise ValueError(f"{child} is already a root")
+        c.left.parent = None
+        c.left = None
+        c.pull()
+
+    def find_root(self, key: int) -> int:
+        return self._find_root_node(self._node(key)).key
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find_root(a) == self.find_root(b)
+
+    def lca(self, a: int, b: int) -> Optional[int]:
+        """Least common ancestor, or None if in different trees."""
+        na, nb = self._node(a), self._node(b)
+        if na is nb:
+            return a
+        self._access(na)
+        lca = self._access(nb)
+        if self._find_root_node(na) is not self._find_root_node(nb):
+            return None
+        # After access(na); access(nb), the last preferred-path switch
+        # during the second access is the LCA.
+        return lca.key if lca is not None else a
+
+    # -- path queries (node -> its tree root, inclusive) -----------------------
+    def path_sum(self, key: int) -> float:
+        node = self._node(key)
+        self._access(node)
+        left_sum = node.left.agg_sum if node.left is not None else 0.0
+        return left_sum + node.value
+
+    def path_min(self, key: int) -> float:
+        node = self._node(key)
+        self._access(node)
+        m = node.value
+        if node.left is not None and node.left.agg_min < m:
+            m = node.left.agg_min
+        return m
+
+    def depth(self, key: int) -> int:
+        """Number of proper ancestors."""
+        node = self._node(key)
+        self._access(node)
+        return node.left.agg_len if node.left is not None else 0
+
+    # -- internals -----------------------------------------------------------
+    def _node(self, key: int) -> _Node:
+        try:
+            return self._nodes[key]
+        except KeyError:
+            raise KeyError(f"no node with key {key}") from None
+
+    def _rotate(self, x: _Node) -> None:
+        p = x.parent
+        assert p is not None
+        g = p.parent
+        if not p.is_splay_root():
+            assert g is not None
+            if g.left is p:
+                g.left = x
+            elif g.right is p:
+                g.right = x
+        x.parent = g
+        if p.left is x:
+            p.left = x.right
+            if x.right is not None:
+                x.right.parent = p
+            x.right = p
+        else:
+            p.right = x.left
+            if x.left is not None:
+                x.left.parent = p
+            x.left = p
+        p.parent = x
+        p.pull()
+        x.pull()
+        self.rotations += 1
+
+    def _splay(self, x: _Node) -> None:
+        while not x.is_splay_root():
+            p = x.parent
+            assert p is not None
+            if p.is_splay_root():
+                self._rotate(x)
+            else:
+                g = p.parent
+                assert g is not None
+                zigzig = (g.left is p) == (p.left is x)
+                if zigzig:
+                    self._rotate(p)
+                    self._rotate(x)
+                else:
+                    self._rotate(x)
+                    self._rotate(x)
+
+    def _access(self, x: _Node) -> Optional[_Node]:
+        """Make the path root..x preferred; returns the last path-parent
+        jump target (the LCA gadget)."""
+        self._splay(x)
+        if x.right is not None:
+            x.right.parent = x  # becomes a path-parent pointer
+            x.right = None
+            x.pull()
+        last: Optional[_Node] = x
+        while x.parent is not None:
+            w = x.parent
+            self._splay(w)
+            if w.right is not None:
+                w.right.parent = w
+                w.right = None
+            w.right = x
+            x.parent = w
+            w.pull()
+            last = w
+            self._splay(x)
+        return last
+
+    def _find_root_node(self, x: _Node) -> _Node:
+        self._access(x)
+        while x.left is not None:
+            x = x.left
+        self._splay(x)
+        return x

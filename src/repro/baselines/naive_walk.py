@@ -1,0 +1,69 @@
+"""Activation without shortcuts — the §2 lower-bound comparator.
+
+"If we have no supplemental information about our tree, the best we can
+do is follow the parent links, giving a Θ(log n) time algorithm"
+(§2).  One walker per ``U``-leaf climbs one edge per round, marking
+``ACTIVE`` and stopping early on already-marked nodes; the parallel
+time is the longest walk.  E1 plots this against the shortcut-based
+procedure of Theorem 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..pram.frames import SpanTracker
+from ..splitting.node import BSTNode
+
+__all__ = ["WalkActivationResult", "activate_by_walking"]
+
+
+@dataclass
+class WalkActivationResult:
+    activated: List[BSTNode]
+    rounds: int
+    work: int
+
+    def node_set(self) -> Set[int]:
+        return {id(v) for v in self.activated}
+
+
+def activate_by_walking(
+    leaves: Sequence[BSTNode],
+    tracker: Optional[SpanTracker] = None,
+) -> WalkActivationResult:
+    """Mark ``PT(U)`` by parent-pointer chasing (Θ(depth) rounds)."""
+    activated: List[BSTNode] = []
+
+    def mark(v: BSTNode) -> None:
+        if not v.active:
+            v.active = 1
+            activated.append(v)
+
+    walkers: List[BSTNode] = []
+    for leaf in leaves:
+        mark(leaf)
+        walkers.append(leaf)
+    rounds = 0
+    work = 0
+    while walkers:
+        nxt: List[BSTNode] = []
+        for node in walkers:
+            parent = node.parent
+            if parent is None or parent.active:
+                continue
+            mark(parent)
+            nxt.append(parent)
+        if nxt:
+            rounds += 1
+            work += len(nxt)
+        walkers = nxt
+    if tracker is not None:
+        tracker.charge(work=work, span=rounds)
+    return WalkActivationResult(activated=activated, rounds=rounds, work=work)
+
+
+def deactivate_walk(result: WalkActivationResult) -> None:
+    for node in result.activated:
+        node.active = 0

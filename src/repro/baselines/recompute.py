@@ -1,0 +1,79 @@
+"""Recompute-from-scratch — the non-incremental comparator.
+
+The point of the whole paper is avoiding this: apply the batch to the
+tree, then re-run *static* parallel tree contraction over all ``n``
+nodes (work ``O(n)``, span ``O(log n)`` with the Kosaraju–Delcher
+algorithm) or re-evaluate sequentially (work = span = ``O(n)``).
+Benchmarks E6/E7 show the dynamic algorithm beating this by roughly
+``n / (|U| log n)`` in work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..contraction.static_kd import contract
+from ..pram.frames import SpanTracker
+from ..trees.expr import ExprTree
+from ..trees.nodes import Op
+
+__all__ = ["RecomputeBaseline"]
+
+
+class RecomputeBaseline:
+    """Apply updates directly to the tree; every value request re-runs
+    static contraction over the whole tree."""
+
+    def __init__(self, tree: ExprTree) -> None:
+        self.tree = tree
+
+    def value(self, tracker: Optional[SpanTracker] = None) -> Any:
+        return contract(self.tree, tracker).value
+
+    def batch_set_leaf_values(
+        self,
+        updates: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        for nid, value in updates:
+            self.tree.set_leaf_value(nid, value)
+        self.value(tracker)  # recompute
+
+    def batch_set_ops(
+        self,
+        updates: Sequence[Tuple[int, Op]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        for nid, op in updates:
+            self.tree.set_op(nid, op)
+        self.value(tracker)
+
+    def batch_grow(
+        self,
+        requests: Sequence[Tuple[int, Op, Any, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Tuple[int, int]]:
+        out = [
+            self.tree.grow_leaf(nid, op, lv, rv) for nid, op, lv, rv in requests
+        ]
+        self.value(tracker)
+        return out
+
+    def batch_prune(
+        self,
+        requests: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        for nid, value in requests:
+            self.tree.prune_children(nid, value)
+        self.value(tracker)
+
+    def query_values(
+        self,
+        node_ids: Sequence[int],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Any]:
+        if tracker is not None:
+            n = len(self.tree)
+            tracker.charge(work=n, span=max(1, n.bit_length()))
+        return [self.tree.evaluate(at=nid) for nid in node_ids]

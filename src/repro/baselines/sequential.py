@@ -1,0 +1,105 @@
+"""One-request-at-a-time sequential processing — the §1.2 comparator.
+
+"With the known sequential algorithms, a sequence of |U| queries or
+update requests takes O(|U| log n) time" — the paper's parallel batch
+algorithms are *work-optimal* against this.  The baseline processes
+each request of a batch as its own size-1 operation and accumulates the
+costs *sequentially* (span = work), using the same underlying
+structures so the comparison isolates batching/parallelism rather than
+data-structure quality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..contraction.dynamic import DynamicTreeContraction
+from ..pram.frames import SpanTracker
+from ..trees.expr import ExprTree
+from ..trees.nodes import Op
+
+__all__ = ["SequentialContraction"]
+
+
+class SequentialContraction:
+    """Same API as :class:`~repro.contraction.DynamicTreeContraction`
+    but every batch is processed one request at a time, with costs
+    composed sequentially (the work of each step lands on the critical
+    path)."""
+
+    def __init__(self, tree: ExprTree, *, seed: int = 0) -> None:
+        self.engine = DynamicTreeContraction(tree, seed=seed)
+
+    def _sequential(self, tracker: Optional[SpanTracker], steps) -> None:
+        tracker = tracker if tracker is not None else SpanTracker()
+        for step in steps:
+            sub = SpanTracker()
+            step(sub)
+            # Sequential composition: the whole work is on the path.
+            tracker.charge(work=sub.work, span=sub.work)
+
+    def value(self) -> Any:
+        return self.engine.value()
+
+    def batch_set_leaf_values(
+        self,
+        updates: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        self._sequential(
+            tracker,
+            [
+                (lambda t, u=u: self.engine.batch_set_leaf_values([u], t))
+                for u in updates
+            ],
+        )
+
+    def batch_set_ops(
+        self,
+        updates: Sequence[Tuple[int, Op]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        self._sequential(
+            tracker,
+            [(lambda t, u=u: self.engine.batch_set_ops([u], t)) for u in updates],
+        )
+
+    def batch_grow(
+        self,
+        requests: Sequence[Tuple[int, Op, Any, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Tuple[int, int]]:
+        out: List[Tuple[int, int]] = []
+        self._sequential(
+            tracker,
+            [
+                (lambda t, r=r: out.extend(self.engine.batch_grow([r], t)))
+                for r in requests
+            ],
+        )
+        return out
+
+    def batch_prune(
+        self,
+        requests: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        self._sequential(
+            tracker,
+            [(lambda t, r=r: self.engine.batch_prune([r], t)) for r in requests],
+        )
+
+    def query_values(
+        self,
+        node_ids: Sequence[int],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Any]:
+        out: List[Any] = []
+        self._sequential(
+            tracker,
+            [
+                (lambda t, nid=nid: out.extend(self.engine.query_values([nid], t)))
+                for nid in node_ids
+            ],
+        )
+        return out

@@ -1,0 +1,28 @@
+"""§4 — dynamic parallel tree contraction."""
+
+from .dynamic import DynamicTreeContraction
+from .evaluator import collect_wound, heal_bottom_up, reevaluate_by_contraction
+from .labels import apply_label, compress_label, init_label, leaf_label, rake_label
+from .rake_tree import RakeTrace, RTNode, build_trace
+from .schedule import RakeEvent, Schedule, build_schedule
+from .static_kd import StaticContractionResult, contract
+
+__all__ = [
+    "DynamicTreeContraction",
+    "RakeTrace",
+    "RTNode",
+    "build_trace",
+    "RakeEvent",
+    "Schedule",
+    "build_schedule",
+    "StaticContractionResult",
+    "contract",
+    "collect_wound",
+    "heal_bottom_up",
+    "reevaluate_by_contraction",
+    "leaf_label",
+    "init_label",
+    "rake_label",
+    "compress_label",
+    "apply_label",
+]

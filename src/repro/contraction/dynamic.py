@@ -1,0 +1,387 @@
+"""Dynamic parallel tree contraction (§4, Theorems 4.1/4.2).
+
+:class:`DynamicTreeContraction` maintains, for a dynamic binary
+expression tree ``T``:
+
+* an RBSTS over ``T``'s leaves in left-to-right order (the contraction
+  parse tree ``PT``), incrementally updated per Theorems 2.2/2.3;
+* the rake tree ``RT`` recording the label history of the RBSTS-guided
+  contraction (see rake_tree.py).
+
+The self-healing loop (§1.4) per batch:
+
+1. *Wound location / process activation* — the RBSTS wound ``PT(U)`` is
+   located (activation, Theorem 2.1; charged to the tracker).
+2. *Wound healing* — structure: the RBSTS absorbs leaf insertions and
+   deletions with randomized rebuilds; the rake tree is re-derived with
+   *memoised replay* — every event outside the wound reuses its prior
+   ``RT`` nodes, and ``trace.fresh_nodes`` measures the wound that
+   Theorem 4.1 bounds by ``O(|U| log n)`` (experiment E6).
+3. *Answering the attack* — wounded labels are re-evaluated
+   (evaluator.py); the root value is then exactly maintained and
+   arbitrary node values are answered from the removal records.
+
+Label-only updates (leaf values / node ops) skip the replay entirely
+and heal ``RT(W)`` incrementally — the pure Theorem 4.2 path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import RequestError, TreeStructureError, UnknownNodeError
+from ..pram.frames import SpanTracker
+from ..splitting.node import BSTNode
+from ..splitting.rbsts import RBSTS
+from ..trees.expr import ExprTree
+from ..trees.nodes import Op
+from .evaluator import collect_wound, heal_bottom_up
+from .labels import apply_label
+from .rake_tree import RakeTrace, build_trace
+from .schedule import build_schedule
+
+__all__ = ["DynamicTreeContraction"]
+
+
+class DynamicTreeContraction:
+    """Incrementally maintained tree contraction over an ExprTree.
+
+    Parameters
+    ----------
+    tree:
+        The expression tree to maintain.  The structure takes ownership
+        of updates: mutate the tree *only* through this class's batch
+        methods, otherwise the contraction state goes stale.
+    seed:
+        RBSTS randomness seed.
+    """
+
+    def __init__(self, tree: ExprTree, *, seed: int = 0) -> None:
+        self.tree = tree
+        leaf_ids = [leaf.nid for leaf in tree.leaves_in_order()]
+        self.pt = RBSTS(leaf_ids, seed=seed)
+        # T-leaf id -> RBSTS leaf handle (kept in sync across updates).
+        self.handle: Dict[int, BSTNode] = {
+            h.item: h for h in self.pt.leaves()
+        }
+        self.trace: RakeTrace = build_trace(tree, build_schedule(self.pt.root))
+        self.last_stats: Dict[str, Any] = {
+            "fresh_rt_nodes": self.trace.fresh_nodes,
+            "rounds": self.trace.rounds,
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def value(self) -> Any:
+        """The whole expression's value — read off the RT root (exactly
+        maintained, §1.1)."""
+        return self.trace.value
+
+    def rounds(self) -> int:
+        """Contraction rounds of the current schedule (= RBSTS depth;
+        expected ``O(log n)``, experiment E11)."""
+        return self.trace.rounds
+
+    def query_values(
+        self,
+        node_ids: Sequence[int],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Any]:
+        """Recompute subtree values at specified nodes (§4.1 request 4).
+
+        Each value is assembled by composing the affine labels along the
+        node's survivor chain in the removal records; batch span is
+        charged as ``O(log(|U| log n))`` (activation + parallel affine
+        composition per Theorem 4.2).
+        """
+        tracker = tracker if tracker is not None else SpanTracker()
+        cache: Dict[int, Any] = {}
+        ring = self.tree.ring
+        max_chain = 0
+
+        def value_of(root_query: int) -> Any:
+            # Iterative resolution over the position-death records: a
+            # 'sibling' death needs the values of the child positions at
+            # event time, which die at strictly later events, so the
+            # dependency order is well-founded.
+            stack: List[int] = [root_query]
+            while stack:
+                pid = stack[-1]
+                if pid in cache:
+                    stack.pop()
+                    continue
+                rec = self.trace.death.get(pid)
+                if rec is None:
+                    if pid != self.trace.final_pos:
+                        raise UnknownNodeError(
+                            f"node {pid} is not part of the contraction"
+                        )
+                    cache[pid] = self.trace.root_rt.label[1]  # type: ignore[union-attr]
+                    stack.pop()
+                    continue
+                if rec[0] == "raked":
+                    # Leaf occupant: its label is a constant (A = 0).
+                    cache[pid] = rec[1].label[1]
+                    stack.pop()
+                    continue
+                _, label_rt, w_id, kids = rec
+                if kids is None:
+                    cache[pid] = label_rt.label[1]
+                    stack.pop()
+                    continue
+                k0, k1 = kids
+                if k0 in cache and k1 in cache:
+                    op = self.tree.node(w_id).op
+                    if op is None:
+                        raise TreeStructureError(
+                            f"node {w_id} lost its operation"
+                        )
+                    val = op.apply(ring, cache[k0], cache[k1])
+                    cache[pid] = apply_label(ring, label_rt.label, val)
+                    stack.pop()
+                else:
+                    if k0 not in cache:
+                        stack.append(k0)
+                    if k1 not in cache:
+                        stack.append(k1)
+            return cache[root_query]
+
+        out: List[Any] = []
+        for nid in node_ids:
+            if nid not in self.tree:
+                raise UnknownNodeError(f"no node {nid} in the tree")
+            node = self.tree.node(nid)
+            if node.is_leaf:
+                out.append(node.value)
+                continue
+            before = len(cache)
+            out.append(value_of(nid))
+            max_chain = max(max_chain, len(cache) - before)
+        self._charge_wound(tracker, len(node_ids), extra=max_chain)
+        return out
+
+    # ------------------------------------------------------------------
+    # label-only updates (pure Theorem 4.2 healing)
+    # ------------------------------------------------------------------
+    def batch_set_leaf_values(
+        self,
+        updates: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        """Concurrently modify leaf labels (§4.1 request 3)."""
+        tracker = tracker if tracker is not None else SpanTracker()
+        dirty = []
+        for nid, value in updates:
+            self.tree.set_leaf_value(nid, value)
+            base = self.trace.base[nid]
+            base.label = (self.tree.ring.zero, value)
+            dirty.append(base)
+        wound = collect_wound(dirty)
+        heal_bottom_up(self.tree.ring, wound, tracker)
+        self._charge_wound(tracker, len(updates))
+        self.last_stats = {"wound": len(wound), "fresh_rt_nodes": 0}
+
+    def batch_set_ops(
+        self,
+        updates: Sequence[Tuple[int, Op]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        """Concurrently modify internal-node operations (§4.1 request 3).
+
+        The op of node ``p`` is baked into the single rake event that
+        raked into ``p``; that RT node is the dirty point.
+        """
+        tracker = tracker if tracker is not None else SpanTracker()
+        dirty = []
+        for nid, op in updates:
+            self.tree.set_op(nid, op)
+            rec = self.trace.removal.get(nid)
+            if rec is None or rec[0] != "compressed":
+                raise TreeStructureError(
+                    f"node {nid} has no rake event (is it a leaf?)"
+                )
+            rake_rt = rec[1]
+            rake_rt.op = op
+            dirty.append(rake_rt)
+        wound = collect_wound(dirty)
+        heal_bottom_up(self.tree.ring, wound, tracker)
+        self._charge_wound(tracker, len(updates))
+        self.last_stats = {"wound": len(wound), "fresh_rt_nodes": 0}
+
+    # ------------------------------------------------------------------
+    # structural updates (Theorem 4.1 healing)
+    # ------------------------------------------------------------------
+    def batch_grow(
+        self,
+        requests: Sequence[Tuple[int, Op, Any, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Tuple[int, int]]:
+        """Concurrently add two children below current leaves
+        (§4.1 request 1).  ``requests`` entries are
+        ``(leaf_id, op, left_value, right_value)``; returns the new
+        ``(left_id, right_id)`` pairs in request order.
+        """
+        tracker = tracker if tracker is not None else SpanTracker()
+        if len({r[0] for r in requests}) != len(requests):
+            raise RequestError("a leaf can be grown only once per batch")
+        # Pre-batch positions for the RBSTS inserts.
+        positions = {
+            leaf_id: self.pt.index_of(self._handle(leaf_id))
+            for leaf_id, _, _, _ in requests
+        }
+        created: List[Tuple[int, int]] = []
+        inserts: List[Tuple[int, Any]] = []
+        for leaf_id, op, lv, rv in requests:
+            lid, rid = self.tree.grow_leaf(leaf_id, op, lv, rv)
+            created.append((lid, rid))
+            # The grown leaf's RBSTS handle becomes the new left child;
+            # the right child is inserted just after it.
+            h = self.handle.pop(leaf_id)
+            h.item = lid
+            self.handle[lid] = h
+            inserts.append((positions[leaf_id] + 1, rid))
+        new_handles = self.pt.batch_insert(inserts, tracker)
+        for (_, rid), h in zip(inserts, new_handles):
+            self.handle[rid] = h
+        self._recontract(tracker, len(requests))
+        return created
+
+    def batch_prune(
+        self,
+        requests: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        """Concurrently delete two leaf children of nodes
+        (§4.1 request 2).  ``requests`` entries are
+        ``(node_id, new_leaf_value)`` — the node becomes a leaf."""
+        tracker = tracker if tracker is not None else SpanTracker()
+        if len({r[0] for r in requests}) != len(requests):
+            raise RequestError("a node can be pruned only once per batch")
+        doomed_handles: List[BSTNode] = []
+        for node_id, new_value in requests:
+            node = self.tree.node(node_id)
+            if node.is_leaf:
+                raise TreeStructureError(f"node {node_id} is already a leaf")
+            left, right = node.left, node.right
+            assert left is not None and right is not None
+            lid, rid = left.nid, right.nid
+            self.tree.prune_children(node_id, new_value)
+            # Left child's handle becomes the new leaf's handle; right
+            # child's handle is deleted.
+            h = self.handle.pop(lid)
+            h.item = node_id
+            self.handle[node_id] = h
+            doomed_handles.append(self.handle.pop(rid))
+        self.pt.batch_delete(doomed_handles, tracker)
+        self._recontract(tracker, len(requests))
+
+    # ------------------------------------------------------------------
+    # mixed batches (§1.3: "various parallel modification requests and
+    # queries ... with respect to a set of nodes U")
+    # ------------------------------------------------------------------
+    def apply_requests(
+        self,
+        requests: Sequence[Tuple],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Any]:
+        """Process one heterogeneous concurrent batch.
+
+        Request tuples (all node references are to the *pre-batch*
+        tree):
+
+        * ``("grow", leaf_id, op, left_value, right_value)``
+        * ``("prune", node_id, new_leaf_value)``
+        * ``("set_value", leaf_id, value)``
+        * ``("set_op", node_id, op)``
+        * ``("query", node_id)``
+
+        Returns one entry per request in order: ``(left_id, right_id)``
+        for grows, the queried value for queries, ``None`` otherwise.
+        Structural requests are healed first (one wound), then label
+        requests (one heal), then queries — matching the paper's
+        wound-locate / heal / answer phases (§1.4).
+        """
+        tracker = tracker if tracker is not None else SpanTracker()
+        grows, prunes, values, ops, queries = [], [], [], [], []
+        for i, req in enumerate(requests):
+            kind = req[0]
+            if kind == "grow":
+                grows.append((i, req[1:]))
+            elif kind == "prune":
+                prunes.append((i, req[1:]))
+            elif kind == "set_value":
+                values.append((i, req[1:]))
+            elif kind == "set_op":
+                ops.append((i, req[1:]))
+            elif kind == "query":
+                queries.append((i, req[1]))
+            else:
+                raise RequestError(f"unknown request kind {kind!r}")
+        out: List[Any] = [None] * len(requests)
+        if grows:
+            created = self.batch_grow([g for _, g in grows], tracker)
+            for (i, _), pair in zip(grows, created):
+                out[i] = pair
+        if prunes:
+            self.batch_prune([p for _, p in prunes], tracker)
+        if values:
+            self.batch_set_leaf_values([v for _, v in values], tracker)
+        if ops:
+            self.batch_set_ops([o for _, o in ops], tracker)
+        if queries:
+            answers = self.query_values([nid for _, nid in queries], tracker)
+            for (i, _), ans in zip(queries, answers):
+                out[i] = ans
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _handle(self, leaf_id: int) -> BSTNode:
+        try:
+            return self.handle[leaf_id]
+        except KeyError:
+            raise UnknownNodeError(
+                f"node {leaf_id} is not a current leaf"
+            ) from None
+
+    def _recontract(self, tracker: SpanTracker, u: int) -> None:
+        """Memoised replay: re-derive RT, reusing every event outside
+        the wound.  ``fresh_nodes`` is the measured wound size."""
+        old = self.trace
+        self.trace = build_trace(
+            self.tree, build_schedule(self.pt.root), old=old
+        )
+        self._charge_wound(tracker, u, extra=self.trace.fresh_nodes)
+        self.last_stats = {
+            "fresh_rt_nodes": self.trace.fresh_nodes,
+            "rounds": self.trace.rounds,
+            "rt_size": None,  # filled lazily by benchmarks when needed
+        }
+
+    def _charge_wound(self, tracker: SpanTracker, u: int, extra: int = 0) -> None:
+        """Charge the Theorem 4.1 cost of a ``|U| = u`` batch."""
+        n = max(2, self.pt.n_leaves)
+        wound = max(2, u * math.ceil(math.log2(n)) + extra)
+        span = max(1, math.ceil(math.log2(wound)))
+        tracker.charge(work=wound, span=span)
+
+    def check_consistency(self) -> None:
+        """Assert the RBSTS leaf order matches the tree's leaf order and
+        the maintained value matches a from-scratch evaluation (used by
+        the integration tests after every healing cycle)."""
+        tree_leaves = [leaf.nid for leaf in self.tree.leaves_in_order()]
+        pt_leaves = [h.item for h in self.pt.leaves()]
+        if tree_leaves != pt_leaves:
+            raise TreeStructureError("RBSTS leaf order out of sync with T")
+        for nid in tree_leaves:
+            if self.handle[nid].item != nid:
+                raise TreeStructureError("handle map out of sync")
+        expected = self.tree.evaluate()
+        if not self.tree.ring.eq(self.value(), expected):
+            raise TreeStructureError(
+                f"maintained value {self.value()!r} != evaluated {expected!r}"
+            )
+        self.pt.check_invariants()

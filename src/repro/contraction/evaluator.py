@@ -1,0 +1,188 @@
+"""Wound re-evaluation — Theorem 4.2's healing step.
+
+After an update batch, the labels of the wounded rake-tree fragment
+``RT(W)`` (all paths from changed RT nodes to the RT root) must be
+recomputed; leaves of ``RT(W)`` are unchanged labels from the previous
+step.  Two interchangeable implementations:
+
+* :func:`heal_bottom_up` — recompute in topological (creation) order;
+  work ``O(|RT(W)|)``.  This is what the library uses operationally.
+* :func:`reevaluate_by_contraction` — the paper's parallel method:
+  because every RT operation is affine in each argument (see
+  labels.py), partially applying the known side turns each ``RT(W)``
+  node into an :class:`~repro.algebra.affine.Affine2` map on ``ring²``;
+  those compose associatively, so ``RT(W)`` is evaluated by rake-style
+  contraction in ``O(log |RT(W)|)`` parallel rounds.  Tests verify it
+  agrees with the bottom-up labels, which is the proof obligation of
+  Theorem 4.2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..algebra.affine import Affine2
+from ..algebra.rings import Ring
+from ..pram.frames import SpanTracker
+from .rake_tree import RTNode
+
+__all__ = ["collect_wound", "heal_bottom_up", "reevaluate_by_contraction"]
+
+Vec2 = Tuple[Any, Any]
+
+
+def collect_wound(dirty: Iterable[RTNode]) -> List[RTNode]:
+    """All RT nodes on paths from ``dirty`` to the root, in topological
+    (rid) order — this is ``RT(W)``'s internal node set."""
+    wound: Dict[int, RTNode] = {}
+    for node in dirty:
+        cur: Optional[RTNode] = node
+        while cur is not None and id(cur) not in wound:
+            wound[id(cur)] = cur
+            cur = cur.parent
+    return sorted(wound.values(), key=lambda n: n.rid)
+
+
+def heal_bottom_up(
+    ring: Ring,
+    wound: List[RTNode],
+    tracker: Optional[SpanTracker] = None,
+) -> None:
+    """Recompute labels of ``wound`` (topologically ordered).
+
+    Charged at the Theorem 4.2 cost — span ``O(log |RT(W)|)``, work
+    ``O(|RT(W)|)`` — justified by :func:`reevaluate_by_contraction`,
+    which computes the same labels within those parallel bounds.
+    """
+    for node in wound:
+        node.recompute(ring)
+    if tracker is not None:
+        k = len(wound) + 1
+        tracker.charge(work=k, span=max(1, 2 * math.ceil(math.log2(k + 1))))
+
+
+def _partial(ring: Ring, node: RTNode, side: str, known: Vec2) -> Affine2:
+    """The Affine2 a wounded RT node becomes when one child is known.
+
+    ``side`` names the *known* child ('left' or 'right'); the returned
+    map sends the other child's label to this node's label.
+    """
+    z, o = ring.zero, ring.one
+    add, mul = ring.add, ring.mul
+    if node.kind == "compress":
+        # out = (A*C, A*D + B) with left=(A,B) outer, right=(C,D) inner.
+        if side == "left":
+            a, b = known
+            return Affine2(ring, ((a, z), (z, a)), (z, b))
+        c, d = known
+        return Affine2(ring, ((c, z), (d, o)), (z, z))
+    if node.kind == "rake":
+        assert node.op is not None
+        if node.op.kind == "add":
+            cst = node.op.const if node.op.const is not None else z
+            # out = (C, C*(B+cst) + D) with left=(A,B) leaf, right=(C,D).
+            if side == "left":
+                _, b = known
+                bc = add(b, cst)
+                return Affine2(ring, ((o, z), (bc, o)), (z, z))
+            c, d = known
+            return Affine2(ring, ((z, z), (z, c)), (c, add(mul(c, cst), d)))
+        # mul: out = (C*B, D).
+        if side == "left":
+            _, b = known
+            return Affine2(ring, ((b, z), (z, o)), (z, z))
+        c, d = known
+        return Affine2(ring, ((z, c), (z, z)), (z, d))
+    raise ValueError(f"node kind {node.kind!r} has no binary function")
+
+
+def reevaluate_by_contraction(
+    ring: Ring,
+    wound: List[RTNode],
+    tracker: Optional[SpanTracker] = None,
+) -> Dict[int, Vec2]:
+    """Evaluate ``RT(W)`` labels by contraction over affine maps.
+
+    Returns ``{rid: label}`` for every wound node *without mutating*
+    the rake tree (so tests can compare against the bottom-up result).
+
+    The fragment is contracted rake-style: each round, every wound node
+    with at least one resolved child partially applies it, turning into
+    an ``Affine2``; chains of unary nodes are collapsed by pointer
+    jumping over map composition — overall ``O(log |RT(W)|)`` rounds,
+    charged to ``tracker``.
+    """
+    wound_set: Set[int] = {id(n) for n in wound}
+    labels: Dict[int, Vec2] = {}
+    # pending[u] = (target, affine) meaning label(u) = affine(label(target))
+    pending: Dict[int, Tuple[RTNode, Affine2]] = {}
+
+    def child_value(node: RTNode, child: RTNode) -> Optional[Vec2]:
+        if id(child) not in wound_set:
+            return child.label  # RT(W) leaf: unchanged prior label
+        return labels.get(id(child))
+
+    unresolved = [n for n in wound if n.kind in ("rake", "compress")]
+    # Base labels of wounded leaf/init nodes are their own (already
+    # updated) labels.
+    for n in wound:
+        if n.kind in ("leaf", "init"):
+            labels[id(n)] = n.label
+
+    rounds = 0
+    while unresolved:
+        rounds += 1
+        if rounds > 4 * len(wound) + 8:
+            raise RuntimeError("wound contraction failed to converge")
+        next_unresolved: List[RTNode] = []
+        for node in unresolved:
+            if id(node) in labels:
+                continue
+            assert node.left is not None and node.right is not None
+            lv = child_value(node, node.left)
+            rv = child_value(node, node.right)
+            if lv is not None and rv is not None:
+                # Fully resolved: compute directly.
+                if node.kind == "rake":
+                    from .labels import rake_label
+
+                    assert node.op is not None
+                    labels[id(node)] = rake_label(ring, node.op, lv, rv)
+                else:
+                    from .labels import compress_label
+
+                    labels[id(node)] = compress_label(ring, lv, rv)
+            elif lv is not None or rv is not None:
+                side = "left" if lv is not None else "right"
+                known = lv if lv is not None else rv
+                target = node.right if lv is not None else node.left
+                assert target is not None and known is not None
+                aff = _partial(ring, node, side, known)
+                # Pointer-jump through already-pending targets.
+                while id(target) in pending:
+                    target, inner = pending[id(target)]
+                    aff = aff.compose(inner)
+                if id(target) in labels:
+                    labels[id(node)] = aff(labels[id(target)])
+                else:
+                    pending[id(node)] = (target, aff)
+                    next_unresolved.append(node)
+            else:
+                next_unresolved.append(node)
+        # Resolve pendings whose targets got labels this round.
+        progressed = True
+        while progressed:
+            progressed = False
+            for node in list(next_unresolved):
+                pend = pending.get(id(node))
+                if pend is not None and id(pend[0]) in labels:
+                    labels[id(node)] = pend[1](labels[id(pend[0])])
+                    del pending[id(node)]
+                    next_unresolved.remove(node)
+                    progressed = True
+        unresolved = next_unresolved
+    if tracker is not None:
+        k = len(wound) + 1
+        tracker.charge(work=2 * k, span=max(1, rounds))
+    return labels

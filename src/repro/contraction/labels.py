@@ -1,0 +1,69 @@
+"""The (A, B) label calculus of §4.2.
+
+Every node of the (partially contracted) expression tree carries a label
+``(A, B)`` over the ring, meaning: *if ``x`` is the value of the one
+remaining uncontracted subtree below this node, the node's value is
+``A·x + B``*.  Leaves start at ``(0, value)``; internal nodes at
+``(1, 0)``.
+
+A rake of leaf ``v`` into parent ``p`` (operation ``op_p``), followed by
+the compress of ``p`` into sibling ``w``, uses exactly the paper's three
+update rules:
+
+* small-rake, ``op_p = +``:  ``(A,B), (C,D) -> (C, C·B + D)``
+  (generalised here to ``x + y + c`` constants: ``(C, C·(B+c) + D)``);
+* small-rake, ``op_p = ×``:  ``(A,B), (C,D) -> (C·B, D)``;
+* small-compress:            ``(A,B), (C,D) -> (A·C, A·D + B)``
+  (function composition — associative, the linchpin of Theorem 4.2).
+
+Raked nodes are always leaves, so their ``A`` component is always the
+ring zero; the rules above rely on that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from ..algebra.rings import Ring
+from ..trees.nodes import Op
+
+__all__ = ["leaf_label", "init_label", "rake_label", "compress_label", "apply_label"]
+
+Label = Tuple[Any, Any]
+
+
+def leaf_label(ring: Ring, value: Any) -> Label:
+    """``(0, value)`` — a known constant."""
+    return (ring.zero, value)
+
+
+def init_label(ring: Ring) -> Label:
+    """``(1, 0)`` — the identity label internal nodes start with."""
+    return (ring.one, ring.zero)
+
+
+def rake_label(ring: Ring, op: Op, leaf: Label, parent: Label) -> Label:
+    """Label of ``p`` after small-raking leaf ``v`` into it."""
+    _, b = leaf
+    c, d = parent
+    if op.kind == "add":
+        if op.const is not None:
+            b = ring.add(b, op.const)
+        return (c, ring.add(ring.mul(c, b), d))
+    if op.kind == "mul":
+        return (ring.mul(c, b), d)
+    raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+def compress_label(ring: Ring, outer: Label, inner: Label) -> Label:
+    """Label of ``w`` after compressing ``p`` (label ``outer``) into it:
+    the composition ``outer ∘ inner``."""
+    a, b = outer
+    c, d = inner
+    return (ring.mul(a, c), ring.add(ring.mul(a, d), b))
+
+
+def apply_label(ring: Ring, label: Label, x: Any) -> Any:
+    """Evaluate ``A·x + B``."""
+    a, b = label
+    return ring.add(ring.mul(a, x), b)

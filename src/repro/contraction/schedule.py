@@ -1,0 +1,104 @@
+"""The RBSTS-guided randomized rake schedule (§4.2, first paragraph).
+
+The randomized variant of Kosaraju–Delcher contraction: build an RBSTS
+``PT`` over the leaves of the expression tree in left-to-right order and
+let it drive the rakes.  Each round considers the set ``S`` of ``PT``
+internal nodes whose two children are both current ``PT`` leaves; the
+*left* child's corresponding ``T``-leaf is raked, the node is removed
+from ``PT``, and the exposed parent corresponds to the unraked right
+child.  No two siblings are ever raked in one round (left children of
+disjoint sibling pairs are never adjacent), and one ``PT`` level
+disappears per round, so the number of rounds is the depth of the RBSTS
+— expected ``O(log n)`` (experiment E11).
+
+The schedule is a *pure function of the RBSTS shape*: node ``x`` fires
+in round ``1 + max(round(left), round(right))`` (leaves fire at round
+0), raking the rightmost ``T``-leaf of its left child's interval.  This
+determinism is what makes incremental healing possible: a rebuild only
+changes the events at rebuilt ``PT`` nodes and on their root paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..splitting.node import BSTNode
+
+__all__ = ["RakeEvent", "Schedule", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class RakeEvent:
+    """One rake: remove ``raked`` (a T-leaf id) and its current parent.
+
+    ``pt_node`` is the RBSTS node the event fires at; ``survivor`` is
+    the T-leaf the exposed parent will correspond to (the right child's
+    representative).
+    """
+
+    pt_node: int  # RBSTS node id
+    raked: int  # T-leaf id (rightmost leaf item of the left PT child)
+    survivor: int  # T-leaf id (rightmost leaf item of the right PT child)
+    round: int
+
+
+@dataclass
+class Schedule:
+    rounds: List[List[RakeEvent]]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def events(self) -> List[RakeEvent]:
+        return [ev for rnd in self.rounds for ev in rnd]
+
+
+def build_schedule(root: BSTNode) -> Schedule:
+    """Derive the rake schedule from an RBSTS over T-leaf-id items.
+
+    One iterative post-order pass computes, per internal node, its round
+    and its interval representative (rightmost leaf's item).  Events in
+    a round are emitted left-to-right (in-order), which is the hazard
+    -free application order (see rake_tree.py).
+    """
+    rounds_of: Dict[int, int] = {}
+    repr_of: Dict[int, Any] = {}
+    events_by_round: List[List[RakeEvent]] = []
+    # Post-order via reversed-preorder trick is wrong for this (need both
+    # children before parent in left-to-right order); use an explicit
+    # two-phase stack that emits parents after children, children in
+    # left-right order.
+    stack: List[tuple[BSTNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.is_leaf:
+            rounds_of[node.nid] = 0
+            repr_of[node.nid] = node.item
+            continue
+        if not expanded:
+            stack.append((node, True))
+            stack.append((node.right, False))  # type: ignore[arg-type]
+            stack.append((node.left, False))  # type: ignore[arg-type]
+            continue
+        left, right = node.left, node.right
+        rnd = 1 + max(rounds_of[left.nid], rounds_of[right.nid])  # type: ignore[union-attr]
+        rounds_of[node.nid] = rnd
+        repr_of[node.nid] = repr_of[right.nid]  # type: ignore[union-attr]
+        while len(events_by_round) < rnd:
+            events_by_round.append([])
+        events_by_round[rnd - 1].append(
+            RakeEvent(
+                pt_node=node.nid,
+                raked=repr_of[left.nid],  # type: ignore[union-attr]
+                survivor=repr_of[right.nid],  # type: ignore[union-attr]
+                round=rnd,
+            )
+        )
+    # The post-order pass emits a round's events in left-to-right leaf
+    # order already (children of earlier intervals complete first within
+    # the same round ordering); sort defensively by raked id order in
+    # the leaf sequence is unnecessary — left-to-right emission follows
+    # from the in-order traversal structure.
+    return Schedule(rounds=events_by_round)

@@ -1,0 +1,121 @@
+"""Static Kosaraju–Delcher tree contraction (the §4 baseline).
+
+The deterministic algorithm the paper builds on [11]: order the leaves
+left to right (in the real algorithm via an Euler tour + list ranking;
+here the oracle ordering), then repeatedly rake the leaves in odd
+positions.  Each rake removes a leaf and its parent, so the tree halves
+every round and contraction finishes in exactly ``⌈log2 L⌉ + O(1)``
+rounds — the deterministic round count experiment E11 compares the
+randomized schedule against.
+
+To avoid the classic read/write hazard (a leaf's compress target being
+another raked leaf's parent), each round runs in KD's two sub-steps:
+odd-position leaves that are *left* children first, then those that are
+*right* children; within a sub-step rakes commute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import TreeStructureError
+from ..pram.frames import SpanTracker
+from ..trees.expr import ExprTree
+from .labels import compress_label, init_label, leaf_label, rake_label
+
+__all__ = ["StaticContractionResult", "contract"]
+
+
+@dataclass
+class StaticContractionResult:
+    value: Any
+    rounds: int
+    rakes: int
+
+
+class _View:
+    """Mutable contracted-tree view over an ExprTree (the original tree
+    is left untouched)."""
+
+    __slots__ = ("parent", "left", "right", "label")
+
+    def __init__(self, tree: ExprTree) -> None:
+        ring = tree.ring
+        self.parent: Dict[int, Optional[int]] = {}
+        self.left: Dict[int, Optional[int]] = {}
+        self.right: Dict[int, Optional[int]] = {}
+        self.label: Dict[int, Tuple[Any, Any]] = {}
+        for node in tree.nodes_preorder():
+            self.parent[node.nid] = node.parent.nid if node.parent else None
+            self.left[node.nid] = node.left.nid if node.left else None
+            self.right[node.nid] = node.right.nid if node.right else None
+            self.label[node.nid] = (
+                leaf_label(ring, node.value) if node.is_leaf else init_label(ring)
+            )
+
+    def sibling(self, nid: int) -> int:
+        p = self.parent[nid]
+        assert p is not None
+        return self.right[p] if self.left[p] == nid else self.left[p]  # type: ignore[return-value]
+
+    def rake(self, tree: ExprTree, leaf: int) -> None:
+        """Remove ``leaf`` and its parent, folding labels into the sibling."""
+        ring = tree.ring
+        p = self.parent[leaf]
+        if p is None:
+            raise TreeStructureError("cannot rake the final node")
+        w = self.sibling(leaf)
+        op = tree.node(p).op
+        assert op is not None
+        p_label = rake_label(ring, op, self.label[leaf], self.label[p])
+        self.label[w] = compress_label(ring, p_label, self.label[w])
+        # splice p out
+        g = self.parent[p]
+        self.parent[w] = g
+        if g is not None:
+            if self.left[g] == p:
+                self.left[g] = w
+            else:
+                self.right[g] = w
+        del self.parent[leaf], self.label[leaf]
+        del self.parent[p], self.label[p], self.left[p], self.right[p]
+
+
+def contract(
+    tree: ExprTree, tracker: Optional[SpanTracker] = None
+) -> StaticContractionResult:
+    """Evaluate ``tree`` by deterministic KD contraction.
+
+    Returns the root value plus the round count.  Work ``O(n)``, span
+    ``O(log n)`` (charged to ``tracker``).
+    """
+    view = _View(tree)
+    leaves: List[int] = [n.nid for n in tree.leaves_in_order()]
+    rounds = 0
+    rakes = 0
+    while len(leaves) > 1:
+        rounds += 1
+        odd = leaves[1::2]
+        raked_this_round: set[int] = set()
+        for substep in (0, 1):
+            batch = []
+            for nid in odd:
+                if nid in raked_this_round:
+                    continue
+                p = view.parent[nid]
+                if p is None:
+                    continue
+                is_left = view.left[p] == nid
+                if (substep == 0) == is_left:
+                    batch.append(nid)
+            for nid in batch:
+                view.rake(tree, nid)
+                raked_this_round.add(nid)
+                rakes += 1
+        if tracker is not None:
+            tracker.charge(work=max(1, len(odd)), span=2)
+        leaves = leaves[0::2]
+    final = leaves[0]
+    value = view.label[final][1]
+    return StaticContractionResult(value=value, rounds=rounds, rakes=rakes)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch library failures without also swallowing programming
+errors (``TypeError`` etc. are never wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PRAMError(ReproError):
+    """Base class for errors raised by the PRAM simulator."""
+
+
+class WriteConflictError(PRAMError):
+    """Two processors wrote different values to one cell under a policy
+    that forbids it (``COMMON``)."""
+
+
+class ProcessorLimitError(PRAMError):
+    """A program forked more processors than the machine allows."""
+
+
+class MachineStateError(PRAMError):
+    """A machine operation was invoked in an invalid state (e.g. running a
+    halted machine, or a program yielded an unknown instruction)."""
+
+
+class TreeStructureError(ReproError):
+    """A tree operation would violate structural invariants (e.g. raking
+    two siblings in one round, adding children below an internal node,
+    or deleting children of unequal parents)."""
+
+
+class NotALeafError(TreeStructureError):
+    """The operation requires a leaf but an internal node was given."""
+
+
+class UnknownNodeError(ReproError):
+    """A request referenced a node that is not part of the structure."""
+
+
+class AlgebraError(ReproError):
+    """An algebraic structure was misused (e.g. elements from different
+    rings combined, or a non-invertible operation requested)."""
+
+
+class RequestError(ReproError):
+    """A batch update request is malformed or references invalid targets."""

@@ -1,0 +1,47 @@
+"""§6 — dynamic properties of series-parallel graphs.
+
+The paper's closing section promises incremental maintenance of
+coloring, minimum covering set, maximum matching "etc." on graphs with
+constant separator size; this subpackage builds that substrate for the
+series-parallel family (see sptree.py for the framing).
+"""
+
+from .builders import random_sp_tree
+from .dynamic import DynamicSPProperty
+from .explicit import materialize, to_networkx
+from .recognize import (
+    NotSeriesParallel,
+    recognize,
+    spec_of_tree,
+    tree_from_spec,
+)
+from .problems import (
+    SPProblem,
+    count_colorings,
+    effective_resistance,
+    maximum_independent_set,
+    maximum_matching,
+    minimum_vertex_cover,
+)
+from .sptree import PARALLEL, SERIES, SPNode, SPTree
+
+__all__ = [
+    "SPTree",
+    "SPNode",
+    "SERIES",
+    "PARALLEL",
+    "random_sp_tree",
+    "materialize",
+    "to_networkx",
+    "SPProblem",
+    "maximum_matching",
+    "minimum_vertex_cover",
+    "maximum_independent_set",
+    "count_colorings",
+    "effective_resistance",
+    "DynamicSPProperty",
+    "recognize",
+    "tree_from_spec",
+    "spec_of_tree",
+    "NotSeriesParallel",
+]

@@ -1,0 +1,36 @@
+"""Random series-parallel graph generators for tests and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from .sptree import SPTree
+
+__all__ = ["random_sp_tree"]
+
+
+def random_sp_tree(
+    n_edges: int,
+    *,
+    seed: int = 0,
+    series_probability: float = 0.5,
+    weights: Optional[Callable[[random.Random], Any]] = None,
+) -> SPTree:
+    """Grow a random SP graph with ``n_edges`` edges from a single edge
+    by repeatedly subdividing or duplicating a uniformly random edge —
+    the natural generative model for SP graphs (every SP graph arises
+    this way)."""
+    if n_edges < 1:
+        raise ValueError("need at least one edge")
+    rng = random.Random(seed)
+    sample = weights if weights is not None else (lambda r: r.randint(1, 9))
+    tree = SPTree(sample(rng))
+    while tree.n_edges() < n_edges:
+        edge = rng.choice(tree.edges())
+        w1, w2 = sample(rng), sample(rng)
+        if rng.random() < series_probability:
+            tree.subdivide(edge.nid, w1, w2)
+        else:
+            tree.duplicate(edge.nid, w1, w2)
+    return tree

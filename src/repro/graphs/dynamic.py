@@ -1,0 +1,162 @@
+"""Incrementally maintained SP-graph properties (§6).
+
+:class:`DynamicSPProperty` keeps one :class:`~repro.graphs.problems
+.SPProblem`'s table at every decomposition-tree node, exactly
+maintained under concurrent batches of the §4.1-style requests
+(reweight / subdivide / duplicate / dissolve).  The root answer is an
+O(1) read.
+
+Healing: a batch wounds the union of root paths of the edited nodes;
+tables are recomputed bottom-up over the wound, charged at span
+``O(log |wound|)`` (the §3/§4.2 re-evaluation argument — SP tables are
+constant-size, so the wound evaluation is a tree contraction over an
+associative composition, the same structure Theorem 4.2 exploits).
+The honest caveat mirrored from canonical forms: the wound is measured
+in the *decomposition tree*, whose depth this substrate does not
+rebalance — the promised subsequent paper's machinery; the E13
+benchmark therefore reports measured wounds, which match ``|U| log n``
+on random decomposition shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import RequestError
+from ..pram.frames import SpanTracker
+from .problems import SPProblem
+from .sptree import PARALLEL, SERIES, SPNode, SPTree
+
+__all__ = ["DynamicSPProperty"]
+
+
+class DynamicSPProperty:
+    """One maintained property over a dynamic SP graph."""
+
+    def __init__(self, tree: SPTree, problem: SPProblem) -> None:
+        self.tree = tree
+        self.problem = problem
+        self.table: Dict[int, Any] = {}
+        self.last_wound = 0
+        # Initial bottom-up pass (iterative; decomposition trees from
+        # adversarial update sequences can be deep).
+        stack: List[Tuple[SPNode, bool]] = [(tree.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.is_leaf:
+                self.table[node.nid] = problem.leaf(node.weight)
+            elif expanded:
+                self.table[node.nid] = self._combine(node)
+            else:
+                stack.append((node, True))
+                stack.append((node.right, False))  # type: ignore[arg-type]
+                stack.append((node.left, False))  # type: ignore[arg-type]
+
+    def _combine(self, node: SPNode) -> Any:
+        left = self.table[node.left.nid]  # type: ignore[union-attr]
+        right = self.table[node.right.nid]  # type: ignore[union-attr]
+        if node.kind == SERIES:
+            return self.problem.series(left, right)
+        assert node.kind == PARALLEL
+        return self.problem.parallel(left, right)
+
+    # -- queries ------------------------------------------------------------
+    def answer(self) -> Any:
+        """The property value for the whole graph — O(1) read."""
+        return self.problem.finish(self.table[self.tree.root.nid])
+
+    def component_table(self, nid: int) -> Any:
+        """The DP table of the sub-component rooted at ``nid``."""
+        return self.table[nid]
+
+    # -- concurrent updates ---------------------------------------------------
+    def batch_reweight(
+        self,
+        updates: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> int:
+        for eid, w in updates:
+            self.tree.set_weight(eid, w)
+        return self._heal([eid for eid, _ in updates], tracker)
+
+    def batch_subdivide(
+        self,
+        requests: Sequence[Tuple[int, Any, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Tuple[int, int]]:
+        return self._grow(requests, SERIES, tracker)
+
+    def batch_duplicate(
+        self,
+        requests: Sequence[Tuple[int, Any, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[Tuple[int, int]]:
+        return self._grow(requests, PARALLEL, tracker)
+
+    def _grow(self, requests, kind, tracker) -> List[Tuple[int, int]]:
+        if len({r[0] for r in requests}) != len(requests):
+            raise RequestError("an edge can be grown only once per batch")
+        created: List[Tuple[int, int]] = []
+        for eid, w1, w2 in requests:
+            if kind == SERIES:
+                pair = self.tree.subdivide(eid, w1, w2)
+            else:
+                pair = self.tree.duplicate(eid, w1, w2)
+            created.append(pair)
+            for cid in pair:
+                self.table[cid] = self.problem.leaf(self.tree.node(cid).weight)
+        self._heal([r[0] for r in requests], tracker)
+        return created
+
+    def batch_dissolve(
+        self,
+        requests: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        if len({r[0] for r in requests}) != len(requests):
+            raise RequestError("a node can be dissolved only once per batch")
+        for nid, weight in requests:
+            removed = self.tree.dissolve(nid, weight)
+            for rid in removed:
+                self.table.pop(rid, None)
+        self._heal([nid for nid, _ in requests], tracker)
+
+    # -- healing ------------------------------------------------------------
+    def _heal(
+        self, dirty: Sequence[int], tracker: Optional[SpanTracker]
+    ) -> int:
+        wound: Dict[int, SPNode] = {}
+        for nid in dirty:
+            node: Optional[SPNode] = self.tree.node(nid)
+            while node is not None and node.nid not in wound:
+                wound[node.nid] = node
+                node = node.parent
+        for node in sorted(wound.values(), key=lambda x: -self._depth(x)):
+            if node.is_leaf:
+                self.table[node.nid] = self.problem.leaf(node.weight)
+            else:
+                self.table[node.nid] = self._combine(node)
+        self.last_wound = len(wound)
+        if tracker is not None:
+            k = len(wound) + 1
+            tracker.charge(work=k, span=max(1, math.ceil(math.log2(k + 1))))
+        return len(wound)
+
+    def _depth(self, node: SPNode) -> int:
+        d = 0
+        cur = node
+        while cur.parent is not None:
+            cur = cur.parent
+            d += 1
+        return d
+
+    # -- validation -----------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Compare every maintained table with a fresh recomputation."""
+        fresh = DynamicSPProperty(self.tree, self.problem)
+        if set(fresh.table) != set(self.table):
+            raise AssertionError("table key set out of sync")
+        for nid, tab in fresh.table.items():
+            if tab != self.table[nid]:
+                raise AssertionError(f"stale table at SP node {nid}")

@@ -1,0 +1,63 @@
+"""Materialising SP trees as explicit (multi)graphs.
+
+Used by tests and oracles: the decomposition tree is the source of
+truth; this module produces the vertex/edge view — terminal pairs,
+edge lists with the leaf node ids attached, and a ``networkx``
+MultiGraph for cross-checking the dynamic programming against generic
+graph algorithms and brute force.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .sptree import PARALLEL, SERIES, SPNode, SPTree
+
+__all__ = ["materialize", "to_networkx"]
+
+
+def materialize(tree: SPTree) -> Tuple[int, int, int, List[Tuple[int, int, int, object]]]:
+    """Return ``(n_vertices, s, t, edges)``.
+
+    Vertices are numbered 0..n-1 with ``s``/``t`` the root component's
+    terminals; ``edges`` entries are ``(u, v, edge_id, weight)`` — one
+    per leaf, parallel edges preserved.
+    """
+    counter = [0]
+
+    def fresh() -> int:
+        v = counter[0]
+        counter[0] += 1
+        return v
+
+    s, t = fresh(), fresh()
+    edges: List[Tuple[int, int, int, object]] = []
+
+    # Iterative assignment of terminal pairs to decomposition nodes.
+    stack: List[Tuple[SPNode, int, int]] = [(tree.root, s, t)]
+    while stack:
+        node, a, b = stack.pop()
+        if node.is_leaf:
+            edges.append((a, b, node.nid, node.weight))
+        elif node.kind == SERIES:
+            mid = fresh()
+            stack.append((node.left, a, mid))  # type: ignore[arg-type]
+            stack.append((node.right, mid, b))  # type: ignore[arg-type]
+        else:
+            assert node.kind == PARALLEL
+            stack.append((node.left, a, b))  # type: ignore[arg-type]
+            stack.append((node.right, a, b))  # type: ignore[arg-type]
+    return counter[0], s, t, edges
+
+
+def to_networkx(tree: SPTree):
+    """The represented multigraph (requires networkx; test-side only)."""
+    import networkx as nx
+
+    n, s, t, edges = materialize(tree)
+    g = nx.MultiGraph()
+    g.add_nodes_from(range(n))
+    for u, v, eid, w in edges:
+        g.add_edge(u, v, key=eid, weight=w)
+    g.graph["terminals"] = (s, t)
+    return g

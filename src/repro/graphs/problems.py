@@ -1,0 +1,217 @@
+"""Dynamic programs over SP decomposition trees (§6's property list).
+
+Each :class:`SPProblem` gives the three evaluation rules — leaf edge,
+series composition, parallel composition — plus a finisher mapping the
+root table to the answer.  Tables are small tuples indexed by the
+states of the component's two terminals, the classic
+bounded-treewidth/SP dynamic programming:
+
+* :func:`maximum_matching` — max weight/cardinality matching; state =
+  "is this terminal covered by a matching edge".
+* :func:`minimum_vertex_cover` — the paper's "minimum covering set";
+  state = "is this terminal in the cover".
+* :func:`maximum_independent_set` — state = "is this terminal in the
+  set" (NP-hard in general; polynomial on SP graphs via this DP).
+* :func:`count_colorings` — number of proper k-colorings (the paper's
+  "coloring"); by colour symmetry the table is just
+  ``(count | terminals same colour, count | different)``.
+* :func:`effective_resistance` — series/parallel resistor reduction
+  (the classical SP computation; used by the circuit example).
+
+Terminal-counting convention for vertex problems: a component's value
+*includes* its two terminals' contributions; series subtracts the
+double-counted middle vertex, parallel subtracts both shared terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+__all__ = [
+    "SPProblem",
+    "maximum_matching",
+    "minimum_vertex_cover",
+    "maximum_independent_set",
+    "count_colorings",
+    "effective_resistance",
+]
+
+NEG = float("-inf")
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class SPProblem:
+    """Evaluation rules for one property over SP trees."""
+
+    name: str
+    leaf: Callable[[Any], Any]
+    series: Callable[[Any, Any], Any]
+    parallel: Callable[[Any, Any], Any]
+    finish: Callable[[Any], Any]
+
+
+# ---------------------------------------------------------------------------
+# maximum (weight) matching
+# ---------------------------------------------------------------------------
+def maximum_matching() -> SPProblem:
+    """Table ``m[a][b]`` = best matching weight with terminal coverage
+    flags ``(a, b)``; ``-inf`` marks infeasible states."""
+
+    def leaf(w):
+        return ((0.0, NEG), (NEG, float(w)))
+
+    def series(m1, m2):
+        out = [[NEG, NEG], [NEG, NEG]]
+        for a in (0, 1):
+            for c in (0, 1):
+                best = NEG
+                for b1 in (0, 1):
+                    for b2 in (0, 1):
+                        if b1 + b2 > 1:  # the middle vertex matched once
+                            continue
+                        v = m1[a][b1] + m2[b2][c]
+                        if v > best:
+                            best = v
+                out[a][c] = best
+        return (tuple(out[0]), tuple(out[1]))
+
+    def parallel(m1, m2):
+        out = [[NEG, NEG], [NEG, NEG]]
+        for a in (0, 1):
+            for c in (0, 1):
+                best = NEG
+                for a1 in (0, 1):
+                    for c1 in (0, 1):
+                        a2, c2 = a - a1, c - c1
+                        if a2 not in (0, 1) or c2 not in (0, 1):
+                            continue  # each terminal covered at most once
+                        v = m1[a1][c1] + m2[a2][c2]
+                        if v > best:
+                            best = v
+                out[a][c] = best
+        return (tuple(out[0]), tuple(out[1]))
+
+    def finish(m):
+        return max(m[0][0], m[0][1], m[1][0], m[1][1])
+
+    return SPProblem("maximum-matching", leaf, series, parallel, finish)
+
+
+# ---------------------------------------------------------------------------
+# minimum vertex cover ("minimum covering set")
+# ---------------------------------------------------------------------------
+def minimum_vertex_cover() -> SPProblem:
+    """Table ``c[a][b]`` = fewest cover vertices (terminals included in
+    the count per the convention above) with terminal membership flags."""
+
+    def leaf(_w):
+        return ((INF, 1.0), (1.0, 2.0))
+
+    def series(c1, c2):
+        out = [[INF, INF], [INF, INF]]
+        for a in (0, 1):
+            for c in (0, 1):
+                best = INF
+                for b in (0, 1):
+                    v = c1[a][b] + c2[b][c] - b
+                    if v < best:
+                        best = v
+                out[a][c] = best
+        return (tuple(out[0]), tuple(out[1]))
+
+    def parallel(c1, c2):
+        return tuple(
+            tuple(c1[a][c] + c2[a][c] - a - c for c in (0, 1)) for a in (0, 1)
+        )
+
+    def finish(c):
+        return min(c[0][0], c[0][1], c[1][0], c[1][1])
+
+    return SPProblem("min-vertex-cover", leaf, series, parallel, finish)
+
+
+# ---------------------------------------------------------------------------
+# maximum independent set
+# ---------------------------------------------------------------------------
+def maximum_independent_set() -> SPProblem:
+    def leaf(_w):
+        return ((0.0, 1.0), (1.0, NEG))
+
+    def series(i1, i2):
+        out = [[NEG, NEG], [NEG, NEG]]
+        for a in (0, 1):
+            for c in (0, 1):
+                best = NEG
+                for b in (0, 1):
+                    v = i1[a][b] + i2[b][c] - b
+                    if v > best:
+                        best = v
+                out[a][c] = best
+        return (tuple(out[0]), tuple(out[1]))
+
+    def parallel(i1, i2):
+        return tuple(
+            tuple(i1[a][c] + i2[a][c] - a - c for c in (0, 1)) for a in (0, 1)
+        )
+
+    def finish(i):
+        return max(i[0][0], i[0][1], i[1][0], i[1][1])
+
+    return SPProblem("max-independent-set", leaf, series, parallel, finish)
+
+
+# ---------------------------------------------------------------------------
+# proper k-colourings ("coloring")
+# ---------------------------------------------------------------------------
+def count_colorings(k: int) -> SPProblem:
+    """Table ``(same, diff)`` = number of colourings of the component's
+    *internal* vertices given the terminals share / don't share a
+    colour (uniform over concrete colour choices by symmetry)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+
+    def leaf(_w):
+        return (0, 1)
+
+    def series(t1, t2):
+        s1, d1 = t1
+        s2, d2 = t2
+        same = s1 * s2 + (k - 1) * d1 * d2
+        diff = s1 * d2 + d1 * s2 + max(0, k - 2) * d1 * d2
+        return (same, diff)
+
+    def parallel(t1, t2):
+        return (t1[0] * t2[0], t1[1] * t2[1])
+
+    def finish(t):
+        same, diff = t
+        return k * same + k * (k - 1) * diff
+
+    return SPProblem(f"count-{k}-colorings", leaf, series, parallel, finish)
+
+
+# ---------------------------------------------------------------------------
+# effective resistance (the classical SP reduction)
+# ---------------------------------------------------------------------------
+def effective_resistance() -> SPProblem:
+    def leaf(w):
+        r = float(w)
+        if r < 0:
+            raise ValueError("resistance must be non-negative")
+        return r
+
+    def series(r1, r2):
+        return r1 + r2
+
+    def parallel(r1, r2):
+        if r1 == 0.0 or r2 == 0.0:
+            return 0.0
+        if r1 == INF:
+            return r2
+        if r2 == INF:
+            return r1
+        return (r1 * r2) / (r1 + r2)
+
+    return SPProblem("effective-resistance", leaf, series, parallel, lambda r: r)

@@ -1,0 +1,202 @@
+"""Series-parallel recognition: explicit graph -> decomposition tree.
+
+The classical reduction characterisation: a connected multigraph with
+terminals ``(s, t)`` is two-terminal series-parallel iff repeatedly
+(a) merging parallel edges and (b) contracting degree-2 non-terminal
+vertices reduces it to a single ``s``–``t`` edge.  Running the
+reductions while recording *why* each merge happened yields the
+decomposition, which :meth:`~repro.graphs.sptree.SPTree` structures can
+then be grown from — connecting this subpackage to real input graphs
+instead of only generated ones.
+
+Orientation note: although the graphs are undirected, a component's DP
+*table* is indexed by its two terminals in order, so the reductions
+track each live edge's orientation and reverse sub-specs (swap series
+operands, recurse) whenever a merge consumes a component backwards.
+
+Complexity: the implementation favours clarity — worst case ``O(m²)``
+bookkeeping — which is ample for the library's simulator-scale inputs;
+linear-time SP recognition (Valdes–Tarjan–Lawler) is a drop-in upgrade
+behind the same interface.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from .sptree import SPTree
+
+__all__ = ["NotSeriesParallel", "recognize", "tree_from_spec", "spec_of_tree"]
+
+
+class NotSeriesParallel(ReproError):
+    """The input graph is not two-terminal series-parallel."""
+
+
+Spec = Tuple  # ("edge", weight) | ("series", Spec, Spec) | ("parallel", Spec, Spec)
+
+
+def _reverse(spec: Spec) -> Spec:
+    """The spec of the same component with terminals swapped.
+
+    Iterative post-order rebuild (specs can be as deep as the edge
+    count): series swaps and reverses both operands; parallel reverses
+    operands in place; edges are symmetric.
+    """
+    out: Dict[int, Spec] = {}
+    stack: List[Tuple[Spec, bool]] = [(spec, False)]
+    while stack:
+        node, expanded = stack.pop()
+        kind = node[0]
+        if kind == "edge":
+            out[id(node)] = node
+        elif expanded:
+            left, right = out[id(node[1])], out[id(node[2])]
+            if kind == "series":
+                out[id(node)] = ("series", right, left)
+            else:
+                out[id(node)] = ("parallel", left, right)
+        else:
+            stack.append((node, True))
+            stack.append((node[1], False))
+            stack.append((node[2], False))
+    return out[id(spec)]
+
+
+def recognize(
+    edges: Sequence[Tuple[int, int, Any]],
+    s: int,
+    t: int,
+) -> Spec:
+    """Reduce ``edges`` (entries ``(u, v, weight)``) to a decomposition
+    spec with terminals ``(s, t)``.  Raises :class:`NotSeriesParallel`
+    if the graph is not SP (e.g. contains a ``K4`` subdivision), and
+    ``ValueError`` on malformed input."""
+    if not edges:
+        raise ValueError("graph has no edges")
+    if s == t:
+        raise ValueError("terminals must be distinct")
+    # Live edge store: eid -> (u, v, spec).
+    store: Dict[int, Tuple[int, int, Spec]] = {}
+    adj: Dict[int, Set[int]] = defaultdict(set)
+    for eid, (u, v, w) in enumerate(edges):
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u}")
+        store[eid] = (u, v, ("edge", w))
+        adj[u].add(eid)
+        adj[v].add(eid)
+    if s not in adj or t not in adj:
+        raise ValueError("a terminal has no incident edge")
+    next_id = len(edges)
+
+    def remove(eid: int) -> None:
+        u, v, _ = store.pop(eid)
+        adj[u].discard(eid)
+        adj[v].discard(eid)
+
+    def add(u: int, v: int, spec: Spec) -> int:
+        nonlocal next_id
+        eid = next_id
+        next_id += 1
+        store[eid] = (u, v, spec)
+        adj[u].add(eid)
+        adj[v].add(eid)
+        return eid
+
+    changed = True
+    while changed and len(store) > 1:
+        changed = False
+        # (a) parallel reduction: two live edges sharing both endpoints.
+        by_pair: Dict[frozenset, List[int]] = defaultdict(list)
+        for eid, (u, v, _) in store.items():
+            by_pair[frozenset((u, v))].append(eid)
+        for pair, eids in by_pair.items():
+            if len(eids) >= 2:
+                e1, e2 = eids[0], eids[1]
+                u, v, spec1 = store[e1]
+                u2, _, spec2 = store[e2]
+                if u2 != u:
+                    spec2 = _reverse(spec2)
+                remove(e1)
+                remove(e2)
+                add(u, v, ("parallel", spec1, spec2))
+                changed = True
+                break
+        if changed:
+            continue
+        # (b) series reduction at a degree-2 non-terminal vertex.
+        for vertex, incident in adj.items():
+            if vertex in (s, t) or len(incident) != 2:
+                continue
+            e1, e2 = sorted(incident)
+            u1, v1, spec1 = store[e1]
+            u2, v2, spec2 = store[e2]
+            a = u1 if v1 == vertex else v1
+            b = u2 if v2 == vertex else v2
+            if a == b and a == vertex:  # degenerate
+                continue
+            # Orient spec1 as a -> vertex and spec2 as vertex -> b.
+            if u1 != a:
+                spec1 = _reverse(spec1)
+            if u2 != vertex:
+                spec2 = _reverse(spec2)
+            remove(e1)
+            remove(e2)
+            add(a, b, ("series", spec1, spec2))
+            changed = True
+            break
+
+    if len(store) != 1:
+        raise NotSeriesParallel(
+            f"reductions stalled with {len(store)} edges remaining"
+        )
+    (only,) = store.values()
+    u, v, spec = only
+    if {u, v} != {s, t}:
+        raise NotSeriesParallel(
+            f"graph reduced to an edge between {u} and {v}, "
+            f"not the terminals ({s}, {t})"
+        )
+    if u != s:
+        spec = _reverse(spec)
+    return spec
+
+
+def tree_from_spec(spec: Spec) -> SPTree:
+    """Grow an :class:`SPTree` realising ``spec``."""
+    tree = SPTree(weight=0)
+    # Expand the root edge according to the spec, iteratively.
+    stack: List[Tuple[int, Spec]] = [(tree.root.nid, spec)]
+    while stack:
+        nid, node_spec = stack.pop()
+        kind = node_spec[0]
+        if kind == "edge":
+            tree.set_weight(nid, node_spec[1])
+        elif kind in ("series", "parallel"):
+            grow = tree.subdivide if kind == "series" else tree.duplicate
+            left, right = grow(nid, 0, 0)
+            stack.append((left, node_spec[1]))
+            stack.append((right, node_spec[2]))
+        else:
+            raise ValueError(f"bad spec node {kind!r}")
+    return tree
+
+
+def spec_of_tree(tree: SPTree) -> Spec:
+    """The inverse view: an SPTree's structure as a spec (for tests and
+    serialisation)."""
+    out: Dict[int, Spec] = {}
+    stack: List[Tuple[Any, bool]] = [(tree.root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.is_leaf:
+            out[node.nid] = ("edge", node.weight)
+        elif expanded:
+            out[node.nid] = (node.kind, out[node.left.nid], out[node.right.nid])
+        else:
+            stack.append((node, True))
+            stack.append((node.right, False))
+            stack.append((node.left, False))
+    return out[tree.root.nid]

@@ -1,0 +1,211 @@
+"""Series-parallel graphs via their decomposition trees (§6).
+
+The paper's closing section applies dynamic parallel tree contraction
+to "parallel series graphs, outerplanar graphs, ... and various other
+graphs with constant separator size", incrementally maintaining
+"coloring, minimum covering set, maximum matching, etc.".  The promised
+subsequent paper never appeared, so this subpackage builds the §6
+substrate from the SPAA text's ingredients: a two-terminal
+series-parallel (SP) graph *is* a binary tree — the decomposition tree
+with edges at the leaves and series/parallel compositions inside — and
+the incremental machinery of §2–§4 applies to that tree verbatim.
+
+:class:`SPTree` is the dynamic decomposition tree.  Modification
+repertoire, mirroring §4.1's leaf operations exactly:
+
+* ``set_weight(edge)``          — relabel a leaf;
+* ``subdivide(edge)``           — leaf becomes a *series* node over two
+  new edges (add two children below a leaf);
+* ``duplicate(edge)``           — leaf becomes a *parallel* node;
+* ``dissolve(node)``            — a series/parallel node over two leaf
+  edges collapses back to one edge (delete two leaf children).
+
+Graph-theoretic views (vertex counts, explicit edge lists, conversion
+to a ``networkx`` multigraph) live in explicit.py; the dynamic
+programming over the tree in problems.py / dynamic.py.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import NotALeafError, TreeStructureError, UnknownNodeError
+
+__all__ = ["SERIES", "PARALLEL", "SPNode", "SPTree"]
+
+SERIES = "series"
+PARALLEL = "parallel"
+
+
+class SPNode:
+    """One node of the SP decomposition tree.
+
+    A leaf represents a single edge between the component's two
+    terminals and carries ``weight``; an internal node carries ``kind``
+    (``'series'`` or ``'parallel'``) and composes its children's
+    components: series identifies the left child's right terminal with
+    the right child's left terminal through a fresh internal vertex;
+    parallel identifies both terminal pairs.
+    """
+
+    __slots__ = ("nid", "parent", "left", "right", "kind", "weight")
+
+    def __init__(self, nid: int) -> None:
+        self.nid = nid
+        self.parent: Optional["SPNode"] = None
+        self.left: Optional["SPNode"] = None
+        self.right: Optional["SPNode"] = None
+        self.kind: Optional[str] = None  # None = leaf (an edge)
+        self.weight: Any = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_leaf:
+            return f"Edge({self.nid}, w={self.weight!r})"
+        return f"SP({self.nid}, {self.kind})"
+
+
+class SPTree:
+    """A dynamic two-terminal series-parallel graph.
+
+    Starts as a single edge of the given weight.  ``version`` bumps on
+    every change so downstream caches can detect staleness.
+    """
+
+    def __init__(self, weight: Any = 1) -> None:
+        self._nodes: Dict[int, SPNode] = {}
+        self._next_id = 0
+        self.root = self._new_node()
+        self.root.weight = weight
+        self.version = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _new_node(self) -> SPNode:
+        node = SPNode(self._next_id)
+        self._next_id += 1
+        self._nodes[node.nid] = node
+        return node
+
+    def node(self, nid: int) -> SPNode:
+        try:
+            return self._nodes[nid]
+        except KeyError:
+            raise UnknownNodeError(f"no SP node {nid}") from None
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def edges(self) -> List[SPNode]:
+        """Leaf nodes (graph edges) left-to-right."""
+        out: List[SPNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+        return out
+
+    def nodes_preorder(self) -> Iterator[SPNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+
+    def n_edges(self) -> int:
+        return len(self.edges())
+
+    def n_vertices(self) -> int:
+        """Vertices of the represented graph: 2 terminals plus one
+        internal vertex per series node."""
+        series = sum(
+            1 for n in self.nodes_preorder() if not n.is_leaf and n.kind == SERIES
+        )
+        return 2 + series
+
+    # -- the modification repertoire ---------------------------------------
+    def set_weight(self, edge_id: int, weight: Any) -> None:
+        node = self.node(edge_id)
+        if not node.is_leaf:
+            raise NotALeafError(f"SP node {edge_id} is not an edge")
+        node.weight = weight
+        self.version += 1
+
+    def _grow(self, edge_id: int, kind: str, w1: Any, w2: Any) -> Tuple[int, int]:
+        node = self.node(edge_id)
+        if not node.is_leaf:
+            raise NotALeafError(f"SP node {edge_id} is not an edge")
+        left, right = self._new_node(), self._new_node()
+        left.weight, right.weight = w1, w2
+        left.parent = right.parent = node
+        node.left, node.right = left, right
+        node.kind = kind
+        node.weight = None
+        self.version += 1
+        return left.nid, right.nid
+
+    def subdivide(self, edge_id: int, w1: Any, w2: Any) -> Tuple[int, int]:
+        """Replace an edge by two edges in series (a new vertex)."""
+        return self._grow(edge_id, SERIES, w1, w2)
+
+    def duplicate(self, edge_id: int, w1: Any, w2: Any) -> Tuple[int, int]:
+        """Replace an edge by two parallel edges."""
+        return self._grow(edge_id, PARALLEL, w1, w2)
+
+    def dissolve(self, node_id: int, weight: Any) -> Tuple[int, int]:
+        """Collapse a series/parallel node over two edges back into a
+        single edge of the given weight; returns the removed edge ids."""
+        node = self.node(node_id)
+        if node.is_leaf:
+            raise TreeStructureError(f"SP node {node_id} is already an edge")
+        left, right = node.left, node.right
+        assert left is not None and right is not None
+        if not (left.is_leaf and right.is_leaf):
+            raise TreeStructureError(
+                f"children of {node_id} are not both edges"
+            )
+        del self._nodes[left.nid], self._nodes[right.nid]
+        node.left = node.right = None
+        node.kind = None
+        node.weight = weight
+        self.version += 1
+        return left.nid, right.nid
+
+    # -- validation -----------------------------------------------------------
+    def check(self) -> None:
+        seen = set()
+        stack = [self.root]
+        if self.root.parent is not None:
+            raise TreeStructureError("SP root has a parent")
+        while stack:
+            node = stack.pop()
+            if node.nid in seen:
+                raise TreeStructureError("cycle in SP tree")
+            seen.add(node.nid)
+            if node.is_leaf:
+                if node.weight is None:
+                    raise TreeStructureError(f"edge {node.nid} has no weight")
+                if node.left is not None:
+                    raise TreeStructureError("leaf with children")
+            else:
+                if node.kind not in (SERIES, PARALLEL):
+                    raise TreeStructureError(f"bad kind {node.kind!r}")
+                if node.left is None or node.right is None:
+                    raise TreeStructureError("SP node missing children")
+                for child in (node.left, node.right):
+                    if child.parent is not node:
+                        raise TreeStructureError("broken SP parent pointer")
+                stack.extend([node.left, node.right])
+        if seen != set(self._nodes):
+            raise TreeStructureError("unreachable SP nodes")

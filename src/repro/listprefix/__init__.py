@@ -1,0 +1,5 @@
+"""§3 — the incremental list prefix structure."""
+
+from .structure import IncrementalListPrefix
+
+__all__ = ["IncrementalListPrefix"]

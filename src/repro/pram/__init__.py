@@ -1,0 +1,33 @@
+"""Simulated CRCW PRAM with forking — the paper's machine model.
+
+Two levels of fidelity:
+
+* :class:`Machine` executes generator-based programs instruction by
+  instruction with synchronous steps and CRCW write-conflict resolution
+  (used for the Theorem 2.1 activation algorithm);
+* :class:`SpanTracker` provides analytic work/span accounting for
+  coarser phases (rebuilds, healing, prefix recomputation).
+"""
+
+from .frames import SpanTracker
+from .programs import list_ranking, parallel_sum, prefix_sums
+from .machine import Machine
+from .memory import SharedMemory, WritePolicy
+from .metrics import Metrics
+from .ops import Fork, Halt, Local, Read, Write
+
+__all__ = [
+    "Machine",
+    "SharedMemory",
+    "WritePolicy",
+    "Metrics",
+    "SpanTracker",
+    "Read",
+    "Write",
+    "Fork",
+    "Local",
+    "Halt",
+    "parallel_sum",
+    "prefix_sums",
+    "list_ranking",
+]

@@ -1,0 +1,92 @@
+"""Analytic work/span accounting for coarse-grained parallel phases.
+
+The fine-grained :class:`~repro.pram.machine.Machine` simulates programs
+instruction-by-instruction; that fidelity is used for the headline
+processor-activation algorithm (Theorem 2.1).  The surrounding phases
+(tree rebuilding, prefix recomputation, rake-tree healing) are written as
+ordinary Python driven by a :class:`SpanTracker`, which charges *work*
+(total operations) and *span* (critical-path length / parallel time) in
+the standard work-span model.  By Brent's theorem a computation with work
+``W`` and span ``S`` runs in ``O(W/p + S)`` time on ``p`` processors, so
+reporting ``(W, S)`` reproduces the paper's time/processor claims without
+needing real parallel hardware (DESIGN.md §2).
+
+The tracker nests: :meth:`parallel` runs a list of thunks, giving each
+the same starting span and advancing the clock by the *maximum* branch
+span, while work accumulates across all branches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence, TypeVar
+
+__all__ = ["SpanTracker"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SpanTracker:
+    """Accumulates work and span for a (simulated) parallel computation."""
+
+    def __init__(self) -> None:
+        self.work = 0
+        self.span = 0
+        self._peak_width = 0
+
+    # -- primitive charges -----------------------------------------------
+    def tick(self, work: int = 1, span: int | None = None) -> None:
+        """Charge a sequential region: ``work`` operations on the critical
+        path (``span`` defaults to ``work``)."""
+        self.work += work
+        self.span += work if span is None else span
+
+    def charge(self, work: int, span: int) -> None:
+        """Charge an opaque sub-computation with known costs."""
+        self.work += work
+        self.span += span
+
+    # -- structured parallelism --------------------------------------------
+    def parallel(self, thunks: Sequence[Callable[[], R]]) -> List[R]:
+        """Run thunks "in parallel": each starts at the current span; the
+        clock advances by the maximum span any branch consumed."""
+        base = self.span
+        max_span = 0
+        results: List[R] = []
+        for thunk in thunks:
+            self.span = base
+            results.append(thunk())
+            branch = self.span - base
+            if branch > max_span:
+                max_span = branch
+        self.span = base + max_span
+        width = len(thunks)
+        if width > self._peak_width:
+            self._peak_width = width
+        return results
+
+    def pmap(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """``parallel`` over one function applied to each item."""
+        seq = list(items)
+        return self.parallel([(lambda x=x: fn(x)) for x in seq])
+
+    # -- derived quantities ---------------------------------------------------
+    @property
+    def peak_width(self) -> int:
+        """Largest fan-out of any single ``parallel`` call (a lower bound
+        on the instantaneous processor demand)."""
+        return self._peak_width
+
+    def processors_for(self, target_span: int | None = None) -> int:
+        """Brent bound: processors needed to finish within
+        ``max(span, target_span)`` time, i.e. ``ceil(work / time)``."""
+        time = self.span if target_span is None else max(self.span, target_span)
+        if time <= 0:
+            return 0
+        return -(-self.work // time)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"work": self.work, "span": self.span, "peak_width": self.peak_width}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanTracker(work={self.work}, span={self.span})"

@@ -1,0 +1,153 @@
+"""Step-synchronous CRCW PRAM machine with forking.
+
+The machine advances all live processors in lock-step.  Within one step:
+
+1. every processor's pending instruction is collected (by resuming its
+   generator with the result of the previous instruction);
+2. ``Read`` results are taken from memory as committed at the previous
+   step boundary; ``Write``\\ s are staged; ``Fork``\\ s enqueue new
+   processors that begin on the *next* step;
+3. staged writes are resolved under the machine's
+   :class:`~repro.pram.memory.WritePolicy` and committed.
+
+This makes the simulator's ``metrics.steps`` exactly the parallel time of
+the executed algorithm on the paper's machine model, and
+``metrics.peak_processors`` the processor count the theorems bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..errors import MachineStateError, ProcessorLimitError
+from .memory import SharedMemory, WritePolicy
+from .metrics import Metrics
+from .ops import Fork, Halt, Local, Program, Read, Write
+
+__all__ = ["Machine"]
+
+
+class _Processor:
+    __slots__ = ("pid", "program", "resume_value", "live")
+
+    def __init__(self, pid: int, program: Program) -> None:
+        self.pid = pid
+        self.program = program
+        self.resume_value: Any = None
+        self.live = True
+
+
+class Machine:
+    """A simulated CRCW PRAM.
+
+    Parameters
+    ----------
+    policy:
+        Write-conflict resolution policy (default ``ARBITRARY``).
+    max_processors:
+        Hard cap on simultaneously live processors; exceeding it raises
+        :class:`~repro.errors.ProcessorLimitError`.  Useful for asserting
+        the paper's processor bounds in tests.
+    seed:
+        Seed for the ``ARBITRARY`` policy's tie-breaking RNG.
+    """
+
+    def __init__(
+        self,
+        policy: WritePolicy = WritePolicy.ARBITRARY,
+        max_processors: int = 1_000_000,
+        seed: int | None = 0,
+    ) -> None:
+        self.memory = SharedMemory(policy=policy, seed=seed)
+        self.metrics = Metrics()
+        self.max_processors = max_processors
+        self._procs: List[_Processor] = []
+        self._next_pid = 0
+        self._phase: Optional[str] = None
+        self._started = False
+
+    # -- program management --------------------------------------------------
+    def spawn(self, program: Program) -> int:
+        """Register a processor to start on the next executed step."""
+        if not hasattr(program, "send"):
+            raise MachineStateError(
+                "programs must be generators (got "
+                f"{type(program).__name__}); write them with `yield`"
+            )
+        pid = self._next_pid
+        self._next_pid += 1
+        self._procs.append(_Processor(pid, program))
+        if self.live_count() > self.max_processors:
+            raise ProcessorLimitError(
+                f"processor cap {self.max_processors} exceeded"
+            )
+        return pid
+
+    def live_count(self) -> int:
+        return sum(1 for p in self._procs if p.live)
+
+    def set_phase(self, label: Optional[str]) -> None:
+        """Label subsequent steps for per-phase metrics."""
+        self._phase = label
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> int:
+        """Execute one synchronous step.  Returns live processor count
+        *after* the step (0 means the machine has quiesced)."""
+        live = [p for p in self._procs if p.live]
+        if not live:
+            return 0
+        forked: List[Tuple[_Processor, Program]] = []
+        executed = 0
+        for proc in live:
+            try:
+                instr = proc.program.send(proc.resume_value)
+            except StopIteration:
+                # Returning consumes no machine step: the processor's
+                # last real instruction was already charged.
+                proc.live = False
+                continue
+            executed += 1
+            proc.resume_value = None
+            if isinstance(instr, Read):
+                self.metrics.reads += 1
+                proc.resume_value = self.memory.read(instr.addr, instr.default)
+            elif isinstance(instr, Write):
+                self.metrics.writes += 1
+                self.memory.stage_write(proc.pid, instr.addr, instr.value)
+            elif isinstance(instr, Fork):
+                self.metrics.forks += 1
+                forked.append((proc, instr.program))
+            elif isinstance(instr, Local):
+                pass
+            elif isinstance(instr, Halt):
+                proc.live = False
+            else:
+                raise MachineStateError(
+                    f"processor {proc.pid} yielded {instr!r}, "
+                    "which is not a PRAM instruction"
+                )
+        if executed:
+            self.metrics.observe_step(executed, self._phase)
+        self.memory.commit()
+        # Forked processors become live for the next step; parent receives
+        # the child's pid.
+        for parent, program in forked:
+            pid = self.spawn(program)
+            parent.resume_value = pid
+        # Compact the processor list occasionally to keep steps O(live).
+        if len(self._procs) > 64 and self.live_count() * 2 < len(self._procs):
+            self._procs = [p for p in self._procs if p.live]
+        return self.live_count()
+
+    def run(self, max_steps: int = 1_000_000) -> Metrics:
+        """Run until all processors halt (or ``max_steps`` elapse)."""
+        for _ in range(max_steps):
+            if self.step() == 0 and not any(p.live for p in self._procs):
+                return self.metrics
+        if self.live_count():
+            raise MachineStateError(
+                f"machine did not quiesce within {max_steps} steps "
+                f"({self.live_count()} processors still live)"
+            )
+        return self.metrics

@@ -1,0 +1,104 @@
+"""CRCW shared memory with selectable write-conflict resolution.
+
+A synchronous PRAM step has a read sub-phase followed by a write
+sub-phase: every read in a step observes the memory as committed at the
+*end of the previous step*, and all writes of the step are resolved and
+committed together.  :class:`SharedMemory` implements that discipline:
+the machine calls :meth:`read` freely during a step, stages writes with
+:meth:`stage_write`, and calls :meth:`commit` at the step boundary.
+
+Write-conflict policies (the standard CRCW taxonomy):
+
+* ``COMMON``   — concurrent writers to a cell must agree on the value;
+  disagreement raises :class:`~repro.errors.WriteConflictError`.
+* ``ARBITRARY`` — one staged write wins, chosen by a seeded RNG so runs
+  are reproducible.
+* ``PRIORITY`` — the writer with the smallest processor id wins.
+* ``MAX``      — the largest written value wins (a "combining" CRCW).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Any, Dict, Hashable, List, Tuple
+
+from ..errors import WriteConflictError
+
+__all__ = ["WritePolicy", "SharedMemory"]
+
+Address = Hashable
+
+
+class WritePolicy(enum.Enum):
+    COMMON = "common"
+    ARBITRARY = "arbitrary"
+    PRIORITY = "priority"
+    MAX = "max"
+    MIN = "min"
+
+
+class SharedMemory:
+    """Addressable CRCW memory.  Addresses are arbitrary hashable keys
+    (tuples like ``("active", node_id)`` read naturally in programs)."""
+
+    def __init__(
+        self,
+        policy: WritePolicy = WritePolicy.ARBITRARY,
+        seed: int | None = 0,
+    ) -> None:
+        self.policy = policy
+        self._cells: Dict[Address, Any] = {}
+        # Staged writes for the current step: addr -> list of (pid, value).
+        self._staged: Dict[Address, List[Tuple[int, Any]]] = {}
+        self._rng = random.Random(seed)
+        self.conflict_count = 0  # cells with >1 distinct writer this run
+
+    # -- step protocol -----------------------------------------------------
+    def read(self, addr: Address, default: Any = None) -> Any:
+        """Read the value committed at the end of the previous step."""
+        return self._cells.get(addr, default)
+
+    def stage_write(self, pid: int, addr: Address, value: Any) -> None:
+        """Stage a write by processor ``pid``; visible after :meth:`commit`."""
+        self._staged.setdefault(addr, []).append((pid, value))
+
+    def commit(self) -> None:
+        """Resolve all staged writes for this step and commit them."""
+        if not self._staged:
+            return
+        policy = self.policy
+        for addr, writers in self._staged.items():
+            if len(writers) > 1:
+                self.conflict_count += 1
+            if policy is WritePolicy.COMMON:
+                first = writers[0][1]
+                for _, v in writers[1:]:
+                    if v != first:
+                        raise WriteConflictError(
+                            f"COMMON policy violated at {addr!r}: "
+                            f"values {first!r} and {v!r}"
+                        )
+                value = first
+            elif policy is WritePolicy.PRIORITY:
+                value = min(writers)[1]
+            elif policy is WritePolicy.MAX:
+                value = max(v for _, v in writers)
+            elif policy is WritePolicy.MIN:
+                value = min(v for _, v in writers)
+            else:  # ARBITRARY
+                value = self._rng.choice(writers)[1]
+            self._cells[addr] = value
+        self._staged.clear()
+
+    # -- host-side convenience ----------------------------------------------
+    def poke(self, addr: Address, value: Any) -> None:
+        """Host write outside the step protocol (program setup)."""
+        self._cells[addr] = value
+
+    def snapshot(self) -> Dict[Address, Any]:
+        """A shallow copy of committed memory (for assertions in tests)."""
+        return dict(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)

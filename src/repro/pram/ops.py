@@ -1,0 +1,71 @@
+"""Instruction set for PRAM programs.
+
+A PRAM *program* is a Python generator that yields instructions; the
+machine resumes it with the instruction's result.  One yielded
+instruction costs one synchronous step for that processor, mirroring the
+unit-cost CRCW PRAM of the paper.
+
+Example (a processor that walks a parent-pointer chain, marking nodes —
+stage 1 of Theorem 2.1)::
+
+    def walk_up(start):
+        node = start
+        while node is not None:
+            yield Write(("active", node), 1)
+            node = yield Read(("parent", node))
+
+The ``Fork`` instruction is the paper's dynamic processor-activation
+primitive: it schedules a *new* processor that starts executing on the
+next step, and returns the new processor's id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Hashable
+
+__all__ = ["Read", "Write", "Fork", "Local", "Halt", "Instruction", "Program"]
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read shared cell ``addr``; the yield evaluates to its value."""
+
+    addr: Hashable
+    default: Any = None
+
+
+@dataclass(frozen=True)
+class Write:
+    """Stage a write of ``value`` to shared cell ``addr`` (committed at
+    the end of the step under the machine's CRCW policy)."""
+
+    addr: Hashable
+    value: Any
+
+
+@dataclass(frozen=True)
+class Fork:
+    """Activate a new processor running ``program`` from the next step.
+
+    The yield evaluates to the new processor's id.  This is the paper's
+    forking operation (§1: "a variant of the CRCW PRAM where we can
+    dynamically activate processors by a forking operation").
+    """
+
+    program: Generator
+
+
+@dataclass(frozen=True)
+class Local:
+    """One unit of local computation (keeps the processor occupied for a
+    step without touching memory)."""
+
+
+@dataclass(frozen=True)
+class Halt:
+    """Stop this processor (equivalent to returning from the generator)."""
+
+
+Instruction = Read | Write | Fork | Local | Halt
+Program = Generator

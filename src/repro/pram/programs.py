@@ -1,0 +1,107 @@
+"""Classic PRAM programs, reusable as library routines.
+
+The paper's algorithms lean on these as folklore substrates: parallel
+prefix sums (the §3 step over `P̂T(U)` entries), Wyllie pointer-jumping
+list ranking (KD's leaf ordering, §4), and tree-reduction sums.  Each
+is a host-side driver that lays out memory, spawns generator programs
+on a :class:`~repro.pram.Machine`, and returns results plus the
+machine's metrics — so benchmarks and tests can quote genuine
+synchronous step counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .machine import Machine
+from .memory import WritePolicy
+from .metrics import Metrics
+from .ops import Read, Write
+
+__all__ = ["parallel_sum", "prefix_sums", "list_ranking"]
+
+
+def parallel_sum(values: Sequence[float]) -> Tuple[float, Metrics]:
+    """Tree-reduction sum in ``O(log n)`` machine steps.
+
+    Round ``r`` pairs cells ``i`` and ``i + 2^r``; each round is a
+    fresh spawn wave so the step count is the critical path.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("parallel_sum of an empty sequence")
+    machine = Machine(policy=WritePolicy.PRIORITY)
+    for i, v in enumerate(values):
+        machine.memory.poke(("x", i), v)
+
+    def reducer(i: int, stride: int):
+        a = yield Read(("x", i))
+        b = yield Read(("x", i + stride), default=None)
+        if b is not None:
+            yield Write(("x", i), a + b)
+
+    stride = 1
+    while stride < n:
+        for i in range(0, n - stride, 2 * stride):
+            machine.spawn(reducer(i, stride))
+        machine.run()
+        stride *= 2
+    return machine.memory.read(("x", 0)), machine.metrics
+
+
+def prefix_sums(values: Sequence[float]) -> Tuple[List[float], Metrics]:
+    """Inclusive prefix sums by recursive doubling (Hillis–Steele):
+    ``O(log n)`` rounds of ``n`` processors (work ``O(n log n)``; the
+    work-optimal Blelloch variant is a two-pass of ``parallel_sum`` —
+    this is the simpler textbook form used for step counting)."""
+    n = len(values)
+    if n == 0:
+        return [], Metrics()
+    machine = Machine(policy=WritePolicy.PRIORITY)
+    for i, v in enumerate(values):
+        machine.memory.poke(("x", i), v)
+
+    def stepper(i: int, stride: int):
+        left = yield Read(("x", i - stride))
+        mine = yield Read(("x", i))
+        yield Write(("x", i), left + mine)
+
+    stride = 1
+    while stride < n:
+        for i in range(stride, n):
+            machine.spawn(stepper(i, stride))
+        machine.run()
+        stride *= 2
+    out = [machine.memory.read(("x", i)) for i in range(n)]
+    return out, machine.metrics
+
+
+def list_ranking(
+    successor: Dict[int, Optional[int]],
+) -> Tuple[Dict[int, int], Metrics]:
+    """Wyllie pointer jumping: distance of every node to the list tail
+    in ``O(log n)`` rounds.
+
+    ``successor`` maps node id -> next id (``None`` at the tail).
+    """
+    machine = Machine(policy=WritePolicy.PRIORITY)
+    for node, nxt in successor.items():
+        machine.memory.poke(("next", node), nxt)
+        machine.memory.poke(("rank", node), 0 if nxt is None else 1)
+
+    def ranker(i: int):
+        while True:
+            nxt = yield Read(("next", i))
+            if nxt is None:
+                return
+            r = yield Read(("rank", i))
+            r2 = yield Read(("rank", nxt))
+            n2 = yield Read(("next", nxt))
+            yield Write(("rank", i), r + r2)
+            yield Write(("next", i), n2)
+
+    for node in successor:
+        machine.spawn(ranker(node))
+    metrics = machine.run()
+    ranks = {node: machine.memory.read(("rank", node)) for node in successor}
+    return ranks, metrics

@@ -1,0 +1,33 @@
+"""§2 — the random binary splitting tree with shortcuts (RBSTS)."""
+
+from .activation import ActivationResult, activate, ancestors_closure, deactivate
+from .build import Summarizer, build_subtree
+from .node import BSTNode
+from .parse_tree import ExtendedParseTree, PTEntry, build_extended_parse_tree
+from .rbsts import RBSTS
+from .shortcuts import (
+    DEFAULT_RATIO,
+    presence_threshold,
+    repair_path,
+    shortcut_target_depths,
+    shortcuts_from_path,
+)
+
+__all__ = [
+    "RBSTS",
+    "BSTNode",
+    "Summarizer",
+    "build_subtree",
+    "activate",
+    "deactivate",
+    "ancestors_closure",
+    "ActivationResult",
+    "ExtendedParseTree",
+    "PTEntry",
+    "build_extended_parse_tree",
+    "DEFAULT_RATIO",
+    "presence_threshold",
+    "repair_path",
+    "shortcut_target_depths",
+    "shortcuts_from_path",
+]

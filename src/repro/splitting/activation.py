@@ -1,0 +1,282 @@
+"""The processor activation problem (Theorem 2.1).
+
+Given an RBSTS and a set ``U`` of leaves, identify and activate one
+(simulated) processor per node of the parse tree ``PT(U)`` — the leaves
+of ``U`` plus all their ancestors — in ``O(log(|U| log n))`` parallel
+time with ``O(|U| log n / log(|U| log n))`` processors.  Without
+shortcuts the best possible is chasing parent pointers, ``Θ(log n)``
+time (the E1 baseline, :mod:`repro.baselines.naive_walk`).
+
+The implementation is *round-synchronous*: processors are explicit
+objects advanced one instruction per round, so the reported round count
+is the parallel time on the paper's machine.  Stages:
+
+1. **Walk-up** — one processor per ``U``-leaf follows parent pointers,
+   marking ``ACTIVE``, until it reaches a node carrying a shortcut list
+   (heights strictly increase towards the root, so this takes
+   ``O(log log n)`` rounds).  Walkers may stop early at an already
+   active node: the earlier walker continues over the shared remainder.
+2. **Range splitting** — each surviving processor at node ``v`` owns the
+   depth range ``[l, d_v]`` of ``v``'s yet-uncovered ancestors, with the
+   invariant ``l = depth(s_{v,p})`` for its shortcut position ``p``.
+   Each round it forks a processor at ``w = s_{v,p+1}`` to take the
+   lower third of the range and keeps the rest; ranges shrink by a
+   constant factor per round until they are at most
+   ``θ = ⌈log2(|U|·log2 n)⌉``.
+3. **Walks** — each processor marks its residual range by walking up,
+   at most ``θ`` steps.
+
+Fork deduplication: the paper activates at most one processor per node
+(``ACTIVE`` flag).  When a fork target is already active, the coverage
+obligation must still transfer; we implement this with a per-node
+``low`` cell written with CRCW **min**-combining — the resident
+processor re-reads its ``low`` each round and moves its shortcut
+position *backwards* if another branch lowered it.  This closes a
+coverage hole the extended abstract glosses over (two branches meeting
+at a node with different lower bounds) while keeping all ranges
+geometric, so the round bound is unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..errors import RequestError
+from ..pram.frames import SpanTracker
+from .node import BSTNode
+from .rbsts import RBSTS
+
+__all__ = ["ActivationResult", "activate", "deactivate", "ancestors_closure"]
+
+
+@dataclass
+class ActivationResult:
+    """Outcome of one activation: the activated node set plus the cost
+    observables the theorems bound (E1/E2)."""
+
+    activated: List[BSTNode]
+    rounds_stage1: int
+    rounds_stage2: int
+    rounds_stage3: int
+    processors: int  # total processors ever created
+    peak_processors: int
+    threshold: int
+    fallback_walk_steps: int  # defensive walking at shortcut-less nodes
+
+    @property
+    def rounds_total(self) -> int:
+        return self.rounds_stage1 + self.rounds_stage2 + self.rounds_stage3
+
+    def node_set(self) -> Set[int]:
+        return {id(v) for v in self.activated}
+
+
+class _Proc:
+    """One simulated stage-2 processor, resident at ``node``.
+
+    ``floor`` is the lowest coverage obligation this processor has
+    *accepted* from its node's CRCW ``low`` cell.  Once an obligation is
+    accepted and delegated by a fork, further re-reads of an unchanged
+    ``low`` must not re-trigger backward moves (that would livelock);
+    only a strictly lower value does.
+    """
+
+    __slots__ = ("node", "depths", "p", "l", "u", "floor", "need_back", "walking")
+
+    def __init__(self, node: BSTNode) -> None:
+        self.node = node
+        sc = node.shortcuts
+        self.depths: Optional[List[int]] = (
+            [s.depth for s in sc] if sc is not None else None
+        )
+        self.u = node.depth
+        self.floor = node.low if node.low is not None else 0
+        self.need_back = False
+        self.walking = self.depths is None  # defensive fallback mode
+        if self.depths is not None:
+            self.p = max(0, bisect_right(self.depths, self.floor) - 1)
+            self.l = self.depths[self.p]
+        else:
+            self.p = 0
+            self.l = self.floor
+
+
+def activate(
+    tree: RBSTS,
+    leaves: Sequence[BSTNode],
+    tracker: Optional[SpanTracker] = None,
+    *,
+    max_rounds: int = 1_000_000,
+) -> ActivationResult:
+    """Identify and mark ``PT(U)`` for ``U = leaves`` (Theorem 2.1).
+
+    Marks ``node.active`` on every node of the parse tree and returns
+    the activated list (callers must pass it to :func:`deactivate` when
+    finished, as the paper's processors do).  Raises
+    :class:`~repro.errors.RequestError` for an empty or non-leaf ``U``.
+    """
+    if not leaves:
+        raise RequestError("activation requires a non-empty update set")
+    for leaf in leaves:
+        if not leaf.is_leaf:
+            raise RequestError("activation set must consist of leaves")
+    n = max(2, tree.n_leaves)
+    u = len(leaves)
+    theta = max(1, math.ceil(math.log2(max(2.0, u * math.log2(n)))))
+
+    activated: List[BSTNode] = []
+
+    def mark(v: BSTNode) -> None:
+        if not v.active:
+            v.active = 1
+            activated.append(v)
+
+    def lower(v: BSTNode, value: int) -> None:
+        # CRCW MIN-combining write to the node's coverage cell.
+        if v.low is None or value < v.low:
+            v.low = value
+
+    # ---- stage 1: walk up to the first shortcut-bearing node ------------
+    rounds1 = 0
+    walkers: List[BSTNode] = []
+    for leaf in leaves:
+        mark(leaf)
+        walkers.append(leaf)
+    arrivals: List[BSTNode] = []
+    while walkers:
+        rounds1 += 1
+        next_walkers: List[BSTNode] = []
+        for node in walkers:
+            if node.shortcuts is not None or node.parent is None:
+                arrivals.append(node)
+                continue
+            parent = node.parent
+            if parent.active:
+                # Shared path: an earlier walker owns the remainder.
+                continue
+            mark(parent)
+            next_walkers.append(parent)
+        walkers = next_walkers
+    if tracker is not None:
+        tracker.charge(work=rounds1 * u, span=rounds1)
+
+    # ---- stage-2 processor creation --------------------------------------
+    procs: List[_Proc] = []
+    total_procs = 0
+    for node in arrivals:
+        lower(node, 0)
+        # One resident processor per node (ACTIVE dedup); arrivals are
+        # already marked, so use a dedicated "has resident" convention:
+        # the first arrival creates the processor.
+        if not any(p.node is node for p in procs):
+            if node.parent is not None:  # the root needs no processor
+                procs.append(_Proc(node))
+                total_procs += 1
+
+    # ---- stage 2: range splitting ----------------------------------------
+    rounds2 = 0
+    peak = max(u, len(procs))
+    fallback_steps = 0
+    while True:
+        progressed = False
+        new_procs: List[_Proc] = []
+        for proc in procs:
+            node = proc.node
+            target_low = node.low if node.low is not None else 0
+            if proc.walking:
+                continue  # handled in stage 3 (defensive mode)
+            assert proc.depths is not None
+            # Re-read the CRCW low cell; accepting a strictly lower
+            # obligation starts a backward sweep of the shortcut
+            # position.  Forward (fork) moves delegate the segments they
+            # skip, so they never re-trigger the sweep.
+            if target_low < proc.floor:
+                proc.floor = target_low
+                proc.need_back = True
+            if proc.need_back:
+                if proc.depths[proc.p] > proc.floor:
+                    proc.p -= 1
+                    proc.l = proc.depths[proc.p]
+                    progressed = True
+                    continue
+                proc.need_back = False
+            if proc.u - proc.l <= theta or proc.p + 1 >= len(proc.depths):
+                continue  # done splitting; residual range walks later
+            # Fork: the node at the next shortcut takes the lower part.
+            w = proc.node.shortcuts[proc.p + 1]  # type: ignore[index]
+            lower(w, proc.l)
+            if not w.active:
+                mark(w)
+                if w.parent is not None:
+                    child = _Proc(w)
+                    new_procs.append(child)
+            proc.p += 1
+            proc.l = proc.depths[proc.p]
+            progressed = True
+        if not progressed:
+            break
+        rounds2 += 1
+        procs.extend(new_procs)
+        total_procs += len(new_procs)
+        peak = max(peak, len(procs))
+        if rounds2 > max_rounds:
+            raise RuntimeError("activation stage 2 failed to converge")
+    if tracker is not None:
+        tracker.charge(work=max(1, rounds2) * max(1, len(procs)), span=rounds2)
+
+    # ---- stage 3: residual walks -------------------------------------------
+    rounds3 = 0
+    for proc in procs:
+        node = proc.node
+        if proc.walking:
+            # Defensive mode: no shortcut list, walk the full obligation.
+            target = node.low if node.low is not None else 0
+        else:
+            # Segments below proc.l were delegated to forked processors.
+            target = proc.l
+        steps = 0
+        cur = node
+        mark(cur)
+        while cur.depth > target and cur.parent is not None:
+            cur = cur.parent
+            mark(cur)
+            steps += 1
+        if proc.walking:
+            fallback_steps += steps
+        rounds3 = max(rounds3, steps)
+    if tracker is not None:
+        tracker.charge(work=rounds3 * max(1, len(procs)), span=rounds3)
+
+    return ActivationResult(
+        activated=activated,
+        rounds_stage1=rounds1,
+        rounds_stage2=rounds2,
+        rounds_stage3=rounds3,
+        processors=total_procs + u,
+        peak_processors=peak,
+        threshold=theta,
+        fallback_walk_steps=fallback_steps,
+    )
+
+
+def deactivate(result: ActivationResult) -> None:
+    """Reset ``ACTIVE`` flags and coverage cells (the paper's processors
+    do this as they retire, readying the structure for the next batch)."""
+    for node in result.activated:
+        node.active = 0
+        node.low = None
+
+
+def ancestors_closure(leaves: Sequence[BSTNode]) -> Set[int]:
+    """Brute-force ``PT(U)`` node-id set — the oracle activation is
+    checked against in tests (O(|U| · depth))."""
+    out: Set[int] = set()
+    for leaf in leaves:
+        node: Optional[BSTNode] = leaf
+        while node is not None and id(node) not in out:
+            out.add(id(node))
+            node = node.parent
+    return out

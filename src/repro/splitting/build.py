@@ -1,0 +1,167 @@
+"""Random splitting-tree construction (Lemma 2.1).
+
+:func:`build_subtree` constructs a random binary splitting tree over a
+list of *existing* leaf node objects — leaves are reused so handles held
+by callers (list cells, expression-tree links) survive rebuilds; only
+internal nodes are created fresh.  Construction picks every split point
+uniformly at random, which is exactly the paper's distribution on BSTs.
+
+Cost model (charged to the optional tracker): Lemma 2.1 builds the tree
+in ``O(log m)`` expected parallel time with ``O(m / log m)`` processors
+— tree building forks per subtree, then heights/summaries come from one
+contraction+expansion, and shortcut lists fill in a top-down wave at one
+depth per step.  We charge ``span = height + ceil(log2 m) + O(1)`` and
+``work = O(m)`` accordingly, while executing sequentially in Python
+(DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..algebra.monoid import Monoid
+from ..pram.frames import SpanTracker
+from .node import BSTNode
+from .shortcuts import DEFAULT_RATIO, shortcuts_from_path
+
+__all__ = ["Summarizer", "build_subtree"]
+
+
+@dataclass(frozen=True)
+class Summarizer:
+    """How to compute the per-node subtree summaries (SUM_v of §3).
+
+    ``of_item(item)`` maps a leaf payload to a monoid element; internal
+    nodes hold the fold of their leaves' elements.
+    """
+
+    monoid: Monoid
+    of_item: Callable[[Any], Any]
+
+
+def build_subtree(
+    leaves: Sequence[BSTNode],
+    rng: random.Random,
+    *,
+    base_depth: int,
+    ancestor_path: Sequence[BSTNode],
+    shortcut_height_threshold: int,
+    new_node: Callable[[], BSTNode],
+    summarizer: Optional[Summarizer] = None,
+    ratio: float = DEFAULT_RATIO,
+    tracker: Optional[SpanTracker] = None,
+) -> BSTNode:
+    """Build a fresh random splitting tree over ``leaves``.
+
+    Parameters
+    ----------
+    leaves:
+        Existing leaf objects in left-to-right order (reused in place).
+    base_depth:
+        Depth the subtree root will sit at.
+    ancestor_path:
+        The root path above the subtree, indexed by depth
+        (``ancestor_path[d]`` has depth ``d``; length ``base_depth``).
+        Needed so shortcut targets above the rebuilt region cost O(1).
+    shortcut_height_threshold:
+        Nodes with ``height > threshold`` get shortcut lists.
+    new_node:
+        Factory for fresh internal nodes (owned by the RBSTS).
+
+    Returns the new subtree root (a reused leaf if ``len(leaves) == 1``).
+    The caller is responsible for splicing the root into its parent and
+    updating metadata on the path above.
+    """
+    m = len(leaves)
+    if m == 0:
+        raise ValueError("cannot build a splitting tree over zero leaves")
+
+    # Reset leaf metadata; their depths are assigned by the placement pass.
+    for leaf in leaves:
+        leaf.left = leaf.right = None
+        leaf.height = 0
+        leaf.n_leaves = 1
+        leaf.shortcuts = None
+        if summarizer is not None:
+            leaf.summary = summarizer.of_item(leaf.item)
+
+    if m == 1:
+        root = leaves[0]
+        root.depth = base_depth
+        if tracker is not None:
+            tracker.charge(work=1, span=1)
+        return root
+
+    # Pass 1 — top-down placement with uniform random splits.  Explicit
+    # stack: random splits give O(log m) *expected* depth but the build
+    # must tolerate the unlucky O(m) case without blowing the C stack.
+    created: List[BSTNode] = []
+    root = new_node()
+    root.depth = base_depth
+    created.append(root)
+    # stack of (node, lo, hi) — node spans leaves[lo:hi), hi - lo >= 2.
+    stack: List[tuple[BSTNode, int, int]] = [(root, 0, m)]
+    while stack:
+        node, lo, hi = stack.pop()
+        count = hi - lo
+        node.n_leaves = count
+        split = lo + rng.randint(1, count - 1)  # uniform split, §2
+        for side, (a, b) in (("left", (lo, split)), ("right", (split, hi))):
+            if b - a == 1:
+                child = leaves[a]
+            else:
+                child = new_node()
+                created.append(child)
+            child.parent = node
+            child.depth = node.depth + 1
+            if side == "left":
+                node.left = child
+            else:
+                node.right = child
+            if b - a >= 2:
+                stack.append((child, a, b))
+
+    # Pass 2 — bottom-up heights and summaries.  ``created`` lists parents
+    # before children, so the reverse order is a valid topological order.
+    for node in reversed(created):
+        left, right = node.left, node.right
+        node.height = 1 + max(left.height, right.height)  # type: ignore[union-attr]
+        if summarizer is not None:
+            node.summary = summarizer.monoid.combine(left.summary, right.summary)  # type: ignore[union-attr]
+
+    # Pass 3 — shortcut lists via a DFS that maintains the root path as a
+    # depth-indexed array (the O(1)-per-entry wave of Lemma 2.1).
+    path: List[BSTNode] = list(ancestor_path)
+    assert len(path) == base_depth, "ancestor_path must be indexed by depth"
+    shortcut_entries = 0
+    # DFS entries: (node, entering?) — maintain `path` so that
+    # path[0:node.depth] are node's proper ancestors.
+    dfs: List[tuple[BSTNode, bool]] = [(root, True)]
+    while dfs:
+        node, entering = dfs.pop()
+        if not entering:
+            path.pop()
+            continue
+        if (
+            node.depth > 0
+            and not node.is_leaf
+            and node.height > shortcut_height_threshold
+        ):
+            node.shortcuts = shortcuts_from_path(node, path, ratio)
+            shortcut_entries += len(node.shortcuts)
+        if not node.is_leaf:
+            path.append(node)
+            dfs.append((node, False))
+            dfs.append((node.right, True))  # type: ignore[arg-type]
+            dfs.append((node.left, True))  # type: ignore[arg-type]
+
+    if tracker is not None:
+        height = root.height
+        tracker.charge(
+            work=2 * m - 1 + shortcut_entries,
+            span=height + int(math.ceil(math.log2(m))) + 1,
+        )
+    return root

@@ -1,0 +1,82 @@
+"""Parse trees ``PT(U)`` and extended parse trees ``P̂T(U)`` (§2–§3).
+
+``PT(U)`` is the subtree of the splitting tree induced by the leaves of
+``U`` and all their ancestors — the paper's *wound*.  For a balanced
+tree its size is ``O(|U| log n)``.
+
+The extended parse tree ``P̂T(U)`` (the paper's ``PAT(U)``) adopts, for
+every ``PT(U)`` node with a child outside ``PT(U)``, that child as a
+*summary leaf* carrying its subtree's ``SUM`` value; it has at most
+twice as many nodes as ``PT(U)`` and its leaf sequence is what the §3
+prefix computation runs over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from .node import BSTNode
+
+__all__ = ["PTEntry", "ExtendedParseTree", "build_extended_parse_tree"]
+
+
+@dataclass(frozen=True)
+class PTEntry:
+    """One leaf of ``P̂T(U)``: either a real ``U``-leaf (``kind='leaf'``)
+    or a summarised foreign subtree (``kind='summary'``)."""
+
+    node: BSTNode
+    kind: str  # 'leaf' | 'summary'
+
+
+@dataclass
+class ExtendedParseTree:
+    """``P̂T(U)`` flattened for prefix computation.
+
+    ``entries`` is the left-to-right leaf sequence of ``P̂T(U)``; the
+    concatenation of the leaf intervals the entries cover is exactly the
+    whole leaf sequence of the splitting tree (summary entries stand for
+    their subtree's leaves).  ``pt_size`` is ``|PT(U)|``.
+    """
+
+    root: BSTNode
+    entries: List[PTEntry]
+    pt_size: int
+
+    def summary_values(self) -> List:
+        """Per-entry summary values (leaf summaries for real leaves)."""
+        return [e.node.summary for e in self.entries]
+
+
+def build_extended_parse_tree(
+    root: BSTNode,
+    members: Set[int],
+    u_leaves: Sequence[BSTNode],
+) -> ExtendedParseTree:
+    """Flatten ``P̂T(U)`` given the activated node-id set ``members``
+    (from :func:`~repro.splitting.activation.activate`, or the brute
+    closure in tests).
+
+    Walks only the ``O(|PT(U)|)`` activated region: children outside
+    ``members`` become summary entries without being descended into.
+    """
+    u_ids = {id(l) for l in u_leaves}
+    entries: List[PTEntry] = []
+    pt_size = 0
+    stack: List[BSTNode] = [root]
+    if id(root) not in members:
+        raise ValueError("root is not part of the activated parse tree")
+    while stack:
+        node = stack.pop()
+        if id(node) in members:
+            pt_size += 1
+            if node.is_leaf:
+                kind = "leaf" if id(node) in u_ids else "summary"
+                entries.append(PTEntry(node, kind))
+            else:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+        else:
+            entries.append(PTEntry(node, "summary"))
+    return ExtendedParseTree(root=root, entries=entries, pt_size=pt_size)

@@ -1,0 +1,115 @@
+"""Shortcut lists (§2): construction rules and repair.
+
+The shortcut list of a node ``v`` at depth ``d_v`` is the sequence of
+ancestors at depths ``⌊d_v · (1 − ρ^i)⌋`` for ``i = 0, 1, ...`` with
+ratio ``ρ = 2/3`` (the paper's constant; configurable for the E12
+ablation).  ``s_{v,0}`` is the root.  We store the list deduplicated and
+strictly increasing in depth, and always terminate it with the parent
+(depth ``d_v - 1``) so the splitting procedure's ranges can shrink all
+the way down; the list length stays ``O(log d_v)`` because consecutive
+target depths approach ``d_v`` geometrically.
+
+Presence rule (the paper's relaxed condition): shortcut lists are
+*required* on nodes whose subtree depth (height) is at least
+``2·log log n`` and *forbidden* below ``(1/2)·log log n``, where ``n``
+is the tree size when the node was built.  In between, either is valid.
+We build them when ``height > log2 log2 n`` and repair lists lazily on
+the root path after a rebuild grows heights past ``2×`` the threshold
+(see :func:`repair_path`), which keeps Theorem 2.1's walk lengths
+bounded without the paper's whole-tree-rebuild argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .node import BSTNode
+
+__all__ = [
+    "DEFAULT_RATIO",
+    "presence_threshold",
+    "shortcut_target_depths",
+    "shortcuts_from_path",
+    "repair_path",
+]
+
+DEFAULT_RATIO = 2.0 / 3.0
+
+
+def presence_threshold(n_leaves: int) -> int:
+    """``log2 log2 n`` presence threshold (at least 1)."""
+    n = max(4, n_leaves)
+    return max(1, int(math.ceil(math.log2(max(2.0, math.log2(n))))))
+
+
+def shortcut_target_depths(depth: int, ratio: float = DEFAULT_RATIO) -> List[int]:
+    """Strictly increasing depths ``⌊d·(1 − ρ^i)⌋`` ending at ``d - 1``.
+
+    For the root (``depth == 0``) the list is empty.
+    """
+    if depth <= 0:
+        return []
+    out: List[int] = []
+    last = -1
+    f = 1.0
+    # i = 0 gives target 0 (the root), as the paper requires.
+    for _ in range(depth + 2):
+        t = int(depth * (1.0 - f))
+        if t >= depth - 1:
+            break
+        if t > last:
+            out.append(t)
+            last = t
+        f *= ratio
+    if last < depth - 1:
+        out.append(depth - 1)
+    return out
+
+
+def shortcuts_from_path(
+    node: BSTNode, path: Sequence[BSTNode], ratio: float = DEFAULT_RATIO
+) -> List[BSTNode]:
+    """Build ``node``'s shortcut list given ``path`` — the root path
+    indexed by depth (``path[d]`` is the ancestor of ``node`` at depth
+    ``d``; ``path[node.depth]`` may be ``node`` itself).
+
+    This is the O(1)-per-entry lookup of Lemma 2.1's wave construction:
+    rebuilds carry the ancestor path down the DFS, so each shortcut costs
+    one index operation.
+    """
+    return [path[t] for t in shortcut_target_depths(node.depth, ratio)]
+
+
+def repair_path(leaf: BSTNode, n_leaves: int, ratio: float = DEFAULT_RATIO) -> int:
+    """Walk from ``leaf`` to the root repairing stale shortcut presence.
+
+    After a rebuild deepens a subtree, ancestors that were built short
+    (no shortcut list) may now have height far above the presence
+    threshold; Theorem 2.1's stage-1 walk bound needs shortcut-bearing
+    nodes within ``O(log log n)`` of every leaf.  This walk (a) refreshes
+    ``height`` on the root path and (b) equips any node whose height
+    exceeds twice the current threshold with a shortcut list, using the
+    accumulated path for O(1) lookups.  Returns the number of lists
+    created.
+    """
+    threshold = presence_threshold(n_leaves)
+    # Collect the root path bottom-up, then index it by depth.
+    chain: List[BSTNode] = []
+    node: BSTNode | None = leaf
+    while node is not None:
+        chain.append(node)
+        node = node.parent
+    chain.reverse()  # now chain[i].depth == i
+    created = 0
+    for v in reversed(chain):
+        if not v.is_leaf:
+            v.height = 1 + max(v.left.height, v.right.height)  # type: ignore[union-attr]
+        if (
+            v.shortcuts is None
+            and v.depth > 0
+            and v.height > 2 * threshold
+        ):
+            v.shortcuts = shortcuts_from_path(v, chain, ratio)
+            created += 1
+    return created

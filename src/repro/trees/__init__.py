@@ -1,0 +1,29 @@
+"""The dynamic binary expression tree ``T`` and its workload generators."""
+
+from .builders import (
+    balanced_tree,
+    caterpillar_tree,
+    random_expression_tree,
+    random_tree,
+)
+from .expr import ExprTree
+from .nodes import Op, TreeNode, add_op, mul_op
+from .traversal import EulerEvent, euler_tour, first_visits, preorder_ids
+from .validate import check_tree
+
+__all__ = [
+    "ExprTree",
+    "TreeNode",
+    "Op",
+    "add_op",
+    "mul_op",
+    "balanced_tree",
+    "caterpillar_tree",
+    "random_tree",
+    "random_expression_tree",
+    "EulerEvent",
+    "euler_tour",
+    "preorder_ids",
+    "first_visits",
+    "check_tree",
+]

@@ -1,0 +1,120 @@
+"""Workload generators: expression trees of controlled shape.
+
+The benchmarks sweep tree shape because the paper's structures must cope
+with *unbounded depth* (§1.3): the RBSTS is balanced regardless of the
+shape of ``T``, so deep caterpillars are the stress case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional
+
+from ..algebra.rings import Ring
+from .expr import ExprTree
+from .nodes import Op, add_op, mul_op
+
+__all__ = [
+    "balanced_tree",
+    "caterpillar_tree",
+    "random_tree",
+    "random_expression_tree",
+]
+
+ValueSampler = Callable[[random.Random], Any]
+OpSampler = Callable[[random.Random], Op]
+
+
+def _default_values(rng: random.Random) -> int:
+    return rng.randint(-4, 4)
+
+
+def _default_ops(rng: random.Random) -> Op:
+    # Bias toward addition so integer values stay small-ish.
+    return mul_op() if rng.random() < 0.3 else add_op()
+
+
+def balanced_tree(
+    ring: Ring,
+    depth: int,
+    rng: Optional[random.Random] = None,
+    values: ValueSampler = _default_values,
+    ops: OpSampler = _default_ops,
+) -> ExprTree:
+    """A perfectly balanced tree with ``2**depth`` leaves."""
+    rng = rng or random.Random(0)
+    tree = ExprTree(ring, root_value=values(rng))
+    frontier = [tree.root.nid]
+    for _ in range(depth):
+        next_frontier: List[int] = []
+        for nid in frontier:
+            l, r = tree.grow_leaf(nid, ops(rng), values(rng), values(rng))
+            next_frontier.extend((l, r))
+        frontier = next_frontier
+    return tree
+
+
+def caterpillar_tree(
+    ring: Ring,
+    n_leaves: int,
+    rng: Optional[random.Random] = None,
+    values: ValueSampler = _default_values,
+    ops: OpSampler = _default_ops,
+) -> ExprTree:
+    """A maximally deep full binary tree: every internal node has one leaf
+    child; depth is ``n_leaves - 1``.  The worst case for algorithms that
+    walk the input tree, and the motivating case for the paper's
+    shape-independent bounds."""
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    rng = rng or random.Random(0)
+    tree = ExprTree(ring, root_value=values(rng))
+    spine = tree.root.nid
+    for _ in range(n_leaves - 1):
+        _, right = tree.grow_leaf(spine, ops(rng), values(rng), values(rng))
+        spine = right
+    return tree
+
+
+def random_tree(
+    ring: Ring,
+    n_leaves: int,
+    rng: Optional[random.Random] = None,
+    values: ValueSampler = _default_values,
+    ops: OpSampler = _default_ops,
+) -> ExprTree:
+    """A uniformly-split random full binary tree with ``n_leaves`` leaves
+    (same distribution as the paper's random splitting tree §2)."""
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    rng = rng or random.Random(0)
+    tree = ExprTree(ring, root_value=values(rng))
+
+    # Iterative expansion: (node_id, leaves_this_subtree_must_contain).
+    stack = [(tree.root.nid, n_leaves)]
+    while stack:
+        nid, k = stack.pop()
+        if k == 1:
+            continue
+        split = rng.randint(1, k - 1)
+        l, r = tree.grow_leaf(nid, ops(rng), values(rng), values(rng))
+        stack.append((l, split))
+        stack.append((r, k - split))
+    return tree
+
+
+def random_expression_tree(
+    ring: Ring,
+    n_leaves: int,
+    seed: int = 0,
+    mul_probability: float = 0.3,
+) -> ExprTree:
+    """Convenience wrapper producing an arithmetic expression tree with
+    mixed ``+``/``*`` internal nodes — the standard expression-evaluation
+    workload (§5, Theorem 5.1)."""
+    rng = random.Random(seed)
+
+    def ops(r: random.Random) -> Op:
+        return mul_op() if r.random() < mul_probability else add_op()
+
+    return random_tree(ring, n_leaves, rng, ops=ops)

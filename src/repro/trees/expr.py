@@ -1,0 +1,201 @@
+"""The dynamic binary expression tree ``T`` (§1.3, §4.1).
+
+Supports exactly the paper's modification repertoire:
+
+* add two new (leaf) children below a current leaf — the leaf becomes an
+  internal node and must be given an operation;
+* delete two leaf children of a node — the node becomes a leaf and must
+  be given a value;
+* modify labels of internal nodes (the op) or leaves (the value).
+
+All methods validate structure and raise
+:class:`~repro.errors.TreeStructureError` /
+:class:`~repro.errors.NotALeafError` on misuse.  Evaluation here is the
+*oracle* used by tests: straightforward, sequential, iterative (the tree
+has unbounded depth, so recursion is avoided — HPC guide: no hidden
+stack blowups in library code).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..algebra.rings import Ring
+from ..errors import NotALeafError, TreeStructureError, UnknownNodeError
+from .nodes import Op, TreeNode
+
+__all__ = ["ExprTree"]
+
+
+class ExprTree:
+    """A mutable full binary expression tree over a commutative ring."""
+
+    def __init__(self, ring: Ring, root_value: Any = None) -> None:
+        self.ring = ring
+        self._nodes: Dict[int, TreeNode] = {}
+        self._next_id = 0
+        root = self._new_node()
+        root.value = ring.zero if root_value is None else root_value
+        self.root = root
+        self.version = 0  # bumped on every structural or label change
+
+    # -- node bookkeeping ------------------------------------------------
+    def _new_node(self) -> TreeNode:
+        node = TreeNode(self._next_id)
+        self._next_id += 1
+        self._nodes[node.nid] = node
+        return node
+
+    def node(self, nid: int) -> TreeNode:
+        try:
+            return self._nodes[nid]
+        except KeyError:
+            raise UnknownNodeError(f"no node with id {nid}") from None
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- the paper's modification repertoire ------------------------------
+    def grow_leaf(
+        self,
+        leaf_id: int,
+        op: Op,
+        left_value: Any,
+        right_value: Any,
+    ) -> Tuple[int, int]:
+        """Add two new children below leaf ``leaf_id`` (§4.1 request 1).
+
+        The leaf becomes an internal node with operation ``op``; returns
+        the ids of the new (left, right) leaves.
+        """
+        node = self.node(leaf_id)
+        if not node.is_leaf:
+            raise NotALeafError(
+                f"node {leaf_id} is internal; children can only be added "
+                "below a leaf"
+            )
+        left = self._new_node()
+        right = self._new_node()
+        left.value = left_value
+        right.value = right_value
+        left.parent = right.parent = node
+        node.left, node.right = left, right
+        node.op = op
+        node.value = None
+        self.version += 1
+        return left.nid, right.nid
+
+    def prune_children(self, node_id: int, new_value: Any) -> Tuple[int, int]:
+        """Delete the two leaf children of ``node_id`` (§4.1 request 2).
+
+        The node becomes a leaf with value ``new_value``; returns the ids
+        of the removed children.
+        """
+        node = self.node(node_id)
+        if node.is_leaf:
+            raise TreeStructureError(
+                f"node {node_id} is a leaf; it has no children to delete"
+            )
+        left, right = node.left, node.right
+        assert left is not None and right is not None
+        if not (left.is_leaf and right.is_leaf):
+            raise TreeStructureError(
+                f"children of node {node_id} are not both leaves "
+                "(delete requests must target leaf pairs)"
+            )
+        del self._nodes[left.nid]
+        del self._nodes[right.nid]
+        node.left = node.right = None
+        node.op = None
+        node.value = new_value
+        self.version += 1
+        return left.nid, right.nid
+
+    def set_leaf_value(self, leaf_id: int, value: Any) -> None:
+        """Modify a leaf label (§4.1 request 3)."""
+        node = self.node(leaf_id)
+        if not node.is_leaf:
+            raise NotALeafError(f"node {leaf_id} is not a leaf")
+        node.value = value
+        self.version += 1
+
+    def set_op(self, node_id: int, op: Op) -> None:
+        """Modify an internal node label (§4.1 request 3)."""
+        node = self.node(node_id)
+        if node.is_leaf:
+            raise TreeStructureError(
+                f"node {node_id} is a leaf; it has no operation to change"
+            )
+        node.op = op
+        self.version += 1
+
+    # -- traversal / queries ------------------------------------------------
+    def leaves_in_order(self) -> List[TreeNode]:
+        """Leaves left-to-right (the sequence the RBSTS is built over)."""
+        out: List[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                # push right first so left is processed first
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+        return out
+
+    def nodes_preorder(self) -> Iterator[TreeNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+
+    def depth_of(self, nid: int) -> int:
+        node = self.node(nid)
+        d = 0
+        while node.parent is not None:
+            node = node.parent
+            d += 1
+        return d
+
+    def height(self) -> int:
+        """Maximum depth over nodes (0 for a single-leaf tree)."""
+        best = 0
+        stack: List[Tuple[TreeNode, int]] = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            if d > best:
+                best = d
+            if not node.is_leaf:
+                stack.append((node.left, d + 1))  # type: ignore[arg-type]
+                stack.append((node.right, d + 1))  # type: ignore[arg-type]
+        return best
+
+    def evaluate(self, at: Optional[int] = None) -> Any:
+        """Sequential oracle evaluation of the (sub)tree value.
+
+        Iterative post-order so arbitrarily deep trees are fine.
+        """
+        root = self.root if at is None else self.node(at)
+        ring = self.ring
+        values: Dict[int, Any] = {}
+        stack: List[Tuple[TreeNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.is_leaf:
+                values[node.nid] = node.value
+            elif expanded:
+                x = values.pop(node.left.nid)  # type: ignore[union-attr]
+                y = values.pop(node.right.nid)  # type: ignore[union-attr]
+                values[node.nid] = node.op.apply(ring, x, y)  # type: ignore[union-attr]
+            else:
+                stack.append((node, True))
+                stack.append((node.right, False))  # type: ignore[arg-type]
+                stack.append((node.left, False))  # type: ignore[arg-type]
+        return values[root.nid]

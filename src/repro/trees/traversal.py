@@ -1,0 +1,72 @@
+"""Tree traversals: Euler tours and orderings (§5 applications' substrate).
+
+The *Euler tour* of a rooted binary tree visits every edge twice (down
+and up); it linearises the tree so that list-prefix machinery (§3) can
+answer tree queries: depth is a prefix sum of ±1 edge weights, preorder
+number is a prefix sum of "first visit" indicators, and LCA is a range
+argmin of depth between first visits (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .expr import ExprTree
+from .nodes import TreeNode
+
+__all__ = ["EulerEvent", "euler_tour", "preorder_ids", "first_visits"]
+
+
+@dataclass(frozen=True)
+class EulerEvent:
+    """One step of the Euler tour.
+
+    ``nid``   — node being entered (``kind='enter'``) or re-entered from a
+    child (``kind='up'``).
+    ``kind``  — ``'enter'`` for the first visit of ``nid``, ``'up'`` each
+    time the tour returns to ``nid`` from below.
+    """
+
+    nid: int
+    kind: str
+
+
+def euler_tour(tree: ExprTree) -> List[EulerEvent]:
+    """The full Euler tour, ``2*E + 1`` events for ``E`` edges.
+
+    Iterative: trees have unbounded depth.
+    """
+    events: List[EulerEvent] = []
+    # stack entries: (node, state) where state 0 = first arrival,
+    # 1 = returned from left child, 2 = returned from right child.
+    stack: List[Tuple[TreeNode, int]] = [(tree.root, 0)]
+    while stack:
+        node, state = stack.pop()
+        if state == 0:
+            events.append(EulerEvent(node.nid, "enter"))
+            if node.is_leaf:
+                continue
+            stack.append((node, 1))
+            stack.append((node.left, 0))  # type: ignore[arg-type]
+        elif state == 1:
+            events.append(EulerEvent(node.nid, "up"))
+            stack.append((node, 2))
+            stack.append((node.right, 0))  # type: ignore[arg-type]
+        else:
+            events.append(EulerEvent(node.nid, "up"))
+    return events
+
+
+def preorder_ids(tree: ExprTree) -> List[int]:
+    """Node ids in preorder (root, left subtree, right subtree)."""
+    return [n.nid for n in tree.nodes_preorder()]
+
+
+def first_visits(events: List[EulerEvent]) -> Dict[int, int]:
+    """Map node id -> index of its 'enter' event in the tour."""
+    out: Dict[int, int] = {}
+    for i, ev in enumerate(events):
+        if ev.kind == "enter" and ev.nid not in out:
+            out[ev.nid] = i
+    return out

@@ -1,0 +1,64 @@
+"""Structural invariant checks for expression trees.
+
+Used by tests and by the integration suite after every batch of
+self-healing updates: a wounded-and-healed tree must still be a valid
+full binary tree with consistent parent/child pointers and leaf/internal
+labelling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import TreeStructureError
+from .expr import ExprTree
+
+__all__ = ["check_tree"]
+
+
+def check_tree(tree: ExprTree) -> None:
+    """Raise :class:`~repro.errors.TreeStructureError` on any violation.
+
+    Checks: registry consistency, pointer symmetry, full-binary shape,
+    leaf/internal label discipline, and acyclicity/reachability (every
+    registered node is reached from the root exactly once).
+    """
+    seen: set[int] = set()
+    stack: List = [tree.root]
+    if tree.root.parent is not None:
+        raise TreeStructureError("root has a parent")
+    while stack:
+        node = stack.pop()
+        if node.nid in seen:
+            raise TreeStructureError(f"node {node.nid} reached twice (cycle?)")
+        seen.add(node.nid)
+        if tree.node(node.nid) is not node:
+            raise TreeStructureError(
+                f"registry maps id {node.nid} to a different object"
+            )
+        if node.is_leaf:
+            if node.left is not None or node.right is not None:
+                raise TreeStructureError(f"leaf {node.nid} has children")
+            if node.value is None:
+                raise TreeStructureError(f"leaf {node.nid} has no value")
+        else:
+            if node.left is None or node.right is None:
+                raise TreeStructureError(
+                    f"internal node {node.nid} lacks two children "
+                    "(tree must be full binary)"
+                )
+            if node.value is not None:
+                raise TreeStructureError(
+                    f"internal node {node.nid} carries a leaf value"
+                )
+            for child in (node.left, node.right):
+                if child.parent is not node:
+                    raise TreeStructureError(
+                        f"child {child.nid} does not point back to "
+                        f"{node.nid}"
+                    )
+            stack.append(node.left)
+            stack.append(node.right)
+    if seen != set(tree._nodes.keys()):
+        orphans = set(tree._nodes.keys()) - seen
+        raise TreeStructureError(f"unreachable registered nodes: {orphans}")

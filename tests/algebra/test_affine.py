@@ -1,0 +1,88 @@
+"""Affine-map laws — the algebra Theorem 4.2 rests on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.affine import Affine1, Affine2
+from tests.conftest import RINGS, ring_elements
+
+
+def affine1(name, data):
+    elems = ring_elements(name)
+    return Affine1(RINGS[name], data.draw(elems), data.draw(elems))
+
+
+def affine2(name, data):
+    elems = ring_elements(name)
+    d = lambda: data.draw(elems)  # noqa: E731
+    return Affine2(RINGS[name], ((d(), d()), (d(), d())), (d(), d()))
+
+
+@pytest.mark.parametrize("name", sorted(RINGS))
+class TestAffine1:
+    @given(data=st.data())
+    def test_identity_is_neutral(self, name, data):
+        ring = RINGS[name]
+        f = affine1(name, data)
+        ident = Affine1.identity(ring)
+        assert f.compose(ident).equal(f)
+        assert ident.compose(f).equal(f)
+
+    @given(data=st.data())
+    def test_composition_matches_pointwise(self, name, data):
+        f = affine1(name, data)
+        g = affine1(name, data)
+        x = data.draw(ring_elements(name))
+        assert RINGS[name].eq(f.compose(g)(x), f(g(x)))
+
+    @given(data=st.data())
+    def test_composition_associative(self, name, data):
+        f, g, h = (affine1(name, data) for _ in range(3))
+        left = f.compose(g).compose(h)
+        right = f.compose(g.compose(h))
+        assert left.equal(right)
+
+    @given(data=st.data())
+    def test_constant_ignores_input(self, name, data):
+        ring = RINGS[name]
+        v = data.draw(ring_elements(name))
+        x = data.draw(ring_elements(name))
+        c = Affine1.constant(ring, v)
+        assert ring.eq(c(x), v)
+
+
+@pytest.mark.parametrize("name", sorted(RINGS))
+class TestAffine2:
+    @given(data=st.data())
+    def test_identity_is_neutral(self, name, data):
+        ring = RINGS[name]
+        f = affine2(name, data)
+        ident = Affine2.identity(ring)
+        assert f.compose(ident).equal(f)
+        assert ident.compose(f).equal(f)
+
+    @given(data=st.data())
+    def test_composition_matches_pointwise(self, name, data):
+        ring = RINGS[name]
+        f = affine2(name, data)
+        g = affine2(name, data)
+        elems = ring_elements(name)
+        v = (data.draw(elems), data.draw(elems))
+        lhs = f.compose(g)(v)
+        rhs = f(g(v))
+        assert ring.eq(lhs[0], rhs[0]) and ring.eq(lhs[1], rhs[1])
+
+    @given(data=st.data())
+    def test_composition_associative(self, name, data):
+        f, g, h = (affine2(name, data) for _ in range(3))
+        assert f.compose(g).compose(h).equal(f.compose(g.compose(h)))
+
+    @given(data=st.data())
+    def test_constant_ignores_input(self, name, data):
+        ring = RINGS[name]
+        elems = ring_elements(name)
+        val = (data.draw(elems), data.draw(elems))
+        v = (data.draw(elems), data.draw(elems))
+        c = Affine2.constant(ring, val)
+        out = c(v)
+        assert ring.eq(out[0], val[0]) and ring.eq(out[1], val[1])

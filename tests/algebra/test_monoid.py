@@ -1,0 +1,53 @@
+"""Monoid instances used by the list-prefix structure."""
+
+from hypothesis import given, strategies as st
+
+from repro.algebra.monoid import (
+    argmin_monoid,
+    count_monoid,
+    max_monoid,
+    min_monoid,
+    sum_monoid,
+)
+from repro.algebra.rings import INTEGER
+
+
+@given(st.lists(st.integers(-100, 100)))
+def test_sum_fold_matches_builtin(xs):
+    assert sum_monoid(INTEGER).fold(xs) == sum(xs)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1))
+def test_min_max_folds(xs):
+    assert min_monoid().fold(xs) == min(xs)
+    assert max_monoid().fold(xs) == max(xs)
+
+
+def test_min_identity_is_absorbing_empty():
+    assert min_monoid().fold([]) == float("inf")
+    assert max_monoid().fold([]) == -float("inf")
+
+
+@given(st.lists(st.integers(0, 50)))
+def test_count_fold(xs):
+    assert count_monoid().fold([1] * len(xs)) == len(xs)
+
+
+@given(st.lists(st.tuples(st.integers(-20, 20), st.integers(0, 999)), min_size=1))
+def test_argmin_keeps_leftmost_minimum(pairs):
+    m = argmin_monoid()
+    got = m.fold(pairs)
+    best_key = min(k for k, _ in pairs)
+    first = next(p for p in pairs if p[0] == best_key)
+    assert got == first
+
+
+@given(
+    st.lists(st.tuples(st.integers(-20, 20), st.integers(0, 999)), min_size=1),
+    st.integers(0, 10),
+)
+def test_argmin_associative_on_random_split(pairs, cut):
+    m = argmin_monoid()
+    cut = min(cut, len(pairs))
+    left, right = pairs[:cut], pairs[cut:]
+    assert m.combine(m.fold(left), m.fold(right)) == m.fold(pairs)

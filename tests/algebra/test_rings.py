@@ -1,0 +1,84 @@
+"""Ring/semiring axioms, property-based over every bundled instance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.rings import modular_ring
+from tests.conftest import RINGS, ring_elements
+
+
+@pytest.mark.parametrize("name", sorted(RINGS))
+class TestAxioms:
+    @given(data=st.data())
+    def test_add_commutative_associative(self, name, data):
+        ring = RINGS[name]
+        elems = ring_elements(name)
+        a, b, c = (data.draw(elems) for _ in range(3))
+        assert ring.eq(ring.add(a, b), ring.add(b, a))
+        assert ring.eq(
+            ring.add(ring.add(a, b), c), ring.add(a, ring.add(b, c))
+        )
+
+    @given(data=st.data())
+    def test_mul_commutative_associative(self, name, data):
+        ring = RINGS[name]
+        elems = ring_elements(name)
+        a, b, c = (data.draw(elems) for _ in range(3))
+        assert ring.eq(ring.mul(a, b), ring.mul(b, a))
+        assert ring.eq(
+            ring.mul(ring.mul(a, b), c), ring.mul(a, ring.mul(b, c))
+        )
+
+    @given(data=st.data())
+    def test_identities(self, name, data):
+        ring = RINGS[name]
+        a = data.draw(ring_elements(name))
+        assert ring.eq(ring.add(a, ring.zero), a)
+        assert ring.eq(ring.mul(a, ring.one), a)
+
+    @given(data=st.data())
+    def test_distributivity(self, name, data):
+        ring = RINGS[name]
+        elems = ring_elements(name)
+        a, b, c = (data.draw(elems) for _ in range(3))
+        assert ring.eq(
+            ring.mul(a, ring.add(b, c)),
+            ring.add(ring.mul(a, b), ring.mul(a, c)),
+        )
+
+    @given(data=st.data())
+    def test_zero_annihilates(self, name, data):
+        ring = RINGS[name]
+        a = data.draw(ring_elements(name))
+        assert ring.eq(ring.mul(a, ring.zero), ring.zero)
+
+
+def test_sum_and_product_folds():
+    ring = RINGS["integer"]
+    assert ring.sum([1, 2, 3, 4]) == 10
+    assert ring.product([1, 2, 3, 4]) == 24
+    assert ring.sum([]) == 0
+    assert ring.product([]) == 1
+
+
+def test_modular_ring_rejects_bad_modulus():
+    with pytest.raises(ValueError):
+        modular_ring(1)
+    with pytest.raises(ValueError):
+        modular_ring(0)
+
+
+def test_modular_arithmetic_wraps():
+    ring = modular_ring(7)
+    assert ring.add(5, 5) == 3
+    assert ring.mul(3, 5) == 1
+    assert ring.one == 1
+
+
+def test_float_ring_tolerant_equality():
+    ring = RINGS["integer"]
+    from repro.algebra.rings import FLOAT
+
+    assert FLOAT.eq(0.1 + 0.2, 0.3)
+    assert not FLOAT.eq(1.0, 1.1)
+    assert ring.eq(3, 3)

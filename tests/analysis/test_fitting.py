@@ -1,0 +1,48 @@
+"""Growth-model fitting sanity."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import MODELS, best_model, fit_model
+
+
+def test_fit_recovers_log_coefficients():
+    xs = [2**k for k in range(4, 16)]
+    ys = [3.0 * math.log2(x) + 5.0 for x in xs]
+    fit = fit_model(xs, ys, "log")
+    assert abs(fit.a - 3.0) < 1e-6
+    assert abs(fit.b - 5.0) < 1e-6
+    assert fit.r2 > 0.999999
+
+
+def test_best_model_identifies_generator():
+    xs = [2**k for k in range(6, 20)]
+    cases = {
+        "log": [2 * math.log2(x) + 1 for x in xs],
+        "loglog": [4 * math.log2(math.log2(x)) + 2 for x in xs],
+        "linear": [0.5 * x + 3 for x in xs],
+    }
+    for name, ys in cases.items():
+        assert best_model(xs, ys).model == name, name
+
+
+def test_constant_data_prefers_const():
+    xs = [2**k for k in range(4, 12)]
+    ys = [7.0] * len(xs)
+    fit = best_model(xs, ys)
+    assert fit.model == "const"
+    assert fit.predict(10**6) == pytest.approx(7.0)
+
+
+def test_predict_round_trips():
+    xs = [10, 100, 1000]
+    ys = [math.sqrt(x) for x in xs]
+    fit = fit_model(xs, ys, "sqrt")
+    assert fit.predict(400) == pytest.approx(20.0, rel=1e-6)
+
+
+def test_models_monotone_where_expected():
+    for name in ("loglog", "log", "sqrt", "linear"):
+        f = MODELS[name]
+        assert f(1 << 20) > f(1 << 10)

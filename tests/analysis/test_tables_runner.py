@@ -1,0 +1,50 @@
+"""Table renderer and sweep runner."""
+
+import pytest
+
+from repro.analysis.runner import sweep
+from repro.analysis.tables import Table
+
+
+def test_table_renders_aligned():
+    t = Table("Demo", ["n", "steps"])
+    t.add(1024, 12)
+    t.add(1 << 20, 14.5)
+    text = t.render()
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "n" in lines[2] and "steps" in lines[2]
+    assert len(lines) == 6
+    widths = {len(l) for l in lines[2:]}
+    assert len(widths) == 1  # all rows equal width
+
+
+def test_table_rejects_wrong_arity():
+    t = Table("x", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add(1)
+
+
+def test_float_formatting():
+    t = Table("f", ["v"])
+    t.add(0.00001)
+    t.add(123456.0)
+    t.add(3.14159)
+    rows = t.render().splitlines()[4:]
+    assert rows[0].strip() == "1e-05"
+    assert rows[2].strip() == "3.14"
+
+
+def test_sweep_aggregates_over_seeds():
+    calls = []
+
+    def run(seed, n):
+        calls.append((seed, n))
+        return {"cost": n * 10 + seed}
+
+    cells = sweep([{"n": 1}, {"n": 2}], run, seeds=(0, 1, 2))
+    assert len(cells) == 2
+    assert cells[0].mean("cost") == 11.0
+    assert cells[0].stdev("cost") == 1.0
+    assert cells[1].max("cost") == 22
+    assert len(calls) == 6

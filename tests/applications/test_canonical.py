@@ -1,0 +1,119 @@
+"""Canonical forms / tree isomorphism (§5, Theorem 5.2) vs networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.rings import INTEGER
+from repro.applications.canonical import CanonicalForms
+from repro.trees.builders import (
+    balanced_tree,
+    caterpillar_tree,
+    random_expression_tree,
+)
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op
+
+
+def to_undirected(tree):
+    g = nx.Graph()
+    g.add_node(tree.root.nid)
+    for n in tree.nodes_preorder():
+        if not n.is_leaf:
+            g.add_edge(n.nid, n.left.nid)
+            g.add_edge(n.nid, n.right.nid)
+    return g, tree.root.nid
+
+
+def rooted_isomorphic(t1, t2):
+    g1, r1 = to_undirected(t1)
+    g2, r2 = to_undirected(t2)
+    # Rooted isomorphism via distinguishing the roots.
+    nx.set_node_attributes(g1, {r1: 1}, "is_root")
+    nx.set_node_attributes(g2, {r2: 1}, "is_root")
+    return nx.is_isomorphic(
+        g1,
+        g2,
+        node_match=lambda a, b: a.get("is_root") == b.get("is_root"),
+    )
+
+
+def test_mirror_trees_are_isomorphic():
+    table = {}
+    t1 = ExprTree(INTEGER, root_value=1)
+    a, b = t1.grow_leaf(t1.root.nid, add_op(), 1, 1)
+    t1.grow_leaf(a, add_op(), 1, 1)  # heavier left
+    t2 = ExprTree(INTEGER, root_value=1)
+    c, d = t2.grow_leaf(t2.root.nid, add_op(), 1, 1)
+    t2.grow_leaf(d, add_op(), 1, 1)  # heavier right (mirror)
+    c1, c2 = CanonicalForms(t1, table=table), CanonicalForms(t2, table=table)
+    assert c1.isomorphic(c2)
+    assert rooted_isomorphic(t1, t2)
+
+
+def test_balanced_vs_caterpillar_not_isomorphic():
+    table = {}
+    t1, t2 = balanced_tree(INTEGER, 3), caterpillar_tree(INTEGER, 8)
+    c1, c2 = CanonicalForms(t1, table=table), CanonicalForms(t2, table=table)
+    assert not c1.isomorphic(c2)
+    assert not rooted_isomorphic(t1, t2)
+
+
+def test_requires_shared_table():
+    t1, t2 = balanced_tree(INTEGER, 2), balanced_tree(INTEGER, 2)
+    c1, c2 = CanonicalForms(t1), CanonicalForms(t2)
+    with pytest.raises(ValueError):
+        c1.isomorphic(c2)
+
+
+def test_random_pairs_agree_with_networkx():
+    rng = random.Random(0)
+    table = {}
+    for trial in range(15):
+        n1 = rng.randint(2, 12)
+        n2 = rng.randint(2, 12)
+        t1 = random_expression_tree(INTEGER, n1, seed=trial)
+        t2 = random_expression_tree(INTEGER, n2, seed=trial + 100)
+        c1 = CanonicalForms(t1, table=table)
+        c2 = CanonicalForms(t2, table=table)
+        assert c1.isomorphic(c2) == rooted_isomorphic(t1, t2), trial
+
+
+def test_codes_update_after_grow_and_prune():
+    table = {}
+    t1 = balanced_tree(INTEGER, 3)
+    c1 = CanonicalForms(t1, table=table)
+    ref = CanonicalForms(balanced_tree(INTEGER, 3), table=table)
+    assert c1.isomorphic(ref)
+    # Grow one leaf: no longer isomorphic to the reference...
+    leaf = t1.leaves_in_order()[0]
+    t1.grow_leaf(leaf.nid, add_op(), 1, 1)
+    wound = c1.batch_grow([leaf.nid])
+    assert wound >= 1
+    assert not c1.isomorphic(ref)
+    # ... and pruning it back restores isomorphism.
+    l, r = t1.node(leaf.nid).left.nid, t1.node(leaf.nid).right.nid
+    t1.prune_children(leaf.nid, 1)
+    c1.batch_prune([(leaf.nid, l, r)])
+    assert c1.isomorphic(ref)
+
+
+def test_subtree_codes_reflect_shape_equality():
+    table = {}
+    t = balanced_tree(INTEGER, 4)
+    c = CanonicalForms(t, table=table)
+    # All depth-3 internal nodes root identical shapes.
+    level = [
+        n.nid for n in t.nodes_preorder() if not n.is_leaf and t.depth_of(n.nid) == 3
+    ]
+    codes = {c.code_of(nid) for nid in level}
+    assert len(codes) == 1
+
+
+def test_unknown_node_code_rejected():
+    from repro.errors import UnknownNodeError
+
+    c = CanonicalForms(balanced_tree(INTEGER, 2))
+    with pytest.raises(UnknownNodeError):
+        c.code_of(424242)

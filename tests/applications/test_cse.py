@@ -1,0 +1,108 @@
+"""Common subexpression elimination over a dynamic expression tree."""
+
+import random
+
+import pytest
+
+from repro.algebra.rings import INTEGER
+from repro.applications.cse import CommonSubexpressions
+from repro.errors import UnknownNodeError
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op, mul_op
+
+
+def build_with_duplicates():
+    """(1 + 2) * (2 + 1) — commutative duplicates."""
+    t = ExprTree(INTEGER, root_value=0)
+    l, r = t.grow_leaf(t.root.nid, mul_op(), 0, 0)
+    t.grow_leaf(l, add_op(), 1, 2)
+    t.grow_leaf(r, add_op(), 2, 1)
+    return t, l, r
+
+
+def test_commutative_duplicates_detected():
+    t, l, r = build_with_duplicates()
+    cse = CommonSubexpressions(t)
+    assert cse.equivalent(l, r)
+    assert r in cse.duplicates_of(l)
+    classes = cse.classes()
+    assert any({l, r} <= c for c in classes)
+
+
+def test_distinct_expressions_not_equivalent():
+    t = ExprTree(INTEGER, root_value=0)
+    l, r = t.grow_leaf(t.root.nid, mul_op(), 0, 0)
+    t.grow_leaf(l, add_op(), 1, 2)
+    t.grow_leaf(r, add_op(), 2, 2)
+    cse = CommonSubexpressions(t)
+    assert not cse.equivalent(l, r)
+
+
+def test_op_kind_and_const_distinguish():
+    t = ExprTree(INTEGER, root_value=0)
+    l, r = t.grow_leaf(t.root.nid, add_op(), 0, 0)
+    t.grow_leaf(l, add_op(const=1), 3, 4)
+    t.grow_leaf(r, add_op(), 3, 4)
+    cse = CommonSubexpressions(t)
+    assert not cse.equivalent(l, r)
+
+
+def test_refresh_after_value_edit():
+    t, l, r = build_with_duplicates()
+    cse = CommonSubexpressions(t)
+    # Change one leaf: duplicates break...
+    leaf = t.node(l).left
+    t.set_leaf_value(leaf.nid, 9)
+    cse.batch_refresh([leaf.nid])
+    assert not cse.equivalent(l, r)
+    # ... and restoring it repairs the class.
+    t.set_leaf_value(leaf.nid, 1)
+    cse.batch_refresh([leaf.nid])
+    assert cse.equivalent(l, r)
+
+
+def test_refresh_after_grow_and_prune():
+    t, l, r = build_with_duplicates()
+    cse = CommonSubexpressions(t)
+    target = t.node(l).left  # leaf '1'
+    a, b = t.grow_leaf(target.nid, add_op(), 5, 6)
+    cse.batch_refresh([target.nid])
+    assert not cse.equivalent(l, r)
+    assert cse.equivalent(a, a)
+    t.prune_children(target.nid, 1)
+    cse.batch_refresh([target.nid], removed=[a, b])
+    assert cse.equivalent(l, r)
+
+
+def test_classes_on_random_tree_agree_with_recompute():
+    rng = random.Random(0)
+    from repro.trees.builders import random_expression_tree
+
+    t = random_expression_tree(INTEGER, 60, seed=1, mul_probability=0.4)
+    cse = CommonSubexpressions(t)
+    # Edit a few leaves, refresh, then compare against a fresh instance.
+    leaves = [x.nid for x in t.leaves_in_order()]
+    dirty = rng.sample(leaves, 6)
+    for nid in dirty:
+        t.set_leaf_value(nid, rng.randint(-2, 2))
+    cse.batch_refresh(dirty)
+    fresh = CommonSubexpressions(t)
+    got = {frozenset(c) for c in cse.classes()}
+    want = {frozenset(c) for c in fresh.classes()}
+    assert got == want
+
+
+def test_unknown_node_rejected():
+    t, _, _ = build_with_duplicates()
+    cse = CommonSubexpressions(t)
+    with pytest.raises(UnknownNodeError):
+        cse.code_of(31337)
+
+
+def test_wound_reported():
+    t, l, r = build_with_duplicates()
+    cse = CommonSubexpressions(t)
+    leaf = t.node(l).left
+    t.set_leaf_value(leaf.nid, 4)
+    wound = cse.batch_refresh([leaf.nid])
+    assert wound == t.depth_of(leaf.nid) + 1  # the root path

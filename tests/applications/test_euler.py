@@ -1,0 +1,110 @@
+"""Dynamic Euler tours vs the static traversal oracle."""
+
+import random
+
+import pytest
+
+from repro.algebra.rings import INTEGER
+from repro.applications.euler import DynamicEulerTour, tour_monoid
+from repro.errors import UnknownNodeError
+from repro.trees.builders import caterpillar_tree, random_expression_tree
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op
+from repro.trees.traversal import euler_tour, preorder_ids
+
+
+def fresh(n, seed=0):
+    tree = random_expression_tree(INTEGER, n, seed=seed)
+    return tree, DynamicEulerTour(tree, seed=seed + 1)
+
+
+def test_initial_tour_matches_static_oracle():
+    tree, tour = fresh(120, seed=0)
+    assert tour.tour_nodes() == [e.nid for e in euler_tour(tree)]
+
+
+def test_monoid_is_associative_on_samples():
+    m = tour_monoid()
+    rng = random.Random(0)
+    elems = [
+        (rng.choice([1, -1]), rng.choice([1, -1]), rng.randint(0, 9), rng.randint(0, 1))
+        for _ in range(30)
+    ]
+    for _ in range(50):
+        a, b, c = rng.sample(elems, 3)
+        assert m.combine(m.combine(a, b), c) == m.combine(a, m.combine(b, c))
+
+
+def test_depths_and_preorder():
+    tree, tour = fresh(150, seed=1)
+    ids = [n.nid for n in tree.nodes_preorder()]
+    depths = tour.batch_depths(ids)
+    assert depths == [tree.depth_of(nid) for nid in ids]
+    rank = {nid: i for i, nid in enumerate(preorder_ids(tree))}
+    assert tour.batch_preorder(ids) == [rank[nid] for nid in ids]
+
+
+def test_unknown_node_rejected():
+    tree, tour = fresh(10, seed=2)
+    with pytest.raises(UnknownNodeError):
+        tour.batch_depths([12345])
+
+
+def test_grow_updates_tour():
+    tree, tour = fresh(30, seed=3)
+    leaf = tree.leaves_in_order()[7]
+    l, r = tree.grow_leaf(leaf.nid, add_op(), 1, 2)
+    tour.batch_grow([(leaf.nid, l, r)])
+    assert tour.tour_nodes() == [e.nid for e in euler_tour(tree)]
+    assert tour.batch_depths([l, r]) == [tree.depth_of(l), tree.depth_of(r)]
+
+
+def test_prune_updates_tour():
+    tree, tour = fresh(30, seed=4)
+    cand = next(
+        n
+        for n in tree.nodes_preorder()
+        if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+    )
+    l, r = cand.left.nid, cand.right.nid
+    tree.prune_children(cand.nid, 0)
+    tour.batch_prune([(cand.nid, l, r)])
+    assert tour.tour_nodes() == [e.nid for e in euler_tour(tree)]
+
+
+def test_long_structural_churn_stays_in_sync():
+    rng = random.Random(5)
+    tree = ExprTree(INTEGER, root_value=1)
+    tour = DynamicEulerTour(tree, seed=6)
+    for step in range(60):
+        if rng.random() < 0.7 or len(tree) < 5:
+            targets = rng.sample(
+                [l.nid for l in tree.leaves_in_order()],
+                min(2, len(tree.leaves_in_order())),
+            )
+            grown = []
+            for nid in targets:
+                l, r = tree.grow_leaf(nid, add_op(), 1, 1)
+                grown.append((nid, l, r))
+            tour.batch_grow(grown)
+        else:
+            cands = [
+                n
+                for n in tree.nodes_preorder()
+                if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+            ]
+            if cands:
+                c = rng.choice(cands)
+                rec = (c.nid, c.left.nid, c.right.nid)
+                tree.prune_children(c.nid, 1)
+                tour.batch_prune([rec])
+        assert tour.tour_nodes() == [e.nid for e in euler_tour(tree)]
+        sample = rng.sample([n.nid for n in tree.nodes_preorder()], min(4, len(tree)))
+        assert tour.batch_depths(sample) == [tree.depth_of(nid) for nid in sample]
+
+
+def test_deep_tree_depths():
+    tree = caterpillar_tree(INTEGER, 200)
+    tour = DynamicEulerTour(tree, seed=7)
+    deepest = max(tree.nodes_preorder(), key=lambda n: tree.depth_of(n.nid))
+    assert tour.batch_depths([deepest.nid]) == [tree.depth_of(deepest.nid)]

@@ -1,0 +1,63 @@
+"""DynamicExpression facade (§5 expression evaluation)."""
+
+import random
+
+from repro.algebra.rings import INTEGER
+from repro.applications.expressions import DynamicExpression
+from repro.trees.nodes import add_op, mul_op
+
+
+def test_from_random_matches_oracle():
+    expr = DynamicExpression.from_random(INTEGER, 200, seed=0)
+    assert expr.value() == expr.tree.evaluate()
+    assert expr.n_leaves() == 200
+
+
+def test_quickstart_flow():
+    expr = DynamicExpression.from_random(INTEGER, 50, seed=1)
+    leaf = expr.some_leaf()
+    expr.batch_set_values([(leaf, 42)])
+    assert expr.value() == expr.tree.evaluate()
+    created = expr.batch_grow([(leaf, mul_op(), 6, 7)])
+    assert expr.tree.node(created[0][0]).value == 6
+    assert expr.value() == expr.tree.evaluate()
+
+
+def test_subexpression_values():
+    expr = DynamicExpression.from_random(INTEGER, 80, seed=2)
+    ids = expr.internal_ids()[:10]
+    values = expr.subexpression_values(ids)
+    for nid, v in zip(ids, values):
+        assert v == expr.tree.evaluate(at=nid)
+
+
+def test_mixed_session():
+    rng = random.Random(3)
+    expr = DynamicExpression.from_random(INTEGER, 40, seed=3)
+    for _ in range(25):
+        action = rng.choice(["set", "op", "grow", "prune"])
+        if action == "set":
+            leaves = expr.leaf_ids()
+            expr.batch_set_values(
+                [(nid, rng.randint(-4, 4)) for nid in rng.sample(leaves, 3)]
+            )
+        elif action == "op":
+            ids = expr.internal_ids()
+            expr.batch_set_ops(
+                [(rng.choice(ids), add_op() if rng.random() < 0.6 else mul_op())]
+            )
+        elif action == "grow":
+            leaves = expr.leaf_ids()
+            expr.batch_grow(
+                [(nid, add_op(), 1, 2) for nid in rng.sample(leaves, 2)]
+            )
+        else:
+            cands = [
+                n.nid
+                for n in expr.tree.nodes_preorder()
+                if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+            ]
+            if len(cands) > 1:
+                expr.batch_prune([(cands[0], rng.randint(-3, 3))])
+        assert expr.value() == expr.tree.evaluate()
+    assert "fresh_rt_nodes" in expr.last_stats or "wound" in expr.last_stats

@@ -1,0 +1,90 @@
+"""Dynamic LCA (§5, Theorem 5.2) against the pointer-chasing oracle
+and networkx's lowest_common_ancestor."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.rings import INTEGER
+from repro.applications.lca import DynamicLCA
+from repro.trees.builders import caterpillar_tree, random_expression_tree
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op
+
+
+def oracle_lca(tree, x, y):
+    ancestors = set()
+    node = tree.node(x)
+    while node is not None:
+        ancestors.add(node.nid)
+        node = node.parent
+    node = tree.node(y)
+    while node is not None:
+        if node.nid in ancestors:
+            return node.nid
+        node = node.parent
+    raise AssertionError("disconnected?")
+
+
+def to_networkx(tree):
+    g = nx.DiGraph()
+    for node in tree.nodes_preorder():
+        if not node.is_leaf:
+            g.add_edge(node.nid, node.left.nid)
+            g.add_edge(node.nid, node.right.nid)
+    g.add_node(tree.root.nid)
+    return g
+
+
+def test_lca_matches_oracles():
+    tree = random_expression_tree(INTEGER, 120, seed=0)
+    lca = DynamicLCA(tree, seed=1)
+    g = to_networkx(tree)
+    rng = random.Random(0)
+    ids = [n.nid for n in tree.nodes_preorder()]
+    for _ in range(60):
+        x, y = rng.sample(ids, 2)
+        got = lca.lca(x, y)
+        assert got == oracle_lca(tree, x, y)
+        assert got == nx.lowest_common_ancestor(g, x, y)
+
+
+def test_lca_of_node_with_itself_and_ancestor():
+    tree = random_expression_tree(INTEGER, 30, seed=1)
+    lca = DynamicLCA(tree, seed=2)
+    some = tree.leaves_in_order()[5].nid
+    assert lca.lca(some, some) == some
+    assert lca.lca(tree.root.nid, some) == tree.root.nid
+
+
+def test_batch_lca():
+    tree = random_expression_tree(INTEGER, 80, seed=2)
+    lca = DynamicLCA(tree, seed=3)
+    rng = random.Random(2)
+    ids = [n.nid for n in tree.nodes_preorder()]
+    pairs = [tuple(rng.sample(ids, 2)) for _ in range(15)]
+    got = lca.batch_lca(pairs)
+    assert got == [oracle_lca(tree, x, y) for x, y in pairs]
+
+
+def test_lca_on_deep_caterpillar():
+    tree = caterpillar_tree(INTEGER, 300)
+    lca = DynamicLCA(tree, seed=4)
+    leaves = tree.leaves_in_order()
+    a, b = leaves[50].nid, leaves[250].nid
+    assert lca.lca(a, b) == oracle_lca(tree, a, b)
+
+
+def test_lca_tracks_structural_updates():
+    rng = random.Random(5)
+    tree = ExprTree(INTEGER, root_value=1)
+    lca = DynamicLCA(tree, seed=6)
+    for _ in range(30):
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        target = rng.choice(leaves)
+        l, r = tree.grow_leaf(target, add_op(), 1, 1)
+        lca.batch_grow([(target, l, r)])
+        ids = [n.nid for n in tree.nodes_preorder()]
+        x, y = rng.sample(ids, 2) if len(ids) > 1 else (ids[0], ids[0])
+        assert lca.lca(x, y) == oracle_lca(tree, x, y)

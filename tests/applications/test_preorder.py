@@ -1,0 +1,47 @@
+"""Dynamic preorder numbering (§1.1's running example)."""
+
+import random
+
+from repro.algebra.rings import INTEGER
+from repro.applications.preorder import DynamicPreorder
+from repro.trees.builders import random_expression_tree
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op
+from repro.trees.traversal import preorder_ids
+
+
+def test_numbers_match_static_preorder():
+    tree = random_expression_tree(INTEGER, 90, seed=0)
+    pre = DynamicPreorder(tree, seed=1)
+    rank = {nid: i for i, nid in enumerate(preorder_ids(tree))}
+    ids = [n.nid for n in tree.nodes_preorder()]
+    assert pre.batch_numbers(ids) == [rank[nid] for nid in ids]
+    for nid in ids[:5]:
+        assert pre.number(nid) == rank[nid]
+
+
+def test_numbers_shift_after_structural_edit():
+    """One grow shifts the numbers of everything to its right — the
+    paper's argument for incremental (not exact) maintenance."""
+    tree = random_expression_tree(INTEGER, 40, seed=1)
+    pre = DynamicPreorder(tree, seed=2)
+    target = tree.leaves_in_order()[5]
+    l, r = tree.grow_leaf(target.nid, add_op(), 1, 1)
+    pre.batch_grow([(target.nid, l, r)])
+    rank = {nid: i for i, nid in enumerate(preorder_ids(tree))}
+    ids = [n.nid for n in tree.nodes_preorder()]
+    assert pre.batch_numbers(ids) == [rank[nid] for nid in ids]
+
+
+def test_dynamic_session():
+    rng = random.Random(2)
+    tree = ExprTree(INTEGER, root_value=1)
+    pre = DynamicPreorder(tree, seed=3)
+    for _ in range(25):
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        target = rng.choice(leaves)
+        l, r = tree.grow_leaf(target, add_op(), 1, 1)
+        pre.batch_grow([(target, l, r)])
+    rank = {nid: i for i, nid in enumerate(preorder_ids(tree))}
+    sample = rng.sample(list(rank), 10)
+    assert pre.batch_numbers(sample) == [rank[nid] for nid in sample]

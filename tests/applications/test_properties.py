@@ -1,0 +1,105 @@
+"""Dynamic tree properties (§5, Theorem 5.1)."""
+
+import random
+
+import pytest
+
+from repro.applications.properties import DynamicTreeProperties
+
+
+def oracle_subtree_size(tree, nid):
+    count = 0
+    stack = [tree.node(nid)]
+    while stack:
+        n = stack.pop()
+        count += 1
+        if not n.is_leaf:
+            stack.extend([n.left, n.right])
+    return count
+
+
+def grown_props(rounds, seed=0):
+    rng = random.Random(seed)
+    props = DynamicTreeProperties(seed=seed)
+    for _ in range(rounds):
+        leaves = [l.nid for l in props.tree.leaves_in_order()]
+        props.batch_grow(rng.sample(leaves, min(3, len(leaves))))
+    return props, rng
+
+
+def test_n_nodes_exactly_maintained():
+    props, _ = grown_props(10, seed=0)
+    assert props.n_nodes() == len(props.tree)
+
+
+def test_subtree_sizes_and_descendants():
+    props, rng = grown_props(12, seed=1)
+    ids = rng.sample([n.nid for n in props.tree.nodes_preorder()], 10)
+    sizes = props.batch_subtree_sizes(ids)
+    desc = props.batch_num_descendants(ids)
+    for nid, s, d in zip(ids, sizes, desc):
+        assert s == oracle_subtree_size(props.tree, nid)
+        assert d == s - 1
+
+
+def test_num_ancestors_and_preorder():
+    props, rng = grown_props(12, seed=2)
+    ids = rng.sample([n.nid for n in props.tree.nodes_preorder()], 10)
+    anc = props.batch_num_ancestors(ids)
+    assert anc == [props.tree.depth_of(nid) for nid in ids]
+    from repro.trees.traversal import preorder_ids
+
+    rank = {nid: i for i, nid in enumerate(preorder_ids(props.tree))}
+    assert props.batch_preorder(ids) == [rank[nid] for nid in ids]
+
+
+def test_prune_keeps_everything_consistent():
+    props, rng = grown_props(15, seed=3)
+    for _ in range(5):
+        cands = [
+            n.nid
+            for n in props.tree.nodes_preorder()
+            if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+        ]
+        props.batch_prune(rng.sample(cands, min(2, len(cands))))
+        assert props.n_nodes() == len(props.tree)
+        ids = rng.sample([n.nid for n in props.tree.nodes_preorder()], 5)
+        assert props.batch_subtree_sizes(ids) == [
+            oracle_subtree_size(props.tree, nid) for nid in ids
+        ]
+        assert props.batch_num_ancestors(ids) == [
+            props.tree.depth_of(nid) for nid in ids
+        ]
+
+
+def test_prune_rejects_leaf():
+    props, _ = grown_props(2, seed=4)
+    leaf = props.tree.leaves_in_order()[0]
+    with pytest.raises(ValueError):
+        props.batch_prune([leaf.nid])
+
+
+def test_is_ancestor():
+    props, rng = grown_props(8, seed=5)
+    tree = props.tree
+    node = tree.root
+    while not node.is_leaf:
+        node = node.left
+    assert props.is_ancestor(tree.root.nid, node.nid)
+    assert not props.is_ancestor(node.nid, tree.root.nid)
+    assert props.is_ancestor(node.nid, node.nid)
+
+
+def test_from_shape_mirrors_topology():
+    from repro.algebra.rings import INTEGER
+    from repro.trees.builders import random_expression_tree
+
+    shape = random_expression_tree(INTEGER, 20, seed=6)
+    props = DynamicTreeProperties.from_shape(shape, seed=7)
+    assert props.n_nodes() == len(shape)
+    mapping = props.mapping_from_shape
+    for theirs in shape.nodes_preorder():
+        mine = mapping[theirs.nid]
+        assert props.batch_subtree_sizes([mine])[0] == oracle_subtree_size(
+            shape, theirs.nid
+        )

@@ -1,0 +1,148 @@
+"""Link-cut trees [16] against a pointer-chasing forest oracle."""
+
+import random
+
+import pytest
+
+from repro.baselines.linkcut import LinkCutForest
+
+
+class OracleForest:
+    def __init__(self):
+        self.parent = {}
+        self.value = {}
+
+    def add(self, k, v):
+        self.parent[k] = None
+        self.value[k] = v
+
+    def path(self, k):
+        out = []
+        while k is not None:
+            out.append(k)
+            k = self.parent[k]
+        return out
+
+
+def build_random(n, seed):
+    rng = random.Random(seed)
+    f, o = LinkCutForest(), OracleForest()
+    for k in range(n):
+        v = rng.randint(-9, 9)
+        f.make_node(k, v)
+        o.add(k, v)
+    for k in range(1, n):
+        p = rng.randint(0, k - 1)
+        f.link(k, p)
+        o.parent[k] = p
+    return f, o, rng
+
+
+def test_duplicate_key_rejected():
+    f = LinkCutForest()
+    f.make_node(1)
+    with pytest.raises(KeyError):
+        f.make_node(1)
+    with pytest.raises(KeyError):
+        f.find_root(99)
+
+
+def test_path_queries_match_oracle():
+    f, o, rng = build_random(150, 0)
+    for _ in range(100):
+        k = rng.randint(0, 149)
+        path = o.path(k)
+        assert f.find_root(k) == path[-1]
+        assert f.depth(k) == len(path) - 1
+        assert f.path_sum(k) == sum(o.value[x] for x in path)
+        assert f.path_min(k) == min(o.value[x] for x in path)
+
+
+def test_lca_matches_oracle():
+    f, o, rng = build_random(120, 1)
+    for _ in range(80):
+        a, b = rng.randint(0, 119), rng.randint(0, 119)
+        pa, pb = o.path(a), set(o.path(b))
+        expect = next(x for x in pa if x in pb)
+        assert f.lca(a, b) == expect
+
+
+def test_cut_creates_separate_trees():
+    f = LinkCutForest()
+    for k in range(3):
+        f.make_node(k)
+    f.link(1, 0)
+    f.link(2, 1)
+    assert f.connected(2, 0)
+    f.cut(1)
+    assert not f.connected(1, 0)
+    assert f.find_root(2) == 1
+    assert f.lca(2, 0) is None
+
+
+def test_cut_root_rejected_and_relink():
+    f = LinkCutForest()
+    f.make_node(0)
+    f.make_node(1)
+    with pytest.raises(ValueError):
+        f.cut(0)
+    f.link(1, 0)
+    with pytest.raises(ValueError):
+        f.link(1, 0)  # 1 no longer a root... also cycle check
+    f.cut(1)
+    f.link(1, 0)
+    assert f.find_root(1) == 0
+
+
+def test_self_link_cycle_rejected():
+    f = LinkCutForest()
+    f.make_node(0)
+    f.make_node(1)
+    f.link(1, 0)
+    with pytest.raises(ValueError):
+        f.link(0, 1)
+
+
+def test_set_value_affects_aggregates():
+    f, o, rng = build_random(60, 2)
+    for _ in range(40):
+        k = rng.randint(0, 59)
+        v = rng.randint(-9, 9)
+        f.set_value(k, v)
+        o.value[k] = v
+        probe = rng.randint(0, 59)
+        path = o.path(probe)
+        assert f.path_sum(probe) == sum(o.value[x] for x in path)
+
+
+def test_randomized_link_cut_storm():
+    f, o, rng = build_random(100, 3)
+    for _ in range(300):
+        k = rng.randint(1, 99)
+        if o.parent[k] is not None:
+            f.cut(k)
+            o.parent[k] = None
+        else:
+            while True:
+                tgt = rng.randint(0, 99)
+                if k not in o.path(tgt):
+                    break
+            f.link(k, tgt)
+            o.parent[k] = tgt
+        probe = rng.randint(0, 99)
+        path = o.path(probe)
+        assert f.find_root(probe) == path[-1]
+        assert f.depth(probe) == len(path) - 1
+
+
+def test_amortised_cost_logarithmic():
+    """Total rotations over m operations on an n-node tree should be
+    O(m log n), nowhere near m·n."""
+    import math
+
+    f, o, rng = build_random(256, 4)
+    f.rotations = 0
+    m = 500
+    for _ in range(m):
+        f.path_sum(rng.randint(0, 255))
+    assert f.rotations <= 8 * m * math.log2(256)

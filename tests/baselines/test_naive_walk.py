@@ -1,0 +1,66 @@
+"""The no-shortcut activation baseline."""
+
+import random
+
+from repro.baselines.naive_walk import activate_by_walking, deactivate_walk
+from repro.pram.frames import SpanTracker
+from repro.splitting.activation import activate, ancestors_closure, deactivate
+from repro.splitting.rbsts import RBSTS
+
+
+def test_marks_exactly_the_parse_tree():
+    rng = random.Random(0)
+    t = RBSTS(range(300), seed=0)
+    leaves = [t.leaf_at(i) for i in rng.sample(range(300), 7)]
+    result = activate_by_walking(leaves)
+    assert result.node_set() == ancestors_closure(leaves)
+    deactivate_walk(result)
+    t.check_invariants()
+
+
+def test_rounds_equal_deepest_leaf_depth():
+    t = RBSTS(range(200), seed=1)
+    leaf = max(t.leaves(), key=lambda l: l.depth)
+    result = activate_by_walking([leaf])
+    assert result.rounds == leaf.depth
+    deactivate_walk(result)
+
+
+def test_early_stop_bounds_work():
+    """Work is O(|PT(U)|), not |U| * depth, thanks to early stopping."""
+    t = RBSTS(range(1024), seed=2)
+    leaves = [t.leaf_at(i) for i in range(0, 1024, 64)]
+    result = activate_by_walking(leaves)
+    assert result.work <= 2 * len(result.activated)
+    deactivate_walk(result)
+
+
+def test_shortcut_activation_beats_walking_at_scale():
+    """E1's headline shape: rounds(naive) ≈ depth grows with log n,
+    rounds(shortcut) ≈ log(|U| log n) barely grows.  At simulator scale
+    the absolute constants are close, so assert on growth."""
+    naive_r, smart_r = [], []
+    for exp in (10, 18):
+        n = 1 << exp
+        t = RBSTS(range(n), seed=3)
+        leaves = [t.leaf_at(random.Random(exp).randrange(n))]
+        naive = activate_by_walking(leaves)
+        deactivate_walk(naive)
+        smart = activate(t, leaves)
+        deactivate(smart)
+        assert naive.node_set() == smart.node_set()
+        naive_r.append(naive.rounds)
+        smart_r.append(smart.rounds_total)
+    assert naive_r[1] - naive_r[0] >= 5  # depth grew by ~8 levels
+    # Activation grows like log log n — strictly slower than the walk.
+    assert smart_r[1] - smart_r[0] < naive_r[1] - naive_r[0]
+    assert smart_r[1] < naive_r[1]
+
+
+def test_tracker_charges():
+    t = RBSTS(range(100), seed=4)
+    tracker = SpanTracker()
+    result = activate_by_walking([t.leaf_at(0)], tracker)
+    assert tracker.span == result.rounds
+    assert tracker.work == result.work
+    deactivate_walk(result)

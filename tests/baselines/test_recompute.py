@@ -1,0 +1,59 @@
+"""The recompute-from-scratch comparator."""
+
+import random
+
+from repro.algebra.rings import INTEGER
+from repro.baselines.recompute import RecomputeBaseline
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import random_expression_tree
+from repro.trees.nodes import add_op, mul_op
+
+
+def test_recompute_values_match_dynamic_engine():
+    tree_a = random_expression_tree(INTEGER, 64, seed=0)
+    tree_b = random_expression_tree(INTEGER, 64, seed=0)
+    base = RecomputeBaseline(tree_a)
+    dyn = DynamicTreeContraction(tree_b, seed=1)
+    rng = random.Random(0)
+    for _ in range(8):
+        leaves = [l.nid for l in tree_a.leaves_in_order()]
+        updates = [(nid, rng.randint(-4, 4)) for nid in rng.sample(leaves, 3)]
+        base.batch_set_leaf_values(updates)
+        dyn.batch_set_leaf_values(updates)
+        assert base.value() == dyn.value()
+
+
+def test_recompute_work_linear_in_n():
+    tree = random_expression_tree(INTEGER, 2048, seed=1)
+    base = RecomputeBaseline(tree)
+    tracker = SpanTracker()
+    leaf = tree.leaves_in_order()[0]
+    base.batch_set_leaf_values([(leaf.nid, 1)], tracker)
+    assert tracker.work >= 2000  # whole-tree contraction every time
+
+
+def test_dynamic_beats_recompute_in_work():
+    tree_a = random_expression_tree(INTEGER, 4096, seed=2)
+    tree_b = random_expression_tree(INTEGER, 4096, seed=2)
+    base = RecomputeBaseline(tree_a)
+    dyn = DynamicTreeContraction(tree_b, seed=3)
+    leaf = tree_a.leaves_in_order()[7].nid
+    t_base, t_dyn = SpanTracker(), SpanTracker()
+    base.batch_set_leaf_values([(leaf, 9)], t_base)
+    dyn.batch_set_leaf_values([(leaf, 9)], t_dyn)
+    assert base.value() == dyn.value()
+    assert t_dyn.work < t_base.work / 10
+
+
+def test_structural_ops_and_queries():
+    tree = random_expression_tree(INTEGER, 30, seed=3)
+    base = RecomputeBaseline(tree)
+    leaves = [l.nid for l in tree.leaves_in_order()]
+    base.batch_grow([(leaves[0], mul_op(), 2, 3)])
+    base.batch_set_ops([(leaves[0], add_op())])
+    assert base.value() == tree.evaluate()
+    base.batch_prune([(leaves[0], 5)])
+    assert base.value() == tree.evaluate()
+    internal = [n.nid for n in tree.nodes_preorder() if not n.is_leaf][:3]
+    assert base.query_values(internal) == [tree.evaluate(at=nid) for nid in internal]

@@ -1,0 +1,72 @@
+"""The one-at-a-time sequential comparator (§1.2)."""
+
+import random
+
+from repro.algebra.rings import INTEGER
+from repro.baselines.sequential import SequentialContraction
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import random_expression_tree
+from repro.trees.nodes import add_op
+
+
+def test_produces_same_values_as_parallel_engine():
+    tree_a = random_expression_tree(INTEGER, 80, seed=0)
+    tree_b = random_expression_tree(INTEGER, 80, seed=0)
+    seq = SequentialContraction(tree_a, seed=1)
+    par = DynamicTreeContraction(tree_b, seed=1)
+    rng = random.Random(0)
+    leaves = [l.nid for l in tree_a.leaves_in_order()]
+    updates = [(nid, rng.randint(-5, 5)) for nid in rng.sample(leaves, 10)]
+    seq.batch_set_leaf_values(updates)
+    par.batch_set_leaf_values(updates)
+    assert seq.value() == par.value() == tree_a.evaluate()
+
+
+def test_sequential_span_equals_work():
+    tree = random_expression_tree(INTEGER, 256, seed=1)
+    seq = SequentialContraction(tree, seed=2)
+    tracker = SpanTracker()
+    leaves = [l.nid for l in tree.leaves_in_order()]
+    seq.batch_set_leaf_values([(nid, 1) for nid in leaves[:16]], tracker)
+    assert tracker.span == tracker.work  # nothing overlaps
+
+
+def test_sequential_span_linear_in_u():
+    tree = random_expression_tree(INTEGER, 512, seed=2)
+    seq = SequentialContraction(tree, seed=3)
+    leaves = [l.nid for l in tree.leaves_in_order()]
+    spans = []
+    for k in (4, 16):
+        tracker = SpanTracker()
+        seq.batch_set_leaf_values([(nid, 1) for nid in leaves[:k]], tracker)
+        spans.append(tracker.span)
+    assert spans[1] >= 3 * spans[0]  # ~4x the requests, ~4x the span
+
+
+def test_parallel_beats_sequential_on_batches():
+    """The §1.2 work-optimality picture: same work order, much lower span."""
+    tree_a = random_expression_tree(INTEGER, 1024, seed=3)
+    tree_b = random_expression_tree(INTEGER, 1024, seed=3)
+    seq = SequentialContraction(tree_a, seed=4)
+    par = DynamicTreeContraction(tree_b, seed=4)
+    leaves = [l.nid for l in tree_a.leaves_in_order()]
+    updates = [(nid, 2) for nid in leaves[:64]]
+    t_seq, t_par = SpanTracker(), SpanTracker()
+    seq.batch_set_leaf_values(updates, t_seq)
+    par.batch_set_leaf_values(updates, t_par)
+    assert t_par.span < t_seq.span / 4
+    assert seq.value() == par.value()
+
+
+def test_sequential_structural_ops():
+    tree = random_expression_tree(INTEGER, 40, seed=4)
+    seq = SequentialContraction(tree, seed=5)
+    leaves = [l.nid for l in tree.leaves_in_order()]
+    created = seq.batch_grow([(nid, add_op(), 1, 2) for nid in leaves[:3]])
+    assert len(created) == 3
+    assert seq.value() == tree.evaluate()
+    seq.batch_prune([(leaves[0], 7)])
+    assert seq.value() == tree.evaluate()
+    qs = seq.query_values([tree.root.nid])
+    assert qs == [tree.evaluate()]

@@ -1,0 +1,39 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.algebra.rings import BOOLEAN, INTEGER, modular_ring, tropical_semiring
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+RINGS = {
+    "integer": INTEGER,
+    "mod97": modular_ring(97),
+    "boolean": BOOLEAN,
+    "tropical": tropical_semiring(),
+}
+
+
+def ring_elements(ring_name: str):
+    """A hypothesis strategy producing elements of the named ring."""
+    if ring_name == "integer":
+        return st.integers(min_value=-50, max_value=50)
+    if ring_name == "mod97":
+        return st.integers(min_value=0, max_value=96)
+    if ring_name == "boolean":
+        return st.booleans()
+    if ring_name == "tropical":
+        return st.one_of(
+            st.just(float("inf")),
+            st.integers(min_value=-20, max_value=20).map(float),
+        )
+    raise KeyError(ring_name)

@@ -1,0 +1,167 @@
+"""DynamicTreeContraction — the §4 facade, against oracles and errors."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.rings import INTEGER, modular_ring
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.errors import RequestError, TreeStructureError, UnknownNodeError
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import caterpillar_tree, random_expression_tree
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op, mul_op
+
+
+def make(n, seed=0):
+    tree = random_expression_tree(INTEGER, n, seed=seed)
+    return tree, DynamicTreeContraction(tree, seed=seed + 1)
+
+
+def test_initial_value_and_consistency():
+    tree, d = make(123, seed=0)
+    assert d.value() == tree.evaluate()
+    d.check_consistency()
+
+
+def test_value_on_single_leaf():
+    tree = ExprTree(INTEGER, root_value=11)
+    d = DynamicTreeContraction(tree)
+    assert d.value() == 11
+    d.batch_grow([(tree.root.nid, add_op(), 1, 2)])
+    assert d.value() == 3
+    d.check_consistency()
+
+
+@given(n=st.integers(2, 120), seed=st.integers(0, 20), k=st.integers(1, 8))
+@settings(max_examples=25, deadline=None)
+def test_leaf_value_batches(n, seed, k):
+    tree, d = make(n, seed)
+    rng = random.Random(seed)
+    leaves = tree.leaves_in_order()
+    updates = [
+        (leaf.nid, rng.randint(-5, 5))
+        for leaf in rng.sample(leaves, min(k, len(leaves)))
+    ]
+    d.batch_set_leaf_values(updates)
+    assert d.value() == tree.evaluate()
+
+
+def test_op_batches():
+    tree, d = make(60, seed=1)
+    internal = [n.nid for n in tree.nodes_preorder() if not n.is_leaf]
+    d.batch_set_ops([(internal[0], mul_op()), (internal[-1], add_op(const=5))])
+    assert d.value() == tree.evaluate()
+    d.check_consistency()
+
+
+def test_set_op_on_leaf_rejected():
+    tree, d = make(10, seed=2)
+    leaf = tree.leaves_in_order()[0]
+    with pytest.raises(TreeStructureError):
+        d.batch_set_ops([(leaf.nid, add_op())])
+
+
+def test_grow_rejects_duplicate_targets():
+    tree, d = make(10, seed=3)
+    leaf = tree.leaves_in_order()[0].nid
+    with pytest.raises(RequestError):
+        d.batch_grow([(leaf, add_op(), 1, 1), (leaf, add_op(), 2, 2)])
+
+
+def test_grow_rejects_internal_target():
+    tree, d = make(10, seed=4)
+    with pytest.raises(UnknownNodeError):
+        d.batch_grow([(tree.root.nid, add_op(), 1, 1)])
+
+
+def test_prune_rejects_duplicates_and_leaves():
+    tree, d = make(10, seed=5)
+    leaf = tree.leaves_in_order()[0].nid
+    with pytest.raises(TreeStructureError):
+        d.batch_prune([(leaf, 0)])
+    cands = [
+        n.nid
+        for n in tree.nodes_preorder()
+        if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+    ]
+    with pytest.raises(RequestError):
+        d.batch_prune([(cands[0], 0), (cands[0], 1)])
+
+
+def test_query_values_match_subtree_evaluation():
+    tree, d = make(150, seed=6)
+    rng = random.Random(6)
+    ids = rng.sample([n.nid for n in tree.nodes_preorder()], 30)
+    values = d.query_values(ids)
+    for nid, v in zip(ids, values):
+        assert v == tree.evaluate(at=nid)
+
+
+def test_query_unknown_node_rejected():
+    tree, d = make(10, seed=7)
+    with pytest.raises(UnknownNodeError):
+        d.query_values([99999])
+
+
+def test_caterpillar_tree_supported():
+    """Unbounded-depth input, the paper's stress case."""
+    tree = caterpillar_tree(INTEGER, 400, random.Random(0))
+    d = DynamicTreeContraction(tree, seed=1)
+    assert d.value() == tree.evaluate()
+    # Rounds stay logarithmic despite depth 399.
+    assert d.rounds() <= 60
+    leaf = tree.leaves_in_order()[200]
+    d.batch_set_leaf_values([(leaf.nid, 99)])
+    assert d.value() == tree.evaluate()
+
+
+def test_label_update_span_doubly_logarithmic():
+    import math
+
+    tree, d = make(1 << 12, seed=8)
+    leaf = tree.leaves_in_order()[100]
+    tracker = SpanTracker()
+    d.batch_set_leaf_values([(leaf.nid, 5)], tracker)
+    n = 1 << 12
+    # O(log(|U| log n)) with |U| = 1: far below log2 n.
+    assert tracker.span <= 4 * math.log2(math.log2(n) + 2) + 16
+
+
+def test_structural_wound_scales_with_u_log_n():
+    import math
+
+    tree, d = make(1 << 11, seed=9)
+    rng = random.Random(9)
+    leaves = [l.nid for l in tree.leaves_in_order()]
+    reqs = [(nid, add_op(), 1, 2) for nid in rng.sample(leaves, 8)]
+    d.batch_grow(reqs)
+    wound = d.last_stats["fresh_rt_nodes"]
+    assert wound <= 30 * 8 * math.log2(1 << 11)
+    assert d.value() == tree.evaluate()
+
+
+def test_modular_ring_dynamic():
+    ring = modular_ring(257)
+    tree = random_expression_tree(ring, 100, seed=10)
+    d = DynamicTreeContraction(tree, seed=11)
+    rng = random.Random(10)
+    for _ in range(10):
+        leaves = tree.leaves_in_order()
+        d.batch_set_leaf_values(
+            [(l.nid, rng.randint(0, 256)) for l in rng.sample(leaves, 3)]
+        )
+        assert d.value() == tree.evaluate()
+
+
+def test_grow_then_prune_roundtrip():
+    tree, d = make(50, seed=12)
+    before = d.value()
+    leaf = tree.leaves_in_order()[10]
+    old_value = leaf.value
+    created = d.batch_grow([(leaf.nid, add_op(), 3, 4)])
+    assert d.value() == tree.evaluate()
+    d.batch_prune([(leaf.nid, old_value)])
+    assert d.value() == before
+    d.check_consistency()

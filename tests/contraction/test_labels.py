@@ -1,0 +1,65 @@
+"""The §4.2 label rules against direct evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.rings import INTEGER
+from repro.contraction.labels import (
+    apply_label,
+    compress_label,
+    init_label,
+    leaf_label,
+    rake_label,
+)
+from repro.trees.nodes import add_op, mul_op
+
+ints = st.integers(-30, 30)
+
+
+def test_leaf_and_init_forms():
+    assert leaf_label(INTEGER, 7) == (0, 7)
+    assert init_label(INTEGER) == (1, 0)
+
+
+@given(beta=ints, c=ints, d=ints, x=ints)
+def test_rake_add_preserves_passed_value(beta, c, d, x):
+    """Raking leaf β into +-parent (C,D): for any remaining subtree
+    value x, C*(β + x) + D must equal newlabel(x)."""
+    new = rake_label(INTEGER, add_op(), leaf_label(INTEGER, beta), (c, d))
+    assert apply_label(INTEGER, new, x) == c * (beta + x) + d
+
+
+@given(beta=ints, c=ints, d=ints, x=ints, k=ints)
+def test_rake_add_with_const(beta, c, d, x, k):
+    new = rake_label(INTEGER, add_op(const=k), leaf_label(INTEGER, beta), (c, d))
+    assert apply_label(INTEGER, new, x) == c * (beta + x + k) + d
+
+
+@given(beta=ints, c=ints, d=ints, x=ints)
+def test_rake_mul_preserves_passed_value(beta, c, d, x):
+    new = rake_label(INTEGER, mul_op(), leaf_label(INTEGER, beta), (c, d))
+    assert apply_label(INTEGER, new, x) == c * (beta * x) + d
+
+
+@given(a=ints, b=ints, c=ints, d=ints, x=ints)
+def test_compress_is_composition(a, b, c, d, x):
+    new = compress_label(INTEGER, (a, b), (c, d))
+    assert apply_label(INTEGER, new, x) == a * (c * x + d) + b
+
+
+@given(
+    l1=st.tuples(ints, ints),
+    l2=st.tuples(ints, ints),
+    l3=st.tuples(ints, ints),
+)
+def test_compress_associative(l1, l2, l3):
+    left = compress_label(INTEGER, compress_label(INTEGER, l1, l2), l3)
+    right = compress_label(INTEGER, l1, compress_label(INTEGER, l2, l3))
+    assert left == right
+
+
+def test_unknown_op_kind_rejected():
+    from repro.trees.nodes import Op
+
+    with pytest.raises(ValueError):
+        rake_label(INTEGER, Op("xor"), (0, 1), (1, 0))

@@ -1,0 +1,106 @@
+"""Rake-tree construction and memoised replay."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.rings import INTEGER
+from repro.contraction.rake_tree import build_trace
+from repro.contraction.schedule import build_schedule
+from repro.splitting.rbsts import RBSTS
+from repro.trees.builders import random_expression_tree
+from repro.trees.expr import ExprTree
+
+
+def make(n, seed=0):
+    tree = random_expression_tree(INTEGER, n, seed=seed)
+    leaf_ids = [l.nid for l in tree.leaves_in_order()]
+    pt = RBSTS(leaf_ids, seed=seed + 1)
+    return tree, pt
+
+
+@given(n=st.integers(1, 200), seed=st.integers(0, 30))
+@settings(max_examples=40, deadline=None)
+def test_trace_value_matches_oracle(n, seed):
+    tree, pt = make(n, seed)
+    trace = build_trace(tree, build_schedule(pt.root))
+    assert trace.value == tree.evaluate()
+
+
+def test_trace_records_one_removal_per_non_final_node():
+    tree, pt = make(60, seed=1)
+    trace = build_trace(tree, build_schedule(pt.root))
+    assert len(trace.removal) == len(tree) - 1
+    assert trace.final_tnode not in trace.removal
+
+
+def test_rt_is_a_binary_tree_rooted_at_final_label():
+    tree, pt = make(40, seed=2)
+    trace = build_trace(tree, build_schedule(pt.root))
+    # Walk down from the root; every base label must be reachable.
+    seen = set()
+    stack = [trace.root_rt]
+    while stack:
+        node = stack.pop()
+        if node is None or id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.extend([node.left, node.right])
+    for base in trace.base.values():
+        assert id(base) in seen
+    # One-to-one: leaves + inits + 2 per rake event.
+    n_nodes = len(tree)
+    assert len(seen) == n_nodes + 2 * len(trace.event_by_leaf)
+
+
+def test_replay_without_changes_reuses_everything():
+    tree, pt = make(80, seed=3)
+    trace = build_trace(tree, build_schedule(pt.root))
+    again = build_trace(tree, build_schedule(pt.root), old=trace)
+    assert again.fresh_nodes == 0
+    assert again.value == trace.value
+
+
+def test_replay_after_leaf_change_rebuilds_only_wound():
+    tree, pt = make(200, seed=4)
+    trace = build_trace(tree, build_schedule(pt.root))
+    leaf = tree.leaves_in_order()[37]
+    tree.set_leaf_value(leaf.nid, 999)
+    again = build_trace(tree, build_schedule(pt.root), old=trace)
+    assert again.value == tree.evaluate()
+    # Wound = one base + the RT path above it: far below total size.
+    assert 0 < again.fresh_nodes < again.size() / 3
+
+
+def test_replay_wound_scales_with_u_not_n():
+    rng = random.Random(5)
+    wounds = []
+    for n in (256, 1024):
+        tree, pt = make(n, seed=5)
+        trace = build_trace(tree, build_schedule(pt.root))
+        leaves = tree.leaves_in_order()
+        for leaf in rng.sample(leaves, 4):
+            tree.set_leaf_value(leaf.nid, 123)
+        again = build_trace(tree, build_schedule(pt.root), old=trace)
+        wounds.append(again.fresh_nodes)
+        assert again.value == tree.evaluate()
+    # 4x larger tree: wound grows like log n, not n.
+    assert wounds[1] <= wounds[0] + 60
+
+
+def test_out_of_sync_schedule_detected():
+    tree, pt = make(30, seed=6)
+    other_tree, _ = make(40, seed=7)
+    from repro.errors import TreeStructureError
+
+    with pytest.raises((TreeStructureError, KeyError)):
+        build_trace(other_tree, build_schedule(pt.root))
+
+
+def test_single_leaf_trace():
+    tree = ExprTree(INTEGER, root_value=9)
+    pt = RBSTS([tree.root.nid])
+    trace = build_trace(tree, build_schedule(pt.root))
+    assert trace.value == 9
+    assert trace.final_pos == tree.root.nid

@@ -1,0 +1,93 @@
+"""Dynamic contraction is ring-agnostic: the §4.2 machinery needs only
+a commutative semiring, so boolean circuits and tropical (min,+)
+expressions run through the identical code path."""
+
+import random
+
+import pytest
+
+from repro.algebra.rings import BOOLEAN, FLOAT, tropical_semiring
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.trees.builders import random_tree
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op, mul_op
+
+
+def test_boolean_circuit_dynamic():
+    """AND/OR circuit: add = OR, mul = AND."""
+    rng = random.Random(0)
+    tree = random_tree(
+        BOOLEAN,
+        64,
+        rng,
+        values=lambda r: r.random() < 0.5,
+        ops=lambda r: mul_op() if r.random() < 0.5 else add_op(),
+    )
+    engine = DynamicTreeContraction(tree, seed=1)
+    for _ in range(20):
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        engine.batch_set_leaf_values(
+            [(nid, rng.random() < 0.5) for nid in rng.sample(leaves, 4)]
+        )
+        assert engine.value() == tree.evaluate()
+
+
+def test_boolean_op_flip_gates():
+    tree = ExprTree(BOOLEAN, root_value=False)
+    l, r = tree.grow_leaf(tree.root.nid, mul_op(), True, False)  # AND
+    engine = DynamicTreeContraction(tree, seed=2)
+    assert engine.value() is False or engine.value() == False  # noqa: E712
+    engine.batch_set_ops([(tree.root.nid, add_op())])  # OR
+    assert engine.value() == True  # noqa: E712
+
+
+def test_tropical_shortest_path_tree():
+    """Tropical (min,+): add = min, mul = +.  An expression over this
+    semiring computes a min-cost combination — dynamically updatable."""
+    trop = tropical_semiring()
+    rng = random.Random(3)
+    tree = random_tree(
+        trop,
+        48,
+        rng,
+        values=lambda r: float(r.randint(0, 20)),
+        ops=lambda r: mul_op() if r.random() < 0.4 else add_op(),
+    )
+    engine = DynamicTreeContraction(tree, seed=4)
+    assert engine.value() == tree.evaluate()
+    for _ in range(15):
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        engine.batch_set_leaf_values(
+            [(nid, float(rng.randint(0, 20))) for nid in rng.sample(leaves, 3)]
+        )
+        assert engine.value() == tree.evaluate()
+
+
+def test_tropical_infinity_values():
+    """+inf (the tropical zero) must flow through rakes unharmed."""
+    trop = tropical_semiring()
+    tree = ExprTree(trop, root_value=0.0)
+    l, r = tree.grow_leaf(tree.root.nid, add_op(), float("inf"), 5.0)  # min
+    engine = DynamicTreeContraction(tree, seed=5)
+    assert engine.value() == 5.0
+    engine.batch_set_leaf_values([(r, float("inf"))])
+    assert engine.value() == float("inf")
+
+
+def test_float_ring_with_tolerant_replay():
+    """FLOAT's tolerant equality governs base-label reuse in replay."""
+    rng = random.Random(6)
+    tree = random_tree(
+        FLOAT,
+        40,
+        rng,
+        values=lambda r: round(r.uniform(-2, 2), 3),
+        ops=lambda r: add_op() if r.random() < 0.8 else mul_op(),
+    )
+    engine = DynamicTreeContraction(tree, seed=7)
+    for _ in range(10):
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        engine.batch_grow(
+            [(rng.choice(leaves), add_op(), 0.25, -0.5)]
+        )
+        assert FLOAT.eq(engine.value(), tree.evaluate())

@@ -1,0 +1,74 @@
+"""The RBSTS-guided rake schedule (§4.2)."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.contraction.schedule import build_schedule
+from repro.splitting.rbsts import RBSTS
+
+
+@given(n=st.integers(1, 400), seed=st.integers(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_schedule_rakes_each_leaf_item_once_except_last(n, seed):
+    t = RBSTS(range(n), seed=seed)
+    sched = build_schedule(t.root)
+    raked = [ev.raked for ev in sched.events()]
+    assert len(raked) == n - 1
+    assert len(set(raked)) == n - 1
+    # The never-raked item is the rightmost leaf (the root's corr).
+    assert set(raked) == set(range(n)) - {n - 1}
+
+
+@given(n=st.integers(2, 400), seed=st.integers(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_no_adjacent_leaves_raked_in_one_round(n, seed):
+    """The paper's validity argument: no two siblings raked together;
+    siblings are adjacent in leaf order."""
+    t = RBSTS(range(n), seed=seed)
+    sched = build_schedule(t.root)
+    for rnd in sched.rounds:
+        raked = sorted(ev.raked for ev in rnd)
+        for a, b in zip(raked, raked[1:]):
+            assert b - a >= 2, (n, seed, rnd)
+
+
+@given(n=st.integers(2, 400), seed=st.integers(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_round_count_equals_pt_depth_order(n, seed):
+    t = RBSTS(range(n), seed=seed)
+    sched = build_schedule(t.root)
+    assert sched.n_rounds <= t.depth()
+    assert sched.n_rounds >= math.ceil(math.log2(n))
+
+
+def test_rounds_expected_logarithmic():
+    rounds = []
+    for seed in range(10):
+        t = RBSTS(range(1024), seed=seed)
+        rounds.append(build_schedule(t.root).n_rounds)
+    mean = sum(rounds) / len(rounds)
+    assert 10 <= mean <= 45  # c * log2(1024), small c
+
+
+def test_events_within_round_left_to_right():
+    t = RBSTS(range(100), seed=7)
+    sched = build_schedule(t.root)
+    for rnd in sched.rounds:
+        positions = [ev.raked for ev in rnd]
+        assert positions == sorted(positions)
+
+
+def test_survivor_is_right_interval_representative():
+    t = RBSTS(range(50), seed=3)
+    sched = build_schedule(t.root)
+    for ev in sched.events():
+        assert ev.raked < ev.survivor  # left rep < right rep in order
+
+
+def test_single_leaf_schedule_empty():
+    t = RBSTS([0])
+    sched = build_schedule(t.root)
+    assert sched.n_rounds == 0
+    assert sched.events() == []

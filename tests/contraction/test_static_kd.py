@@ -1,0 +1,83 @@
+"""Deterministic Kosaraju–Delcher contraction (the §4 baseline)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.rings import BOOLEAN, INTEGER, modular_ring, tropical_semiring
+from repro.contraction.static_kd import contract
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import (
+    balanced_tree,
+    caterpillar_tree,
+    random_expression_tree,
+)
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op, mul_op
+
+
+@given(n=st.integers(1, 300), seed=st.integers(0, 40))
+@settings(max_examples=50, deadline=None)
+def test_value_matches_oracle(n, seed):
+    tree = random_expression_tree(INTEGER, n, seed=seed)
+    assert contract(tree).value == tree.evaluate()
+
+
+def test_single_leaf():
+    tree = ExprTree(INTEGER, root_value=5)
+    result = contract(tree)
+    assert result.value == 5 and result.rounds == 0 and result.rakes == 0
+
+
+def test_round_count_is_ceil_log2():
+    for exp in (3, 6, 9):
+        tree = balanced_tree(INTEGER, exp)
+        result = contract(tree)
+        leaves = 1 << exp
+        assert result.rounds == math.ceil(math.log2(leaves))
+        assert result.rakes == leaves - 1
+
+
+def test_caterpillar_rounds_still_logarithmic():
+    """KD's point: rounds depend on leaf count, not tree depth."""
+    tree = caterpillar_tree(INTEGER, 256)
+    result = contract(tree)
+    assert result.rounds == math.ceil(math.log2(256))
+    assert result.value == tree.evaluate()
+
+
+def test_tree_left_untouched():
+    tree = random_expression_tree(INTEGER, 50, seed=1)
+    before = tree.evaluate()
+    contract(tree)
+    assert tree.evaluate() == before
+    from repro.trees.validate import check_tree
+
+    check_tree(tree)
+
+
+def test_tracker_span_two_per_round():
+    tree = balanced_tree(INTEGER, 6)
+    tracker = SpanTracker()
+    result = contract(tree, tracker)
+    assert tracker.span == 2 * result.rounds
+
+
+@pytest.mark.parametrize(
+    "ring",
+    [INTEGER, modular_ring(101), BOOLEAN, tropical_semiring()],
+    ids=["int", "mod101", "bool", "tropical"],
+)
+def test_ring_agnostic(ring):
+    tree = ExprTree(ring, root_value=ring.one)
+    l, r = tree.grow_leaf(tree.root.nid, add_op(), ring.one, ring.zero)
+    tree.grow_leaf(l, mul_op(), ring.one, ring.one)
+    assert contract(tree).value == tree.evaluate()
+
+
+def test_deep_mul_chain():
+    tree = caterpillar_tree(
+        INTEGER, 64, ops=lambda rng: mul_op(), values=lambda rng: 2
+    )
+    assert contract(tree).value == tree.evaluate()

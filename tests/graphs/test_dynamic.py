@@ -1,0 +1,115 @@
+"""Dynamic maintenance of SP properties under concurrent batches."""
+
+import random
+
+import pytest
+
+from repro.errors import RequestError
+from repro.graphs.builders import random_sp_tree
+from repro.graphs.dynamic import DynamicSPProperty
+from repro.graphs.problems import (
+    count_colorings,
+    effective_resistance,
+    maximum_matching,
+    minimum_vertex_cover,
+)
+from repro.pram.frames import SpanTracker
+
+
+def test_answer_is_exactly_maintained_under_reweight():
+    tree = random_sp_tree(
+        20, seed=0, weights=lambda r: round(r.uniform(1, 4), 2)
+    )
+    prop = DynamicSPProperty(tree, effective_resistance())
+    rng = random.Random(0)
+    for _ in range(10):
+        edges = tree.edges()
+        updates = [
+            (e.nid, round(rng.uniform(1, 4), 2)) for e in rng.sample(edges, 3)
+        ]
+        prop.batch_reweight(updates)
+        prop.check_consistency()
+
+
+def test_subdivide_duplicate_dissolve_cycle():
+    tree = random_sp_tree(10, seed=1)
+    prop = DynamicSPProperty(tree, minimum_vertex_cover())
+    before = prop.answer()
+    edge = tree.edges()[0]
+    created = prop.batch_subdivide([(edge.nid, 1, 1)])
+    prop.check_consistency()
+    prop.batch_dissolve([(edge.nid, 1)])
+    prop.check_consistency()
+    assert prop.answer() == before
+
+
+def test_mixed_session_matches_fresh_recompute():
+    rng = random.Random(2)
+    tree = random_sp_tree(8, seed=2)
+    props = [
+        DynamicSPProperty(tree, maximum_matching()),
+        DynamicSPProperty(tree, count_colorings(3)),
+    ]
+    for step in range(30):
+        op = rng.choice(["reweight", "subdivide", "duplicate", "dissolve"])
+        edges = tree.edges()
+        if op == "reweight":
+            reqs = [(e.nid, rng.randint(1, 5)) for e in rng.sample(edges, 2)]
+            for p in props:
+                # only the first may mutate the tree
+                pass
+            props[0].batch_reweight(reqs)
+            props[1]._heal([eid for eid, _ in reqs], None)
+        elif op in ("subdivide", "duplicate"):
+            e = rng.choice(edges)
+            reqs = [(e.nid, rng.randint(1, 5), rng.randint(1, 5))]
+            if op == "subdivide":
+                created = props[0].batch_subdivide(reqs)
+            else:
+                created = props[0].batch_duplicate(reqs)
+            for cid_pair in created:
+                for cid in cid_pair:
+                    props[1].table[cid] = props[1].problem.leaf(
+                        tree.node(cid).weight
+                    )
+            props[1]._heal([e.nid], None)
+        else:
+            cands = [
+                x.nid
+                for x in tree.nodes_preorder()
+                if not x.is_leaf and x.left.is_leaf and x.right.is_leaf
+            ]
+            if tree.n_edges() > 4 and cands:
+                nid = rng.choice(cands)
+                removed = (tree.node(nid).left.nid, tree.node(nid).right.nid)
+                props[0].batch_dissolve([(nid, rng.randint(1, 5))])
+                for rid in removed:
+                    props[1].table.pop(rid, None)
+                props[1]._heal([nid], None)
+        for p in props:
+            p.check_consistency()
+
+
+def test_wound_reported_and_tracker_charged():
+    tree = random_sp_tree(64, seed=3)
+    prop = DynamicSPProperty(tree, minimum_vertex_cover())
+    edge = tree.edges()[10]
+    tracker = SpanTracker()
+    wound = prop.batch_reweight([(edge.nid, 9)], tracker)
+    assert wound == prop.last_wound > 0
+    assert tracker.span >= 1 and tracker.work >= wound
+
+
+def test_duplicate_requests_rejected():
+    tree = random_sp_tree(6, seed=4)
+    prop = DynamicSPProperty(tree, minimum_vertex_cover())
+    e = tree.edges()[0].nid
+    with pytest.raises(RequestError):
+        prop.batch_subdivide([(e, 1, 1), (e, 2, 2)])
+
+
+def test_component_table_access():
+    tree = random_sp_tree(6, seed=5)
+    prop = DynamicSPProperty(tree, count_colorings(2))
+    for node in tree.nodes_preorder():
+        assert prop.component_table(node.nid) is not None

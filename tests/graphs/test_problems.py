@@ -1,0 +1,151 @@
+"""SP dynamic programs against brute-force / networkx / numpy oracles."""
+
+import itertools
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.builders import random_sp_tree
+from repro.graphs.dynamic import DynamicSPProperty
+from repro.graphs.explicit import materialize
+from repro.graphs.problems import (
+    count_colorings,
+    effective_resistance,
+    maximum_independent_set,
+    maximum_matching,
+    minimum_vertex_cover,
+)
+
+SMALL = [random_sp_tree(k, seed=s) for k, s in
+         [(1, 0), (2, 1), (3, 2), (5, 3), (7, 4), (9, 5), (11, 6), (12, 7)]]
+
+
+def brute_force_cover(n, edges):
+    best = n
+    for bits in range(1 << n):
+        cover = {v for v in range(n) if bits >> v & 1}
+        if all(u in cover or v in cover for u, v, *_ in edges):
+            best = min(best, len(cover))
+    return best
+
+
+def brute_force_independent(n, edges):
+    best = 0
+    for bits in range(1 << n):
+        chosen = {v for v in range(n) if bits >> v & 1}
+        if all(not (u in chosen and v in chosen) for u, v, *_ in edges):
+            best = max(best, len(chosen))
+    return best
+
+
+def brute_force_colorings(n, edges, k):
+    total = 0
+    for colors in itertools.product(range(k), repeat=n):
+        if all(colors[u] != colors[v] for u, v, *_ in edges):
+            total += 1
+    return total
+
+
+def brute_force_matching(n, edges):
+    """Max cardinality matching over edge subsets (small graphs)."""
+    best = 0
+    m = len(edges)
+    for bits in range(1 << m):
+        used = [e for i, e in enumerate(edges) if bits >> i & 1]
+        vertices = [v for u, w, *_ in used for v in (u, w)]
+        if len(vertices) == len(set(vertices)):
+            best = max(best, len(used))
+    return best
+
+
+@pytest.mark.parametrize("tree", SMALL, ids=lambda t: f"m{t.n_edges()}")
+def test_minimum_vertex_cover(tree):
+    n, s, t, edges = materialize(tree)
+    got = DynamicSPProperty(tree, minimum_vertex_cover()).answer()
+    assert got == brute_force_cover(n, edges)
+
+
+@pytest.mark.parametrize("tree", SMALL, ids=lambda t: f"m{t.n_edges()}")
+def test_maximum_independent_set(tree):
+    n, s, t, edges = materialize(tree)
+    got = DynamicSPProperty(tree, maximum_independent_set()).answer()
+    assert got == brute_force_independent(n, edges)
+
+
+@pytest.mark.parametrize("tree", SMALL, ids=lambda t: f"m{t.n_edges()}")
+@pytest.mark.parametrize("k", [2, 3])
+def test_count_colorings(tree, k):
+    n, s, t, edges = materialize(tree)
+    got = DynamicSPProperty(tree, count_colorings(k)).answer()
+    assert got == brute_force_colorings(n, edges, k)
+
+
+@pytest.mark.parametrize("tree", SMALL, ids=lambda t: f"m{t.n_edges()}")
+def test_maximum_cardinality_matching(tree):
+    # cardinality: weight-1 edges
+    for e in tree.edges():
+        tree.set_weight(e.nid, 1)
+    n, s, t, edges = materialize(tree)
+    got = DynamicSPProperty(tree, maximum_matching()).answer()
+    assert got == brute_force_matching(n, edges)
+
+
+def test_maximum_weight_matching_vs_networkx():
+    rng = random.Random(9)
+    for trial in range(6):
+        tree = random_sp_tree(10, seed=100 + trial)
+        n, s, t, edges = materialize(tree)
+        got = DynamicSPProperty(tree, maximum_matching()).answer()
+        # collapse parallel edges to the max weight (a matching never
+        # uses two edges sharing endpoints)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for u, v, _eid, w in edges:
+            if g.has_edge(u, v):
+                g[u][v]["weight"] = max(g[u][v]["weight"], w)
+            else:
+                g.add_edge(u, v, weight=w)
+        m = nx.max_weight_matching(g)
+        want = sum(g[u][v]["weight"] for u, v in m)
+        assert got == want, trial
+
+
+def test_effective_resistance_vs_laplacian():
+    """Oracle: effective resistance from the graph Laplacian's
+    pseudo-inverse (numpy), per the standard identity."""
+    for trial in range(6):
+        tree = random_sp_tree(
+            12, seed=trial, weights=lambda r: round(r.uniform(0.5, 5.0), 3)
+        )
+        n, s, t, edges = materialize(tree)
+        got = DynamicSPProperty(tree, effective_resistance()).answer()
+        L = np.zeros((n, n))
+        for u, v, _eid, w in edges:
+            g = 1.0 / w
+            L[u, u] += g
+            L[v, v] += g
+            L[u, v] -= g
+            L[v, u] -= g
+        Li = np.linalg.pinv(L)
+        want = Li[s, s] + Li[t, t] - 2 * Li[s, t]
+        assert got == pytest.approx(want, rel=1e-9), trial
+
+
+def test_resistance_edge_cases():
+    prob = effective_resistance()
+    assert prob.parallel(0.0, 5.0) == 0.0
+    assert prob.parallel(float("inf"), 5.0) == 5.0
+    assert prob.series(1.5, 2.5) == 4.0
+    with pytest.raises(ValueError):
+        prob.leaf(-1.0)
+
+
+def test_colorings_k1_and_validation():
+    with pytest.raises(ValueError):
+        count_colorings(0)
+    tree = random_sp_tree(4, seed=3)
+    n, s, t, edges = materialize(tree)
+    got = DynamicSPProperty(tree, count_colorings(1)).answer()
+    assert got == brute_force_colorings(n, edges, 1)  # zero (edges exist)

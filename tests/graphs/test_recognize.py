@@ -1,0 +1,103 @@
+"""SP recognition: round trips, invariance of maintained properties,
+and rejection of non-SP graphs."""
+
+import random
+
+import pytest
+
+from repro.graphs.builders import random_sp_tree
+from repro.graphs.dynamic import DynamicSPProperty
+from repro.graphs.explicit import materialize
+from repro.graphs.problems import (
+    count_colorings,
+    effective_resistance,
+    maximum_matching,
+    minimum_vertex_cover,
+)
+from repro.graphs.recognize import (
+    NotSeriesParallel,
+    recognize,
+    spec_of_tree,
+    tree_from_spec,
+)
+
+
+def test_single_edge():
+    spec = recognize([(0, 1, 7)], 0, 1)
+    assert spec == ("edge", 7)
+    tree = tree_from_spec(spec)
+    assert tree.root.is_leaf and tree.root.weight == 7
+
+
+def test_triangle_with_terminals_is_sp():
+    # s - m - t plus the direct edge: series(a,b) parallel c.
+    spec = recognize([(0, 2, 1), (2, 1, 2), (0, 1, 3)], 0, 1)
+    tree = tree_from_spec(spec)
+    n, s, t, edges = materialize(tree)
+    assert len(edges) == 3 and n == 3
+
+
+def test_k4_rejected():
+    k4 = [
+        (0, 1, 1),
+        (0, 2, 1),
+        (0, 3, 1),
+        (1, 2, 1),
+        (1, 3, 1),
+        (2, 3, 1),
+    ]
+    with pytest.raises(NotSeriesParallel):
+        recognize(k4, 0, 1)
+
+
+def test_wrong_terminals_rejected():
+    # A path 0-1-2 is SP for terminals (0, 2), not for (0, 1): vertex 2
+    # would dangle.
+    with pytest.raises(NotSeriesParallel):
+        recognize([(0, 1, 1), (1, 2, 1)], 0, 1)
+    assert recognize([(0, 1, 1), (1, 2, 1)], 0, 2)[0] == "series"
+
+
+def test_malformed_inputs():
+    with pytest.raises(ValueError):
+        recognize([], 0, 1)
+    with pytest.raises(ValueError):
+        recognize([(0, 0, 1)], 0, 1)
+    with pytest.raises(ValueError):
+        recognize([(0, 1, 1)], 0, 0)
+    with pytest.raises(ValueError):
+        recognize([(0, 1, 1)], 0, 9)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_round_trip_preserves_every_property(seed):
+    """random tree -> explicit graph -> recognize -> rebuilt tree must
+    agree on all maintained §6 properties (the recognizer may produce a
+    different but equivalent decomposition)."""
+    original = random_sp_tree(
+        14, seed=seed, weights=lambda r: r.randint(1, 6)
+    )
+    n, s, t, edges = materialize(original)
+    spec = recognize([(u, v, w) for u, v, _eid, w in edges], s, t)
+    rebuilt = tree_from_spec(spec)
+    for problem in (
+        maximum_matching(),
+        minimum_vertex_cover(),
+        count_colorings(3),
+    ):
+        a = DynamicSPProperty(original, problem).answer()
+        b = DynamicSPProperty(rebuilt, problem).answer()
+        assert a == b, (seed, problem.name)
+    ra = DynamicSPProperty(original, effective_resistance()).answer()
+    rb = DynamicSPProperty(rebuilt, effective_resistance()).answer()
+    assert ra == pytest.approx(rb, rel=1e-9)
+
+
+def test_spec_of_tree_inverse():
+    tree = random_sp_tree(10, seed=3)
+    spec = spec_of_tree(tree)
+    clone = tree_from_spec(spec)
+    assert spec_of_tree(clone) == spec
+    a = DynamicSPProperty(tree, minimum_vertex_cover()).answer()
+    b = DynamicSPProperty(clone, minimum_vertex_cover()).answer()
+    assert a == b

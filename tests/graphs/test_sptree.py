@@ -1,0 +1,88 @@
+"""SP decomposition tree structure and materialisation."""
+
+import pytest
+
+from repro.errors import NotALeafError, TreeStructureError, UnknownNodeError
+from repro.graphs.builders import random_sp_tree
+from repro.graphs.explicit import materialize
+from repro.graphs.sptree import PARALLEL, SERIES, SPTree
+
+
+def test_single_edge_graph():
+    t = SPTree(weight=5)
+    n, s, u, edges = materialize(t)
+    assert n == 2 and (s, u) == (0, 1)
+    assert edges == [(0, 1, t.root.nid, 5)]
+    t.check()
+
+
+def test_subdivide_creates_series_vertex():
+    t = SPTree(weight=1)
+    a, b = t.subdivide(t.root.nid, 2, 3)
+    assert t.root.kind == SERIES
+    n, s, u, edges = materialize(t)
+    assert n == 3  # one internal vertex appeared
+    assert t.n_vertices() == 3
+    weights = sorted(w for *_, w in edges)
+    assert weights == [2, 3]
+    t.check()
+
+
+def test_duplicate_keeps_vertices():
+    t = SPTree(weight=1)
+    t.duplicate(t.root.nid, 2, 3)
+    assert t.root.kind == PARALLEL
+    n, *_ , edges = materialize(t)
+    assert n == 2 and len(edges) == 2
+    assert t.n_vertices() == 2
+    t.check()
+
+
+def test_dissolve_roundtrip():
+    t = SPTree(weight=1)
+    a, b = t.subdivide(t.root.nid, 2, 3)
+    removed = t.dissolve(t.root.nid, 7)
+    assert set(removed) == {a, b}
+    assert t.root.is_leaf and t.root.weight == 7
+    assert a not in t and b not in t
+    t.check()
+
+
+def test_grow_rejects_internal_and_dissolve_rejects_deep():
+    t = SPTree(weight=1)
+    t.subdivide(t.root.nid, 1, 1)
+    with pytest.raises(NotALeafError):
+        t.subdivide(t.root.nid, 1, 1)
+    left = t.root.left
+    t.duplicate(left.nid, 1, 1)
+    with pytest.raises(TreeStructureError):
+        t.dissolve(t.root.nid, 1)  # children not both edges
+    with pytest.raises(TreeStructureError):
+        t.dissolve(left.left.nid, 1)  # a leaf
+    with pytest.raises(UnknownNodeError):
+        t.set_weight(31337, 1)
+
+
+def test_random_sp_tree_shape_counts():
+    t = random_sp_tree(50, seed=1)
+    t.check()
+    assert t.n_edges() == 50
+    n, s, u, edges = materialize(t)
+    assert len(edges) == 50
+    series = sum(
+        1 for x in t.nodes_preorder() if not x.is_leaf and x.kind == SERIES
+    )
+    assert n == 2 + series
+
+
+def test_materialized_graph_is_connected_between_terminals():
+    import networkx as nx
+
+    from repro.graphs.explicit import to_networkx
+
+    t = random_sp_tree(30, seed=2)
+    g = to_networkx(t)
+    s, u = g.graph["terminals"]
+    assert nx.has_path(g, s, u)
+    # SP graphs: |E| = 30, vertices = 2 + series count <= 32
+    assert g.number_of_edges() == 30

@@ -1,0 +1,91 @@
+"""Asymptotic-shape assertions: the theorems' growth claims hold in the
+simulated cost model (the quantitative versions live in benchmarks/)."""
+
+import math
+import random
+
+import pytest
+
+from repro.algebra.rings import INTEGER
+from repro.analysis.fitting import best_model
+from repro.baselines.naive_walk import activate_by_walking, deactivate_walk
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.listprefix.structure import IncrementalListPrefix
+from repro.algebra.monoid import sum_monoid
+from repro.pram.frames import SpanTracker
+from repro.splitting.activation import activate, deactivate
+from repro.splitting.rbsts import RBSTS
+from repro.trees.builders import random_expression_tree
+
+
+def test_activation_rounds_fit_loglog_not_log():
+    """Theorem 2.1: for fixed |U|, rounds track log(|U| log n): the
+    loglog model should explain them better than linear growth in depth."""
+    ns = [1 << e for e in range(8, 19, 2)]
+    rounds = []
+    naive = []
+    for n in ns:
+        t = RBSTS(range(n), seed=n % 97)
+        leaves = [t.leaf_at(i) for i in random.Random(n).sample(range(n), 4)]
+        res = activate(t, leaves)
+        rounds.append(res.rounds_total)
+        deactivate(res)
+        walk = activate_by_walking(leaves)
+        naive.append(walk.rounds)
+        deactivate_walk(walk)
+    smart_fit = best_model(ns, rounds, candidates=("loglog", "log", "linear"))
+    naive_fit = best_model(ns, naive, candidates=("loglog", "log", "linear"))
+    assert naive_fit.model == "log"
+    # Activation grows strictly slower than the naive walk.
+    assert rounds[-1] - rounds[0] < (naive[-1] - naive[0]) / 2
+
+
+def test_rbsts_depth_fits_log():
+    ns = [1 << e for e in range(6, 15, 2)]
+    depths = [RBSTS(range(n), seed=1).depth() for n in ns]
+    assert best_model(ns, depths, candidates=("loglog", "log", "linear")).model == "log"
+
+
+def test_batch_update_span_flat_in_n():
+    """Theorem 4.1: span depends on n only through log log n."""
+    spans = []
+    for e in (8, 14):
+        n = 1 << e
+        tree = random_expression_tree(INTEGER, n, seed=e)
+        engine = DynamicTreeContraction(tree, seed=e + 1)
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        tracker = SpanTracker()
+        engine.batch_set_leaf_values(
+            [(nid, 0) for nid in random.Random(e).sample(leaves, 4)], tracker
+        )
+        spans.append(tracker.span)
+    assert spans[1] <= spans[0] + 10  # 64x bigger n, nearly flat span
+
+
+def test_prefix_batch_work_near_u_log_n():
+    """Theorem 3.1 work optimality: work ≈ |U| log n up to constants."""
+    n = 1 << 12
+    lp = IncrementalListPrefix(sum_monoid(INTEGER), range(n), seed=0)
+    hs = lp.handles()
+    for k in (4, 32):
+        tracker = SpanTracker()
+        idxs = random.Random(k).sample(range(n), k)
+        lp.batch_prefix([hs[i] for i in idxs], tracker)
+        bound = k * math.log2(n)
+        assert tracker.work <= 12 * bound
+        assert tracker.span <= 3 * math.log2(k * math.log2(n)) + 12
+
+
+def test_u_equals_one_update_is_loglog():
+    """§1.2's note: |U| = O(1) updates run in O(log log n) expected."""
+    spans = []
+    ns = [1 << e for e in (8, 12, 16, 20)]
+    for n in ns:
+        lp = IncrementalListPrefix(sum_monoid(INTEGER), range(n), seed=3)
+        tracker = SpanTracker()
+        lp.batch_set([(lp.handle_at(n // 2), 99)], tracker)
+        spans.append(tracker.span)
+    # 4096x larger input: span changes by a few units only.
+    assert spans[-1] - spans[0] <= 8
+    # And stays far below log2(n) = 20.
+    assert spans[-1] <= 20

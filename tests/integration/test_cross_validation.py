@@ -1,0 +1,91 @@
+"""Three-way cross-validation: the dynamic engine, the sequential
+baseline and the recompute baseline must agree on every value through a
+long shared request stream — and with link-cut trees on tree-shape
+queries."""
+
+import random
+
+import pytest
+
+from repro.algebra.rings import INTEGER
+from repro.baselines.linkcut import LinkCutForest
+from repro.baselines.recompute import RecomputeBaseline
+from repro.baselines.sequential import SequentialContraction
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.trees.builders import random_expression_tree
+from repro.trees.nodes import add_op, mul_op
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_three_engines_agree(seed):
+    rng = random.Random(seed)
+    trees = [random_expression_tree(INTEGER, 48, seed=seed) for _ in range(3)]
+    dyn = DynamicTreeContraction(trees[0], seed=seed + 1)
+    seq = SequentialContraction(trees[1], seed=seed + 1)
+    rec = RecomputeBaseline(trees[2])
+    engines = (dyn, seq, rec)
+    for step in range(30):
+        kind = rng.choice(["val", "op", "grow", "prune"])
+        leaves = [l.nid for l in trees[0].leaves_in_order()]
+        if kind == "val":
+            updates = [
+                (nid, rng.randint(-4, 4)) for nid in rng.sample(leaves, 3)
+            ]
+            for e in engines:
+                e.batch_set_leaf_values(updates)
+        elif kind == "op":
+            internal = [
+                n.nid for n in trees[0].nodes_preorder() if not n.is_leaf
+            ]
+            updates = [
+                (nid, add_op() if rng.random() < 0.6 else mul_op())
+                for nid in rng.sample(internal, 2)
+            ]
+            for e in engines:
+                e.batch_set_ops(updates)
+        elif kind == "grow":
+            # Node ids are allocated deterministically per tree, so the
+            # same request stream produces aligned ids across engines.
+            reqs = [
+                (nid, add_op(), rng.randint(-2, 2), rng.randint(-2, 2))
+                for nid in rng.sample(leaves, 2)
+            ]
+            for e in engines:
+                e.batch_grow(reqs)
+        else:
+            cands = [
+                n.nid
+                for n in trees[0].nodes_preorder()
+                if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+            ]
+            if len(cands) > 2:
+                reqs = [(nid, rng.randint(-2, 2)) for nid in rng.sample(cands, 2)]
+                for e in engines:
+                    e.batch_prune(reqs)
+        values = {dyn.value(), seq.value(), rec.value()}
+        assert len(values) == 1, f"step {step}: engines disagree {values}"
+        # Shared node ids must exist in all trees (aligned histories).
+        probe = rng.choice([n.nid for n in trees[0].nodes_preorder()])
+        q = {e.query_values([probe])[0] for e in engines}
+        assert len(q) == 1
+
+
+def test_linkcut_agrees_on_depths_and_lca():
+    """Mirror the expression tree into a link-cut forest and compare
+    depth and LCA answers with the Euler-tour machinery."""
+    from repro.applications.lca import DynamicLCA
+
+    rng = random.Random(5)
+    tree = random_expression_tree(INTEGER, 80, seed=5)
+    lca = DynamicLCA(tree, seed=6)
+    forest = LinkCutForest()
+    for node in tree.nodes_preorder():
+        forest.make_node(node.nid)
+    for node in tree.nodes_preorder():
+        if node.parent is not None:
+            forest.link(node.nid, node.parent.nid)
+    ids = [n.nid for n in tree.nodes_preorder()]
+    for _ in range(40):
+        x, y = rng.sample(ids, 2)
+        assert forest.lca(x, y) == lca.lca(x, y)
+        assert forest.depth(x) == lca.tour.batch_depths([x])[0]

@@ -1,0 +1,141 @@
+"""The §1.4 self-healing loop end-to-end: long randomized sessions of
+concurrent wounds and heals, with every structure cross-checked against
+brute-force oracles after every batch."""
+
+import random
+
+import pytest
+
+from repro.algebra.rings import INTEGER, modular_ring
+from repro.applications.euler import DynamicEulerTour
+from repro.applications.lca import DynamicLCA
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.trees.builders import random_expression_tree
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op, mul_op
+from repro.trees.traversal import euler_tour
+from repro.trees.validate import check_tree
+
+
+def leaf_pair_parents(tree):
+    return [
+        n.nid
+        for n in tree.nodes_preorder()
+        if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_long_contraction_session(seed):
+    rng = random.Random(seed)
+    tree = random_expression_tree(INTEGER, 64, seed=seed)
+    engine = DynamicTreeContraction(tree, seed=seed + 1)
+    for step in range(80):
+        kind = rng.choice(["val", "op", "grow", "prune", "query"])
+        if kind == "val":
+            leaves = [l.nid for l in tree.leaves_in_order()]
+            engine.batch_set_leaf_values(
+                [
+                    (nid, rng.randint(-3, 3))
+                    for nid in rng.sample(leaves, min(5, len(leaves)))
+                ]
+            )
+        elif kind == "op":
+            internal = [n.nid for n in tree.nodes_preorder() if not n.is_leaf]
+            if internal:
+                engine.batch_set_ops(
+                    [
+                        (nid, add_op() if rng.random() < 0.7 else mul_op())
+                        for nid in rng.sample(internal, min(3, len(internal)))
+                    ]
+                )
+        elif kind == "grow":
+            leaves = [l.nid for l in tree.leaves_in_order()]
+            engine.batch_grow(
+                [
+                    (nid, add_op(), rng.randint(-2, 2), rng.randint(-2, 2))
+                    for nid in rng.sample(leaves, min(4, len(leaves)))
+                ]
+            )
+        elif kind == "prune":
+            cands = leaf_pair_parents(tree)
+            if len(cands) > 3:
+                engine.batch_prune(
+                    [(nid, rng.randint(-2, 2)) for nid in rng.sample(cands, 2)]
+                )
+        else:
+            ids = rng.sample([n.nid for n in tree.nodes_preorder()], 4)
+            got = engine.query_values(ids)
+            assert got == [tree.evaluate(at=nid) for nid in ids]
+        # Full oracle checks after every single batch.
+        check_tree(tree)
+        engine.check_consistency()
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_tour_and_contraction_together(seed):
+    """Drive one dynamic tree shared by the contraction engine, the
+    Euler tour and the LCA structure simultaneously."""
+    rng = random.Random(seed + 50)
+    tree = random_expression_tree(INTEGER, 32, seed=seed)
+    engine = DynamicTreeContraction(tree, seed=seed + 1)
+    tour = DynamicEulerTour(tree, seed=seed + 2)
+    for step in range(40):
+        if rng.random() < 0.6:
+            leaves = [l.nid for l in tree.leaves_in_order()]
+            targets = rng.sample(leaves, min(2, len(leaves)))
+            created = engine.batch_grow(
+                [(nid, add_op(), 1, rng.randint(-2, 2)) for nid in targets]
+            )
+            tour.batch_grow(
+                [(nid, l, r) for nid, (l, r) in zip(targets, created)]
+            )
+        else:
+            cands = leaf_pair_parents(tree)
+            if len(cands) > 2:
+                picks = rng.sample(cands, 2)
+                recs = [
+                    (nid, tree.node(nid).left.nid, tree.node(nid).right.nid)
+                    for nid in picks
+                ]
+                engine.batch_prune([(nid, 1) for nid in picks])
+                tour.batch_prune(recs)
+        assert engine.value() == tree.evaluate()
+        assert tour.tour_nodes() == [e.nid for e in euler_tour(tree)]
+
+
+def test_modular_ring_session():
+    ring = modular_ring(1009)
+    rng = random.Random(7)
+    tree = random_expression_tree(ring, 48, seed=7)
+    engine = DynamicTreeContraction(tree, seed=8)
+    for _ in range(30):
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        engine.batch_set_leaf_values(
+            [(nid, rng.randint(0, 1008)) for nid in rng.sample(leaves, 4)]
+        )
+        assert engine.value() == tree.evaluate()
+
+
+def test_growth_from_singleton_to_large_and_back():
+    rng = random.Random(11)
+    tree = ExprTree(INTEGER, root_value=1)
+    engine = DynamicTreeContraction(tree, seed=12)
+    # Grow to ~200 leaves.
+    while len(tree.leaves_in_order()) < 200:
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        engine.batch_grow(
+            [
+                (nid, add_op(), 1, 1)
+                for nid in rng.sample(leaves, min(8, len(leaves)))
+            ]
+        )
+    engine.check_consistency()
+    # Shrink back below 20 leaves.
+    while len(tree.leaves_in_order()) > 20:
+        cands = leaf_pair_parents(tree)
+        engine.batch_prune(
+            [(nid, 1) for nid in rng.sample(cands, min(6, len(cands)))]
+        )
+    engine.check_consistency()
+    assert engine.value() == tree.evaluate()

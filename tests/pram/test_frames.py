@@ -1,0 +1,76 @@
+"""Work/span accounting combinators."""
+
+from hypothesis import given, strategies as st
+
+from repro.pram.frames import SpanTracker
+
+
+def test_tick_charges_sequentially():
+    t = SpanTracker()
+    t.tick(3)
+    t.tick(2)
+    assert t.work == 5 and t.span == 5
+
+
+def test_parallel_takes_max_span_sum_work():
+    t = SpanTracker()
+
+    def branch(k):
+        def run():
+            t.tick(k)
+            return k
+
+        return run
+
+    out = t.parallel([branch(1), branch(5), branch(3)])
+    assert out == [1, 5, 3]
+    assert t.work == 9
+    assert t.span == 5
+    assert t.peak_width == 3
+
+
+def test_nested_parallel():
+    t = SpanTracker()
+
+    def inner():
+        t.parallel([lambda: t.tick(2), lambda: t.tick(4)])
+
+    def outer_branch():
+        t.tick(1)
+        inner()
+
+    t.parallel([outer_branch, lambda: t.tick(10)])
+    # branch 1 span = 1 + max(2,4) = 5; branch 2 span = 10.
+    assert t.span == 10
+    assert t.work == 1 + 2 + 4 + 10
+
+
+def test_pmap_returns_results_in_order():
+    t = SpanTracker()
+    out = t.pmap(lambda x: x * x, range(5))
+    assert out == [0, 1, 4, 9, 16]
+
+
+def test_processors_for_brent_bound():
+    t = SpanTracker()
+    t.charge(work=100, span=10)
+    assert t.processors_for() == 10  # ceil(100/10)
+    assert t.processors_for(target_span=50) == 2
+    empty = SpanTracker()
+    assert empty.processors_for() == 0
+
+
+@given(st.lists(st.integers(1, 20), min_size=1, max_size=8))
+def test_parallel_span_is_max_of_branches(costs):
+    t = SpanTracker()
+    t.parallel([(lambda c=c: t.tick(c)) for c in costs])
+    assert t.span == max(costs)
+    assert t.work == sum(costs)
+
+
+def test_charge_accumulates_independently():
+    t = SpanTracker()
+    t.charge(work=7, span=2)
+    t.charge(work=3, span=4)
+    assert t.as_dict()["work"] == 10
+    assert t.as_dict()["span"] == 6

@@ -1,0 +1,176 @@
+"""Step-synchronous machine execution: timing, forking, halting."""
+
+import pytest
+
+from repro.errors import MachineStateError, ProcessorLimitError
+from repro.pram.machine import Machine
+from repro.pram.memory import WritePolicy
+from repro.pram.ops import Fork, Halt, Local, Read, Write
+
+
+def test_single_processor_counts_steps():
+    m = Machine()
+
+    def prog():
+        yield Write("a", 1)
+        yield Local()
+        yield Write("b", 2)
+
+    m.spawn(prog())
+    metrics = m.run()
+    assert metrics.steps == 3
+    assert metrics.work == 3
+    assert metrics.peak_processors == 1
+    assert m.memory.read("a") == 1 and m.memory.read("b") == 2
+
+
+def test_parallel_processors_share_steps():
+    m = Machine()
+
+    def prog(i):
+        yield Write(("cell", i), i)
+        yield Local()
+
+    for i in range(8):
+        m.spawn(prog(i))
+    metrics = m.run()
+    assert metrics.steps == 2  # all 8 advance together
+    assert metrics.work == 16
+    assert metrics.peak_processors == 8
+
+
+def test_read_returns_committed_value():
+    m = Machine()
+    m.memory.poke("x", 41)
+    seen = []
+
+    def prog():
+        v = yield Read("x")
+        seen.append(v)
+        yield Write("x", v + 1)
+
+    m.spawn(prog())
+    m.run()
+    assert seen == [41]
+    assert m.memory.read("x") == 42
+
+
+def test_same_step_writes_invisible_to_same_step_reads():
+    """The read sub-phase of a step sees the previous step's memory."""
+    m = Machine(policy=WritePolicy.MAX)
+    seen = []
+
+    def writer():
+        yield Write("x", 10)
+
+    def reader():
+        v = yield Read("x", default=0)
+        seen.append(v)
+
+    m.spawn(writer())
+    m.spawn(reader())
+    m.run()
+    assert seen == [0]  # not 10: write commits at end of the step
+
+
+def test_fork_starts_next_step_and_returns_pid():
+    m = Machine()
+    pids = []
+
+    def child():
+        yield Write("child-ran", 1)
+
+    def parent():
+        pid = yield Fork(child())
+        pids.append(pid)
+        yield Local()
+
+    m.spawn(parent())
+    metrics = m.run()
+    assert m.memory.read("child-ran") == 1
+    assert pids == [1]
+    assert metrics.forks == 1
+    assert metrics.peak_processors == 2
+
+
+def test_fork_bomb_hits_processor_cap():
+    m = Machine(max_processors=10)
+
+    def bomb():
+        while True:
+            yield Fork(bomb())
+
+    m.spawn(bomb())
+    with pytest.raises(ProcessorLimitError):
+        m.run()
+
+
+def test_halt_instruction_stops_processor():
+    m = Machine()
+
+    def prog():
+        yield Write("a", 1)
+        yield Halt()
+        yield Write("b", 2)  # never reached
+
+    m.spawn(prog())
+    m.run()
+    assert m.memory.read("a") == 1
+    assert m.memory.read("b") is None
+
+
+def test_non_generator_program_rejected():
+    m = Machine()
+    with pytest.raises(MachineStateError):
+        m.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_unknown_instruction_rejected():
+    m = Machine()
+
+    def prog():
+        yield "not-an-instruction"
+
+    m.spawn(prog())
+    with pytest.raises(MachineStateError):
+        m.run()
+
+
+def test_run_with_step_budget_raises_when_stuck():
+    m = Machine()
+
+    def spin():
+        while True:
+            yield Local()
+
+    m.spawn(spin())
+    with pytest.raises(MachineStateError):
+        m.run(max_steps=10)
+
+
+def test_pointer_jumping_list_ranking():
+    """A classic PRAM program: rank an n-list in O(log n) steps."""
+    n = 64
+    m = Machine(policy=WritePolicy.PRIORITY)
+    for i in range(n):
+        m.memory.poke(("next", i), i + 1 if i + 1 < n else None)
+        m.memory.poke(("rank", i), 1 if i + 1 < n else 0)
+
+    def ranker(i):
+        while True:
+            nxt = yield Read(("next", i))
+            if nxt is None:
+                return
+            r = yield Read(("rank", i))
+            r2 = yield Read(("rank", nxt))
+            n2 = yield Read(("next", nxt))
+            yield Write(("rank", i), r + r2)
+            yield Write(("next", i), n2)
+
+    for i in range(n):
+        m.spawn(ranker(i))
+    metrics = m.run()
+    for i in range(n):
+        assert m.memory.read(("rank", i)) == n - 1 - i
+    # 5 instructions per jump round, ~log2(n) rounds.
+    assert metrics.steps <= 5 * 8

@@ -1,0 +1,60 @@
+"""Library PRAM programs: results and step counts."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pram.programs import list_ranking, parallel_sum, prefix_sums
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_parallel_sum_correct(values):
+    total, _ = parallel_sum(values)
+    assert total == sum(values)
+
+
+def test_parallel_sum_empty_rejected():
+    with pytest.raises(ValueError):
+        parallel_sum([])
+
+
+def test_parallel_sum_steps_logarithmic():
+    for n in (64, 1024):
+        _, metrics = parallel_sum(list(range(n)))
+        # 3 instructions per round, ceil(log2 n) rounds.
+        assert metrics.steps <= 3 * (math.ceil(math.log2(n)) + 1)
+
+
+@given(st.lists(st.integers(-50, 50), min_size=0, max_size=150))
+@settings(max_examples=25, deadline=None)
+def test_prefix_sums_correct(values):
+    import itertools
+
+    out, _ = prefix_sums(values)
+    assert out == list(itertools.accumulate(values))
+
+
+def test_prefix_sums_steps_logarithmic():
+    _, metrics = prefix_sums(list(range(256)))
+    assert metrics.steps <= 3 * (math.ceil(math.log2(256)) + 1)
+
+
+def test_list_ranking_matches_positions():
+    n = 100
+    order = list(range(n))
+    random.Random(0).shuffle(order)
+    successor = {
+        order[i]: (order[i + 1] if i + 1 < n else None) for i in range(n)
+    }
+    ranks, metrics = list_ranking(successor)
+    for i, node in enumerate(order):
+        assert ranks[node] == n - 1 - i
+    assert metrics.steps <= 5 * (math.ceil(math.log2(n)) + 2)
+
+
+def test_list_ranking_single_node():
+    ranks, _ = list_ranking({7: None})
+    assert ranks == {7: 0}

@@ -1,0 +1,141 @@
+"""Theorem 2.1 — the processor activation procedure."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RequestError
+from repro.pram.frames import SpanTracker
+from repro.splitting.activation import (
+    activate,
+    ancestors_closure,
+    deactivate,
+)
+from repro.splitting.rbsts import RBSTS
+
+
+@given(
+    n=st.integers(2, 500),
+    seed=st.integers(0, 40),
+    k=st.integers(1, 30),
+)
+@settings(max_examples=60, deadline=None)
+def test_activation_marks_exactly_the_parse_tree(n, seed, k):
+    rng = random.Random(seed * 31 + n)
+    t = RBSTS(range(n), seed=seed)
+    k = min(k, n)
+    leaves = [t.leaf_at(i) for i in rng.sample(range(n), k)]
+    result = activate(t, leaves)
+    assert result.node_set() == ancestors_closure(leaves)
+    deactivate(result)
+    t.check_invariants()  # flags and low cells reset
+
+
+def test_single_leaf_tree():
+    t = RBSTS([1])
+    result = activate(t, [t.root])
+    assert result.node_set() == {id(t.root)}
+    deactivate(result)
+
+
+def test_rejects_empty_and_internal_sets():
+    t = RBSTS(range(8))
+    with pytest.raises(RequestError):
+        activate(t, [])
+    with pytest.raises(RequestError):
+        activate(t, [t.root])
+
+
+def test_duplicate_leaves_tolerated():
+    t = RBSTS(range(32), seed=1)
+    leaf = t.leaf_at(5)
+    result = activate(t, [leaf, leaf])
+    assert result.node_set() == ancestors_closure([leaf])
+    deactivate(result)
+
+
+def test_rounds_scale_doubly_logarithmically():
+    """The headline claim: rounds ≈ O(log(|U| log n)), so going from
+    n = 2^8 to n = 2^16 should barely move the round count, while the
+    tree depth (the naive cost) roughly doubles."""
+    rounds, depths = [], []
+    for exp in (8, 16):
+        n = 1 << exp
+        t = RBSTS(range(n), seed=exp)
+        leaves = [t.leaf_at(i) for i in random.Random(exp).sample(range(n), 4)]
+        result = activate(t, leaves)
+        rounds.append(result.rounds_total)
+        depths.append(t.depth())
+        deactivate(result)
+    assert depths[1] >= 1.5 * depths[0]  # naive cost grows
+    assert rounds[1] <= rounds[0] + 8  # activation barely grows
+
+
+def test_processor_bound():
+    """Processors = O(|U| log n / θ) (Theorem 2.1)."""
+    n = 1 << 14
+    t = RBSTS(range(n), seed=3)
+    for k in (1, 8, 64):
+        leaves = [t.leaf_at(i) for i in random.Random(k).sample(range(n), k)]
+        result = activate(t, leaves)
+        bound = k * t.depth() / result.threshold
+        assert result.processors <= 8 * bound + 8, (k, result.processors, bound)
+        deactivate(result)
+
+
+def test_tracker_charges_match_rounds():
+    t = RBSTS(range(1000), seed=5)
+    leaves = [t.leaf_at(i) for i in (1, 500, 900)]
+    tracker = SpanTracker()
+    result = activate(t, leaves, tracker)
+    assert tracker.span == result.rounds_total
+    assert tracker.work >= tracker.span
+    deactivate(result)
+
+
+def test_activation_is_repeatable_after_deactivate():
+    t = RBSTS(range(200), seed=6)
+    leaves = [t.leaf_at(i) for i in (0, 100, 199)]
+    first = activate(t, leaves)
+    set1 = first.node_set()
+    deactivate(first)
+    second = activate(t, leaves)
+    assert second.node_set() == set1
+    deactivate(second)
+
+
+def test_no_fallback_walks_on_freshly_built_tree():
+    t = RBSTS(range(1 << 12), seed=7)
+    leaves = [t.leaf_at(i) for i in range(0, 1 << 12, 257)]
+    result = activate(t, leaves)
+    assert result.fallback_walk_steps == 0
+    deactivate(result)
+
+
+def test_activation_correct_after_heavy_churn():
+    rng = random.Random(9)
+    t = RBSTS(range(256), seed=9)
+    for k in range(500):
+        if rng.random() < 0.5 and t.n_leaves > 32:
+            t.delete(t.leaf_at(rng.randint(0, t.n_leaves - 1)))
+        else:
+            t.insert(rng.randint(0, t.n_leaves), k)
+    for trial in range(20):
+        k = rng.randint(1, 12)
+        leaves = [t.leaf_at(i) for i in rng.sample(range(t.n_leaves), k)]
+        result = activate(t, leaves)
+        assert result.node_set() == ancestors_closure(leaves)
+        deactivate(result)
+
+
+def test_parse_tree_size_bound():
+    """|PT(U)| = O(|U| log n) on a (balanced) RBSTS."""
+    n = 1 << 12
+    t = RBSTS(range(n), seed=10)
+    for k in (2, 16):
+        leaves = [t.leaf_at(i) for i in random.Random(k).sample(range(n), k)]
+        result = activate(t, leaves)
+        assert len(result.activated) <= k * (t.depth() + 1)
+        deactivate(result)

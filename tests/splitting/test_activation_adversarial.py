@@ -1,0 +1,96 @@
+"""Adversarial activation scenarios: stripped shortcuts (defensive
+fallback), mass deletion (stale presence thresholds), and per-phase
+machine metrics."""
+
+import random
+
+from repro.pram.machine import Machine
+from repro.pram.ops import Local
+from repro.splitting.activation import activate, ancestors_closure, deactivate
+from repro.splitting.rbsts import RBSTS
+
+
+def test_fallback_mode_still_correct():
+    """Strip every shortcut list: activation must degrade to walking
+    (counted as fallback steps) but stay correct."""
+    t = RBSTS(range(512), seed=1)
+    stack = [t.root]
+    while stack:
+        node = stack.pop()
+        node.shortcuts = None
+        if not node.is_leaf:
+            stack.extend([node.left, node.right])
+    leaves = [t.leaf_at(i) for i in (3, 200, 480)]
+    res = activate(t, leaves)
+    assert res.node_set() == ancestors_closure(leaves)
+    deactivate(res)
+
+
+def test_partial_shortcut_stripping():
+    """Strip shortcuts from a random half of the nodes — mixed
+    fast/fallback processors must still cover everything."""
+    rng = random.Random(2)
+    t = RBSTS(range(1024), seed=2)
+    stack = [t.root]
+    while stack:
+        node = stack.pop()
+        if node.shortcuts is not None and rng.random() < 0.5:
+            node.shortcuts = None
+        if not node.is_leaf:
+            stack.extend([node.left, node.right])
+    for trial in range(10):
+        leaves = [t.leaf_at(i) for i in rng.sample(range(1024), 6)]
+        res = activate(t, leaves)
+        assert res.node_set() == ancestors_closure(leaves)
+        deactivate(res)
+
+
+def test_activation_after_mass_deletion():
+    """Shrink 4096 -> ~100 leaves: presence thresholds computed at the
+    high-water mark go stale; activation must remain correct."""
+    rng = random.Random(3)
+    t = RBSTS(range(4096), seed=3)
+    while t.n_leaves > 100:
+        k = min(64, t.n_leaves - 100)
+        victims = [t.leaf_at(i) for i in rng.sample(range(t.n_leaves), k)]
+        t.batch_delete(victims)
+    t.check_invariants()
+    for trial in range(10):
+        leaves = [t.leaf_at(i) for i in rng.sample(range(t.n_leaves), 5)]
+        res = activate(t, leaves)
+        assert res.node_set() == ancestors_closure(leaves)
+        deactivate(res)
+
+
+def test_activation_after_mass_growth():
+    """Grow 16 -> 2048 leaves: old shallow nodes must get repaired
+    shortcut lists on touched paths."""
+    rng = random.Random(4)
+    t = RBSTS(range(16), seed=4)
+    while t.n_leaves < 2048:
+        reqs = [(rng.randint(0, t.n_leaves), t.n_leaves + i) for i in range(64)]
+        t.batch_insert(reqs)
+    t.check_invariants()
+    for trial in range(10):
+        leaves = [t.leaf_at(i) for i in rng.sample(range(t.n_leaves), 4)]
+        res = activate(t, leaves)
+        assert res.node_set() == ancestors_closure(leaves)
+        # the repaired structure should rarely need fallback walking
+        assert res.fallback_walk_steps <= t.depth()
+        deactivate(res)
+
+
+def test_machine_phase_metrics():
+    m = Machine()
+
+    def prog():
+        yield Local()
+        yield Local()
+
+    m.spawn(prog())
+    m.set_phase("warmup")
+    m.step()
+    m.set_phase("work")
+    m.run()
+    assert m.metrics.phase_steps["warmup"] == 1
+    assert m.metrics.phase_steps["work"] == 1

@@ -1,0 +1,76 @@
+"""Instruction-level PRAM activation cross-validated against both the
+direct implementation and the closure oracle."""
+
+import random
+
+from repro.splitting.activation import activate, ancestors_closure, deactivate
+from repro.splitting.activation_pram import activate_on_machine
+from repro.splitting.rbsts import RBSTS
+
+
+def closure_ids(leaves):
+    out = set()
+    for leaf in leaves:
+        node = leaf
+        while node is not None:
+            out.add(node.nid)
+            node = node.parent
+    return out
+
+
+def test_machine_activation_matches_closure():
+    rng = random.Random(0)
+    t = RBSTS(range(1024), seed=1)
+    for trial in range(10):
+        k = rng.randint(1, 20)
+        leaves = [t.leaf_at(i) for i in rng.sample(range(t.n_leaves), k)]
+        res = activate_on_machine(t, leaves)
+        assert res.activated_ids == closure_ids(leaves), trial
+
+
+def test_machine_and_direct_agree_and_costs_comparable():
+    rng = random.Random(1)
+    t = RBSTS(range(1 << 12), seed=2)
+    leaves = [t.leaf_at(i) for i in rng.sample(range(t.n_leaves), 8)]
+    machine_res = activate_on_machine(t, leaves)
+    direct_res = activate(t, leaves)
+    assert machine_res.activated_ids == {v.nid for v in direct_res.activated}
+    # The machine executes a handful of instructions per logical round,
+    # so its step count should be within a small constant of the direct
+    # round count — not proportional to tree depth.
+    assert machine_res.metrics.steps <= 12 * (direct_res.rounds_total + 4)
+    deactivate(direct_res)
+
+
+def test_machine_steps_scale_doubly_logarithmically():
+    steps = []
+    for exp in (8, 16):
+        n = 1 << exp
+        t = RBSTS(range(n), seed=exp)
+        leaves = [t.leaf_at(i) for i in random.Random(exp).sample(range(n), 4)]
+        res = activate_on_machine(t, leaves)
+        steps.append(res.metrics.steps)
+    # 256x more leaves should cost only a few extra machine steps.
+    assert steps[1] <= steps[0] + 40
+
+
+def test_machine_work_tracks_processor_bound():
+    n = 1 << 12
+    t = RBSTS(range(n), seed=3)
+    leaves = [t.leaf_at(i) for i in random.Random(3).sample(range(n), 16)]
+    res = activate_on_machine(t, leaves)
+    # Work = steps x avg processors; must stay well under |U| * depth
+    # * instruction constant.
+    assert res.metrics.work <= 16 * t.depth() * 12
+
+
+def test_machine_activation_after_updates():
+    rng = random.Random(4)
+    t = RBSTS(range(256), seed=4)
+    for k in range(300):
+        t.insert(rng.randint(0, t.n_leaves), k)
+        if t.n_leaves > 64:
+            t.delete(t.leaf_at(rng.randint(0, t.n_leaves - 1)))
+    leaves = [t.leaf_at(i) for i in rng.sample(range(t.n_leaves), 6)]
+    res = activate_on_machine(t, leaves)
+    assert res.activated_ids == closure_ids(leaves)

@@ -1,0 +1,138 @@
+"""Lemma 2.1 — random splitting-tree construction."""
+
+import random
+
+import pytest
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.pram.frames import SpanTracker
+from repro.splitting.build import Summarizer, build_subtree
+from repro.splitting.node import BSTNode
+from repro.splitting.shortcuts import presence_threshold
+
+
+def make_leaves(n):
+    leaves = []
+    for i in range(n):
+        leaf = BSTNode(i)
+        leaf.item = i
+        leaves.append(leaf)
+    return leaves
+
+
+def build(n, seed=0, threshold=None, summarizer=None, tracker=None):
+    leaves = make_leaves(n)
+    ids = [len(leaves)]
+
+    def new_node():
+        node = BSTNode(ids[0])
+        ids[0] += 1
+        return node
+
+    return build_subtree(
+        leaves,
+        random.Random(seed),
+        base_depth=0,
+        ancestor_path=(),
+        shortcut_height_threshold=(
+            threshold if threshold is not None else presence_threshold(n)
+        ),
+        new_node=new_node,
+        summarizer=summarizer,
+        tracker=tracker,
+    ), leaves
+
+
+def test_zero_leaves_rejected():
+    with pytest.raises(ValueError):
+        build(0)
+
+
+def test_single_leaf_returns_it():
+    root, leaves = build(1)
+    assert root is leaves[0]
+    assert root.depth == 0 and root.height == 0
+
+
+def test_structure_fields_consistent():
+    root, leaves = build(200, seed=1)
+    stack = [(root, 0)]
+    count = 0
+    while stack:
+        node, depth = stack.pop()
+        count += 1
+        assert node.depth == depth
+        if node.is_leaf:
+            assert node.n_leaves == 1 and node.height == 0
+        else:
+            assert node.n_leaves == node.left.n_leaves + node.right.n_leaves
+            assert node.height == 1 + max(node.left.height, node.right.height)
+            assert node.left.parent is node and node.right.parent is node
+            stack.extend([(node.left, depth + 1), (node.right, depth + 1)])
+    assert count == 2 * 200 - 1
+
+
+def test_leaf_order_preserved():
+    root, leaves = build(50, seed=2)
+    out = []
+    stack = [root]
+    while stack:
+        n = stack.pop()
+        if n.is_leaf:
+            out.append(n)
+        else:
+            stack.extend([n.right, n.left])
+    assert out == leaves
+
+
+def test_summaries_computed():
+    summarizer = Summarizer(sum_monoid(INTEGER), lambda x: x)
+    root, _ = build(64, seed=3, summarizer=summarizer)
+    assert root.summary == sum(range(64))
+
+
+def test_shortcuts_only_above_threshold():
+    root, _ = build(256, seed=4, threshold=3)
+    stack = [root]
+    while stack:
+        n = stack.pop()
+        if n.shortcuts is not None:
+            assert n.height > 3 and n.depth > 0
+        if not n.is_leaf:
+            stack.extend([n.left, n.right])
+
+
+def test_tracker_charged_linear_work_log_span():
+    import math
+
+    tracker = SpanTracker()
+    root, _ = build(1024, seed=5, tracker=tracker)
+    assert tracker.work >= 2 * 1024 - 1
+    assert tracker.span <= root.height + math.ceil(math.log2(1024)) + 1
+
+
+def test_leaf_metadata_reset_on_rebuild():
+    """Reused leaves must have stale fields cleared."""
+    leaves = make_leaves(8)
+    leaves[0].height = 99
+    leaves[0].shortcuts = []
+    leaves[0].n_leaves = 42
+    ids = [8]
+
+    def new_node():
+        node = BSTNode(ids[0])
+        ids[0] += 1
+        return node
+
+    build_subtree(
+        leaves,
+        random.Random(0),
+        base_depth=0,
+        ancestor_path=(),
+        shortcut_height_threshold=2,
+        new_node=new_node,
+    )
+    assert leaves[0].height == 0
+    assert leaves[0].shortcuts is None
+    assert leaves[0].n_leaves == 1

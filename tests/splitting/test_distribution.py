@@ -1,0 +1,95 @@
+"""Distribution preservation (Theorems 2.2/2.3).
+
+The insertion/deletion rules were derived to keep the RBST distribution
+exactly stationary (DESIGN.md §2).  These tests compare the *root split*
+distribution and depth statistics of (a) freshly built trees against
+(b) trees reaching the same size through updates.  Statistical: they use
+wide tolerances and fixed seeds so they are deterministic.
+"""
+
+import random
+from collections import Counter
+
+from repro.splitting.rbsts import RBSTS
+
+
+def root_split(tree):
+    return tree.root.left.n_leaves
+
+
+def test_insert_preserves_root_split_uniformity():
+    """Grow 4 -> 12 by random-position inserts; the root split of the
+    result should be ~uniform on 1..11 like a fresh RBST's."""
+    trials = 1500
+    grown = Counter()
+    for seed in range(trials):
+        rng = random.Random(seed)
+        t = RBSTS(range(4), seed=seed)
+        for k in range(8):
+            t.insert(rng.randint(0, t.n_leaves), 100 + k)
+        grown[root_split(t)] += 1
+    expected = trials / 11
+    for s in range(1, 12):
+        assert 0.5 * expected <= grown[s] <= 1.6 * expected, (s, grown[s])
+
+
+def test_delete_preserves_root_split_uniformity():
+    """Shrink 12 -> 8 by random deletes; root split ~uniform on 1..7."""
+    trials = 1500
+    shrunk = Counter()
+    for seed in range(trials):
+        rng = random.Random(seed + 10_000)
+        t = RBSTS(range(12), seed=seed)
+        for _ in range(4):
+            t.delete(t.leaf_at(rng.randint(0, t.n_leaves - 1)))
+        shrunk[root_split(t)] += 1
+    expected = trials / 7
+    for s in range(1, 8):
+        assert 0.5 * expected <= shrunk[s] <= 1.6 * expected, (s, shrunk[s])
+
+
+def test_depth_distribution_matches_fresh_builds():
+    """Mean depth after heavy mixed churn ≈ mean depth of fresh trees of
+    the same size (within 20%)."""
+    n_target = 128
+    fresh = []
+    for seed in range(60):
+        fresh.append(RBSTS(range(n_target), seed=seed).depth())
+    churned = []
+    for seed in range(60):
+        rng = random.Random(seed + 999)
+        t = RBSTS(range(n_target), seed=seed)
+        for k in range(300):
+            t.insert(rng.randint(0, t.n_leaves), k)
+            t.delete(t.leaf_at(rng.randint(0, t.n_leaves - 1)))
+        assert t.n_leaves == n_target
+        churned.append(t.depth())
+    mean_fresh = sum(fresh) / len(fresh)
+    mean_churned = sum(churned) / len(churned)
+    assert abs(mean_churned - mean_fresh) <= 0.2 * mean_fresh, (
+        mean_fresh,
+        mean_churned,
+    )
+
+
+def test_batch_insert_depth_stays_logarithmic():
+    import math
+
+    for seed in range(5):
+        rng = random.Random(seed)
+        t = RBSTS(range(64), seed=seed)
+        for round_ in range(20):
+            reqs = [(rng.randint(0, t.n_leaves), round_ * 100 + i) for i in range(32)]
+            t.batch_insert(reqs)
+        assert t.n_leaves == 64 + 20 * 32
+        assert t.depth() <= 6 * math.log2(t.n_leaves), t.depth()
+
+
+def test_fresh_build_root_split_uniform_sanity():
+    """Sanity-check the generator itself: fresh builds have uniform
+    splits by construction."""
+    trials = 1200
+    counts = Counter(root_split(RBSTS(range(8), seed=s)) for s in range(trials))
+    expected = trials / 7
+    for s in range(1, 8):
+        assert 0.55 * expected <= counts[s] <= 1.55 * expected

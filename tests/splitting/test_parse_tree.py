@@ -1,0 +1,72 @@
+"""Extended parse tree extraction (§3's P̂T(U))."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.splitting.activation import activate, ancestors_closure, deactivate
+from repro.splitting.build import Summarizer
+from repro.splitting.parse_tree import build_extended_parse_tree
+from repro.splitting.rbsts import RBSTS
+
+
+def summed(n, seed=0):
+    return RBSTS(
+        range(n), seed=seed, summarizer=Summarizer(sum_monoid(INTEGER), lambda x: x)
+    )
+
+
+@given(n=st.integers(2, 200), seed=st.integers(0, 20), k=st.integers(1, 12))
+@settings(max_examples=40, deadline=None)
+def test_entries_partition_the_leaf_sequence(n, seed, k):
+    t = summed(n, seed)
+    rng = random.Random(seed)
+    k = min(k, n)
+    leaves = [t.leaf_at(i) for i in rng.sample(range(n), k)]
+    members = ancestors_closure(leaves)
+    pat = build_extended_parse_tree(t.root, members, leaves)
+    # Summed widths cover the whole sequence in order.
+    covered = 0
+    for e in pat.entries:
+        covered += e.node.n_leaves
+    assert covered == n
+    # Entry summaries concatenate to the total.
+    assert sum(pat.summary_values()) == sum(range(n))
+
+
+def test_u_leaves_appear_as_real_leaf_entries_in_order():
+    t = summed(50, seed=3)
+    idxs = [4, 20, 33]
+    leaves = [t.leaf_at(i) for i in idxs]
+    pat = build_extended_parse_tree(t.root, ancestors_closure(leaves), leaves)
+    real = [(e.node.item) for e in pat.entries if e.kind == "leaf"]
+    assert real == idxs
+
+
+def test_pat_at_most_twice_pt():
+    """The paper: |P̂T(U)| = O(|PT(U)|)."""
+    t = summed(1 << 10, seed=4)
+    rng = random.Random(4)
+    leaves = [t.leaf_at(i) for i in rng.sample(range(1 << 10), 8)]
+    members = ancestors_closure(leaves)
+    pat = build_extended_parse_tree(t.root, members, leaves)
+    assert pat.pt_size == len(members)
+    assert len(pat.entries) <= pat.pt_size + 1
+
+
+def test_root_must_be_in_members():
+    t = summed(10)
+    with pytest.raises(ValueError):
+        build_extended_parse_tree(t.root, set(), [t.leaf_at(0)])
+
+
+def test_matches_activation_members():
+    t = summed(300, seed=5)
+    leaves = [t.leaf_at(i) for i in (0, 150, 299)]
+    result = activate(t, leaves)
+    pat = build_extended_parse_tree(t.root, result.node_set(), leaves)
+    assert sum(pat.summary_values()) == sum(range(300))
+    deactivate(result)

@@ -1,0 +1,156 @@
+"""RBSTS structure: construction, navigation, single updates, invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.errors import TreeStructureError, UnknownNodeError
+from repro.splitting.build import Summarizer
+from repro.splitting.rbsts import RBSTS
+
+
+def summed(items, seed=0):
+    return RBSTS(
+        items, seed=seed, summarizer=Summarizer(sum_monoid(INTEGER), lambda x: x)
+    )
+
+
+def test_requires_at_least_one_item():
+    with pytest.raises(ValueError):
+        RBSTS([])
+
+
+def test_construction_preserves_order_and_counts():
+    t = summed(range(500), seed=1)
+    t.check_invariants()
+    assert t.n_leaves == 500
+    assert [l.item for l in t.leaves()] == list(range(500))
+    assert t.root.summary == sum(range(500))
+
+
+def test_single_item_tree():
+    t = RBSTS([42])
+    assert t.n_leaves == 1
+    assert t.root.is_leaf
+    assert t.leaf_at(0).item == 42
+    t.check_invariants()
+
+
+@given(n=st.integers(1, 300), seed=st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_leaf_at_and_index_of_are_inverse(n, seed):
+    t = RBSTS(range(n), seed=seed)
+    for i in (0, n // 3, n - 1):
+        leaf = t.leaf_at(i)
+        assert t.index_of(leaf) == i
+        assert leaf.item == i
+
+
+def test_leaf_at_bounds():
+    t = RBSTS(range(10))
+    with pytest.raises(IndexError):
+        t.leaf_at(10)
+    with pytest.raises(IndexError):
+        t.leaf_at(-1)
+
+
+def test_index_of_foreign_leaf_rejected():
+    t1, t2 = RBSTS(range(5)), RBSTS(range(5))
+    with pytest.raises(UnknownNodeError):
+        t1.index_of(t2.leaf_at(0))
+    assert not t1.contains(t2.leaf_at(0))
+
+
+def test_insert_at_every_gap():
+    base = list(range(8))
+    for pos in range(9):
+        t = summed(base, seed=pos)
+        t.insert(pos, 99)
+        expect = base[:pos] + [99] + base[pos:]
+        assert [l.item for l in t.leaves()] == expect
+        t.check_invariants()
+        assert t.root.summary == sum(expect)
+
+
+def test_insert_position_bounds():
+    t = RBSTS(range(5))
+    with pytest.raises(IndexError):
+        t.insert(6, 0)
+
+
+def test_delete_each_position():
+    base = list(range(8))
+    for pos in range(8):
+        t = summed(base, seed=pos + 100)
+        item = t.delete(t.leaf_at(pos))
+        assert item == pos
+        expect = base[:pos] + base[pos + 1 :]
+        assert [l.item for l in t.leaves()] == expect
+        t.check_invariants()
+
+
+def test_delete_last_leaf_rejected():
+    t = RBSTS([1])
+    with pytest.raises(TreeStructureError):
+        t.delete(t.leaf_at(0))
+
+
+def test_delete_internal_rejected():
+    t = RBSTS(range(4))
+    with pytest.raises(TreeStructureError):
+        t.delete(t.root)
+
+
+def test_leaf_handles_survive_rebuilds():
+    t = RBSTS(range(100), seed=3)
+    handles = {i: t.leaf_at(i) for i in range(100)}
+    rng = random.Random(0)
+    for k in range(60):
+        t.insert(rng.randint(0, t.n_leaves), 1000 + k)
+    for i, h in handles.items():
+        assert h.item == i
+        assert t.contains(h)
+    t.check_invariants()
+
+
+def test_expected_depth_logarithmic_after_churn():
+    t = RBSTS(range(512), seed=9)
+    rng = random.Random(1)
+    for k in range(800):
+        if rng.random() < 0.5 and t.n_leaves > 64:
+            t.delete(t.leaf_at(rng.randint(0, t.n_leaves - 1)))
+        else:
+            t.insert(rng.randint(0, t.n_leaves), k)
+    t.check_invariants()
+    import math
+
+    assert t.depth() <= 6 * math.log2(t.n_leaves)
+
+
+def test_update_leaf_item_refreshes_summaries():
+    t = summed(range(50), seed=4)
+    leaf = t.leaf_at(20)
+    t.update_leaf_item(leaf, 1000)
+    assert t.root.summary == sum(range(50)) - 20 + 1000
+    t.check_invariants()
+
+
+def test_seed_determinism():
+    shape_a = [n.is_leaf for n in _preorder(RBSTS(range(64), seed=5))]
+    shape_b = [n.is_leaf for n in _preorder(RBSTS(range(64), seed=5))]
+    shape_c = [n.is_leaf for n in _preorder(RBSTS(range(64), seed=6))]
+    assert shape_a == shape_b
+    assert shape_a != shape_c
+
+
+def _preorder(t):
+    out, stack = [], [t.root]
+    while stack:
+        n = stack.pop()
+        out.append(n)
+        if not n.is_leaf:
+            stack.extend([n.right, n.left])
+    return out

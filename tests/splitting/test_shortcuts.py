@@ -1,0 +1,93 @@
+"""Shortcut geometry: the ⌊d·(1−ρ^i)⌋ depth rule and repairs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.splitting.rbsts import RBSTS
+from repro.splitting.shortcuts import (
+    DEFAULT_RATIO,
+    presence_threshold,
+    repair_path,
+    shortcut_target_depths,
+)
+
+
+def test_root_has_no_targets():
+    assert shortcut_target_depths(0) == []
+
+
+def test_depth_one_targets_only_root():
+    assert shortcut_target_depths(1) == [0]
+
+
+@given(depth=st.integers(1, 5000))
+@settings(max_examples=100, deadline=None)
+def test_targets_strictly_increasing_ending_at_parent(depth):
+    targets = shortcut_target_depths(depth)
+    assert targets[0] == 0  # s_{v,0} is the root
+    assert targets[-1] == depth - 1  # ends at the parent
+    assert all(a < b for a, b in zip(targets, targets[1:]))
+    assert all(0 <= t < depth for t in targets)
+
+
+@given(depth=st.integers(2, 5000))
+@settings(max_examples=100, deadline=None)
+def test_list_length_logarithmic(depth):
+    import math
+
+    targets = shortcut_target_depths(depth)
+    # O(log_{3/2} d) entries plus the appended parent.
+    bound = math.log(depth, 1 / DEFAULT_RATIO) + 3
+    assert len(targets) <= bound
+
+
+@given(depth=st.integers(3, 2000))
+@settings(max_examples=60, deadline=None)
+def test_remaining_range_shrinks_geometrically(depth):
+    """d - t_i ratio: consecutive gaps shrink by ~ratio (the property
+    the range-splitting argument needs)."""
+    targets = shortcut_target_depths(depth)
+    for a, b in zip(targets, targets[1:]):
+        # the sub-range [a, b] is at most ~2/3 of [a, depth] plus
+        # rounding slack of one unit
+        assert (b - a) <= DEFAULT_RATIO * (depth - a) + 1
+
+
+def test_presence_threshold_doubly_logarithmic():
+    assert presence_threshold(16) >= 1
+    t_small = presence_threshold(1 << 10)
+    t_large = presence_threshold(1 << 20)
+    assert t_small <= t_large <= t_small + 2  # loglog grows glacially
+
+
+def test_repair_path_equips_tall_bare_nodes():
+    tree = RBSTS(range(256), seed=1)
+    # Strip shortcuts off the root path of some leaf, then repair.
+    leaf = tree.leaf_at(100)
+    stripped = []
+    node = leaf.parent
+    while node is not None:
+        if node.shortcuts is not None:
+            node.shortcuts = None
+            stripped.append(node)
+        node = node.parent
+    created = repair_path(leaf, tree.n_leaves)
+    threshold = presence_threshold(tree.n_leaves)
+    assert created >= sum(1 for v in stripped if v.height > 2 * threshold)
+    for v in stripped:
+        if v.height > 2 * threshold:
+            assert v.shortcuts is not None
+
+
+def test_repair_path_refreshes_heights():
+    tree = RBSTS(range(64), seed=2)
+    leaf = tree.leaf_at(10)
+    chain = []
+    node = leaf.parent
+    while node is not None:
+        chain.append(node)
+        node.height = 0  # corrupt
+        node = node.parent
+    repair_path(leaf, tree.n_leaves)
+    for v in chain:
+        assert v.height == 1 + max(v.left.height, v.right.height)

@@ -1,0 +1,60 @@
+"""Exception hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "PRAMError",
+        "WriteConflictError",
+        "ProcessorLimitError",
+        "MachineStateError",
+        "TreeStructureError",
+        "NotALeafError",
+        "UnknownNodeError",
+        "AlgebraError",
+        "RequestError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_sub_hierarchies():
+    assert issubclass(errors.WriteConflictError, errors.PRAMError)
+    assert issubclass(errors.NotALeafError, errors.TreeStructureError)
+
+
+def test_library_never_raises_bare_exceptions():
+    """Catching ReproError must be enough for structure misuse."""
+    from repro import RBSTS
+
+    tree = RBSTS([1])
+    with pytest.raises(errors.ReproError):
+        tree.delete(tree.leaf_at(0))
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_version_is_pep440ish():
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts[:2])
+
+
+def test_quickstart_docstring_flow():
+    """The README/docstring quickstart must actually run."""
+    from repro import INTEGER, DynamicExpression
+
+    expr = DynamicExpression.from_random(INTEGER, n_leaves=100, seed=1)
+    before = expr.value()
+    leaf = expr.some_leaf()
+    expr.batch_set_values([(leaf, 42)])
+    assert expr.value() == expr.tree.evaluate()
+    assert expr.tree.node(leaf).value == 42
+    assert isinstance(before, int)

@@ -1,0 +1,73 @@
+"""Workload generators produce valid trees of the promised shapes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.rings import INTEGER
+from repro.trees.builders import (
+    balanced_tree,
+    caterpillar_tree,
+    random_expression_tree,
+    random_tree,
+)
+from repro.trees.validate import check_tree
+
+
+def test_balanced_tree_shape():
+    t = balanced_tree(INTEGER, depth=5)
+    check_tree(t)
+    assert len(t.leaves_in_order()) == 32
+    assert t.height() == 5
+
+
+def test_caterpillar_is_maximally_deep():
+    t = caterpillar_tree(INTEGER, n_leaves=50)
+    check_tree(t)
+    assert len(t.leaves_in_order()) == 50
+    assert t.height() == 49
+
+
+def test_caterpillar_single_leaf():
+    t = caterpillar_tree(INTEGER, n_leaves=1)
+    assert t.root.is_leaf
+
+
+@pytest.mark.parametrize("builder", [caterpillar_tree, random_tree])
+def test_builders_reject_zero_leaves(builder):
+    with pytest.raises(ValueError):
+        builder(INTEGER, 0)
+
+
+@given(n=st.integers(1, 200), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_random_tree_leaf_count_and_validity(n, seed):
+    t = random_tree(INTEGER, n, random.Random(seed))
+    check_tree(t)
+    assert len(t.leaves_in_order()) == n
+
+
+def test_random_tree_is_seed_deterministic():
+    def shape(seed):
+        t = random_expression_tree(INTEGER, 64, seed=seed)
+        return [n.is_leaf for n in t.nodes_preorder()]
+
+    assert shape(5) == shape(5)
+    assert shape(5) != shape(6)
+
+
+def test_random_tree_expected_depth_logarithmic():
+    depths = []
+    for seed in range(10):
+        t = random_tree(INTEGER, 1024, random.Random(seed))
+        depths.append(t.height())
+    mean = sum(depths) / len(depths)
+    # E[depth] ~ c*log2(1024) = c*10 with small c; far below linear.
+    assert 10 <= mean <= 80
+
+
+def test_random_expression_tree_mixes_ops():
+    t = random_expression_tree(INTEGER, 500, seed=3, mul_probability=0.5)
+    kinds = {n.op.kind for n in t.nodes_preorder() if not n.is_leaf}
+    assert kinds == {"add", "mul"}

@@ -1,0 +1,120 @@
+"""Expression-tree structure, mutation repertoire and oracle evaluation."""
+
+import pytest
+
+from repro.algebra.rings import INTEGER, modular_ring
+from repro.errors import NotALeafError, TreeStructureError, UnknownNodeError
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op, mul_op
+from repro.trees.validate import check_tree
+
+
+def small_tree():
+    t = ExprTree(INTEGER, root_value=1)
+    l, r = t.grow_leaf(t.root.nid, add_op(), 2, 3)
+    return t, l, r
+
+
+def test_single_leaf_tree_evaluates_to_its_value():
+    t = ExprTree(INTEGER, root_value=7)
+    assert t.evaluate() == 7
+    assert len(t) == 1
+    check_tree(t)
+
+
+def test_grow_turns_leaf_internal():
+    t, l, r = small_tree()
+    assert t.evaluate() == 5
+    assert not t.root.is_leaf
+    assert t.node(l).is_leaf and t.node(r).is_leaf
+    check_tree(t)
+
+
+def test_grow_rejects_internal_target():
+    t, l, r = small_tree()
+    with pytest.raises(NotALeafError):
+        t.grow_leaf(t.root.nid, add_op(), 0, 0)
+
+
+def test_prune_restores_leaf():
+    t, l, r = small_tree()
+    removed = t.prune_children(t.root.nid, 9)
+    assert removed == (l, r)
+    assert t.root.is_leaf
+    assert t.evaluate() == 9
+    assert l not in t and r not in t
+    check_tree(t)
+
+
+def test_prune_rejects_leaf_and_deep_targets():
+    t, l, r = small_tree()
+    with pytest.raises(TreeStructureError):
+        t.prune_children(l, 0)  # leaf
+    t.grow_leaf(l, mul_op(), 4, 5)
+    with pytest.raises(TreeStructureError):
+        t.prune_children(t.root.nid, 0)  # children not both leaves
+    check_tree(t)
+
+
+def test_set_leaf_value_and_op():
+    t, l, r = small_tree()
+    t.set_leaf_value(l, 10)
+    assert t.evaluate() == 13
+    t.set_op(t.root.nid, mul_op())
+    assert t.evaluate() == 30
+    with pytest.raises(NotALeafError):
+        t.set_leaf_value(t.root.nid, 1)
+    with pytest.raises(TreeStructureError):
+        t.set_op(l, add_op())
+
+
+def test_unknown_node_errors():
+    t, _, _ = small_tree()
+    with pytest.raises(UnknownNodeError):
+        t.node(999)
+
+
+def test_add_const_op_semantics():
+    t = ExprTree(INTEGER, root_value=0)
+    t.grow_leaf(t.root.nid, add_op(const=100), 1, 2)
+    assert t.evaluate() == 103
+
+
+def test_evaluate_subtree():
+    t = ExprTree(INTEGER, root_value=0)
+    l, r = t.grow_leaf(t.root.nid, add_op(), 1, 2)
+    ll, lr = t.grow_leaf(l, mul_op(), 3, 4)
+    assert t.evaluate(at=l) == 12
+    assert t.evaluate(at=ll) == 3
+    assert t.evaluate() == 14
+
+
+def test_evaluate_over_modular_ring():
+    ring = modular_ring(5)
+    t = ExprTree(ring, root_value=0)
+    t.grow_leaf(t.root.nid, mul_op(), 3, 4)
+    assert t.evaluate() == 2  # 12 mod 5
+
+
+def test_deep_tree_evaluation_is_iterative():
+    # 5000-deep caterpillar must not hit the recursion limit.
+    t = ExprTree(INTEGER, root_value=0)
+    spine = t.root.nid
+    for _ in range(5000):
+        _, spine = t.grow_leaf(spine, add_op(), 1, 0)
+    assert t.evaluate() == 5000
+    assert t.height() == 5000
+
+
+def test_leaves_in_order_and_version_bumps():
+    t, l, r = small_tree()
+    v0 = t.version
+    assert [x.nid for x in t.leaves_in_order()] == [l, r]
+    t.set_leaf_value(l, 0)
+    assert t.version == v0 + 1
+
+
+def test_depth_of():
+    t, l, r = small_tree()
+    assert t.depth_of(t.root.nid) == 0
+    assert t.depth_of(l) == 1

@@ -1,0 +1,79 @@
+"""Euler tours and orderings against first-principles oracles."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.rings import INTEGER
+from repro.trees.builders import balanced_tree, caterpillar_tree, random_expression_tree
+from repro.trees.traversal import euler_tour, first_visits, preorder_ids
+
+
+def recursive_preorder(tree):
+    out = []
+
+    def go(node):
+        out.append(node.nid)
+        if not node.is_leaf:
+            go(node.left)
+            go(node.right)
+
+    go(tree.root)
+    return out
+
+
+def test_preorder_matches_recursive_oracle():
+    t = random_expression_tree(INTEGER, 100, seed=1)
+    assert preorder_ids(t) == recursive_preorder(t)
+
+
+def test_euler_tour_event_count():
+    # 2*edges + 1 events = 2*(nodes-1) + 1.
+    t = random_expression_tree(INTEGER, 60, seed=2)
+    events = euler_tour(t)
+    assert len(events) == 2 * (len(t) - 1) + 1
+
+
+def test_euler_tour_enter_counts_and_up_counts():
+    t = balanced_tree(INTEGER, 4)
+    events = euler_tour(t)
+    enters = [e for e in events if e.kind == "enter"]
+    ups = [e for e in events if e.kind == "up"]
+    assert len(enters) == len(t)
+    internal = len(t) - len(t.leaves_in_order())
+    assert len(ups) == 2 * internal
+
+
+def test_euler_tour_depth_profile():
+    t = caterpillar_tree(INTEGER, 10)
+    depth = 0
+    seen_depth = {}
+    events = euler_tour(t)
+    for ev in events:
+        if ev.kind == "enter":
+            depth += 1
+            seen_depth.setdefault(ev.nid, depth - 1)
+        else:
+            depth -= 1
+    assert depth == 1  # root's enter never popped
+    for nid, d in seen_depth.items():
+        assert d == t.depth_of(nid)
+
+
+def test_first_visits_are_enter_positions():
+    t = random_expression_tree(INTEGER, 40, seed=4)
+    events = euler_tour(t)
+    fv = first_visits(events)
+    for nid, idx in fv.items():
+        assert events[idx].nid == nid and events[idx].kind == "enter"
+        # no earlier enter for the same node
+        assert all(
+            not (e.kind == "enter" and e.nid == nid) for e in events[:idx]
+        )
+
+
+@given(n=st.integers(1, 80), seed=st.integers(0, 20))
+@settings(max_examples=25, deadline=None)
+def test_enter_order_is_preorder(n, seed):
+    t = random_expression_tree(INTEGER, n, seed=seed)
+    events = euler_tour(t)
+    enters = [e.nid for e in events if e.kind == "enter"]
+    assert enters == preorder_ids(t)

@@ -1,0 +1,65 @@
+"""The validator must catch each class of corruption it claims to."""
+
+import pytest
+
+from repro.algebra.rings import INTEGER
+from repro.errors import TreeStructureError
+from repro.trees.builders import random_expression_tree
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op
+from repro.trees.validate import check_tree
+
+
+def corruptible():
+    t = ExprTree(INTEGER, root_value=0)
+    l, r = t.grow_leaf(t.root.nid, add_op(), 1, 2)
+    return t, t.node(l), t.node(r)
+
+
+def test_valid_tree_passes():
+    check_tree(random_expression_tree(INTEGER, 100, seed=0))
+
+
+def test_detects_broken_parent_pointer():
+    t, l, r = corruptible()
+    l.parent = None
+    with pytest.raises(TreeStructureError):
+        check_tree(t)
+
+
+def test_detects_half_internal_node():
+    t, l, r = corruptible()
+    t.root.right = None
+    with pytest.raises(TreeStructureError):
+        check_tree(t)
+
+
+def test_detects_leaf_without_value():
+    t, l, r = corruptible()
+    l.value = None
+    with pytest.raises(TreeStructureError):
+        check_tree(t)
+
+
+def test_detects_internal_with_value():
+    t, l, r = corruptible()
+    t.root.value = 5
+    with pytest.raises(TreeStructureError):
+        check_tree(t)
+
+
+def test_detects_cycle():
+    t, l, r = corruptible()
+    l.op = add_op()
+    l.left = t.root
+    l.right = r
+    with pytest.raises(TreeStructureError):
+        check_tree(t)
+
+
+def test_detects_orphan_registry_entry():
+    t, l, r = corruptible()
+    ghost_tree = ExprTree(INTEGER, root_value=0)
+    t._nodes[999] = ghost_tree.root
+    with pytest.raises(TreeStructureError):
+        check_tree(t)
