@@ -1,0 +1,38 @@
+# Developer entry points.  The test suite is pure-stdlib apart from
+# pytest/hypothesis (already provisioned); nothing here installs
+# anything.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-perf bench bench-smoke regress clean
+
+## Tier-1 suite (the reproduction contract).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Just the flat-vs-reference differential harness.
+test-perf:
+	$(PYTHON) -m pytest tests/perf -q
+
+## Full perf harness: refresh BENCH_PR1.json at the repo root.
+bench:
+	$(PYTHON) benchmarks/perf_harness.py
+
+## Smoke-size harness run: exercises the harness + regression gate on
+## the quick grid (generous wall-clock threshold — the simulated-cost
+## equality check is the deterministic part) and asserts the committed
+## PR baseline is present and well-formed.
+bench-smoke:
+	$(PYTHON) benchmarks/perf_harness.py --quick --out /tmp/bench_smoke.json
+	$(PYTHON) benchmarks/regress.py --baseline /tmp/bench_smoke.json --quick --threshold 10.0
+	$(PYTHON) -c "import json; d=json.load(open('BENCH_PR1.json')); assert d['schema']=='repro-perf-harness/1' and d['cells'], 'bad baseline'; print('BENCH_PR1.json ok:', len(d['cells']), 'cells')"
+
+## Regression gate against the committed baseline (exit 1 on >25%
+## wall-clock regression or any simulated-cost drift).
+regress:
+	$(PYTHON) benchmarks/regress.py
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis

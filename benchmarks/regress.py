@@ -1,0 +1,114 @@
+"""Perf-regression gate: replay the harness grid against a baseline.
+
+Loads a baseline report (``BENCH_PR1.json`` at the repo root by
+default), re-runs the identical seeded cell grid, and fails when:
+
+* any cell's wall-clock exceeds the baseline by more than
+  ``--threshold`` (default 25%) — tiny cells get an absolute slack
+  floor so scheduler noise can't flake the gate; or
+* any cell's *simulated* costs differ from the baseline at all.  The
+  simulated numbers are exact deterministic functions of the seeds, so
+  any drift means the algorithm changed, not the machine.
+
+Exit codes: 0 ok, 1 regression detected, 2 baseline missing/unreadable.
+
+Run:  PYTHONPATH=src python benchmarks/regress.py [--baseline PATH]
+          [--threshold 0.25] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import perf_harness  # noqa: E402  (sibling module, scripts run file-direct)
+
+# Cells faster than this in the baseline are judged against an absolute
+# slack instead of the relative threshold (they are noise-dominated).
+ABS_SLACK_S = 0.010
+
+
+def key_of(entry: Dict[str, Any]) -> str:
+    return (
+        f"{entry['experiment']}:n={entry['cell']['n']}"
+        f":u={entry['cell']['u']}:{entry['backend']}"
+    )
+
+
+def compare(
+    baseline: Dict[str, Any], current: Dict[str, Any], threshold: float
+) -> List[str]:
+    failures: List[str] = []
+    base_by_key = {key_of(e): e for e in baseline["cells"]}
+    for cur in current["cells"]:
+        key = key_of(cur)
+        base = base_by_key.pop(key, None)
+        if base is None:
+            failures.append(f"{key}: no baseline entry (grid drift)")
+            continue
+        if base["simulated"] != cur["simulated"]:
+            failures.append(
+                f"{key}: simulated-cost drift "
+                f"(baseline {base['simulated']} != current {cur['simulated']})"
+            )
+        b, c = base["wall_clock_s"], cur["wall_clock_s"]
+        limit = max(b * (1.0 + threshold), b + ABS_SLACK_S)
+        status = "OK"
+        if c > limit:
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: wall-clock {c:.4f}s > limit {limit:.4f}s "
+                f"(baseline {b:.4f}s, threshold {threshold:.0%})"
+            )
+        print(f"{status:>10}  {key:<40} base {b:.4f}s  now {c:.4f}s")
+    for key in base_by_key:
+        failures.append(f"{key}: baseline cell missing from current run")
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default=perf_harness.DEFAULT_OUT)
+    ap.add_argument("--threshold", type=float, default=0.25)
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the smoke grid (baseline must also be quick)",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    if baseline.get("schema") != "repro-perf-harness/1":
+        print(f"unrecognised baseline schema in {args.baseline}", file=sys.stderr)
+        return 2
+    if bool(baseline.get("quick")) != args.quick:
+        print(
+            "baseline/run grid mismatch: baseline quick="
+            f"{baseline.get('quick')} but --quick={args.quick}",
+            file=sys.stderr,
+        )
+        return 2
+
+    current = perf_harness.run(quick=args.quick)
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

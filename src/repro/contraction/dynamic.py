@@ -39,7 +39,7 @@ from ..trees.nodes import Op
 from .evaluator import collect_wound, heal_bottom_up
 from .labels import apply_label
 from .rake_tree import RakeTrace, build_trace
-from .schedule import build_schedule
+from .schedule import Schedule, build_schedule, build_schedule_flat
 
 __all__ = ["DynamicTreeContraction"]
 
@@ -55,17 +55,25 @@ class DynamicTreeContraction:
         methods, otherwise the contraction state goes stale.
     seed:
         RBSTS randomness seed.
+    backend:
+        RBSTS backend for the contraction parse tree: ``"reference"``
+        (pointer graph) or ``"flat"``
+        (:class:`~repro.perf.flat_rbsts.FlatRBSTS`).  Same seed gives
+        the same PT shapes, hence the same rake schedule and values.
     """
 
-    def __init__(self, tree: ExprTree, *, seed: int = 0) -> None:
+    def __init__(
+        self, tree: ExprTree, *, seed: int = 0, backend: str = "reference"
+    ) -> None:
         self.tree = tree
+        self.backend = backend
         leaf_ids = [leaf.nid for leaf in tree.leaves_in_order()]
-        self.pt = RBSTS(leaf_ids, seed=seed)
+        self.pt = RBSTS(leaf_ids, seed=seed, backend=backend)
         # T-leaf id -> RBSTS leaf handle (kept in sync across updates).
         self.handle: Dict[int, BSTNode] = {
             h.item: h for h in self.pt.leaves()
         }
-        self.trace: RakeTrace = build_trace(tree, build_schedule(self.pt.root))
+        self.trace: RakeTrace = build_trace(tree, self._schedule())
         self.last_stats: Dict[str, Any] = {
             "fresh_rt_nodes": self.trace.fresh_nodes,
             "rounds": self.trace.rounds,
@@ -347,13 +355,18 @@ class DynamicTreeContraction:
                 f"node {leaf_id} is not a current leaf"
             ) from None
 
+    def _schedule(self) -> Schedule:
+        """Derive the rake schedule from the current PT shape via the
+        backend-appropriate traversal."""
+        if self.backend == "flat":
+            return build_schedule_flat(self.pt)
+        return build_schedule(self.pt.root)
+
     def _recontract(self, tracker: SpanTracker, u: int) -> None:
         """Memoised replay: re-derive RT, reusing every event outside
         the wound.  ``fresh_nodes`` is the measured wound size."""
         old = self.trace
-        self.trace = build_trace(
-            self.tree, build_schedule(self.pt.root), old=old
-        )
+        self.trace = build_trace(self.tree, self._schedule(), old=old)
         self._charge_wound(tracker, u, extra=self.trace.fresh_nodes)
         self.last_stats = {
             "fresh_rt_nodes": self.trace.fresh_nodes,

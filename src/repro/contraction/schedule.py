@@ -25,7 +25,7 @@ from typing import Any, Dict, List
 
 from ..splitting.node import BSTNode
 
-__all__ = ["RakeEvent", "Schedule", "build_schedule"]
+__all__ = ["RakeEvent", "Schedule", "build_schedule", "build_schedule_flat"]
 
 
 @dataclass(frozen=True)
@@ -101,4 +101,51 @@ def build_schedule(root: BSTNode) -> Schedule:
     # the same round ordering); sort defensively by raked id order in
     # the leaf sequence is unnecessary — left-to-right emission follows
     # from the in-order traversal structure.
+    return Schedule(rounds=events_by_round)
+
+
+def build_schedule_flat(tree) -> Schedule:
+    """:func:`build_schedule` over a
+    :class:`~repro.perf.flat_rbsts.FlatRBSTS` (the flat backend of the
+    contraction ``PT``).
+
+    The same two-phase post-order pass, but over the slab's
+    ``left``/``right``/``item`` arrays instead of node objects.  Since
+    the schedule is a pure function of the RBSTS *shape* and leaf
+    items, the emitted ``(raked, survivor, round)`` stream is identical
+    to the reference backend's for equal shapes — ``pt_node`` carries
+    the slab slot instead of a Python ``id`` (both are opaque
+    provenance tags; the replay in rake_tree.py keys on raked-leaf
+    identity only).
+    """
+    left, right, item = tree._left, tree._right, tree._item
+    rounds_of: Dict[int, int] = {}
+    repr_of: Dict[int, Any] = {}
+    events_by_round: List[List[RakeEvent]] = []
+    stack: List[tuple[int, bool]] = [(tree.root_index, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if left[node] == -1:  # leaf slot
+            rounds_of[node] = 0
+            repr_of[node] = item[node]
+            continue
+        if not expanded:
+            stack.append((node, True))
+            stack.append((right[node], False))
+            stack.append((left[node], False))
+            continue
+        l, r = left[node], right[node]
+        rnd = 1 + max(rounds_of[l], rounds_of[r])
+        rounds_of[node] = rnd
+        repr_of[node] = repr_of[r]
+        while len(events_by_round) < rnd:
+            events_by_round.append([])
+        events_by_round[rnd - 1].append(
+            RakeEvent(
+                pt_node=node,
+                raked=repr_of[l],
+                survivor=repr_of[r],
+                round=rnd,
+            )
+        )
     return Schedule(rounds=events_by_round)

@@ -48,19 +48,33 @@ class IncrementalListPrefix:
         Initial sequence (at least one element).
     seed:
         RBSTS randomness seed.
+    backend:
+        ``"reference"`` (pointer graph) or ``"flat"``
+        (:class:`~repro.perf.flat_rbsts.FlatRBSTS` struct-of-arrays
+        core); same seed → same shapes and answers on both.
 
-    Leaf *handles* (:class:`~repro.splitting.node.BSTNode`) returned by
-    :meth:`handles`, :meth:`handle_at` and :meth:`batch_insert` stay
-    valid across all updates.
+    Leaf *handles* (:class:`~repro.splitting.node.BSTNode`, or
+    :class:`~repro.perf.flat_rbsts.FlatLeaf` under the flat backend)
+    returned by :meth:`handles`, :meth:`handle_at` and
+    :meth:`batch_insert` stay valid across all updates.
     """
 
-    def __init__(self, monoid: Monoid, values: Iterable[Any], *, seed: int = 0):
+    def __init__(
+        self,
+        monoid: Monoid,
+        values: Iterable[Any],
+        *,
+        seed: int = 0,
+        backend: str = "reference",
+    ):
         self.monoid = monoid
         self.tree = RBSTS(
             values,
             seed=seed,
             summarizer=Summarizer(monoid, lambda item: item),
+            backend=backend,
         )
+        self._flat = backend == "flat"
 
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
@@ -81,12 +95,18 @@ class IncrementalListPrefix:
     def total(self) -> Any:
         """Fold of the entire sequence — read straight off the root
         (exactly maintained, §1.1)."""
+        if self._flat:
+            return self.tree._summary[self.tree.root_index]
         return self.tree.root.summary
 
     # -- queries ------------------------------------------------------------
     def prefix(self, handle: BSTNode) -> Any:
         """Inclusive prefix fold at one leaf; O(depth) sequential (the
         'known sequential algorithm' of §1.2)."""
+        if self._flat:
+            from ..perf.flat_prefix import flat_prefix_fold
+
+            return flat_prefix_fold(self.tree, self.monoid, handle)
         acc_left = self.monoid.identity
         node = handle
         while node.parent is not None:
@@ -114,9 +134,7 @@ class IncrementalListPrefix:
         tracker = tracker if tracker is not None else SpanTracker()
         result = activate(self.tree, handles, tracker)
         try:
-            pat = build_extended_parse_tree(
-                self.tree.root, result.node_set(), handles
-            )
+            pat = self._parse_tree(result, handles)
             sums = pat.summary_values()
             # Parallel prefix over the P̂T(U) leaf sequence: charged at
             # the textbook span O(log k), work O(k).
@@ -150,9 +168,7 @@ class IncrementalListPrefix:
         tracker = tracker if tracker is not None else SpanTracker()
         result = activate(self.tree, handles, tracker)
         try:
-            pat = build_extended_parse_tree(
-                self.tree.root, result.node_set(), handles
-            )
+            pat = self._parse_tree(result, handles)
             k = len(pat.entries)
             tracker.charge(work=2 * k, span=max(1, 2 * math.ceil(math.log2(k + 1))))
             acc = self.monoid.identity
@@ -166,6 +182,16 @@ class IncrementalListPrefix:
             return acc
         finally:
             deactivate(result)
+
+    # -- internals --------------------------------------------------------
+    def _parse_tree(self, result, handles):
+        """Flatten ``P̂T(U)`` with the construction matching the active
+        backend; the produced entry sequence is identical either way."""
+        if self._flat:
+            from ..perf.flat_prefix import flat_extended_parse_tree
+
+            return flat_extended_parse_tree(self.tree, result.node_set(), handles)
+        return build_extended_parse_tree(self.tree.root, result.node_set(), handles)
 
     # -- updates ---------------------------------------------------------
     def batch_set(

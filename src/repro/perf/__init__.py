@@ -1,0 +1,36 @@
+"""Performance backends: flat array-backed cores for the hot paths.
+
+The reference implementations under :mod:`repro.splitting` are
+pointer-chasing object graphs — ideal for auditing against the paper,
+but the batch-dynamic-trees experimental literature (Ikram et al.,
+Tseng et al.) shows that layout loses heavily to flat struct-of-arrays
+cores.  This package holds those cores:
+
+* :mod:`~repro.perf.flat_rbsts` — ``FlatRBSTS``, the RBSTS of §2 over
+  parallel int arrays with a slab allocator + free-list; selected via
+  ``RBSTS(items, backend="flat")``.
+* :mod:`~repro.perf.flat_activation` — Theorem 2.1 processor activation
+  over the flat arrays.
+* :mod:`~repro.perf.flat_prefix` — extended parse-tree flattening
+  (``P̂T(U)``, §3) over the flat arrays, feeding
+  :class:`~repro.listprefix.structure.IncrementalListPrefix`.
+
+Every flat core is pinned op-for-op against its reference twin by the
+differential harness in ``tests/perf/`` — same seeds, same shapes, same
+shortcut lists, same summaries, same activation round counts.
+"""
+
+from .flat_activation import FlatActivationResult, flat_activate, flat_deactivate
+from .flat_prefix import FlatSummaryRef, flat_extended_parse_tree, flat_prefix_fold
+from .flat_rbsts import FlatLeaf, FlatRBSTS
+
+__all__ = [
+    "FlatActivationResult",
+    "FlatLeaf",
+    "FlatRBSTS",
+    "FlatSummaryRef",
+    "flat_activate",
+    "flat_deactivate",
+    "flat_extended_parse_tree",
+    "flat_prefix_fold",
+]

@@ -1,0 +1,264 @@
+"""Theorem 2.1 processor activation over the flat arrays.
+
+Round-for-round mirror of :mod:`repro.splitting.activation` with every
+node reference replaced by a slot index into the
+:class:`~repro.perf.flat_rbsts.FlatRBSTS` slab: stage 1 walks the
+``parent`` array, stage 2 range-splits along the interned shortcut
+tuples with CRCW MIN-combining writes into the ``low`` array, stage 3
+walks the residual ranges (at most ``θ`` steps each).
+
+Because both implementations advance their simulated processors in
+identical iteration order over identical shapes, the reported round
+counts, processor counts and fallback-walk steps are *equal*, not
+merely asymptotically matched — the differential harness pins them.
+
+The dispatching entry points live in
+:func:`repro.splitting.activation.activate` /
+:func:`~repro.splitting.activation.deactivate`; callers never import
+this module directly.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Union
+
+from ..errors import RequestError
+from ..pram.frames import SpanTracker
+from .flat_rbsts import NIL, FlatLeaf, FlatRBSTS
+
+__all__ = ["FlatActivationResult", "flat_activate", "flat_deactivate"]
+
+
+@dataclass
+class FlatActivationResult:
+    """Outcome of one activation over a :class:`FlatRBSTS`.
+
+    Field-for-field compatible with
+    :class:`~repro.splitting.activation.ActivationResult` except that
+    ``activated`` holds slot indices and ``node_set()`` returns the slot
+    set (the flat analogue of the reference's ``id()`` set)."""
+
+    tree: FlatRBSTS
+    activated: List[int]
+    rounds_stage1: int
+    rounds_stage2: int
+    rounds_stage3: int
+    processors: int
+    peak_processors: int
+    threshold: int
+    fallback_walk_steps: int
+
+    @property
+    def rounds_total(self) -> int:
+        return self.rounds_stage1 + self.rounds_stage2 + self.rounds_stage3
+
+    def node_set(self) -> Set[int]:
+        return set(self.activated)
+
+    def deactivate(self) -> None:
+        """Reset ``ACTIVE`` flags and coverage cells (retiring
+        processors, as in the reference)."""
+        active, low = self.tree._active, self.tree._low
+        for slot in self.activated:
+            active[slot] = 0
+            low[slot] = None
+
+
+class _FlatProc:
+    """One simulated stage-2 processor resident at slot ``node`` —
+    the array twin of :class:`repro.splitting.activation._Proc`."""
+
+    __slots__ = ("node", "depths", "p", "l", "u", "floor", "need_back", "walking")
+
+    def __init__(self, tree: FlatRBSTS, node: int) -> None:
+        self.node = node
+        sc = tree._shortcuts[node]
+        depth_arr = tree._depth
+        self.depths: Optional[List[int]] = (
+            [depth_arr[s] for s in sc] if sc is not None else None
+        )
+        self.u = depth_arr[node]
+        low = tree._low[node]
+        self.floor = low if low is not None else 0
+        self.need_back = False
+        self.walking = self.depths is None  # defensive fallback mode
+        if self.depths is not None:
+            self.p = max(0, bisect_right(self.depths, self.floor) - 1)
+            self.l = self.depths[self.p]
+        else:
+            self.p = 0
+            self.l = self.floor
+
+
+def flat_activate(
+    tree: FlatRBSTS,
+    leaves: Sequence[Union[FlatLeaf, int]],
+    tracker: Optional[SpanTracker] = None,
+    *,
+    max_rounds: int = 1_000_000,
+) -> FlatActivationResult:
+    """Identify and mark ``PT(U)`` for ``U = leaves`` (Theorem 2.1).
+
+    ``leaves`` may be :class:`FlatLeaf` handles or raw leaf slot
+    indices.  Marks ``active`` on every parse-tree slot and returns the
+    activated slot list; callers must hand the result to
+    :func:`flat_deactivate` (or ``result.deactivate()``) when done.
+    """
+    if not leaves:
+        raise RequestError("activation requires a non-empty update set")
+    left_arr = tree._left
+    u_slots: List[int] = []
+    for leaf in leaves:
+        slot = tree._check_handle(leaf) if isinstance(leaf, FlatLeaf) else leaf
+        if left_arr[slot] != NIL:
+            raise RequestError("activation set must consist of leaves")
+        u_slots.append(slot)
+
+    n = max(2, tree.n_leaves)
+    u = len(u_slots)
+    theta = max(1, math.ceil(math.log2(max(2.0, u * math.log2(n)))))
+
+    parent_arr = tree._parent
+    depth_arr = tree._depth
+    shortcuts = tree._shortcuts
+    active = tree._active
+    low_arr = tree._low
+
+    activated: List[int] = []
+
+    def mark(v: int) -> None:
+        if not active[v]:
+            active[v] = 1
+            activated.append(v)
+
+    def lower(v: int, value: int) -> None:
+        # CRCW MIN-combining write to the slot's coverage cell.
+        cur = low_arr[v]
+        if cur is None or value < cur:
+            low_arr[v] = value
+
+    # ---- stage 1: walk up to the first shortcut-bearing slot ------------
+    rounds1 = 0
+    walkers: List[int] = []
+    for slot in u_slots:
+        mark(slot)
+        walkers.append(slot)
+    arrivals: List[int] = []
+    while walkers:
+        rounds1 += 1
+        next_walkers: List[int] = []
+        for node in walkers:
+            if shortcuts[node] is not None or parent_arr[node] == NIL:
+                arrivals.append(node)
+                continue
+            parent = parent_arr[node]
+            if active[parent]:
+                # Shared path: an earlier walker owns the remainder.
+                continue
+            mark(parent)
+            next_walkers.append(parent)
+        walkers = next_walkers
+    if tracker is not None:
+        tracker.charge(work=rounds1 * u, span=rounds1)
+
+    # ---- stage-2 processor creation --------------------------------------
+    procs: List[_FlatProc] = []
+    resident: Set[int] = set()
+    total_procs = 0
+    for node in arrivals:
+        lower(node, 0)
+        # First arrival at a slot creates the (single) resident processor.
+        if node not in resident:
+            resident.add(node)
+            if parent_arr[node] != NIL:  # the root needs no processor
+                procs.append(_FlatProc(tree, node))
+                total_procs += 1
+
+    # ---- stage 2: range splitting ----------------------------------------
+    rounds2 = 0
+    peak = max(u, len(procs))
+    fallback_steps = 0
+    while True:
+        progressed = False
+        new_procs: List[_FlatProc] = []
+        for proc in procs:
+            node = proc.node
+            cell = low_arr[node]
+            target_low = cell if cell is not None else 0
+            if proc.walking:
+                continue  # handled in stage 3 (defensive mode)
+            assert proc.depths is not None
+            if target_low < proc.floor:
+                proc.floor = target_low
+                proc.need_back = True
+            if proc.need_back:
+                if proc.depths[proc.p] > proc.floor:
+                    proc.p -= 1
+                    proc.l = proc.depths[proc.p]
+                    progressed = True
+                    continue
+                proc.need_back = False
+            if proc.u - proc.l <= theta or proc.p + 1 >= len(proc.depths):
+                continue  # done splitting; residual range walks later
+            # Fork: the slot at the next shortcut takes the lower part.
+            w = shortcuts[node][proc.p + 1]  # type: ignore[index]
+            lower(w, proc.l)
+            if not active[w]:
+                mark(w)
+                if parent_arr[w] != NIL:
+                    new_procs.append(_FlatProc(tree, w))
+            proc.p += 1
+            proc.l = proc.depths[proc.p]
+            progressed = True
+        if not progressed:
+            break
+        rounds2 += 1
+        procs.extend(new_procs)
+        total_procs += len(new_procs)
+        peak = max(peak, len(procs))
+        if rounds2 > max_rounds:
+            raise RuntimeError("activation stage 2 failed to converge")
+    if tracker is not None:
+        tracker.charge(work=max(1, rounds2) * max(1, len(procs)), span=rounds2)
+
+    # ---- stage 3: residual walks -----------------------------------------
+    rounds3 = 0
+    for proc in procs:
+        node = proc.node
+        if proc.walking:
+            cell = low_arr[node]
+            target = cell if cell is not None else 0
+        else:
+            target = proc.l
+        steps = 0
+        cur = node
+        mark(cur)
+        while depth_arr[cur] > target and parent_arr[cur] != NIL:
+            cur = parent_arr[cur]
+            mark(cur)
+            steps += 1
+        if proc.walking:
+            fallback_steps += steps
+        rounds3 = max(rounds3, steps)
+    if tracker is not None:
+        tracker.charge(work=rounds3 * max(1, len(procs)), span=rounds3)
+
+    return FlatActivationResult(
+        tree=tree,
+        activated=activated,
+        rounds_stage1=rounds1,
+        rounds_stage2=rounds2,
+        rounds_stage3=rounds3,
+        processors=total_procs + u,
+        peak_processors=peak,
+        threshold=theta,
+        fallback_walk_steps=fallback_steps,
+    )
+
+
+def flat_deactivate(result: FlatActivationResult) -> None:
+    """Functional alias for ``result.deactivate()``."""
+    result.deactivate()

@@ -1,0 +1,1229 @@
+"""``FlatRBSTS`` — the RBSTS (§2) over a struct-of-arrays slab.
+
+Layout.  Every tree node is a *slot* in a set of parallel Python lists
+(``parent/left/right/n_leaves/depth/height`` as ints, ``-1`` = nil),
+plus ``shortcuts`` (interned tuples of slot indices or ``None``),
+``item``/``summary`` payload slots and the ``active``/``low`` activation
+cells of Theorem 2.1.  A slab allocator with a LIFO free-list recycles
+the internal slots discarded by rebuilds, so steady-state batches do no
+per-node object allocation at all — the classic flat-layout win the
+batch-dynamic-trees literature reports over pointer graphs.
+
+Handles.  Leaf slots are durable across rebuilds (exactly like the
+reference implementation's reused leaf objects), and callers hold them
+through interned :class:`FlatLeaf` proxies — tiny objects exposing
+``item`` (read/write), ``summary`` and ``is_leaf``, so the contraction
+and list-prefix layers use the same handle idiom for both backends.
+
+Equivalence contract.  ``FlatRBSTS`` consumes its master RNG in
+*exactly* the same order as the reference ``RBSTS`` for the same seed
+and operation sequence:
+
+* builds draw one ``random()`` per internal slot in the same LIFO
+  placement order;
+* single insert/delete walks draw master-RNG coins node by node;
+* batch operations draw one 64-bit substream seed per request (in
+  request order) and flip each request's coins root-to-leaf from its
+  substream — so the single *sorted root-to-leaf sweep* used here to
+  locate all sites at once sees bit-identical coins to the reference's
+  one-walk-per-request phase;
+* disjoint rebuilds run in canonical left-to-right site order off the
+  master RNG.
+
+The differential harness (``tests/perf/test_flat_vs_reference.py``)
+pins shapes, depths, heights, shortcut lists, summaries, sequence
+contents and batch statistics op-for-op under this contract.
+
+Order statistics.  ``leaf_at``/``index_of`` reuse ``n_leaves`` counts
+(no list materialisation), and the shortcut-depth schedules come from
+the interned cache in :mod:`repro.splitting.shortcuts` — a pure
+function of ``(d_v, ρ)`` that the reference used to recompute per node
+per rebuild.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import RequestError, TreeStructureError, UnknownNodeError
+from ..pram.frames import SpanTracker
+from ..splitting.build import Summarizer
+from ..splitting.shortcuts import (
+    DEFAULT_RATIO,
+    presence_threshold,
+    shortcut_target_depths,
+)
+
+__all__ = ["FlatLeaf", "FlatRBSTS"]
+
+NIL = -1
+
+
+class FlatLeaf:
+    """Durable handle to a leaf slot of a :class:`FlatRBSTS`.
+
+    Mirrors the reference backend's reused leaf ``BSTNode`` objects:
+    the handle stays valid across arbitrary rebuilds until the leaf is
+    deleted.  Only the payload is writable through the handle.
+    """
+
+    __slots__ = ("tree", "idx")
+
+    def __init__(self, tree: "FlatRBSTS", idx: int) -> None:
+        self.tree = tree
+        self.idx = idx
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def item(self) -> Any:
+        return self.tree._item[self.idx]
+
+    @item.setter
+    def item(self, value: Any) -> None:
+        self.tree._item[self.idx] = value
+
+    @property
+    def summary(self) -> Any:
+        return self.tree._summary[self.idx]
+
+    @property
+    def depth(self) -> int:
+        return self.tree._depth[self.idx]
+
+    @property
+    def n_leaves(self) -> int:
+        return 1
+
+    @property
+    def nid(self) -> int:
+        return self.idx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlatLeaf({self.idx}, item={self.tree._item[self.idx]!r})"
+
+
+class FlatRBSTS:
+    """Struct-of-arrays RBSTS; public surface mirrors
+    :class:`~repro.splitting.rbsts.RBSTS` (select with
+    ``RBSTS(items, backend="flat")``)."""
+
+    def __init__(
+        self,
+        items: Iterable[Any],
+        *,
+        seed: int = 0,
+        summarizer: Optional[Summarizer] = None,
+        ratio: float = DEFAULT_RATIO,
+    ) -> None:
+        items = list(items)
+        if not items:
+            raise ValueError("RBSTS requires at least one initial item")
+        self._rng = random.Random(seed)
+        self.summarizer = summarizer
+        self.ratio = ratio
+        self._n_highwater = len(items)
+
+        # --- the slab -------------------------------------------------
+        self._parent: List[int] = []
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._n_leaves: List[int] = []
+        self._depth: List[int] = []
+        self._height: List[int] = []
+        self._shortcuts: List[Optional[Tuple[int, ...]]] = []
+        self._item: List[Any] = []
+        self._summary: List[Any] = []
+        self._active: List[int] = []
+        self._low: List[Optional[int]] = []
+        self._handle: List[Optional[FlatLeaf]] = []
+        self._free: List[int] = []
+
+        # Bulk-extend every column once: slots 0..m-1 are the initial
+        # leaves (same numbering ``_alloc`` would produce one by one).
+        m = len(items)
+        nils = [NIL] * m
+        nones = [None] * m
+        zeros = [0] * m
+        self._parent[:] = nils
+        self._left[:] = nils
+        self._right[:] = nils
+        self._n_leaves[:] = [1] * m
+        self._depth[:] = zeros
+        self._height[:] = zeros
+        self._shortcuts[:] = nones
+        self._item[:] = items
+        self._summary[:] = nones
+        self._active[:] = zeros
+        self._low[:] = nones
+        self._handle[:] = nones
+        leaf_slots = list(range(m))
+        self.root_index: int = self._build(
+            leaf_slots, base_depth=0, path=[], tracker=None
+        )
+        self.last_batch_stats: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # slab allocator
+    # ------------------------------------------------------------------
+    def _alloc(self) -> int:
+        free = self._free
+        if free:
+            i = free.pop()
+            self._parent[i] = NIL
+            self._left[i] = NIL
+            self._right[i] = NIL
+            self._n_leaves[i] = 1
+            self._depth[i] = 0
+            self._height[i] = 0
+            self._shortcuts[i] = None
+            self._item[i] = None
+            self._summary[i] = None
+            self._active[i] = 0
+            self._low[i] = None
+            return i
+        i = len(self._parent)
+        self._parent.append(NIL)
+        self._left.append(NIL)
+        self._right.append(NIL)
+        self._n_leaves.append(1)
+        self._depth.append(0)
+        self._height.append(0)
+        self._shortcuts.append(None)
+        self._item.append(None)
+        self._summary.append(None)
+        self._active.append(0)
+        self._low.append(None)
+        self._handle.append(None)
+        return i
+
+    def _free_slot(self, i: int) -> None:
+        self._handle[i] = None
+        self._free.append(i)
+
+    def _alloc_internals(self, k: int) -> List[int]:
+        """Allocate ``k`` slots destined to be internal nodes of one
+        build, in bulk.
+
+        Recycled slots get only the fields reset that the build passes
+        won't overwrite (``shortcuts``/payload/activation cells); fresh
+        slots extend every column once with a single ``list.extend``
+        instead of 13 appends per slot — the allocator is the hottest
+        non-build code on the batch path.  Pop order off the free list
+        matches ``_alloc`` call-by-call, so slot numbering is unchanged.
+        """
+        free = self._free
+        take = min(k, len(free))
+        out: List[int] = []
+        if take:
+            shortcuts, item, summary = self._shortcuts, self._item, self._summary
+            active, low = self._active, self._low
+            append = out.append
+            pop = free.pop
+            for _ in range(take):
+                i = pop()
+                shortcuts[i] = None
+                item[i] = None
+                summary[i] = None
+                active[i] = 0
+                low[i] = None
+                append(i)
+        grow = k - take
+        if grow:
+            base = len(self._parent)
+            nils = [NIL] * grow
+            nones = [None] * grow
+            self._parent.extend(nils)
+            self._left.extend(nils)
+            self._right.extend(nils)
+            self._n_leaves.extend([1] * grow)
+            self._depth.extend([0] * grow)
+            self._height.extend([0] * grow)
+            self._shortcuts.extend(nones)
+            self._item.extend(nones)
+            self._summary.extend(nones)
+            self._active.extend([0] * grow)
+            self._low.extend(nones)
+            self._handle.extend(nones)
+            out.extend(range(base, base + grow))
+        return out
+
+    @property
+    def slab_size(self) -> int:
+        """Total slots ever allocated (observability for tests/benchmarks)."""
+        return len(self._parent)
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def n_leaves(self) -> int:
+        return self._n_leaves[self.root_index]
+
+    @property
+    def shortcut_threshold(self) -> int:
+        return presence_threshold(self._n_highwater)
+
+    def depth(self) -> int:
+        return self._height[self.root_index]
+
+    def handle(self, idx: int) -> FlatLeaf:
+        """The interned handle for leaf slot ``idx`` (created lazily)."""
+        h = self._handle[idx]
+        if h is None:
+            h = FlatLeaf(self, idx)
+            self._handle[idx] = h
+        return h
+
+    def leaves(self) -> List[FlatLeaf]:
+        """All leaf handles left-to-right (O(n), iterative)."""
+        return [self.handle(i) for i in self._subtree_leaf_slots(self.root_index)]
+
+    def leaf_at(self, index: int) -> FlatLeaf:
+        """Order-statistic descent on the ``n_leaves`` array; O(depth)."""
+        if not 0 <= index < self.n_leaves:
+            raise IndexError(f"leaf index {index} out of range")
+        left, right, counts = self._left, self._right, self._n_leaves
+        node = self.root_index
+        while left[node] != NIL:
+            l = left[node]
+            k = counts[l]
+            if index < k:
+                node = l
+            else:
+                index -= k
+                node = right[node]
+        return self.handle(node)
+
+    def _check_handle(self, leaf: FlatLeaf) -> int:
+        if not isinstance(leaf, FlatLeaf) or leaf.tree is not self:
+            raise UnknownNodeError("leaf does not belong to this RBSTS")
+        idx = leaf.idx
+        if self._handle[idx] is not leaf:
+            raise UnknownNodeError("leaf does not belong to this RBSTS")
+        return idx
+
+    def index_of(self, leaf: FlatLeaf) -> int:
+        """Position of ``leaf`` in the sequence; O(depth), pure array walk."""
+        idx = self._check_handle(leaf)
+        parent, left, counts = self._parent, self._left, self._n_leaves
+        pos = 0
+        node = idx
+        p = parent[node]
+        while p != NIL:
+            if left[p] != node:
+                pos += counts[left[p]]
+            node = p
+            p = parent[node]
+        if node != self.root_index:
+            raise UnknownNodeError("leaf does not belong to this RBSTS")
+        return pos
+
+    def contains(self, leaf: FlatLeaf) -> bool:
+        try:
+            idx = self._check_handle(leaf)
+        except UnknownNodeError:
+            return False
+        parent = self._parent
+        node = idx
+        while parent[node] != NIL:
+            node = parent[node]
+        return node == self.root_index
+
+    # ------------------------------------------------------------------
+    # traversal helpers
+    # ------------------------------------------------------------------
+    def _subtree_leaf_slots(self, node: int) -> List[int]:
+        """Leaf slots of a subtree, left-to-right (iterative)."""
+        left, right = self._left, self._right
+        if left[node] == NIL:
+            return [node]
+        out: List[int] = []
+        append = out.append
+        stack = [node]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            cur = pop()
+            l = left[cur]
+            if l == NIL:
+                append(cur)
+            else:
+                push(right[cur])
+                push(l)
+        return out
+
+    def _subtree_slots(self, node: int) -> Tuple[List[int], List[int]]:
+        """(leaf slots left-to-right, internal slots) of a subtree."""
+        left, right = self._left, self._right
+        leaves_out: List[int] = []
+        internal_out: List[int] = []
+        leaf_append = leaves_out.append
+        int_append = internal_out.append
+        stack = [node]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            cur = pop()
+            l = left[cur]
+            if l == NIL:
+                leaf_append(cur)
+            else:
+                int_append(cur)
+                push(right[cur])
+                push(l)
+        return leaves_out, internal_out
+
+    def _root_path(self, node: int) -> List[int]:
+        """Proper ancestors of ``node``, indexed by depth."""
+        parent = self._parent
+        chain: List[int] = []
+        cur = parent[node]
+        while cur != NIL:
+            chain.append(cur)
+            cur = parent[cur]
+        chain.reverse()
+        return chain
+
+    def _subtree_range(self, node: int) -> Tuple[int, int]:
+        parent, left, counts = self._parent, self._left, self._n_leaves
+        lo = 0
+        cur = node
+        p = parent[cur]
+        while p != NIL:
+            if left[p] != cur:
+                lo += counts[left[p]]
+            cur = p
+            p = parent[cur]
+        return lo, lo + counts[node]
+
+    # ------------------------------------------------------------------
+    # construction kernel (mirrors splitting/build.py op-for-op)
+    # ------------------------------------------------------------------
+    def _build(
+        self,
+        leaf_slots: Sequence[int],
+        *,
+        base_depth: int,
+        path: List[int],
+        tracker: Optional[SpanTracker],
+    ) -> int:
+        """Fresh random splitting tree over existing leaf slots.
+
+        RNG contract: one ``random()`` per internal slot, popped in the
+        same LIFO order as the reference ``build_subtree``.
+        """
+        m = len(leaf_slots)
+        if m == 0:
+            raise ValueError("cannot build a splitting tree over zero leaves")
+
+        # Fast paths for the tiny rebuilds that dominate batch updates
+        # (most coin-fire sites cover one or two leaves).  Heights 0-1
+        # never exceed the presence threshold (always >= 1), so no
+        # shortcut list can appear; RNG consumption matches the general
+        # kernel exactly (one draw per internal node).
+        if m == 1:
+            root = leaf_slots[0]
+            self._left[root] = NIL
+            self._right[root] = NIL
+            self._height[root] = 0
+            self._n_leaves[root] = 1
+            self._shortcuts[root] = None
+            self._depth[root] = base_depth
+            if self.summarizer is not None:
+                self._summary[root] = self.summarizer.of_item(self._item[root])
+            if tracker is not None:
+                tracker.charge(work=1, span=1)
+            return root
+        if m == 2:
+            self._rng.random()  # the root's (degenerate) split draw
+            a, b = leaf_slots
+            root = self._alloc_internals(1)[0]
+            left, right = self._left, self._right
+            counts, depth, height = self._n_leaves, self._depth, self._height
+            d = base_depth + 1
+            for leaf in (a, b):
+                left[leaf] = NIL
+                right[leaf] = NIL
+                height[leaf] = 0
+                counts[leaf] = 1
+                self._shortcuts[leaf] = None
+                depth[leaf] = d
+                self._parent[leaf] = root
+            left[root] = a
+            right[root] = b
+            counts[root] = 2
+            height[root] = 1
+            depth[root] = base_depth
+            self._shortcuts[root] = None
+            if self.summarizer is not None:
+                of_item = self.summarizer.of_item
+                items = self._item
+                sa = of_item(items[a])
+                sb = of_item(items[b])
+                summary = self._summary
+                summary[a] = sa
+                summary[b] = sb
+                summary[root] = self.summarizer.monoid.combine(sa, sb)
+            if tracker is not None:
+                tracker.charge(work=3, span=3)
+            return root
+
+        parent, left, right = self._parent, self._left, self._right
+        counts, depth, height = self._n_leaves, self._depth, self._height
+        shortcuts, summary = self._shortcuts, self._summary
+        summarizer = self.summarizer
+        items = self._item
+
+        # Reset reused leaf slots (depths assigned by the placement pass).
+        if summarizer is not None:
+            of_item = summarizer.of_item
+            for i in leaf_slots:
+                left[i] = NIL
+                right[i] = NIL
+                height[i] = 0
+                counts[i] = 1
+                shortcuts[i] = None
+                summary[i] = of_item(items[i])
+        else:
+            for i in leaf_slots:
+                left[i] = NIL
+                right[i] = NIL
+                height[i] = 0
+                counts[i] = 1
+                shortcuts[i] = None
+
+        if m == 1:
+            root = leaf_slots[0]
+            depth[root] = base_depth
+            if tracker is not None:
+                tracker.charge(work=1, span=1)
+            return root
+
+        rnd = self._rng.random
+        threshold = self.shortcut_threshold
+        ratio = self.ratio
+
+        # Pass 1 — top-down placement with uniform random splits.  A
+        # splitting tree over m leaves has exactly m - 1 internal nodes,
+        # so all slots come from one bulk allocation; three parallel int
+        # stacks avoid per-node tuple churn.  ``created`` is consumed in
+        # creation order, which lists parents before children.
+        created = self._alloc_internals(m - 1)
+        root = created[0]
+        ci = 1  # cursor into `created`
+        depth[root] = base_depth
+        s_node = [root]
+        s_lo = [0]
+        s_hi = [m]
+        while s_node:
+            node = s_node.pop()
+            lo = s_lo.pop()
+            hi = s_hi.pop()
+            count = hi - lo
+            counts[node] = count
+            split = lo + 1 + int(rnd() * (count - 1))
+            d = depth[node] + 1
+            # left child over leaf_slots[lo:split]
+            if split - lo == 1:
+                child = leaf_slots[lo]
+            else:
+                child = created[ci]
+                ci += 1
+                s_node.append(child)
+                s_lo.append(lo)
+                s_hi.append(split)
+            parent[child] = node
+            depth[child] = d
+            left[node] = child
+            # right child over leaf_slots[split:hi]
+            if hi - split == 1:
+                child = leaf_slots[split]
+            else:
+                child = created[ci]
+                ci += 1
+                s_node.append(child)
+                s_lo.append(split)
+                s_hi.append(hi)
+            parent[child] = node
+            depth[child] = d
+            right[node] = child
+
+        # Mirror the reference's LIFO order *exactly*: build.py pushes
+        # the left range then the right range and pops LIFO, so the
+        # right subtree is placed first.  The loop above pushes left
+        # then right as well — consumption order matches.
+
+        # Pass 2 — bottom-up heights and summaries (created lists
+        # parents before children; reverse is a topological order).
+        if summarizer is not None:
+            combine = summarizer.monoid.combine
+            for node in reversed(created):
+                l, r = left[node], right[node]
+                hl, hr = height[l], height[r]
+                height[node] = 1 + (hl if hl >= hr else hr)
+                summary[node] = combine(summary[l], summary[r])
+        else:
+            for node in reversed(created):
+                hl, hr = height[left[node]], height[right[node]]
+                height[node] = 1 + (hl if hl >= hr else hr)
+
+        # Pass 3 — shortcut lists via a DFS carrying the root path as a
+        # depth-indexed array; schedules come from the interned cache.
+        # Heights strictly decrease towards the leaves, so once a node's
+        # height drops to the threshold nothing below it can carry a
+        # shortcut list and the whole subtree is pruned — the DFS visits
+        # only the tall skeleton, not all 2m - 1 nodes.  (This changes
+        # no output: pruned nodes would fail the height test anyway.)
+        wave: List[int] = list(path)
+        assert len(wave) == base_depth, "ancestor path must be depth-indexed"
+        shortcut_entries = 0
+        dfs: List[int] = [root]  # non-negative = enter, ~node = exit
+        while dfs:
+            entry = dfs.pop()
+            if entry < 0:
+                wave.pop()
+                continue
+            node = entry
+            if height[node] <= threshold:
+                continue  # no shortcut here or anywhere below (leaves incl.)
+            if depth[node] > 0:
+                targets = shortcut_target_depths(depth[node], ratio)
+                shortcuts[node] = tuple([wave[t] for t in targets])
+                shortcut_entries += len(targets)
+            wave.append(node)
+            dfs.append(~node)
+            dfs.append(right[node])
+            dfs.append(left[node])
+
+        if tracker is not None:
+            tracker.charge(
+                work=2 * m - 1 + shortcut_entries,
+                span=height[root] + int(math.ceil(math.log2(m))) + 1,
+            )
+        return root
+
+    # ------------------------------------------------------------------
+    # rebuild plumbing (mirrors RBSTS._rebuild_at)
+    # ------------------------------------------------------------------
+    def _rebuild_at(
+        self,
+        node: int,
+        leaf_slots: Sequence[int],
+        *,
+        forced_split: Optional[int] = None,
+        tracker: Optional[SpanTracker] = None,
+        dead_internals: Optional[List[int]] = None,
+    ) -> int:
+        parent_idx = self._parent[node]
+        was_left = parent_idx != NIL and self._left[parent_idx] == node
+        base_depth = self._depth[node]
+        path = self._root_path(node)
+        threshold = self.shortcut_threshold
+
+        # Recycle the subtree's discarded internal slots *before*
+        # building so the slab stays compact (leaf slots are reused by
+        # the build itself, exactly like the reference's leaf objects).
+        # Internal slots never carry interned handles (handles are
+        # cleared when a leaf slot is freed, before any recycling), so
+        # one bulk extend replaces per-slot ``_free_slot`` calls.
+        if dead_internals is None:
+            _, dead_internals = self._subtree_slots(node)
+        self._free.extend(dead_internals)
+
+        if forced_split is not None and len(leaf_slots) >= 2:
+            s = forced_split
+            if not 1 <= s <= len(leaf_slots) - 1:
+                raise ValueError(
+                    f"forced split {s} invalid for {len(leaf_slots)} leaves"
+                )
+            new_root = self._alloc()
+            self._depth[new_root] = base_depth
+            self._n_leaves[new_root] = len(leaf_slots)
+            child_path = path + [new_root]
+            lchild = self._build(
+                leaf_slots[:s],
+                base_depth=base_depth + 1,
+                path=child_path,
+                tracker=tracker,
+            )
+            rchild = self._build(
+                leaf_slots[s:],
+                base_depth=base_depth + 1,
+                path=child_path,
+                tracker=tracker,
+            )
+            self._left[new_root] = lchild
+            self._right[new_root] = rchild
+            self._parent[lchild] = new_root
+            self._parent[rchild] = new_root
+            self._height[new_root] = 1 + max(
+                self._height[lchild], self._height[rchild]
+            )
+            if self.summarizer is not None:
+                self._summary[new_root] = self.summarizer.monoid.combine(
+                    self._summary[lchild], self._summary[rchild]
+                )
+            if base_depth > 0 and self._height[new_root] > threshold:
+                targets = shortcut_target_depths(base_depth, self.ratio)
+                self._shortcuts[new_root] = tuple(path[t] for t in targets)
+        else:
+            new_root = self._build(
+                leaf_slots,
+                base_depth=base_depth,
+                path=path,
+                tracker=tracker,
+            )
+        if parent_idx == NIL:
+            self.root_index = new_root
+            self._parent[new_root] = NIL
+        else:
+            if was_left:
+                self._left[parent_idx] = new_root
+            else:
+                self._right[parent_idx] = new_root
+            self._parent[new_root] = parent_idx
+        return new_root
+
+    def _update_upward(self, start: int) -> None:
+        parent, left, right = self._parent, self._left, self._right
+        counts, height = self._n_leaves, self._height
+        chain = self._root_path(start)
+        threshold = self.shortcut_threshold
+        summarizer = self.summarizer
+        for v in reversed(chain):
+            l, r = left[v], right[v]
+            counts[v] = counts[l] + counts[r]
+            hl, hr = height[l], height[r]
+            height[v] = 1 + (hl if hl >= hr else hr)
+            if summarizer is not None:
+                self._summary[v] = summarizer.monoid.combine(
+                    self._summary[l], self._summary[r]
+                )
+        depth, shortcuts = self._depth, self._shortcuts
+        for v in reversed(chain):
+            if shortcuts[v] is None and depth[v] > 0 and height[v] > 2 * threshold:
+                targets = shortcut_target_depths(depth[v], self.ratio)
+                shortcuts[v] = tuple(chain[t] for t in targets)
+
+    # ------------------------------------------------------------------
+    # single-request updates (master-RNG walks, Theorem 2.2 rules)
+    # ------------------------------------------------------------------
+    def insert(
+        self, index: int, item: Any, tracker: Optional[SpanTracker] = None
+    ) -> FlatLeaf:
+        if not 0 <= index <= self.n_leaves:
+            raise IndexError(f"insert position {index} out of range")
+        left, right, counts = self._left, self._right, self._n_leaves
+        rnd = self._rng.random
+        new_leaf = self._alloc()
+        self._item[new_leaf] = item
+        node = self.root_index
+        offset = index
+        while True:
+            m = counts[node]
+            if tracker is not None:
+                tracker.tick(1)
+            if left[node] == NIL or rnd() * m < 1.0:
+                self._n_highwater = max(self._n_highwater, self.n_leaves + 1)
+                leaf_slots, dead = self._subtree_slots(node)
+                leaf_slots.insert(offset, new_leaf)
+                forced = min(max(offset, 1), m)
+                rebuilt = self._rebuild_at(
+                    node,
+                    leaf_slots,
+                    forced_split=forced,
+                    tracker=tracker,
+                    dead_internals=dead,
+                )
+                self.last_batch_stats = {
+                    "rebuild_mass": len(leaf_slots),
+                    "sites": 1,
+                }
+                break
+            k = counts[left[node]]
+            if offset <= k:
+                node = left[node]
+            else:
+                offset -= k
+                node = right[node]
+        self._update_upward(rebuilt)
+        return self.handle(new_leaf)
+
+    def delete(self, leaf: FlatLeaf, tracker: Optional[SpanTracker] = None) -> Any:
+        idx = self._check_handle(leaf)
+        if self.n_leaves <= 1:
+            raise TreeStructureError("cannot delete the last leaf of an RBSTS")
+        left, right, counts = self._left, self._right, self._n_leaves
+        rnd = self._rng.random
+        j = self.index_of(leaf) + 1  # 1-based rank
+        node = self.root_index
+        jj = j
+        while True:
+            if tracker is not None:
+                tracker.tick(1)
+            k = counts[left[node]]
+            target = left[node] if jj <= k else right[node]
+            if counts[target] == 1:
+                rebuilt = self._rebuild_without(node, idx, tracker)
+                break
+            if (jj == k or jj == k + 1) and rnd() < 0.5:
+                rebuilt = self._rebuild_without(node, idx, tracker)
+                break
+            if jj <= k:
+                node = left[node]
+            else:
+                jj -= k
+                node = right[node]
+        self.last_batch_stats = {"rebuild_mass": counts[rebuilt], "sites": 1}
+        self._update_upward(rebuilt)
+        item = self._item[idx]
+        self._free_slot(idx)
+        return item
+
+    def _rebuild_without(
+        self, node: int, doomed: int, tracker: Optional[SpanTracker]
+    ) -> int:
+        leaf_slots, dead = self._subtree_slots(node)
+        survivors = [x for x in leaf_slots if x != doomed]
+        return self._rebuild_at(
+            node, survivors, tracker=tracker, dead_internals=dead
+        )
+
+    # ------------------------------------------------------------------
+    # batch updates — single sorted root-to-leaf sweeps
+    # ------------------------------------------------------------------
+    def batch_insert(
+        self,
+        requests: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[FlatLeaf]:
+        """Concurrent inserts; all indices refer to the pre-batch
+        sequence, equal indices land in request order."""
+        if not requests:
+            return []
+        n = self.n_leaves
+        for idx, _ in requests:
+            if not 0 <= idx <= n:
+                raise RequestError(f"insert position {idx} out of range 0..{n}")
+        tracker = tracker if tracker is not None else SpanTracker()
+        left, right, counts = self._left, self._right, self._n_leaves
+
+        # Per-request coin substreams, seeded in request order (identical
+        # master-RNG consumption to the reference backend).
+        master = self._rng
+        coins = [random.Random(master.getrandbits(64)).random for _ in requests]
+
+        # Phase 1 — one coordinated root-to-leaf sweep locates every
+        # request's topmost coin success.  The frontier carries, per
+        # node, the requests routed into its subtree; each request flips
+        # its own substream coins root-to-leaf, exactly as if it had
+        # walked alone.
+        sites: List[int] = [NIL] * len(requests)
+        # ``site_lo[s]`` = index of the first leaf of s's subtree,
+        # recorded for free as the sweep descends (global index minus
+        # in-subtree offset) — saves one upward walk per site later.
+        site_lo: Dict[int, int] = {}
+        # frontier entries: (node, [(request_id, offset), ...])
+        frontier: List[Tuple[int, List[Tuple[int, int]]]] = [
+            (self.root_index, [(r, idx) for r, (idx, _) in enumerate(requests)])
+        ]
+        while frontier:
+            node, reqs = frontier.pop()
+            m = counts[node]
+            is_leaf = left[node] == NIL
+            if is_leaf:
+                for r, off in reqs:
+                    sites[r] = node
+                    site_lo[node] = requests[r][0] - off
+                continue
+            k = counts[left[node]]
+            go_left: List[Tuple[int, int]] = []
+            go_right: List[Tuple[int, int]] = []
+            for r, off in reqs:
+                if coins[r]() * m < 1.0:
+                    sites[r] = node
+                    site_lo[node] = requests[r][0] - off
+                elif off <= k:
+                    go_left.append((r, off))
+                else:
+                    go_right.append((r, off - k))
+            if go_right:
+                frontier.append((right[node], go_right))
+            if go_left:
+                frontier.append((left[node], go_left))
+        # The sweep *is* the activation procedure; charge its Theorem 2.1
+        # bound exactly as the reference does for its per-request walks.
+        self._charge_activation(tracker, len(requests))
+
+        # Bulk-allocate the new leaf slots (the rebuilds' leaf-reset
+        # pass overwrites every structural field, so the internal-slot
+        # allocator is safe for leaves as well).
+        new_slots = self._alloc_internals(len(requests))
+        item_col = self._item
+        for s, (_idx, item) in zip(new_slots, requests):
+            item_col[s] = item
+
+        # Phase 2 — merge nested sites (a site inside another site's
+        # subtree is subsumed by the topmost one on its root path).
+        parent = self._parent
+        site_set = set(sites)
+        maximal: Dict[int, int] = {}
+        for s in site_set:
+            top = s
+            cur = parent[s]
+            while cur != NIL:
+                if cur in site_set:
+                    top = cur
+                cur = parent[cur]
+            maximal[s] = top
+
+        groups: Dict[int, List[Tuple[int, int, int]]] = {}
+        for order, ((idx, _item), site) in enumerate(zip(requests, sites)):
+            groups.setdefault(maximal[site], []).append(
+                (idx, order, new_slots[order])
+            )
+
+        # Phase 3 — disjoint rebuilds in canonical left-to-right order.
+        # Every group key is a coin-fire site, so ``site_lo`` has it —
+        # no upward walks needed to order or offset the rebuilds.
+        ordered_sites = sorted(groups, key=site_lo.__getitem__)
+
+        def do_rebuild(site: int) -> int:
+            lo = site_lo[site]
+            members = sorted(groups[site], key=lambda t: (t[0], t[1]))
+            old, dead = self._subtree_slots(site)
+            merged: List[int] = []
+            mi = 0
+            n_members = len(members)
+            for pos in range(len(old) + 1):
+                while mi < n_members and members[mi][0] - lo == pos:
+                    merged.append(members[mi][2])
+                    mi += 1
+                if pos < len(old):
+                    merged.append(old[pos])
+            forced = None
+            if n_members == 1:
+                o = members[0][0] - lo
+                forced = min(max(o, 1), len(old))
+            return self._rebuild_at(
+                site,
+                merged,
+                forced_split=forced,
+                tracker=tracker,
+                dead_internals=dead,
+            )
+
+        rebuilt_roots = tracker.parallel(
+            [(lambda s=site: do_rebuild(s)) for site in ordered_sites]
+        )
+        rebuild_mass = sum(counts[r] for r in rebuilt_roots)
+
+        # Phase 4 — level-by-level metadata repair on the wound.
+        self._levelized_repair(rebuilt_roots, tracker)
+        self._n_highwater = max(self._n_highwater, self.n_leaves)
+        self.last_batch_stats = {
+            "rebuild_mass": rebuild_mass,
+            "sites": len(groups),
+            "work": tracker.work,
+            "span": tracker.span,
+        }
+        return [self.handle(s) for s in new_slots]
+
+    def batch_delete(
+        self,
+        leaves: Sequence[FlatLeaf],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        """Concurrent deletes (by handle)."""
+        if not leaves:
+            return
+        # ``_check_handle`` proves liveness (freed slots drop their
+        # interned handle) and ``index_of`` below walks every leaf to
+        # the root, so a separate ``contains`` pass would be redundant.
+        idxs = [self._check_handle(l) for l in leaves]
+        if len(set(idxs)) != len(idxs):
+            raise RequestError("duplicate leaves in batch delete")
+        if len(leaves) >= self.n_leaves:
+            raise TreeStructureError("cannot delete every leaf of an RBSTS")
+        tracker = tracker if tracker is not None else SpanTracker()
+        left, right, counts, parent = (
+            self._left,
+            self._right,
+            self._n_leaves,
+            self._parent,
+        )
+        doomed = set(idxs)
+
+        master = self._rng
+        coins = [random.Random(master.getrandbits(64)).random for _ in idxs]
+
+        self._charge_activation(tracker, len(leaves))
+
+        # Phase 1 — ranks via upward walks, then one sorted sweep down
+        # flips each request's stationary deletion coins root-to-leaf.
+        ranks = [self.index_of(l) + 1 for l in leaves]  # 1-based
+        sites: List[int] = [NIL] * len(idxs)
+        # ``site_lo[s]`` = index of the first leaf of s's subtree
+        # (global rank minus in-subtree rank), recorded during the
+        # descent — saves one upward walk per site later.
+        site_lo: Dict[int, int] = {}
+        frontier: List[Tuple[int, List[Tuple[int, int]]]] = [
+            (self.root_index, sorted(((r, jj) for r, jj in enumerate(ranks)),
+                                     key=lambda t: t[1]))
+        ]
+        while frontier:
+            node, reqs = frontier.pop()
+            k = counts[left[node]]
+            go_left: List[Tuple[int, int]] = []
+            go_right: List[Tuple[int, int]] = []
+            for r, jj in reqs:
+                target = left[node] if jj <= k else right[node]
+                if counts[target] == 1:
+                    sites[r] = node
+                    site_lo[node] = ranks[r] - jj
+                elif (jj == k or jj == k + 1) and coins[r]() < 0.5:
+                    sites[r] = node
+                    site_lo[node] = ranks[r] - jj
+                elif jj <= k:
+                    go_left.append((r, jj))
+                else:
+                    go_right.append((r, jj - k))
+            if go_right:
+                frontier.append((right[node], go_right))
+            if go_left:
+                frontier.append((left[node], go_left))
+
+        # Phase 2 — merge nested sites; widen fully-doomed sites upward.
+        site_set = set(sites)
+        final_sites = set()
+        for s in site_set:
+            top = s
+            cur = parent[s]
+            while cur != NIL:
+                if cur in site_set:
+                    top = cur
+                cur = parent[cur]
+            final_sites.add(top)
+
+        # Each site's subtree is collected once and the
+        # (survivors, dead internals) reused by the rebuild — the
+        # reference re-collects per phase; the flat core need not.
+        site_cache: Dict[int, Tuple[List[int], List[int]]] = {}
+
+        def site_data(site: int) -> Tuple[List[int], List[int]]:
+            data = site_cache.get(site)
+            if data is None:
+                leaf_slots, dead = self._subtree_slots(site)
+                keep = [x for x in leaf_slots if x not in doomed]
+                data = site_cache[site] = (keep, dead)
+            return data
+
+        changed = True
+        while changed:
+            changed = False
+            for site in list(final_sites):
+                if not site_data(site)[0]:
+                    if parent[site] == NIL:
+                        raise TreeStructureError(
+                            "cannot delete every leaf of an RBSTS"
+                        )
+                    final_sites.discard(site)
+                    final_sites.add(parent[site])
+                    changed = True
+            for site in list(final_sites):
+                cur = parent[site]
+                while cur != NIL:
+                    if cur in final_sites:
+                        final_sites.discard(site)
+                        break
+                    cur = parent[cur]
+
+        # Phase 3 — disjoint rebuilds in canonical left-to-right order.
+        # Sites widened to a parent during phase 2 were never recorded
+        # in ``site_lo``; only those fall back to an upward walk.
+        def site_key(s: int) -> int:
+            lo = site_lo.get(s)
+            return lo if lo is not None else self._subtree_range(s)[0]
+
+        ordered_sites = sorted(final_sites, key=site_key)
+
+        def do_rebuild(site: int) -> int:
+            keep, dead = site_data(site)
+            return self._rebuild_at(
+                site, keep, tracker=tracker, dead_internals=dead
+            )
+
+        rebuilt_roots = tracker.parallel(
+            [(lambda s=site: do_rebuild(s)) for site in ordered_sites]
+        )
+
+        self._levelized_repair(rebuilt_roots, tracker)
+        for idx in idxs:
+            self._free_slot(idx)
+        self.last_batch_stats = {
+            "rebuild_mass": sum(counts[r] for r in rebuilt_roots),
+            "sites": len(rebuilt_roots),
+            "work": tracker.work,
+            "span": tracker.span,
+        }
+
+    # ------------------------------------------------------------------
+    # leaf payload updates
+    # ------------------------------------------------------------------
+    def update_leaf_item(
+        self, leaf: FlatLeaf, item: Any, tracker: Optional[SpanTracker] = None
+    ) -> None:
+        self.batch_update_items([(leaf, item)], tracker)
+
+    def batch_update_items(
+        self,
+        updates: Sequence[Tuple[FlatLeaf, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> None:
+        tracker = tracker if tracker is not None else SpanTracker()
+        starts = []
+        for leaf, item in updates:
+            idx = self._check_handle(leaf)
+            self._item[idx] = item
+            if self.summarizer is not None:
+                self._summary[idx] = self.summarizer.of_item(item)
+            starts.append(idx)
+        self._charge_activation(tracker, len(updates))
+        self._levelized_repair(starts, tracker)
+
+    # ------------------------------------------------------------------
+    # shared helpers (cost accounting mirrors the reference)
+    # ------------------------------------------------------------------
+    def _charge_activation(self, tracker: SpanTracker, u: int) -> None:
+        n = max(2, self.n_leaves)
+        theta = max(1, math.ceil(math.log2(max(2, u * math.log2(n)))))
+        span = math.ceil(math.log2(max(2.0, math.log2(n)))) + theta
+        procs = max(1, (u * math.ceil(math.log2(n))) // theta)
+        tracker.charge(work=span * procs, span=span)
+
+    def _levelized_repair(
+        self, starts: Sequence[int], tracker: SpanTracker
+    ) -> None:
+        parent, left, right = self._parent, self._left, self._right
+        counts, height, depth = self._n_leaves, self._height, self._depth
+        summarizer = self.summarizer
+        wound = set()
+        chains: List[List[int]] = []
+        for s in starts:
+            chain = self._root_path(s)
+            chains.append(chain)
+            wound.update(chain)
+        nodes = sorted(wound, key=lambda v: -depth[v])
+        for v in nodes:
+            l, r = left[v], right[v]
+            counts[v] = counts[l] + counts[r]
+            hl, hr = height[l], height[r]
+            height[v] = 1 + (hl if hl >= hr else hr)
+            if summarizer is not None:
+                self._summary[v] = summarizer.monoid.combine(
+                    self._summary[l], self._summary[r]
+                )
+        threshold = self.shortcut_threshold
+        shortcuts = self._shortcuts
+        for chain in chains:
+            for v in reversed(chain):
+                if (
+                    shortcuts[v] is None
+                    and depth[v] > 0
+                    and height[v] > 2 * threshold
+                ):
+                    targets = shortcut_target_depths(depth[v], self.ratio)
+                    shortcuts[v] = tuple(chain[t] for t in targets)
+        size = len(wound) + 1
+        tracker.charge(work=size, span=max(1, math.ceil(math.log2(size + 1))))
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify every structural invariant (the reference checks plus
+        slab-specific ones: free/live disjointness, handle interning)."""
+        parent, left, right = self._parent, self._left, self._right
+        counts, height, depth = self._n_leaves, self._height, self._depth
+        threshold = presence_threshold(self._n_highwater)
+        if parent[self.root_index] != NIL:
+            raise TreeStructureError("root has a parent")
+        free = set(self._free)
+        live = 0
+        path: List[int] = []
+        stack: List[Tuple[int, bool]] = [(self.root_index, True)]
+        while stack:
+            node, entering = stack.pop()
+            if not entering:
+                path.pop()
+                continue
+            live += 1
+            if node in free:
+                raise TreeStructureError(f"live slot {node} is on the free list")
+            if depth[node] != len(path):
+                raise TreeStructureError(
+                    f"slot {node} depth {depth[node]} != path length {len(path)}"
+                )
+            l, r = left[node], right[node]
+            if l == NIL:
+                if r != NIL:
+                    raise TreeStructureError("half-internal slot")
+                if counts[node] != 1 or height[node] != 0:
+                    raise TreeStructureError(
+                        f"leaf {node} has n={counts[node]}, h={height[node]}"
+                    )
+                h = self._handle[node]
+                if h is not None and (h.tree is not self or h.idx != node):
+                    raise TreeStructureError(f"mis-interned handle at {node}")
+            else:
+                if r == NIL:
+                    raise TreeStructureError("internal slot missing a child")
+                if parent[l] != node or parent[r] != node:
+                    raise TreeStructureError("broken parent link")
+                if counts[node] != counts[l] + counts[r]:
+                    raise TreeStructureError(f"bad n_leaves at {node}")
+                if height[node] != 1 + max(height[l], height[r]):
+                    raise TreeStructureError(f"bad height at {node}")
+                if self.summarizer is not None:
+                    expect = self.summarizer.monoid.combine(
+                        self._summary[l], self._summary[r]
+                    )
+                    if expect != self._summary[node]:
+                        raise TreeStructureError(f"bad summary at {node}")
+            sc = self._shortcuts[node]
+            if sc is not None:
+                if depth[node] == 0:
+                    raise TreeStructureError("root must not carry shortcuts")
+                targets = shortcut_target_depths(depth[node], self.ratio)
+                if tuple(depth[s] for s in sc) != tuple(targets):
+                    raise TreeStructureError(f"shortcut depths wrong at {node}")
+                for s, t in zip(sc, targets):
+                    if s != path[t]:
+                        raise TreeStructureError(
+                            f"shortcut at {node} is not the ancestor at depth {t}"
+                        )
+            elif depth[node] > 0 and height[node] > 2 * threshold:
+                raise TreeStructureError(
+                    f"slot {node} (h={height[node]}) must carry shortcuts"
+                )
+            if self._active[node] or self._low[node] is not None:
+                raise TreeStructureError(f"stale activation state on {node}")
+            if l != NIL:
+                path.append(node)
+                stack.append((node, False))
+                stack.append((r, True))
+                stack.append((l, True))
+        if live + len(free) != len(parent):
+            raise TreeStructureError(
+                f"slab leak: {live} live + {len(free)} free != "
+                f"{len(parent)} slots"
+            )

@@ -118,6 +118,15 @@ def activate(
     finished, as the paper's processors do).  Raises
     :class:`~repro.errors.RequestError` for an empty or non-leaf ``U``.
     """
+    if not isinstance(tree, RBSTS):
+        # Flat backend: same theorem, array-twin implementation.  Lazy
+        # import keeps splitting free of a hard perf dependency.
+        from ..perf.flat_activation import flat_activate
+        from ..perf.flat_rbsts import FlatRBSTS
+
+        if isinstance(tree, FlatRBSTS):
+            return flat_activate(tree, leaves, tracker, max_rounds=max_rounds)
+        raise TypeError(f"cannot activate over {type(tree).__name__}")
     if not leaves:
         raise RequestError("activation requires a non-empty update set")
     for leaf in leaves:
@@ -264,7 +273,13 @@ def activate(
 
 def deactivate(result: ActivationResult) -> None:
     """Reset ``ACTIVE`` flags and coverage cells (the paper's processors
-    do this as they retire, readying the structure for the next batch)."""
+    do this as they retire, readying the structure for the next batch).
+
+    Accepts either backend's result object (the flat result carries its
+    own array-resetting ``deactivate``)."""
+    if not isinstance(result, ActivationResult):
+        result.deactivate()  # FlatActivationResult
+        return
     for node in result.activated:
         node.active = 0
         node.low = None

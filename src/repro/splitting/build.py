@@ -108,7 +108,13 @@ def build_subtree(
         node, lo, hi = stack.pop()
         count = hi - lo
         node.n_leaves = count
-        split = lo + rng.randint(1, count - 1)  # uniform split, §2
+        # Uniform split in 1..count-1 (§2).  One `random()` call instead
+        # of `randint` — the Mersenne draw is identical across backends
+        # (the flat core consumes the stream in the same order, which is
+        # what lets the differential harness compare shapes bit-for-bit)
+        # and several times cheaper; the <2^-53 float bias is far below
+        # anything the distribution tests can see.
+        split = lo + 1 + int(rng.random() * (count - 1))
         for side, (a, b) in (("left", (lo, split)), ("right", (split, hi))):
             if b - a == 1:
                 child = leaves[a]

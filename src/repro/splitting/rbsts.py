@@ -46,6 +46,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import RequestError, TreeStructureError, UnknownNodeError
 from ..pram.frames import SpanTracker
+from ..trees.traversal import subtree_leaves as _subtree_leaves
 from .build import Summarizer, build_subtree
 from .node import BSTNode
 from .shortcuts import (
@@ -73,7 +74,29 @@ class RBSTS:
         (the exactly-maintained ``SUM_v`` of §3).
     ratio:
         Shortcut geometry ratio (the paper's ``2/3``; E12 ablates it).
+    backend:
+        ``"reference"`` (default) builds this pointer-based object-graph
+        implementation; ``"flat"`` returns a
+        :class:`~repro.perf.flat_rbsts.FlatRBSTS` — the struct-of-arrays
+        core with the same public surface and identical seeded behaviour
+        (``tests/perf/test_flat_vs_reference.py`` pins the two op-for-op).
     """
+
+    def __new__(
+        cls,
+        items: Iterable[Any] = (),
+        *,
+        backend: str = "reference",
+        **kwargs: Any,
+    ) -> "RBSTS":
+        if backend == "flat":
+            # Imported lazily: perf depends on splitting, not vice versa.
+            from ..perf.flat_rbsts import FlatRBSTS
+
+            return FlatRBSTS(items, **kwargs)  # type: ignore[return-value]
+        if backend != "reference":
+            raise ValueError(f"unknown RBSTS backend {backend!r}")
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -82,6 +105,7 @@ class RBSTS:
         seed: int = 0,
         summarizer: Optional[Summarizer] = None,
         ratio: float = DEFAULT_RATIO,
+        backend: str = "reference",
     ) -> None:
         items = list(items)
         if not items:
@@ -132,17 +156,9 @@ class RBSTS:
         return self.root.height
 
     def leaves(self) -> List[BSTNode]:
-        """All leaves left-to-right (O(n))."""
-        out: List[BSTNode] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                out.append(node)
-            else:
-                stack.append(node.right)  # type: ignore[arg-type]
-                stack.append(node.left)  # type: ignore[arg-type]
-        return out
+        """All leaves left-to-right (O(n)); the canonical iterative
+        collector in :mod:`repro.trees.traversal` does the walking."""
+        return _subtree_leaves(self.root)
 
     def leaf_at(self, index: int) -> BSTNode:
         """The leaf at position ``index`` (0-based); O(depth)."""
@@ -385,15 +401,23 @@ class RBSTS:
         # Phase 1 — wound location: every node on every request's path
         # flips its rebuild coin; the topmost success is the site.  The
         # marginal is identical to the sequential walk (DESIGN.md §2).
+        # Each request draws its coins from a private substream seeded
+        # off the master RNG *in request order*: coin consumption is then
+        # independent of traversal order, so the flat backend's single
+        # sorted root-to-leaf sweep sees bit-identical coins to these
+        # per-request walks (the differential harness relies on this).
         plans = []  # (site, global_index, request_order, new_leaf)
         new_leaves: List[BSTNode] = []
+        coin_rngs = [
+            random.Random(self._rng.getrandbits(64)) for _ in requests
+        ]
 
-        def locate(idx: int) -> BSTNode:
+        def locate(idx: int, coin: random.Random) -> BSTNode:
             node = self.root
             offset = idx
             while True:
                 m = node.n_leaves
-                if node.is_leaf or self._rng.random() * m < 1.0:
+                if node.is_leaf or coin.random() * m < 1.0:
                     return node
                 k = node.left.n_leaves  # type: ignore[union-attr]
                 if offset <= k:
@@ -403,7 +427,10 @@ class RBSTS:
                     node = node.right  # type: ignore[assignment]
 
         sites = tracker.parallel(
-            [(lambda i=idx: locate(i)) for idx, _ in requests]
+            [
+                (lambda i=idx, c=coin: locate(i, c))
+                for (idx, _), coin in zip(requests, coin_rngs)
+            ]
         )
         # Coin phase span: one round (coins are simultaneous); the path
         # identification itself is the activation procedure, charged here
@@ -436,13 +463,17 @@ class RBSTS:
             groups.setdefault(id(top), []).append((idx, order, leaf))
             group_site[id(top)] = top
 
-        # Phase 3 — execute disjoint rebuilds "in parallel".
+        # Phase 3 — execute disjoint rebuilds "in parallel".  Rebuild
+        # order is canonicalised left-to-right by the sites' leaf ranges
+        # so master-RNG consumption is a pure function of the wound (the
+        # flat backend rebuilds in the same canonical order).
         rebuild_mass = 0
         rebuilt_roots: List[BSTNode] = []
         # Precompute each group's original leaf range before any mutation.
         ranges = {
             gid: self._subtree_range(site) for gid, site in group_site.items()
         }
+        ordered_gids = sorted(group_site, key=lambda gid: ranges[gid][0])
 
         def do_rebuild(gid: int) -> BSTNode:
             site = group_site[gid]
@@ -464,7 +495,7 @@ class RBSTS:
             return self._rebuild_at(site, merged, forced_split=forced, tracker=tracker)
 
         rebuilt_roots = tracker.parallel(
-            [(lambda g=gid: do_rebuild(g)) for gid in group_site]
+            [(lambda g=gid: do_rebuild(g)) for gid in ordered_gids]
         )
         rebuild_mass = sum(r.n_leaves for r in rebuilt_roots)
 
@@ -503,8 +534,13 @@ class RBSTS:
         self._charge_activation(tracker, len(leaves))
 
         # Phase 1 — per-request site location (read-only walks with the
-        # stationary deletion coins; see module docstring).
-        def locate(leaf: BSTNode) -> BSTNode:
+        # stationary deletion coins; see module docstring).  Coins come
+        # from per-request substreams seeded in request order, exactly as
+        # in batch_insert, so the flat backend's sorted sweep consumes
+        # identical randomness.
+        coin_rngs = [random.Random(self._rng.getrandbits(64)) for _ in leaves]
+
+        def locate(leaf: BSTNode, coin: random.Random) -> BSTNode:
             j = self.index_of(leaf) + 1
             node = self.root
             jj = j
@@ -513,7 +549,7 @@ class RBSTS:
                 target = node.left if jj <= k else node.right
                 if target.n_leaves == 1:  # type: ignore[union-attr]
                     return node
-                if (jj == k or jj == k + 1) and self._rng.random() < 0.5:
+                if (jj == k or jj == k + 1) and coin.random() < 0.5:
                     return node
                 if jj <= k:
                     node = node.left  # type: ignore[assignment]
@@ -521,7 +557,12 @@ class RBSTS:
                     jj -= k
                     node = node.right  # type: ignore[assignment]
 
-        sites = tracker.parallel([(lambda l=leaf: locate(l)) for leaf in leaves])
+        sites = tracker.parallel(
+            [
+                (lambda l=leaf, c=coin: locate(l, c))
+                for leaf, coin in zip(leaves, coin_rngs)
+            ]
+        )
 
         # Phase 2 — merge nested sites, then widen any site whose whole
         # subtree is doomed until it keeps at least one survivor.
@@ -565,12 +606,16 @@ class RBSTS:
                         break
                     cur = cur.parent
 
-        # Phase 3 — disjoint rebuilds.
+        # Phase 3 — disjoint rebuilds, in canonical left-to-right site
+        # order (same master-RNG schedule as the flat backend).
         def do_rebuild(site: BSTNode) -> BSTNode:
             return self._rebuild_at(site, survivors(site), tracker=tracker)
 
+        ordered_sites = sorted(
+            final_sites.values(), key=lambda s: self._subtree_range(s)[0]
+        )
         rebuilt_roots = tracker.parallel(
-            [(lambda s=site: do_rebuild(s)) for site in final_sites.values()]
+            [(lambda s=site: do_rebuild(s)) for site in ordered_sites]
         )
 
         self._levelized_repair(rebuilt_roots, tracker)
@@ -710,7 +755,7 @@ class RBSTS:
             if node.shortcuts is not None:
                 if node.depth == 0:
                     raise TreeStructureError("root must not carry shortcuts")
-                targets = shortcut_target_depths(node.depth, self.ratio)
+                targets = list(shortcut_target_depths(node.depth, self.ratio))
                 if [s.depth for s in node.shortcuts] != targets:
                     raise TreeStructureError(
                         f"shortcut depths wrong at {node.nid}"
@@ -734,17 +779,3 @@ class RBSTS:
                 order.append((node, False))
                 order.append((node.right, True))  # type: ignore[arg-type]
                 order.append((node.left, True))  # type: ignore[arg-type]
-
-
-def _subtree_leaves(node: BSTNode) -> List[BSTNode]:
-    """Leaves of a subtree left-to-right."""
-    out: List[BSTNode] = []
-    stack = [node]
-    while stack:
-        cur = stack.pop()
-        if cur.is_leaf:
-            out.append(cur)
-        else:
-            stack.append(cur.right)  # type: ignore[arg-type]
-            stack.append(cur.left)  # type: ignore[arg-type]
-    return out

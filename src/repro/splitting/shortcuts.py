@@ -32,9 +32,43 @@ __all__ = [
     "shortcut_target_depths",
     "shortcuts_from_path",
     "repair_path",
+    "schedule_cache_stats",
+    "clear_schedule_cache",
 ]
 
 DEFAULT_RATIO = 2.0 / 3.0
+
+# ----------------------------------------------------------------------
+# Interned shortcut-depth schedule cache.
+#
+# The target-depth schedule ``s_{v,i}`` is a pure function of ``(d_v,
+# ratio)`` — it does not depend on the tree at all — yet the reference
+# implementation used to recompute the float loop once per node per
+# rebuild.  Rebuilds touch O(|U| log n) shortcut-bearing nodes per batch
+# and depths repeat constantly, so interning the schedules (as immutable
+# tuples, shared by the reference and flat backends) removes the float
+# work from the rebuild hot path entirely.
+# ----------------------------------------------------------------------
+_SCHEDULE_CACHE: dict = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def schedule_cache_stats() -> dict:
+    """Cache observability: ``{"hits": int, "misses": int, "size": int}``."""
+    return {
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+        "size": len(_SCHEDULE_CACHE),
+    }
+
+
+def clear_schedule_cache() -> None:
+    """Drop all interned schedules (tests use this to get clean stats)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _SCHEDULE_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
 
 
 def presence_threshold(n_leaves: int) -> int:
@@ -43,11 +77,28 @@ def presence_threshold(n_leaves: int) -> int:
     return max(1, int(math.ceil(math.log2(max(2.0, math.log2(n))))))
 
 
-def shortcut_target_depths(depth: int, ratio: float = DEFAULT_RATIO) -> List[int]:
+def shortcut_target_depths(depth: int, ratio: float = DEFAULT_RATIO):
     """Strictly increasing depths ``⌊d·(1 − ρ^i)⌋`` ending at ``d - 1``.
 
-    For the root (``depth == 0``) the list is empty.
+    For the root (``depth == 0``) the schedule is empty.  Returns an
+    interned, immutable tuple memoized on ``(depth, ratio)`` (the
+    schedule is a pure function of those two inputs); callers must not
+    mutate it.
     """
+    global _CACHE_HITS, _CACHE_MISSES
+    key = (depth, ratio)
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is not None:
+        _CACHE_HITS += 1
+        return cached
+    _CACHE_MISSES += 1
+    schedule = tuple(_compute_target_depths(depth, ratio))
+    _SCHEDULE_CACHE[key] = schedule
+    return schedule
+
+
+def _compute_target_depths(depth: int, ratio: float) -> List[int]:
+    """Uncached schedule computation (the memoized function's kernel)."""
     if depth <= 0:
         return []
     out: List[int] = []

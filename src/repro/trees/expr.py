@@ -134,18 +134,14 @@ class ExprTree:
 
     # -- traversal / queries ------------------------------------------------
     def leaves_in_order(self) -> List[TreeNode]:
-        """Leaves left-to-right (the sequence the RBSTS is built over)."""
-        out: List[TreeNode] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                out.append(node)
-            else:
-                # push right first so left is processed first
-                stack.append(node.right)  # type: ignore[arg-type]
-                stack.append(node.left)  # type: ignore[arg-type]
-        return out
+        """Leaves left-to-right (the sequence the RBSTS is built over).
+
+        Routes through the canonical iterative collector in
+        :mod:`~repro.trees.traversal`.
+        """
+        from .traversal import subtree_leaves
+
+        return subtree_leaves(self.root)
 
     def nodes_preorder(self) -> Iterator[TreeNode]:
         stack = [self.root]

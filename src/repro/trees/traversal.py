@@ -15,7 +15,40 @@ from typing import Dict, List, Tuple
 from .expr import ExprTree
 from .nodes import TreeNode
 
-__all__ = ["EulerEvent", "euler_tour", "preorder_ids", "first_visits"]
+__all__ = [
+    "EulerEvent",
+    "euler_tour",
+    "preorder_ids",
+    "first_visits",
+    "subtree_leaves",
+]
+
+
+def subtree_leaves(node) -> List:
+    """Leaves of a full-binary subtree, left to right, iteratively.
+
+    The *one* canonical leaf collector: works over any node type
+    exposing ``is_leaf`` / ``left`` / ``right`` (both
+    :class:`~repro.splitting.node.BSTNode` and
+    :class:`~repro.trees.nodes.TreeNode` do).  RBSTS rebuilds,
+    ``RBSTS.leaves()`` and the expression-tree helpers all route through
+    here; keep it allocation-light — it sits on the rebuild hot path.
+    """
+    if node.is_leaf:
+        return [node]
+    out: List = []
+    append = out.append
+    stack = [node]
+    pop = stack.pop
+    push = stack.append
+    while stack:
+        cur = pop()
+        if cur.left is None:  # is_leaf without the property call
+            append(cur)
+        else:
+            push(cur.right)
+            push(cur.left)
+    return out
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,62 @@
+"""Satellite: the interned shortcut-depth schedule cache.
+
+``shortcut_target_depths`` is a pure function of ``(depth, ratio)``;
+the cache must be a transparent memoisation — hits return the *same*
+interned tuple with the same contents the uncached kernel computes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.splitting.shortcuts import (
+    DEFAULT_RATIO,
+    _compute_target_depths,
+    clear_schedule_cache,
+    schedule_cache_stats,
+    shortcut_target_depths,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_schedule_cache()
+    yield
+    clear_schedule_cache()
+
+
+def test_cache_hits_do_not_change_targets():
+    depths = [1, 2, 3, 5, 17, 100, 999, 4096]
+    first = {d: shortcut_target_depths(d) for d in depths}
+    stats0 = schedule_cache_stats()
+    assert stats0["misses"] >= len(depths)
+    for d in depths:
+        again = shortcut_target_depths(d)
+        # Same interned object, same contents as the raw kernel.
+        assert again is first[d]
+        assert list(again) == list(_compute_target_depths(d, DEFAULT_RATIO))
+    stats1 = schedule_cache_stats()
+    assert stats1["hits"] >= stats0["hits"] + len(depths)
+    assert stats1["misses"] == stats0["misses"]
+
+
+def test_cache_keys_include_ratio():
+    a = shortcut_target_depths(500, 2 / 3)
+    b = shortcut_target_depths(500, 1 / 2)
+    assert a != b
+    assert schedule_cache_stats()["size"] >= 2
+
+
+def test_cache_results_are_immutable_tuples():
+    t = shortcut_target_depths(123)
+    assert isinstance(t, tuple)
+    with pytest.raises(TypeError):
+        t[0] = 99  # type: ignore[index]
+
+
+def test_clear_resets_counters():
+    shortcut_target_depths(77)
+    shortcut_target_depths(77)
+    clear_schedule_cache()
+    stats = schedule_cache_stats()
+    assert stats == {"hits": 0, "misses": 0, "size": 0}

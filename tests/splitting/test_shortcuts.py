@@ -13,11 +13,11 @@ from repro.splitting.shortcuts import (
 
 
 def test_root_has_no_targets():
-    assert shortcut_target_depths(0) == []
+    assert tuple(shortcut_target_depths(0)) == ()
 
 
 def test_depth_one_targets_only_root():
-    assert shortcut_target_depths(1) == [0]
+    assert tuple(shortcut_target_depths(1)) == (0,)
 
 
 @given(depth=st.integers(1, 5000))
