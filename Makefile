@@ -5,7 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-perf bench bench-smoke regress clean
+.PHONY: test test-perf bench bench-smoke regress \
+        fuzz-smoke fuzz-selftest corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
 test:
@@ -29,9 +30,26 @@ bench-smoke:
 	$(PYTHON) -c "import json; d=json.load(open('BENCH_PR1.json')); assert d['schema']=='repro-perf-harness/1' and d['cells'], 'bad baseline'; print('BENCH_PR1.json ok:', len(d['cells']), 'cells')"
 
 ## Regression gate against the committed baseline (exit 1 on >25%
-## wall-clock regression or any simulated-cost drift).
+## wall-clock regression or any simulated-cost drift; exit 3 on a
+## structurally invalid baseline).
 regress:
 	$(PYTHON) benchmarks/regress.py
+
+## Differential fuzz smoke (the CI load): 3 seeds x 2000 ops per
+## scenario, both backends in lockstep, auditing after every op.
+## Exit 0 means zero invariant or oracle violations.  See TESTING.md.
+fuzz-smoke:
+	@for s in 0 1 2; do \
+		$(PYTHON) -m repro.testing.fuzz --seed $$s --ops 2000 --backend both --no-save || exit 1; \
+	done
+
+## Prove the fuzzer finds planted bugs and shrinks them (<= 12 ops).
+fuzz-selftest:
+	$(PYTHON) -m repro.testing.fuzz --self-test
+
+## Replay every pinned regression reproducer in tests/corpus/.
+corpus-replay:
+	$(PYTHON) -m pytest tests/testing/test_corpus_replay.py -q
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

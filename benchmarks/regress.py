@@ -10,7 +10,10 @@ default), re-runs the identical seeded cell grid, and fails when:
   simulated numbers are exact deterministic functions of the seeds, so
   any drift means the algorithm changed, not the machine.
 
-Exit codes: 0 ok, 1 regression detected, 2 baseline missing/unreadable.
+Exit codes: 0 ok, 1 regression detected, 2 baseline missing/unreadable,
+3 baseline readable but structurally invalid (no ``cells`` array, or a
+cell lacking the required keys) — a distinct code so CI can tell "stale
+machine" (2) apart from "corrupt/truncated baseline artifact" (3).
 
 Run:  PYTHONPATH=src python benchmarks/regress.py [--baseline PATH]
           [--threshold 0.25] [--quick]
@@ -31,6 +34,38 @@ import perf_harness  # noqa: E402  (sibling module, scripts run file-direct)
 # Cells faster than this in the baseline are judged against an absolute
 # slack instead of the relative threshold (they are noise-dominated).
 ABS_SLACK_S = 0.010
+
+
+# Keys every baseline cell must carry for compare() to work; checked up
+# front so a truncated artifact yields exit 3, not a KeyError traceback.
+REQUIRED_CELL_KEYS = ("experiment", "cell", "backend", "simulated", "wall_clock_s")
+
+
+def validate_cells(baseline: Dict[str, Any]) -> List[str]:
+    """Structural validation of the baseline's ``cells`` array.
+
+    Returns a list of human-readable problems (empty = valid).
+    """
+    problems: List[str] = []
+    cells = baseline.get("cells")
+    if cells is None:
+        return ["baseline has no 'cells' array"]
+    if not isinstance(cells, list):
+        return [f"baseline 'cells' is {type(cells).__name__}, expected list"]
+    if not cells:
+        return ["baseline 'cells' array is empty"]
+    for i, entry in enumerate(cells):
+        if not isinstance(entry, dict):
+            problems.append(f"cells[{i}]: not an object")
+            continue
+        missing = [k for k in REQUIRED_CELL_KEYS if k not in entry]
+        if missing:
+            problems.append(f"cells[{i}]: missing keys {missing}")
+        elif not isinstance(entry["cell"], dict) or not {
+            "n", "u"
+        } <= entry["cell"].keys():
+            problems.append(f"cells[{i}]: 'cell' must carry 'n' and 'u'")
+    return problems
 
 
 def key_of(entry: Dict[str, Any]) -> str:
@@ -98,6 +133,16 @@ def main(argv: List[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    problems = validate_cells(baseline)
+    if problems:
+        print(
+            f"invalid baseline {args.baseline} (regenerate with "
+            "benchmarks/perf_harness.py):",
+            file=sys.stderr,
+        )
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 3
 
     current = perf_harness.run(quick=args.quick)
     failures = compare(baseline, current, args.threshold)

@@ -5,6 +5,14 @@ from .naive_walk import WalkActivationResult, activate_by_walking, deactivate_wa
 from .recompute import RecomputeBaseline
 from .sequential import SequentialContraction
 
+#: Pluggable oracle registry for the fuzzing executor
+#: (:mod:`repro.testing.executor`).  Each entry maps a ``--oracle`` name
+#: to a comparator class taking ``(tree, **kwargs)``.
+CONTRACTION_ORACLES = {
+    "recompute": RecomputeBaseline,
+    "sequential": SequentialContraction,
+}
+
 __all__ = [
     "LinkCutForest",
     "activate_by_walking",
@@ -12,4 +20,5 @@ __all__ = [
     "WalkActivationResult",
     "RecomputeBaseline",
     "SequentialContraction",
+    "CONTRACTION_ORACLES",
 ]

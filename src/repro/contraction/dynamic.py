@@ -92,6 +92,11 @@ class DynamicTreeContraction:
         expected ``O(log n)``, experiment E11)."""
         return self.trace.rounds
 
+    def rng_state(self):
+        """Opaque snapshot of the contraction parse tree's master RNG
+        (the fuzzer pins reference/flat RNG-consumption parity)."""
+        return self.pt.rng_state()
+
     def query_values(
         self,
         node_ids: Sequence[int],

@@ -92,6 +92,16 @@ class IncrementalListPrefix:
     def values(self) -> List[Any]:
         return [leaf.item for leaf in self.tree.leaves()]
 
+    def check_invariants(self) -> None:
+        """Audit the underlying RBSTS (structure, bookkeeping, shortcut
+        lists, exactly-maintained summaries).  The fuzzing harness calls
+        this after every operation."""
+        self.tree.check_invariants()
+
+    def rng_state(self):
+        """Opaque master-RNG snapshot (RNG-consumption parity audits)."""
+        return self.tree.rng_state()
+
     def total(self) -> Any:
         """Fold of the entire sequence — read straight off the root
         (exactly maintained, §1.1)."""
@@ -194,6 +204,25 @@ class IncrementalListPrefix:
         return build_extended_parse_tree(self.tree.root, result.node_set(), handles)
 
     # -- updates ---------------------------------------------------------
+    def insert(
+        self,
+        index: int,
+        value: Any,
+        tracker: Optional[SpanTracker] = None,
+    ) -> BSTNode:
+        """Insert one value at ``index`` (sequential Theorem 2.2 walk);
+        returns the new leaf handle."""
+        return self.tree.insert(index, value, tracker)
+
+    def delete(
+        self,
+        handle: BSTNode,
+        tracker: Optional[SpanTracker] = None,
+    ) -> Any:
+        """Delete one leaf by handle (sequential Theorem 2.3 walk);
+        returns its value."""
+        return self.tree.delete(handle, tracker)
+
     def batch_set(
         self,
         updates: Sequence[Tuple[BSTNode, Any]],

@@ -275,6 +275,12 @@ class FlatRBSTS:
     def depth(self) -> int:
         return self._height[self.root_index]
 
+    def rng_state(self) -> Tuple:
+        """Opaque master-RNG snapshot (see :meth:`RBSTS.rng_state`); the
+        differential fuzzer pins reference/flat RNG-consumption parity
+        with it after every operation."""
+        return self._rng.getstate()
+
     def handle(self, idx: int) -> FlatLeaf:
         """The interned handle for leaf slot ``idx`` (created lazily)."""
         h = self._handle[idx]

@@ -155,6 +155,16 @@ class RBSTS:
         """Height of the splitting tree (expected ``O(log n)``)."""
         return self.root.height
 
+    def rng_state(self) -> Tuple:
+        """Opaque snapshot of the master RNG state.
+
+        The fuzzing harness (:mod:`repro.testing`) compares this across
+        backends after every operation: the flat backend's equivalence
+        contract promises draw-for-draw identical RNG consumption, so
+        any divergence is a bug even when the shapes still agree.
+        """
+        return self._rng.getstate()
+
     def leaves(self) -> List[BSTNode]:
         """All leaves left-to-right (O(n)); the canonical iterative
         collector in :mod:`repro.trees.traversal` does the walking."""

@@ -1,0 +1,44 @@
+"""Model-based differential fuzzing and invariant auditing.
+
+The correctness-tooling layer that lets perf/sharding PRs churn the
+core without fear (ROADMAP north star): a deterministic operation
+-sequence generator drives the full public API — RBSTS build / batch
+insert / delete, relabels, prefix and range queries, activation, and
+dynamic contraction requests — on one or both backends
+(``backend="reference"`` / ``backend="flat"``), cross-checked after
+every operation against
+
+* a naive recompute model (plain Python list / ``ExprTree.evaluate``),
+* the sequential comparators in :mod:`repro.baselines`,
+* the twin backend in lockstep (shape, summaries, shortcut lists,
+  batch statistics, RNG-consumption parity),
+* the structures' own :meth:`check_invariants` audits.
+
+A failing sequence is minimised by :mod:`repro.testing.shrinker` and
+written to the replayable corpus under ``tests/corpus/`` so it becomes
+a permanent regression test.  The whole pipeline is self-verified by
+:mod:`repro.testing.faults`, which flips known bookkeeping updates and
+asserts the fuzzer finds and shrinks them (``--self-test``).
+
+Entry point::
+
+    PYTHONPATH=src python -m repro.testing.fuzz --seed 0 --ops 2000 --backend both
+
+See TESTING.md for the workflow and DESIGN.md §6 for the mapping from
+audited invariants to the paper's theorems (2.1–2.3, 3.1).
+"""
+
+from .executor import FailureInfo, OracleViolation, RunReport, run_sequence
+from .generator import generate
+from .ops import OpSequence
+from .shrinker import shrink
+
+__all__ = [
+    "FailureInfo",
+    "OpSequence",
+    "OracleViolation",
+    "RunReport",
+    "generate",
+    "run_sequence",
+    "shrink",
+]

@@ -1,0 +1,108 @@
+"""The replayable regression corpus under ``tests/corpus/``.
+
+Every shrunk fuzz failure is written here as a JSON file; the replay
+test (``tests/testing/test_corpus_replay.py``) re-runs each entry on
+every test run, so a once-found bug can never silently return.  Entry
+metadata records the failure that produced it and the fuzzer revision.
+
+Workflow (see TESTING.md):
+
+1. ``python -m repro.testing.fuzz ...`` finds a violation, shrinks it
+   and drops ``shrunk-<scenario>-<digest>.json`` into the corpus;
+2. fix the bug;
+3. commit the fix *and* the corpus file — the replay test now pins it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .executor import RunReport, run_sequence
+from .ops import OpSequence
+
+__all__ = [
+    "default_corpus_dir",
+    "save_entry",
+    "load_entry",
+    "corpus_paths",
+    "replay_corpus",
+]
+
+
+def default_corpus_dir() -> str:
+    """``tests/corpus`` relative to the repository root when it exists,
+    else relative to the current directory (CLI convenience)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(os.path.join(here, "..", "..", ".."))
+    candidate = os.path.join(root, "tests", "corpus")
+    if os.path.isdir(os.path.join(root, "tests")):
+        return candidate
+    return os.path.join(os.getcwd(), "tests", "corpus")
+
+
+def _digest(seq: OpSequence) -> str:
+    body = json.dumps(
+        [seq.scenario, seq.seed, seq.n0, seq.ring, seq.ops], sort_keys=True
+    )
+    return hashlib.sha256(body.encode()).hexdigest()[:10]
+
+
+def save_entry(
+    seq: OpSequence,
+    directory: Optional[str] = None,
+    *,
+    prefix: str = "shrunk",
+    failure: Optional[str] = None,
+    extra_meta: Optional[Dict] = None,
+) -> str:
+    """Write ``seq`` into the corpus; returns the file path."""
+    directory = directory or default_corpus_dir()
+    os.makedirs(directory, exist_ok=True)
+    meta = dict(seq.meta)
+    if failure is not None:
+        meta["original_failure"] = failure
+    if extra_meta:
+        meta.update(extra_meta)
+    entry = seq.with_ops(seq.ops)
+    entry.meta = meta
+    path = os.path.join(
+        directory, f"{prefix}-{seq.scenario}-{_digest(seq)}.json"
+    )
+    with open(path, "w") as fh:
+        fh.write(entry.dumps())
+        fh.write("\n")
+    return path
+
+
+def load_entry(path: str) -> OpSequence:
+    with open(path) as fh:
+        return OpSequence.loads(fh.read())
+
+
+def corpus_paths(directory: Optional[str] = None) -> List[str]:
+    directory = directory or default_corpus_dir()
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+
+
+def replay_corpus(
+    directory: Optional[str] = None,
+    *,
+    backend: str = "both",
+) -> List[Tuple[str, RunReport]]:
+    """Re-run every corpus entry; entries must replay *clean* (they
+    capture formerly-failing programs whose bugs are fixed)."""
+    out: List[Tuple[str, RunReport]] = []
+    for path in corpus_paths(directory):
+        seq = load_entry(path)
+        requested = seq.meta.get("backend", backend)
+        out.append((path, run_sequence(seq, backend=requested)))
+    return out

@@ -1,0 +1,553 @@
+"""Replay an :class:`~repro.testing.ops.OpSequence` against live
+structures with oracle checks after (by default) every operation.
+
+The executor is a **pure function of the sequence**: all randomness is
+drawn from seeds recorded in the sequence header, raw op integers are
+normalised deterministically, and conflicting requests are skipped by
+fixed rules — so the shrinker can re-run candidate subsequences and
+trust that failure/pass is reproducible.
+
+List scenario subjects: one :class:`~repro.listprefix.structure.
+IncrementalListPrefix` per requested backend plus a plain Python list
+(the naive model).  Contraction scenario subjects: one
+:class:`~repro.contraction.dynamic.DynamicTreeContraction` per backend
+plus a naive oracle from :data:`repro.baselines.CONTRACTION_ORACLES`
+(recompute-from-scratch by default, the sequential §1.2 comparator on
+request).
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from itertools import accumulate
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.monoid import sum_monoid
+from ..baselines import CONTRACTION_ORACLES
+from ..contraction.dynamic import DynamicTreeContraction
+from ..listprefix.structure import IncrementalListPrefix
+from ..splitting.activation import activate, ancestors_closure, deactivate
+from ..trees.builders import random_tree
+from ..trees.nodes import add_op, mul_op
+from .oracles import OracleViolation, assert_model, assert_twins
+from .ops import FUZZ_RINGS, OpSequence, norm_value
+
+__all__ = [
+    "FailureInfo",
+    "OracleViolation",
+    "RunReport",
+    "initial_values",
+    "run_sequence",
+]
+
+_RAW = 1 << 16
+
+BACKENDS = ("reference", "flat", "both")
+
+
+@dataclass
+class FailureInfo:
+    """Where and how a replay failed (op index ``-1`` = construction)."""
+
+    op_index: int
+    op: Optional[list]
+    phase: str
+    exc_type: str
+    message: str
+
+    def __str__(self) -> str:
+        where = "construction" if self.op_index < 0 else f"op[{self.op_index}]"
+        opdesc = "" if self.op is None else f" {self.op!r}"
+        return f"{where}{opdesc}: {self.exc_type} [{self.phase}] {self.message}"
+
+
+@dataclass
+class RunReport:
+    scenario: str
+    backend: str
+    ops_executed: int = 0
+    checks: int = 0
+    final_n: int = 0
+    failure: Optional[FailureInfo] = None
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def initial_values(seq: OpSequence) -> List[Any]:
+    """The deterministic initial payloads (pure function of the header,
+    so they shrink with ``n0``)."""
+    rng = random.Random(("init", seq.seed, seq.ring).__repr__())
+    return [norm_value(seq.ring, rng.randrange(_RAW)) for _ in range(seq.n0)]
+
+
+def _fault_context(fault: Optional[str]):
+    if fault is None:
+        return nullcontext()
+    from .faults import FAULTS  # local import: faults patches core classes
+
+    return FAULTS[fault].activate()
+
+
+def run_sequence(
+    seq: OpSequence,
+    *,
+    backend: str = "both",
+    check_every: int = 1,
+    fault: Optional[str] = None,
+    oracle: str = "recompute",
+) -> RunReport:
+    """Replay ``seq``; return a report (never raises on subject bugs —
+    violations and crashes are captured as :class:`FailureInfo`)."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}")
+    report = RunReport(scenario=seq.scenario, backend=backend)
+    runner = _ListRunner if seq.scenario == "list" else _ContractionRunner
+    with _fault_context(fault):
+        try:
+            machine = runner(seq, backend, oracle)
+        except Exception as exc:  # construction failure
+            report.failure = FailureInfo(
+                -1, None, "construction", type(exc).__name__, str(exc)
+            )
+            return report
+        for i, op in enumerate(seq.ops):
+            try:
+                machine.apply(op)
+                if check_every <= 1 or i % check_every == 0 or i == len(seq.ops) - 1:
+                    machine.audit()
+                    report.checks += 1
+            except OracleViolation as exc:
+                report.failure = FailureInfo(
+                    i, op, exc.phase, type(exc).__name__, str(exc)
+                )
+                break
+            except Exception as exc:
+                report.failure = FailureInfo(
+                    i, op, "crash", type(exc).__name__, str(exc)
+                )
+                break
+            report.ops_executed += 1
+            report.counts[op[0]] = report.counts.get(op[0], 0) + 1
+        if report.failure is None:
+            try:
+                machine.audit()  # final audit even with check_every > 1
+                report.checks += 1
+            except OracleViolation as exc:
+                report.failure = FailureInfo(
+                    len(seq.ops) - 1, None, exc.phase, type(exc).__name__, str(exc)
+                )
+            except Exception as exc:
+                report.failure = FailureInfo(
+                    len(seq.ops) - 1, None, "crash", type(exc).__name__, str(exc)
+                )
+        report.final_n = machine.size()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# list scenario
+# ---------------------------------------------------------------------------
+
+
+class _ListRunner:
+    """Drives IncrementalListPrefix subjects + the naive list model."""
+
+    def __init__(self, seq: OpSequence, backend: str, oracle: str) -> None:
+        self.seq = seq
+        self.ring = FUZZ_RINGS[seq.ring]
+        self.monoid = sum_monoid(self.ring)
+        vals = initial_values(seq)
+        self.model: List[Any] = list(vals)
+        self.subjects: Dict[str, IncrementalListPrefix] = {}
+        for name in ("reference", "flat"):
+            if backend in (name, "both"):
+                self.subjects[name] = IncrementalListPrefix(
+                    self.monoid, vals, seed=seq.seed, backend=name
+                )
+        self.both = backend == "both"
+
+    def size(self) -> int:
+        return len(self.model)
+
+    # -- normalisation ---------------------------------------------------
+    def _nv(self, raw: int) -> Any:
+        return norm_value(self.seq.ring, raw)
+
+    def _positions(self, raw: Sequence[int], *, dedupe: bool) -> List[int]:
+        n = len(self.model)
+        out: List[int] = []
+        seen = set()
+        for p in raw:
+            q = int(p) % n
+            if dedupe:
+                if q in seen:
+                    continue
+                seen.add(q)
+            out.append(q)
+        return out
+
+    # -- op dispatch ------------------------------------------------------
+    def apply(self, op: list) -> None:
+        kind = op[0]
+        n = len(self.model)
+        if kind == "ins":
+            pos, val = int(op[1]) % (n + 1), self._nv(op[2])
+            for lp in self.subjects.values():
+                lp.insert(pos, val)
+            self.model.insert(pos, val)
+        elif kind == "del":
+            if n < 2:
+                return
+            pos = int(op[1]) % n
+            for lp in self.subjects.values():
+                lp.delete(lp.handle_at(pos))
+            self.model.pop(pos)
+        elif kind == "bins":
+            reqs = [(int(p) % (n + 1), self._nv(v)) for p, v in op[1]]
+            if not reqs:
+                return
+            for lp in self.subjects.values():
+                lp.batch_insert(reqs)
+            self._compare_batch_stats("bins")
+            by_pos: Dict[int, List[Any]] = {}
+            for pos, v in reqs:  # equal indices land in request order
+                by_pos.setdefault(pos, []).append(v)
+            out: List[Any] = []
+            for pos in range(n + 1):
+                out.extend(by_pos.get(pos, ()))
+                if pos < n:
+                    out.append(self.model[pos])
+            self.model = out
+        elif kind == "bdel":
+            if n < 2:
+                return
+            idxs = self._positions(op[1], dedupe=True)[: n - 1]
+            if not idxs:
+                return
+            for lp in self.subjects.values():
+                lp.batch_delete([lp.handle_at(i) for i in idxs])
+            self._compare_batch_stats("bdel")
+            dead = set(idxs)
+            self.model = [x for i, x in enumerate(self.model) if i not in dead]
+        elif kind == "bset":
+            updates = [(int(p) % n, self._nv(v)) for p, v in op[1]]
+            if not updates:
+                return
+            for lp in self.subjects.values():
+                lp.batch_set([(lp.handle_at(i), v) for i, v in updates])
+            for i, v in updates:
+                self.model[i] = v
+        elif kind == "prefix":
+            idxs = self._positions(op[1], dedupe=False)
+            if not idxs:
+                return
+            prefixes = list(accumulate(self.model, self.monoid.combine))
+            expect = [prefixes[i] for i in idxs]
+            for name, lp in self.subjects.items():
+                got = lp.batch_prefix([lp.handle_at(i) for i in idxs])
+                if got != expect:
+                    raise OracleViolation(
+                        "query",
+                        f"{name}: batch_prefix{idxs!r} = {got!r} != naive "
+                        f"{expect!r} (Theorem 3.1)",
+                    )
+                # The 'known sequential algorithm' of §1.2 doubles as a
+                # second, independent oracle for the first query point.
+                seq_ans = lp.prefix(lp.handle_at(idxs[0]))
+                if seq_ans != expect[0]:
+                    raise OracleViolation(
+                        "query",
+                        f"{name}: sequential prefix at {idxs[0]} = "
+                        f"{seq_ans!r} != naive {expect[0]!r}",
+                    )
+        elif kind == "range":
+            i, j = int(op[1]) % n, int(op[2]) % n
+            if i > j:
+                i, j = j, i
+            expect = self.monoid.fold(self.model[i : j + 1])
+            for name, lp in self.subjects.items():
+                got = lp.range_fold(lp.handle_at(i), lp.handle_at(j))
+                if got != expect:
+                    raise OracleViolation(
+                        "query",
+                        f"{name}: range_fold[{i},{j}] = {got!r} != naive "
+                        f"{expect!r}",
+                    )
+        elif kind == "activate":
+            idxs = self._positions(op[1], dedupe=True)
+            if not idxs:
+                return
+            results = {}
+            try:
+                for name, lp in self.subjects.items():
+                    results[name] = activate(
+                        lp.tree, [lp.handle_at(i) for i in idxs]
+                    )
+                ref_res = results.get("reference")
+                if ref_res is not None:
+                    handles = [
+                        self.subjects["reference"].handle_at(i) for i in idxs
+                    ]
+                    if ref_res.node_set() != ancestors_closure(handles):
+                        raise OracleViolation(
+                            "query",
+                            f"activation of {idxs!r} != ancestors closure "
+                            "(Theorem 2.1 oracle)",
+                        )
+                if self.both:
+                    r, f = results["reference"], results["flat"]
+                    r_stats = (
+                        r.rounds_stage1, r.rounds_stage2, r.rounds_stage3,
+                        r.processors, r.peak_processors, r.threshold,
+                        r.fallback_walk_steps, len(r.activated),
+                    )
+                    f_stats = (
+                        f.rounds_stage1, f.rounds_stage2, f.rounds_stage3,
+                        f.processors, f.peak_processors, f.threshold,
+                        f.fallback_walk_steps, len(f.activated),
+                    )
+                    if r_stats != f_stats:
+                        raise OracleViolation(
+                            "twins",
+                            f"activation statistics diverged at {idxs!r}: "
+                            f"{r_stats} != {f_stats}",
+                        )
+            finally:
+                for res in results.values():
+                    deactivate(res)
+        else:
+            raise ValueError(f"unknown list op kind {kind!r}")
+
+    def _compare_batch_stats(self, what: str) -> None:
+        if not self.both:
+            return
+        r = self.subjects["reference"].tree.last_batch_stats
+        f = self.subjects["flat"].tree.last_batch_stats
+        if r != f:
+            raise OracleViolation(
+                "stats",
+                f"{what}: last_batch_stats diverged: {r!r} != {f!r}",
+            )
+
+    # -- the audit --------------------------------------------------------
+    def audit(self) -> None:
+        for name, lp in self.subjects.items():
+            assert_model(
+                lp.tree, self.model, monoid=self.monoid, label=name
+            )
+            total = lp.total()
+            expect = self.monoid.fold(self.model)
+            if total != expect:
+                raise OracleViolation(
+                    "model", f"{name}: total() {total!r} != naive {expect!r}"
+                )
+        if self.both:
+            assert_twins(
+                self.subjects["reference"].tree,
+                self.subjects["flat"].tree,
+                where=f"(n={len(self.model)})",
+            )
+
+
+# ---------------------------------------------------------------------------
+# contraction scenario
+# ---------------------------------------------------------------------------
+
+
+class _ContractionRunner:
+    """Drives DynamicTreeContraction subjects + a naive baseline oracle
+    over structurally identical expression trees (same builder seed, so
+    node ids stay in sync across all copies)."""
+
+    def __init__(self, seq: OpSequence, backend: str, oracle: str) -> None:
+        self.seq = seq
+        self.ring = FUZZ_RINGS[seq.ring]
+        self.engines: Dict[str, DynamicTreeContraction] = {}
+        for name in ("reference", "flat"):
+            if backend in (name, "both"):
+                self.engines[name] = DynamicTreeContraction(
+                    self._build_tree(), seed=seq.seed, backend=name
+                )
+        self.both = backend == "both"
+        oracle_cls = CONTRACTION_ORACLES[oracle]
+        naive_tree = self._build_tree()
+        if oracle == "sequential":
+            self.naive = oracle_cls(naive_tree, seed=seq.seed)
+        else:
+            self.naive = oracle_cls(naive_tree)
+        self.primary = self.engines.get("reference") or self.engines["flat"]
+
+    def _build_tree(self):
+        rng = random.Random(("tree", self.seq.seed).__repr__())
+        return random_tree(
+            self.ring,
+            self.seq.n0,
+            rng,
+            values=lambda r: norm_value(self.seq.ring, r.randrange(_RAW)),
+            ops=lambda r: mul_op() if r.random() < 0.3 else add_op(),
+        )
+
+    def size(self) -> int:
+        return self.primary.pt.n_leaves
+
+    # -- request resolution ----------------------------------------------
+    def _resolve(self, raw_reqs: List[list]) -> Tuple[List[Tuple], List[int]]:
+        """Map raw slot-based requests onto valid, conflict-free §4.1
+        requests against the pre-batch tree (fixed deterministic rules)."""
+        tree = self.primary.tree
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        internal = [n.nid for n in tree.nodes_preorder() if not n.is_leaf]
+        prunable = [
+            n.nid
+            for n in tree.nodes_preorder()
+            if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+        ]
+        removal = self.primary.trace.removal
+        compressible = [
+            nid
+            for nid in internal
+            if nid != tree.root.nid
+            and (rec := removal.get(nid)) is not None
+            and rec[0] == "compressed"
+        ]
+        all_ids = leaves + internal
+        used: set = set()
+        removed: set = set()
+        resolved: List[Tuple] = []
+        queries: List[int] = []
+        for raw in raw_reqs:
+            kind = raw[0]
+            if kind == "grow":
+                _, slot, opk, lv, rv = raw
+                nid = leaves[int(slot) % len(leaves)]
+                if nid in used:
+                    continue
+                used.add(nid)
+                resolved.append(
+                    (
+                        "grow",
+                        nid,
+                        mul_op() if opk else add_op(),
+                        norm_value(self.seq.ring, lv),
+                        norm_value(self.seq.ring, rv),
+                    )
+                )
+            elif kind == "prune":
+                if not prunable:
+                    continue
+                _, slot, v = raw
+                nid = prunable[int(slot) % len(prunable)]
+                node = tree.node(nid)
+                kids = (node.left.nid, node.right.nid)
+                if nid in used or kids[0] in used or kids[1] in used:
+                    continue
+                used.update((nid,) + kids)
+                removed.update(kids)
+                resolved.append(("prune", nid, norm_value(self.seq.ring, v)))
+            elif kind == "setv":
+                _, slot, v = raw
+                nid = leaves[int(slot) % len(leaves)]
+                if nid in used:
+                    continue
+                used.add(nid)
+                resolved.append(("set_value", nid, norm_value(self.seq.ring, v)))
+            elif kind == "setop":
+                if not compressible:
+                    continue
+                _, slot, opk = raw
+                nid = compressible[int(slot) % len(compressible)]
+                if nid in used:
+                    continue
+                used.add(nid)
+                resolved.append(("set_op", nid, mul_op() if opk else add_op()))
+            elif kind == "query":
+                nid = all_ids[int(raw[1]) % len(all_ids)]
+                queries.append(nid)
+            else:
+                raise ValueError(f"unknown contraction request {kind!r}")
+        # Drop queries of nodes removed by this batch's prunes, and
+        # attach the survivors after the structural requests.
+        queries = [nid for nid in queries if nid not in removed]
+        resolved.extend(("query", nid) for nid in queries)
+        return resolved, queries
+
+    # -- op dispatch ------------------------------------------------------
+    def apply(self, op: list) -> None:
+        if op[0] != "cbatch":
+            raise ValueError(f"unknown contraction op kind {op[0]!r}")
+        resolved, queries = self._resolve(op[1])
+        if not resolved:
+            return
+        outs: Dict[str, List[Any]] = {}
+        for name, engine in self.engines.items():
+            outs[name] = engine.apply_requests(resolved)
+        if self.both and outs["reference"] != outs["flat"]:
+            raise OracleViolation(
+                "contraction",
+                f"apply_requests answers diverged: {outs['reference']!r} != "
+                f"{outs['flat']!r}",
+            )
+        # Naive oracle: same request groups in the engine's phase order.
+        grows = [r[1:] for r in resolved if r[0] == "grow"]
+        prunes = [r[1:] for r in resolved if r[0] == "prune"]
+        setvs = [r[1:] for r in resolved if r[0] == "set_value"]
+        setops = [r[1:] for r in resolved if r[0] == "set_op"]
+        if grows:
+            created = self.naive.batch_grow(grows)
+            engine_created = [
+                o for o in next(iter(outs.values())) if isinstance(o, tuple)
+            ]
+            if created != engine_created:
+                raise OracleViolation(
+                    "contraction",
+                    f"grow ids diverged from the naive oracle: "
+                    f"{engine_created!r} != {created!r}",
+                )
+        if prunes:
+            self.naive.batch_prune(prunes)
+        if setvs:
+            self.naive.batch_set_leaf_values(setvs)
+        if setops:
+            self.naive.batch_set_ops(setops)
+        if queries:
+            naive_answers = self.naive.query_values(queries)
+            for name, engine_out in outs.items():
+                got = [o for o, r in zip(engine_out, resolved) if r[0] == "query"]
+                for nid, a, b in zip(queries, got, naive_answers):
+                    if not self.ring.eq(a, b):
+                        raise OracleViolation(
+                            "contraction",
+                            f"{name}: query({nid}) = {a!r} != naive {b!r} "
+                            "(§4.1 request 4)",
+                        )
+
+    # -- the audit --------------------------------------------------------
+    def audit(self) -> None:
+        naive_value = self.naive.value()
+        for name, engine in self.engines.items():
+            try:
+                engine.check_consistency()
+            except Exception as exc:
+                raise OracleViolation(
+                    "invariants", f"{name} contraction: {exc}"
+                ) from exc
+            if not self.ring.eq(engine.value(), naive_value):
+                raise OracleViolation(
+                    "contraction",
+                    f"{name}: maintained value {engine.value()!r} != naive "
+                    f"recompute {naive_value!r} (exactly-maintained root, §1.1)",
+                )
+        if self.both:
+            ref, flat = self.engines["reference"], self.engines["flat"]
+            if ref.rounds() != flat.rounds():
+                raise OracleViolation(
+                    "twins",
+                    f"contraction rounds diverged: {ref.rounds()} != "
+                    f"{flat.rounds()}",
+                )
+            assert_twins(ref.pt, flat.pt, where="(contraction PT)")

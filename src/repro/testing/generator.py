@@ -1,0 +1,154 @@
+"""Deterministic operation-sequence generator.
+
+One seed fully determines the program: initial size, structure seed and
+every operation.  The generator tracks an *approximate* sequence length
+only to bias the mix (the executor normalises raw positions, so the
+program stays valid regardless of tracking drift).  Workloads it emits:
+
+* mixed insert/delete/relabel/query churn around the initial size;
+* delete-heavy phases once the sequence outgrows its band (the regime
+  the Theorem 2.3 rules are hardest in);
+* adversarial payloads: duplicate positions in one batch, fully sorted
+  ascending/descending batches, boundary (0 / n) positions — the cells
+  the historical batch-dynamic-tree bugs hid in.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .ops import OpSequence
+
+__all__ = ["generate"]
+
+_RAW = 1 << 16  # raw integers live in [0, 2^16); executor normalises
+
+
+def _payload(rng: random.Random, k: int, with_values: bool) -> List[list]:
+    """A batch payload; occasionally adversarial (sorted / duplicated /
+    boundary-heavy) instead of uniform."""
+    style = rng.random()
+    if style < 0.70:
+        raw = [rng.randrange(_RAW) for _ in range(k)]
+    elif style < 0.80:  # duplicates: everything lands at one raw position
+        raw = [rng.randrange(_RAW)] * k
+    elif style < 0.90:  # sorted runs (ascending or descending)
+        raw = sorted(rng.randrange(_RAW) for _ in range(k))
+        if rng.random() < 0.5:
+            raw.reverse()
+    else:  # boundary positions (0 maps to 0; huge maps near n)
+        raw = [rng.choice((0, _RAW - 1)) for _ in range(k)]
+    if with_values:
+        return [[p, rng.randrange(_RAW)] for p in raw]
+    return [[p] for p in raw]
+
+
+def _list_ops(rng: random.Random, n0: int, n_ops: int) -> List[list]:
+    ops: List[list] = []
+    n = n0  # approximate length, for bias only
+    hi_band = 4 * n0 + 64
+    for _ in range(n_ops):
+        kinds = ["ins", "del", "bins", "bdel", "bset", "prefix", "range", "activate"]
+        weights = [14, 14, 16, 14, 12, 12, 6, 12]
+        if n <= 2:  # keep a deletable margin
+            weights[1] = weights[3] = 0
+        if n > hi_band:  # delete-heavy regime
+            weights = [4, 30, 4, 34, 8, 8, 4, 8]
+        kind = rng.choices(kinds, weights)[0]
+        if kind == "ins":
+            ops.append(["ins", rng.randrange(_RAW), rng.randrange(_RAW)])
+            n += 1
+        elif kind == "del":
+            ops.append(["del", rng.randrange(_RAW)])
+            n = max(1, n - 1)
+        elif kind == "bins":
+            k = rng.randint(1, 6)
+            ops.append(["bins", _payload(rng, k, with_values=True)])
+            n += k
+        elif kind == "bdel":
+            k = rng.randint(1, 5)
+            ops.append(["bdel", [p for [p] in _payload(rng, k, with_values=False)]])
+            n = max(1, n - k)
+        elif kind == "bset":
+            ops.append(["bset", _payload(rng, rng.randint(1, 4), with_values=True)])
+        elif kind == "prefix":
+            ops.append(
+                ["prefix", [p for [p] in _payload(rng, rng.randint(1, 6), False)]]
+            )
+        elif kind == "range":
+            ops.append(["range", rng.randrange(_RAW), rng.randrange(_RAW)])
+        else:  # activate
+            ops.append(
+                ["activate", [p for [p] in _payload(rng, rng.randint(1, 6), False)]]
+            )
+    return ops
+
+
+def _contraction_ops(rng: random.Random, n0: int, n_ops: int) -> List[list]:
+    ops: List[list] = []
+    n = n0  # approximate leaf count, for bias only
+    for _ in range(n_ops):
+        reqs: List[list] = []
+        for _ in range(rng.randint(1, 4)):
+            kinds = ["grow", "prune", "setv", "setop", "query"]
+            weights = [30, 25, 20, 10, 15]
+            if n < 4:
+                weights[1] = 0
+            if n > 3 * n0 + 48:
+                weights = [8, 55, 15, 7, 15]
+            kind = rng.choices(kinds, weights)[0]
+            slot = rng.randrange(_RAW)
+            if kind == "grow":
+                reqs.append(
+                    [
+                        "grow",
+                        slot,
+                        rng.randint(0, 1),
+                        rng.randrange(_RAW),
+                        rng.randrange(_RAW),
+                    ]
+                )
+                n += 1
+            elif kind == "prune":
+                reqs.append(["prune", slot, rng.randrange(_RAW)])
+                n = max(1, n - 1)
+            elif kind == "setv":
+                reqs.append(["setv", slot, rng.randrange(_RAW)])
+            elif kind == "setop":
+                reqs.append(["setop", slot, rng.randint(0, 1)])
+            else:
+                reqs.append(["query", slot])
+        ops.append(["cbatch", reqs])
+    return ops
+
+
+def generate(
+    scenario: str,
+    seed: int,
+    n_ops: int,
+    *,
+    ring: Optional[str] = None,
+) -> OpSequence:
+    """Build the :class:`OpSequence` fully determined by ``seed``."""
+    rng = random.Random((seed, scenario).__repr__())
+    n0 = rng.randint(2, 48)
+    struct_seed = rng.getrandbits(32)
+    if ring is None:
+        # mod97 keeps contraction products bounded; integer exercises
+        # the unbounded-payload path on the list scenario.
+        ring = "integer" if scenario == "list" else "mod97"
+    if scenario == "list":
+        ops = _list_ops(rng, n0, n_ops)
+    elif scenario == "contraction":
+        ops = _contraction_ops(rng, n0, n_ops)
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    return OpSequence(
+        scenario=scenario,
+        seed=struct_seed,
+        n0=n0,
+        ring=ring,
+        ops=ops,
+        meta={"generator_seed": seed, "generator": "repro.testing.generator/1"},
+    )

@@ -256,6 +256,84 @@ def test_seed_matrix_long_mix(seed):
 
 
 # ---------------------------------------------------------------------------
+# adversarial workload cells: delete-heavy churn and degenerate batch
+# shapes (sorted runs, duplicate positions, boundary indices) that the
+# uniform mixes above rarely produce
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_delete_heavy_churn(seed):
+    """Shrink a 96-leaf pair down to 2 leaves through delete-dominated
+    batches (3 deletes per insert), then regrow; the free-list and the
+    repair pass both get exercised far more than in the uniform mix."""
+    rnd = random.Random(0xDE1E7E ^ seed)
+    ref, flat = make_pair(96, seed)
+    while ref.n_leaves > 2:
+        n = ref.n_leaves
+        k = min(rnd.randint(3, 6), n - 1)
+        idxs = sorted(rnd.sample(range(n), k))
+        ref.batch_delete([ref.leaf_at(i) for i in idxs])
+        flat.batch_delete([flat.leaf_at(i) for i in idxs])
+        assert ref.last_batch_stats == flat.last_batch_stats
+        if rnd.random() < 0.25:
+            pos = rnd.randint(0, ref.n_leaves)
+            ref.insert(pos, -7)
+            flat.insert(pos, -7)
+        assert_twins(ref, flat)
+    # Regrow from the floor: the slab must absorb the churn.
+    for j in range(10):
+        reqs = [(rnd.randint(0, ref.n_leaves), 100 + j)]
+        ref.batch_insert(reqs)
+        flat.batch_insert(reqs)
+        assert_twins(ref, flat)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize(
+    "style", ["sorted_asc", "sorted_desc", "duplicate", "boundary"]
+)
+def test_adversarial_batch_shapes(style, seed):
+    """Degenerate insert/delete position patterns.
+
+    * ``sorted_asc`` / ``sorted_desc``: monotone runs concentrate all
+      rebuild sites on one flank of the tree;
+    * ``duplicate``: every insert lands at one position (the paper's
+      worst case for a single Theorem 2.2 entry point);
+    * ``boundary``: positions pinned to 0 and ``n`` (prepend/append).
+    """
+    rnd = random.Random(1000 * seed + 17)
+    ref, flat = make_pair(24, seed)
+    for step in range(8):
+        n = ref.n_leaves
+        if style == "sorted_asc":
+            reqs = [(min(i, n), 10 * step + i) for i in range(5)]
+            del_idxs = list(range(min(3, n - 1)))
+        elif style == "sorted_desc":
+            reqs = [(max(n - i, 0), 10 * step + i) for i in range(5)]
+            del_idxs = sorted(range(n - 1, max(n - 4, 0), -1))
+        elif style == "duplicate":
+            pos = rnd.randint(0, n)
+            reqs = [(pos, 10 * step + i) for i in range(5)]
+            del_idxs = [rnd.randrange(n)] if n > 1 else []
+        else:  # boundary
+            reqs = [(0, -step), (n, step), (0, -step - 1), (n, step + 1)]
+            del_idxs = ([0, n - 1] if n > 2 else [])
+        rh = ref.batch_insert(reqs)
+        fh = flat.batch_insert(reqs)
+        assert [h.item for h in rh] == [h.item for h in fh]
+        assert ref.last_batch_stats == flat.last_batch_stats
+        assert_twins(ref, flat)
+        del_idxs = sorted(set(del_idxs))
+        if del_idxs and ref.n_leaves - len(del_idxs) >= 1:
+            ref.batch_delete([ref.leaf_at(i) for i in del_idxs])
+            flat.batch_delete([flat.leaf_at(i) for i in del_idxs])
+            assert ref.last_batch_stats == flat.last_batch_stats
+            assert_twins(ref, flat)
+    assert [h.item for h in ref.leaves()] == [h.item for h in flat.leaves()]
+
+
+# ---------------------------------------------------------------------------
 # tracker parity: charged simulated costs agree batch-for-batch
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,90 @@
+"""The perf-regression gate must reject malformed baselines with a
+distinct exit code (3) and message — never a ``KeyError`` traceback."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+
+@pytest.fixture(scope="module")
+def regress():
+    path = os.path.join(REPO_ROOT, "benchmarks", "regress.py")
+    spec = importlib.util.spec_from_file_location("regress_under_test", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def write_baseline(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+GOOD_CELL = {
+    "experiment": "x",
+    "cell": {"n": 8, "u": 2},
+    "backend": "flat",
+    "simulated": {"work": 1},
+    "wall_clock_s": 0.01,
+}
+
+
+def test_missing_cells_exits_3(regress, tmp_path, capsys):
+    path = write_baseline(
+        tmp_path, {"schema": "repro-perf-harness/1", "quick": False}
+    )
+    rc = regress.main(["--baseline", path])
+    assert rc == 3
+    err = capsys.readouterr().err
+    assert "cells" in err and "invalid baseline" in err
+
+
+def test_empty_cells_exits_3(regress, tmp_path):
+    path = write_baseline(
+        tmp_path,
+        {"schema": "repro-perf-harness/1", "quick": False, "cells": []},
+    )
+    assert regress.main(["--baseline", path]) == 3
+
+
+def test_cell_missing_keys_exits_3(regress, tmp_path, capsys):
+    bad = {k: v for k, v in GOOD_CELL.items() if k != "wall_clock_s"}
+    path = write_baseline(
+        tmp_path,
+        {"schema": "repro-perf-harness/1", "quick": False, "cells": [bad]},
+    )
+    assert regress.main(["--baseline", path]) == 3
+    assert "wall_clock_s" in capsys.readouterr().err
+
+
+def test_cells_wrong_type_exits_3(regress, tmp_path):
+    path = write_baseline(
+        tmp_path,
+        {"schema": "repro-perf-harness/1", "quick": False, "cells": {"a": 1}},
+    )
+    assert regress.main(["--baseline", path]) == 3
+
+
+def test_unreadable_baseline_still_exits_2(regress, tmp_path):
+    assert regress.main(["--baseline", str(tmp_path / "nope.json")]) == 2
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    assert regress.main(["--baseline", str(garbled)]) == 2
+
+
+def test_schema_mismatch_still_exits_2(regress, tmp_path):
+    path = write_baseline(tmp_path, {"schema": "other/9", "cells": []})
+    assert regress.main(["--baseline", path]) == 2
+
+
+def test_validate_cells_accepts_good_baseline(regress):
+    assert regress.validate_cells({"cells": [dict(GOOD_CELL)]}) == []

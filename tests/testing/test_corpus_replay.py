@@ -1,0 +1,40 @@
+"""Replay every pinned regression entry in ``tests/corpus/`` (satellite c).
+
+Each corpus file is a shrunk op sequence in the
+``repro-fuzz-corpus/1`` schema.  All entries must replay *clean* on the
+backend recorded in their metadata (default: both, in lockstep) — a
+failure here means a previously-fixed bug has regressed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testing import run_sequence
+from repro.testing.corpus import corpus_paths, default_corpus_dir, load_entry
+
+PATHS = corpus_paths(default_corpus_dir())
+
+
+def test_corpus_is_seeded():
+    assert PATHS, "tests/corpus/ must hold at least one pinned entry"
+
+
+@pytest.mark.parametrize(
+    "path", PATHS, ids=[os.path.basename(p) for p in PATHS]
+)
+def test_corpus_entry_replays_clean(path):
+    seq = load_entry(path)
+    backend = seq.meta.get("backend", "both")
+    report = run_sequence(seq, backend=backend, check_every=1)
+    assert report.ok, f"{os.path.basename(path)}: {report.failure}"
+
+
+def test_corpus_schema_fields():
+    for path in PATHS:
+        seq = load_entry(path)
+        assert seq.scenario in ("list", "contraction"), path
+        assert seq.n0 >= 1, path
+        assert isinstance(seq.ops, list), path

@@ -1,0 +1,69 @@
+"""Self-verification of the fuzzer: planted faults must be found & shrunk.
+
+For each registered fault we assert the pipeline the ISSUE requires:
+
+1. the differential fuzzer *detects* the fault within a few seeds;
+2. the shrinker reduces the failing program to <= 12 ops;
+3. the shrunk program passes once the fault is removed (i.e. the
+   reproducer blames the fault, not a latent real bug).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import generate, run_sequence, shrink
+from repro.testing.faults import FAULTS
+
+MAX_SHRUNK_OPS = 12
+SEEDS = 6
+OPS = 60
+
+
+@pytest.mark.parametrize("fault", sorted(FAULTS))
+def test_fault_detected_and_shrunk(fault):
+    found = None
+    for seed in range(SEEDS):
+        report = run_sequence(
+            generate("list", seed, OPS), backend="both", fault=fault
+        )
+        if not report.ok:
+            found = seed
+            break
+    assert found is not None, f"fault {fault!r} never detected"
+
+    seq = generate("list", found, OPS)
+
+    def fails(cand):
+        return not run_sequence(cand, backend="both", fault=fault).ok
+
+    result = shrink(seq, fails)
+    shrunk = result.sequence
+    assert len(shrunk.ops) <= MAX_SHRUNK_OPS, (
+        f"shrunk reproducer too large: {len(shrunk.ops)} ops"
+    )
+    # Still fails with the fault ...
+    assert not run_sequence(shrunk, backend="both", fault=fault).ok
+    # ... and passes cleanly without it.
+    clean = run_sequence(shrunk, backend="both")
+    assert clean.ok, f"shrunk repro fails without fault: {clean.failure}"
+
+
+def test_fault_activation_is_reversible():
+    """Patching must restore originals even when the body raises."""
+    from repro.perf.flat_rbsts import FlatRBSTS
+
+    original = FlatRBSTS._update_upward
+    fault = FAULTS["flat-skip-upward-repair"]
+    with pytest.raises(RuntimeError):
+        with fault.activate():
+            assert FlatRBSTS._update_upward is not original
+            raise RuntimeError("boom")
+    assert FlatRBSTS._update_upward is original
+
+
+def test_fault_registry_metadata():
+    for name, fault in FAULTS.items():
+        assert fault.name == name
+        assert fault.description
+        assert fault.detected_by

@@ -1,0 +1,78 @@
+"""Smoke tests for the model-based fuzzing subsystem (ISSUE tentpole).
+
+These keep the CI cost low (small op counts); the heavyweight acceptance
+loads (3 seeds x 2000 ops) run in the dedicated ``fuzz-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.testing import generate, run_sequence
+from repro.testing.fuzz import main
+from repro.testing.ops import OpSequence
+
+SCENARIOS = ["list", "contraction"]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_fuzz_clean_both_backends(scenario, seed):
+    n_ops = 120 if scenario == "list" else 25
+    report = run_sequence(
+        generate(scenario, seed, n_ops), backend="both", check_every=1
+    )
+    assert report.ok, report.failure
+    assert report.ops_executed == n_ops
+    assert report.checks == n_ops + 1  # per-op audits + final audit
+
+
+@pytest.mark.parametrize("backend", ["reference", "flat"])
+def test_fuzz_single_backend(backend):
+    report = run_sequence(generate("list", 3, 80), backend=backend)
+    assert report.ok, report.failure
+
+
+def test_fuzz_check_every_sparser_audits():
+    seq = generate("list", 5, 100)
+    dense = run_sequence(seq, backend="both", check_every=1)
+    sparse = run_sequence(seq, backend="both", check_every=25)
+    assert dense.ok and sparse.ok
+    assert sparse.checks < dense.checks
+
+
+def test_sequential_oracle_agrees():
+    report = run_sequence(
+        generate("contraction", 2, 20), backend="both", oracle="sequential"
+    )
+    assert report.ok, report.failure
+
+
+def test_generator_determinism_and_roundtrip():
+    a = generate("list", 11, 60)
+    b = generate("list", 11, 60)
+    assert a.to_json() == b.to_json()
+    again = OpSequence.loads(a.dumps())
+    assert again.to_json() == a.to_json()
+    # JSON payload is plain data (replayable from disk).
+    json.loads(a.dumps())
+
+
+def test_generator_distinct_seeds_differ():
+    assert generate("list", 0, 60).to_json() != generate("list", 1, 60).to_json()
+
+
+def test_cli_main_clean_run():
+    rc = main(
+        ["--seed", "0", "--ops", "60", "--backend", "both", "--no-save"]
+    )
+    assert rc == 0
+
+
+def test_cli_replay_corpus_entry(tmp_path):
+    seq = generate("list", 7, 40)
+    path = tmp_path / "entry.json"
+    path.write_text(seq.dumps())
+    assert main(["--replay", str(path), "--backend", "both"]) == 0

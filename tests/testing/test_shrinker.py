@@ -1,0 +1,89 @@
+"""Unit tests for the delta-debugging shrinker on synthetic predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.ops import OpSequence
+from repro.testing.shrinker import shrink
+
+
+def make_seq(ops, n0=16):
+    return OpSequence(
+        scenario="list", seed=0, n0=n0, ring="integer", ops=list(ops)
+    )
+
+
+def test_shrink_requires_failing_input():
+    seq = make_seq([["ins", 0, 1]])
+    with pytest.raises(ValueError):
+        shrink(seq, lambda s: False)
+
+
+def test_shrink_to_single_culprit_op():
+    ops = [["ins", i, i] for i in range(40)]
+    ops[23] = ["del", 99]  # the "bug trigger"
+
+    def fails(seq):
+        return any(op[0] == "del" for op in seq.ops)
+
+    result = shrink(make_seq(ops), fails)
+    assert len(result.sequence.ops) == 1
+    assert result.sequence.ops[0][0] == "del"
+    assert result.improved
+
+
+def test_shrink_payload_thinning():
+    # Failure requires *one* specific batch entry, not the whole payload.
+    payload = [[i, i] for i in range(32)]
+    seq = make_seq([["bins", payload]])
+
+    def fails(s):
+        return any(
+            op[0] == "bins" and any(e[0] == 17 for e in op[1])
+            for op in s.ops
+        )
+
+    result = shrink(seq, fails)
+    (op,) = result.sequence.ops
+    assert op[0] == "bins"
+    assert len(op[1]) == 1
+    assert op[1][0][0] == 17
+
+
+def test_shrink_header_n0():
+    seq = make_seq([["ins", 0, 1]], n0=48)
+
+    def fails(s):
+        return True  # always fails -> everything minimises
+
+    result = shrink(seq, fails)
+    assert result.sequence.n0 == 2
+
+
+def test_shrink_preserves_two_op_interaction():
+    # Failure needs both an "ins" and a "del" present, in that order.
+    ops = [["ins", i, i] for i in range(10)]
+    ops += [["del", 0]]
+    ops += [["range", 0, 5] for _ in range(10)]
+
+    def fails(s):
+        kinds = [op[0] for op in s.ops]
+        return "ins" in kinds and "del" in kinds
+
+    result = shrink(make_seq(ops), fails)
+    kinds = sorted(op[0] for op in result.sequence.ops)
+    assert kinds == ["del", "ins"]
+
+
+def test_shrink_respects_replay_budget():
+    ops = [["ins", i, i] for i in range(64)]
+
+    calls = []
+
+    def fails(s):
+        calls.append(1)
+        return True
+
+    shrink(make_seq(ops), fails, max_replays=10)
+    assert len(calls) <= 11  # initial confirmation + budget
