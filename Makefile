@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-perf bench bench-smoke regress \
-        fuzz-smoke fuzz-selftest corpus-replay clean
+        fuzz-smoke fuzz-selftest fuzz-crash corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
 test:
@@ -46,6 +46,15 @@ fuzz-smoke:
 ## Prove the fuzzer finds planted bugs and shrinks them (<= 12 ops).
 fuzz-selftest:
 	$(PYTHON) -m repro.testing.fuzz --self-test
+
+## Crash-consistency fuzz (the PR 3 CI load): 200 seeded batch-heavy
+## programs with mid-batch crash injection, both backends in lockstep.
+## Every fired crash must roll the structure back bit-for-bit (shape
+## signature, master-RNG state, last_batch_stats, self-invariants) and
+## then re-apply cleanly.  Exit 0 means every rollback audited clean.
+fuzz-crash:
+	$(PYTHON) -m repro.testing.fuzz --scenario list --seed 0 \
+		--crash-seed 0 --runs 200 --ops 80 --backend both --no-save
 
 ## Replay every pinned regression reproducer in tests/corpus/.
 corpus-replay:

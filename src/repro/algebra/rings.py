@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..errors import InvalidParameterError
+
 __all__ = [
     "Ring",
     "INTEGER",
@@ -101,7 +103,7 @@ BOOLEAN = Ring("B", False, True, lambda a, b: a or b, lambda a, b: a and b)
 def modular_ring(p: int) -> Ring:
     """The ring of integers modulo ``p`` (``p >= 2``)."""
     if p < 2:
-        raise ValueError(f"modulus must be >= 2, got {p}")
+        raise InvalidParameterError(f"modulus must be >= 2, got {p}")
     return Ring(
         f"Z/{p}",
         0,

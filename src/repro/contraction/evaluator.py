@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..algebra.affine import Affine2
 from ..algebra.rings import Ring
+from ..errors import ConvergenceError, LabelError
 from ..pram.frames import SpanTracker
 from .rake_tree import RTNode
 
@@ -94,7 +95,7 @@ def _partial(ring: Ring, node: RTNode, side: str, known: Vec2) -> Affine2:
             return Affine2(ring, ((b, z), (z, o)), (z, z))
         c, d = known
         return Affine2(ring, ((z, c), (z, z)), (z, d))
-    raise ValueError(f"node kind {node.kind!r} has no binary function")
+    raise LabelError(f"node kind {node.kind!r} has no binary function")
 
 
 def reevaluate_by_contraction(
@@ -134,7 +135,7 @@ def reevaluate_by_contraction(
     while unresolved:
         rounds += 1
         if rounds > 4 * len(wound) + 8:
-            raise RuntimeError("wound contraction failed to converge")
+            raise ConvergenceError("wound contraction failed to converge")
         next_unresolved: List[RTNode] = []
         for node in unresolved:
             if id(node) in labels:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Tuple
 
 from ..algebra.rings import Ring
+from ..errors import LabelError
 from ..trees.nodes import Op
 
 __all__ = ["leaf_label", "init_label", "rake_label", "compress_label", "apply_label"]
@@ -52,7 +53,7 @@ def rake_label(ring: Ring, op: Op, leaf: Label, parent: Label) -> Label:
         return (c, ring.add(ring.mul(c, b), d))
     if op.kind == "mul":
         return (ring.mul(c, b), d)
-    raise ValueError(f"unknown op kind {op.kind!r}")
+    raise LabelError(f"unknown op kind {op.kind!r}")
 
 
 def compress_label(ring: Ring, outer: Label, inner: Label) -> Label:

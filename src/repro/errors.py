@@ -3,9 +3,26 @@
 Every error raised by the library derives from :class:`ReproError`, so a
 caller can catch library failures without also swallowing programming
 errors (``TypeError`` etc. are never wrapped).
+
+Some classes multiply inherit from a builtin (``ValueError``,
+``IndexError``, ``RuntimeError``): historical entry points raised bare
+builtins and callers may legitimately depend on ``except ValueError``
+continuing to work.  The taxonomy sweep (PR 3) re-parents those raise
+sites onto the dual-inheritance classes below so both ``except
+ReproError`` and the legacy builtin catch succeed.
+
+Batch admission control (PR 3) reports *per-request* problems through
+:class:`RequestRejection` records carried on
+:class:`BatchValidationError`.  The concrete class raised is chosen by
+:func:`batch_validation_error` so existing callers that catch
+``TreeStructureError`` / ``UnknownNodeError`` from batch entry points
+keep working.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 
 class ReproError(Exception):
@@ -51,3 +68,178 @@ class AlgebraError(ReproError):
 
 class RequestError(ReproError):
     """A batch update request is malformed or references invalid targets."""
+
+
+# ---------------------------------------------------------------------------
+# Dual-inheritance re-parenting classes (taxonomy sweep).
+# ---------------------------------------------------------------------------
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller-supplied parameter is outside the accepted domain (unknown
+    backend name, malformed forced-split spec, unknown request kind, ...).
+
+    Subclasses ``ValueError`` for backward compatibility with historical
+    raise sites."""
+
+
+class EmptyTreeError(InvalidParameterError):
+    """A structure that must hold at least one leaf was given none."""
+
+
+class PositionError(ReproError, IndexError):
+    """A rank/position argument is out of range for the current list.
+
+    Subclasses ``IndexError`` for backward compatibility."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative phase (activation stage 2, wound contraction) failed
+    to converge within its bound — indicates an internal invariant
+    violation, not caller error.  Subclasses ``RuntimeError`` for
+    backward compatibility."""
+
+
+class ParseTreeError(ReproError, ValueError):
+    """A parse-tree construction precondition failed (e.g. the root was
+    never activated).  Subclasses ``ValueError`` for backward
+    compatibility."""
+
+
+class LabelError(ReproError, ValueError):
+    """An expression-DAG label/evaluation step met an unknown or
+    inconsistent node kind.  Subclasses ``ValueError`` for backward
+    compatibility."""
+
+
+# ---------------------------------------------------------------------------
+# Batch admission control.
+# ---------------------------------------------------------------------------
+
+
+#: Rejection reason kinds that are *structural* (the request targets a
+#: valid object but the operation would break tree structure).  Mapped to
+#: :class:`BatchStructureError` for ``TreeStructureError`` compatibility.
+STRUCTURE_REASONS = frozenset(
+    {
+        "not-a-leaf",
+        "delete-all-leaves",
+        "duplicate-handle",
+        "prune-would-break",
+        "not-prunable",
+        "no-rake-event",
+        "conflicting-requests",
+    }
+)
+
+#: Rejection reason kinds meaning the request referenced an object that
+#: is not part of the structure.  Mapped to :class:`BatchHandleError`
+#: for ``UnknownNodeError`` compatibility.
+HANDLE_REASONS = frozenset(
+    {
+        "unknown-handle",
+        "unknown-node",
+        "target-removed-by-batch",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RequestRejection:
+    """One rejected request inside a batch.
+
+    ``index``
+        position of the request in the submitted batch.
+    ``reason``
+        machine-readable reason kind (e.g. ``"position-out-of-range"``,
+        ``"duplicate-handle"``, ``"unknown-handle"``).
+    ``detail``
+        human-readable elaboration.
+    """
+
+    index: int
+    reason: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = f"request[{self.index}]: {self.reason}"
+        return f"{base} ({self.detail})" if self.detail else base
+
+
+class BatchValidationError(RequestError):
+    """A batch failed up-front admission control.
+
+    No state was mutated and no RNG was consumed: the structure is
+    bit-identical to its pre-call state (``last_batch_stats`` is reset
+    to ``{}`` so a stale previous-batch report cannot be mistaken for
+    this batch's outcome).
+
+    ``rejections`` holds one :class:`RequestRejection` per offending
+    request; ``batch_size`` is the size of the submitted batch.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rejections: Sequence[RequestRejection] = (),
+        batch_size: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.rejections: Tuple[RequestRejection, ...] = tuple(rejections)
+        self.batch_size = batch_size
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.rejections:
+            return base
+        shown = "; ".join(str(r) for r in self.rejections[:4])
+        more = len(self.rejections) - 4
+        if more > 0:
+            shown += f"; ... {more} more"
+        return f"{base}: {shown}"
+
+
+class BatchStructureError(BatchValidationError, TreeStructureError):
+    """All rejections in the batch are structural (see
+    :data:`STRUCTURE_REASONS`); also catchable as
+    ``TreeStructureError`` for backward compatibility."""
+
+
+class BatchHandleError(BatchValidationError, UnknownNodeError):
+    """All rejections reference unknown nodes/handles (see
+    :data:`HANDLE_REASONS`); also catchable as ``UnknownNodeError``
+    for backward compatibility."""
+
+
+class BatchPositionError(BatchValidationError, IndexError):
+    """All rejections are out-of-range positions; also catchable as
+    ``IndexError`` for backward compatibility with the single-op
+    ``insert``/``leaf_at`` contract."""
+
+
+def batch_validation_error(
+    rejections: Sequence[RequestRejection], batch_size: int, *, verb: str = "batch"
+) -> BatchValidationError:
+    """Build the most specific :class:`BatchValidationError` subclass for
+    ``rejections`` (deterministic: depends only on the reason kinds).
+
+    * every reason in :data:`STRUCTURE_REASONS` → :class:`BatchStructureError`
+    * every reason in :data:`HANDLE_REASONS` → :class:`BatchHandleError`
+    * every reason ``position-out-of-range`` → :class:`BatchPositionError`
+    * otherwise → plain :class:`BatchValidationError`
+    """
+
+    reasons = {r.reason for r in rejections}
+    msg = (
+        f"{verb} rejected: {len(rejections)}/{batch_size} "
+        f"request(s) failed admission"
+    )
+    if reasons and reasons <= STRUCTURE_REASONS:
+        cls: type = BatchStructureError
+    elif reasons and reasons <= HANDLE_REASONS:
+        cls = BatchHandleError
+    elif reasons and reasons <= {"position-out-of-range"}:
+        cls = BatchPositionError
+    else:
+        cls = BatchValidationError
+    return cls(msg, rejections, batch_size)

@@ -227,23 +227,36 @@ class IncrementalListPrefix:
         self,
         updates: Sequence[Tuple[BSTNode, Any]],
         tracker: Optional[SpanTracker] = None,
-    ) -> None:
-        """Concurrently replace the values at a set of leaves."""
-        self.tree.batch_update_items(updates, tracker)
+        *,
+        policy: str = "strict",
+    ) -> Any:
+        """Concurrently replace the values at a set of leaves
+        (transactionally — see :meth:`RBSTS.batch_update_items` for the
+        admission/rollback contract and the ``policy`` values)."""
+        return self.tree.batch_update_items(updates, tracker, policy=policy)
 
     def batch_insert(
         self,
         requests: Sequence[Tuple[int, Any]],
         tracker: Optional[SpanTracker] = None,
-    ) -> List[BSTNode]:
+        *,
+        policy: str = "strict",
+    ) -> Any:
         """Concurrently insert ``(index, value)`` pairs (Theorem 2.2);
-        indices refer to the pre-batch sequence."""
-        return self.tree.batch_insert(requests, tracker)
+        indices refer to the pre-batch sequence.  Transactional:
+        ``policy="strict"`` rejects invalid batches atomically (zero
+        mutation / RNG use), ``policy="partial"`` returns a
+        :class:`~repro.transactions.BatchReport`."""
+        return self.tree.batch_insert(requests, tracker, policy=policy)
 
     def batch_delete(
         self,
         handles: Sequence[BSTNode],
         tracker: Optional[SpanTracker] = None,
-    ) -> None:
-        """Concurrently delete a set of leaves (Theorem 2.3)."""
-        self.tree.batch_delete(handles, tracker)
+        *,
+        policy: str = "strict",
+    ) -> Any:
+        """Concurrently delete a set of leaves (Theorem 2.3);
+        transactional with the same ``policy`` contract as
+        :meth:`batch_insert`."""
+        return self.tree.batch_delete(handles, tracker, policy=policy)

@@ -25,7 +25,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Union
 
-from ..errors import RequestError
+from ..errors import ConvergenceError, RequestError
 from ..pram.frames import SpanTracker
 from .flat_rbsts import NIL, FlatLeaf, FlatRBSTS
 
@@ -220,7 +220,7 @@ def flat_activate(
         total_procs += len(new_procs)
         peak = max(peak, len(procs))
         if rounds2 > max_rounds:
-            raise RuntimeError("activation stage 2 failed to converge")
+            raise ConvergenceError("activation stage 2 failed to converge")
     if tracker is not None:
         tracker.charge(work=max(1, rounds2) * max(1, len(procs)), span=rounds2)
 

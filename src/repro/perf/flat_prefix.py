@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, List, Sequence, Set
 
 from ..algebra.monoid import Monoid
+from ..errors import ParseTreeError
 from ..splitting.parse_tree import ExtendedParseTree, PTEntry
 from .flat_rbsts import NIL, FlatLeaf, FlatRBSTS
 
@@ -67,7 +68,7 @@ def flat_extended_parse_tree(
     pt_size = 0
     root = tree.root_index
     if root not in members:
-        raise ValueError("root is not part of the activated parse tree")
+        raise ParseTreeError("root is not part of the activated parse tree")
     stack: List[int] = [root]
     while stack:
         node = stack.pop()

@@ -47,9 +47,22 @@ import math
 import random
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import RequestError, TreeStructureError, UnknownNodeError
+from ..errors import (
+    EmptyTreeError,
+    InvalidParameterError,
+    PositionError,
+    TreeStructureError,
+    UnknownNodeError,
+)
 from ..pram.frames import SpanTracker
 from ..splitting.build import Summarizer
+from ..transactions import (
+    FlatJournal,
+    execute_batch,
+    validate_batch_delete,
+    validate_batch_insert,
+    validate_batch_update,
+)
 from ..splitting.shortcuts import (
     DEFAULT_RATIO,
     presence_threshold,
@@ -122,7 +135,11 @@ class FlatRBSTS:
     ) -> None:
         items = list(items)
         if not items:
-            raise ValueError("RBSTS requires at least one initial item")
+            raise EmptyTreeError("RBSTS requires at least one initial item")
+        # Transactional array-epoch journal (transactions.py); ``None``
+        # outside a batch transaction.  Set before any build so the
+        # construction never journals.
+        self._journal: Optional[FlatJournal] = None
         self._rng = random.Random(seed)
         self.summarizer = summarizer
         self.ratio = ratio
@@ -173,6 +190,10 @@ class FlatRBSTS:
     def _alloc(self) -> int:
         free = self._free
         if free:
+            journal = self._journal
+            if journal is not None:
+                journal.note_free_pops(free, 1)
+                journal.save_slot(self, free[-1])
             i = free.pop()
             self._parent[i] = NIL
             self._left[i] = NIL
@@ -202,6 +223,8 @@ class FlatRBSTS:
         return i
 
     def _free_slot(self, i: int) -> None:
+        if self._journal is not None:
+            self._journal.save_slot(self, i)
         self._handle[i] = None
         self._free.append(i)
 
@@ -220,6 +243,10 @@ class FlatRBSTS:
         take = min(k, len(free))
         out: List[int] = []
         if take:
+            journal = self._journal
+            if journal is not None:
+                journal.note_free_pops(free, take)
+                journal.save_slots(self, free[len(free) - take :])
             shortcuts, item, summary = self._shortcuts, self._item, self._summary
             active, low = self._active, self._low
             append = out.append
@@ -296,7 +323,7 @@ class FlatRBSTS:
     def leaf_at(self, index: int) -> FlatLeaf:
         """Order-statistic descent on the ``n_leaves`` array; O(depth)."""
         if not 0 <= index < self.n_leaves:
-            raise IndexError(f"leaf index {index} out of range")
+            raise PositionError(f"leaf index {index} out of range")
         left, right, counts = self._left, self._right, self._n_leaves
         node = self.root_index
         while left[node] != NIL:
@@ -429,7 +456,9 @@ class FlatRBSTS:
         """
         m = len(leaf_slots)
         if m == 0:
-            raise ValueError("cannot build a splitting tree over zero leaves")
+            raise InvalidParameterError(
+                "cannot build a splitting tree over zero leaves"
+            )
 
         # Fast paths for the tiny rebuilds that dominate batch updates
         # (most coin-fire sites cover one or two leaves).  Heights 0-1
@@ -633,6 +662,14 @@ class FlatRBSTS:
         was_left = parent_idx != NIL and self._left[parent_idx] == node
         base_depth = self._depth[node]
         path = self._root_path(node)
+        journal = self._journal
+        if journal is not None:
+            # Pre-images for the splice parent and every reused leaf
+            # slot, captured before the build passes overwrite them
+            # (slots born inside the transaction are skipped).
+            if parent_idx != NIL:
+                journal.save_slot(self, parent_idx)
+            journal.save_slots(self, leaf_slots)
         threshold = self.shortcut_threshold
 
         # Recycle the subtree's discarded internal slots *before*
@@ -648,7 +685,7 @@ class FlatRBSTS:
         if forced_split is not None and len(leaf_slots) >= 2:
             s = forced_split
             if not 1 <= s <= len(leaf_slots) - 1:
-                raise ValueError(
+                raise InvalidParameterError(
                     f"forced split {s} invalid for {len(leaf_slots)} leaves"
                 )
             new_root = self._alloc()
@@ -703,6 +740,8 @@ class FlatRBSTS:
         parent, left, right = self._parent, self._left, self._right
         counts, height = self._n_leaves, self._height
         chain = self._root_path(start)
+        if self._journal is not None:
+            self._journal.save_slots(self, chain)
         threshold = self.shortcut_threshold
         summarizer = self.summarizer
         for v in reversed(chain):
@@ -727,7 +766,7 @@ class FlatRBSTS:
         self, index: int, item: Any, tracker: Optional[SpanTracker] = None
     ) -> FlatLeaf:
         if not 0 <= index <= self.n_leaves:
-            raise IndexError(f"insert position {index} out of range")
+            raise PositionError(f"insert position {index} out of range")
         left, right, counts = self._left, self._right, self._n_leaves
         rnd = self._rng.random
         new_leaf = self._alloc()
@@ -811,15 +850,38 @@ class FlatRBSTS:
         self,
         requests: Sequence[Tuple[int, Any]],
         tracker: Optional[SpanTracker] = None,
+        *,
+        policy: str = "strict",
+    ) -> Any:
+        """Concurrent inserts (transactionally); all indices refer to
+        the pre-batch sequence, equal indices land in request order.
+
+        Admission control and policies are identical to the reference
+        backend (see :meth:`RBSTS.batch_insert`): ``strict`` rejects
+        atomically with zero mutation and zero RNG consumption,
+        ``partial`` drops rejected requests and returns a
+        :class:`~repro.transactions.BatchReport`; mid-apply exceptions
+        roll the slab back bit-for-bit via the array-epoch journal.
+        """
+        requests = list(requests)
+        rejections = validate_batch_insert(self.n_leaves, requests)
+
+        def apply(admitted: Sequence[Tuple[int, Any]]) -> Tuple[Any, List[Any]]:
+            handles = self._batch_insert_core(admitted, tracker)
+            return handles, handles
+
+        return execute_batch(
+            self, requests, rejections, apply, policy=policy, verb="batch_insert"
+        )
+
+    def _batch_insert_core(
+        self,
+        requests: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
     ) -> List[FlatLeaf]:
-        """Concurrent inserts; all indices refer to the pre-batch
-        sequence, equal indices land in request order."""
+        """Already-admitted batch insert (single sorted sweep)."""
         if not requests:
             return []
-        n = self.n_leaves
-        for idx, _ in requests:
-            if not 0 <= idx <= n:
-                raise RequestError(f"insert position {idx} out of range 0..{n}")
         tracker = tracker if tracker is not None else SpanTracker()
         left, right, counts = self._left, self._right, self._n_leaves
 
@@ -948,18 +1010,41 @@ class FlatRBSTS:
         self,
         leaves: Sequence[FlatLeaf],
         tracker: Optional[SpanTracker] = None,
+        *,
+        policy: str = "strict",
+    ) -> Any:
+        """Concurrent deletes (by handle, transactionally).
+
+        Admission control and policies mirror
+        :meth:`RBSTS.batch_delete` exactly — identical accept/reject
+        behaviour and rejection reasons on both backends.
+        """
+        leaves = list(leaves)
+        rejections = validate_batch_delete(
+            self.n_leaves,
+            leaves,
+            is_leaf=lambda h: isinstance(h, FlatLeaf) and h.is_leaf,
+            is_member=self.contains,
+        )
+
+        def apply(admitted: Sequence[FlatLeaf]) -> Tuple[Any, List[Any]]:
+            items = [leaf.item for leaf in admitted]
+            self._batch_delete_core(admitted, tracker)
+            return None, items
+
+        return execute_batch(
+            self, leaves, rejections, apply, policy=policy, verb="batch_delete"
+        )
+
+    def _batch_delete_core(
+        self,
+        leaves: Sequence[FlatLeaf],
+        tracker: Optional[SpanTracker] = None,
     ) -> None:
-        """Concurrent deletes (by handle)."""
+        """Already-admitted batch delete (single sorted sweep)."""
         if not leaves:
             return
-        # ``_check_handle`` proves liveness (freed slots drop their
-        # interned handle) and ``index_of`` below walks every leaf to
-        # the root, so a separate ``contains`` pass would be redundant.
-        idxs = [self._check_handle(l) for l in leaves]
-        if len(set(idxs)) != len(idxs):
-            raise RequestError("duplicate leaves in batch delete")
-        if len(leaves) >= self.n_leaves:
-            raise TreeStructureError("cannot delete every leaf of an RBSTS")
+        idxs = [l.idx for l in leaves]
         tracker = tracker if tracker is not None else SpanTracker()
         left, right, counts, parent = (
             self._left,
@@ -1094,17 +1179,60 @@ class FlatRBSTS:
         self,
         updates: Sequence[Tuple[FlatLeaf, Any]],
         tracker: Optional[SpanTracker] = None,
+        *,
+        policy: str = "strict",
+    ) -> Any:
+        """Replace several leaves' payloads (transactionally); mirrors
+        :meth:`RBSTS.batch_update_items` admission and policies."""
+        updates = list(updates)
+        rejections = validate_batch_update(
+            updates,
+            is_leaf=lambda h: isinstance(h, FlatLeaf) and h.is_leaf,
+            is_member=self.contains,
+        )
+
+        def apply(admitted: Sequence[Tuple[FlatLeaf, Any]]) -> Tuple[Any, List[Any]]:
+            self._batch_update_core(admitted, tracker)
+            return None, [item for _, item in admitted]
+
+        return execute_batch(
+            self, updates, rejections, apply, policy=policy, verb="batch_update_items"
+        )
+
+    def _batch_update_core(
+        self,
+        updates: Sequence[Tuple[FlatLeaf, Any]],
+        tracker: Optional[SpanTracker] = None,
     ) -> None:
+        """Already-admitted batch relabel."""
         tracker = tracker if tracker is not None else SpanTracker()
+        journal = self._journal
         starts = []
         for leaf, item in updates:
-            idx = self._check_handle(leaf)
+            idx = leaf.idx
+            if journal is not None:
+                journal.save_slot(self, idx)
             self._item[idx] = item
             if self.summarizer is not None:
                 self._summary[idx] = self.summarizer.of_item(item)
             starts.append(idx)
         self._charge_activation(tracker, len(updates))
         self._levelized_repair(starts, tracker)
+
+    # ------------------------------------------------------------------
+    # transaction protocol (transactions.py drives these)
+    # ------------------------------------------------------------------
+    def _txn_begin(self) -> FlatJournal:
+        journal = FlatJournal(self)
+        self._journal = journal
+        return journal
+
+    def _txn_rollback(self, journal: FlatJournal) -> None:
+        self._journal = None
+        journal.rollback(self)
+
+    def _txn_commit(self, journal: FlatJournal) -> None:
+        self._journal = None
 
     # ------------------------------------------------------------------
     # shared helpers (cost accounting mirrors the reference)
@@ -1129,6 +1257,8 @@ class FlatRBSTS:
             chains.append(chain)
             wound.update(chain)
         nodes = sorted(wound, key=lambda v: -depth[v])
+        if self._journal is not None:
+            self._journal.save_slots(self, nodes)
         for v in nodes:
             l, r = left[v], right[v]
             counts[v] = counts[l] + counts[r]

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 from ..algebra.monoid import Monoid
+from ..errors import EmptyTreeError
 from ..pram.frames import SpanTracker
 from .node import BSTNode
 from .shortcuts import DEFAULT_RATIO, shortcuts_from_path
@@ -77,7 +78,9 @@ def build_subtree(
     """
     m = len(leaves)
     if m == 0:
-        raise ValueError("cannot build a splitting tree over zero leaves")
+        raise EmptyTreeError(
+            "cannot build a splitting tree over zero leaves"
+        )
 
     # Reset leaf metadata; their depths are assigned by the placement pass.
     for leaf in leaves:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Set
 
+from ..errors import ParseTreeError
 from .node import BSTNode
 
 __all__ = ["PTEntry", "ExtendedParseTree", "build_extended_parse_tree"]
@@ -66,7 +67,7 @@ def build_extended_parse_tree(
     pt_size = 0
     stack: List[BSTNode] = [root]
     if id(root) not in members:
-        raise ValueError("root is not part of the activated parse tree")
+        raise ParseTreeError("root is not part of the activated parse tree")
     while stack:
         node = stack.pop()
         if id(node) in members:

@@ -44,8 +44,21 @@ import math
 import random
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import RequestError, TreeStructureError, UnknownNodeError
+from ..errors import (
+    EmptyTreeError,
+    InvalidParameterError,
+    PositionError,
+    TreeStructureError,
+    UnknownNodeError,
+)
 from ..pram.frames import SpanTracker
+from ..transactions import (
+    ReferenceJournal,
+    execute_batch,
+    validate_batch_delete,
+    validate_batch_insert,
+    validate_batch_update,
+)
 from ..trees.traversal import subtree_leaves as _subtree_leaves
 from .build import Summarizer, build_subtree
 from .node import BSTNode
@@ -95,7 +108,7 @@ class RBSTS:
 
             return FlatRBSTS(items, **kwargs)  # type: ignore[return-value]
         if backend != "reference":
-            raise ValueError(f"unknown RBSTS backend {backend!r}")
+            raise InvalidParameterError(f"unknown RBSTS backend {backend!r}")
         return super().__new__(cls)
 
     def __init__(
@@ -109,7 +122,11 @@ class RBSTS:
     ) -> None:
         items = list(items)
         if not items:
-            raise ValueError("RBSTS requires at least one initial item")
+            raise EmptyTreeError("RBSTS requires at least one initial item")
+        # Transactional undo log (transactions.py); ``None`` outside a
+        # batch transaction.  Set before any build so the construction
+        # rebuilds never journal.
+        self._journal: Optional[ReferenceJournal] = None
         self._rng = random.Random(seed)
         self.summarizer = summarizer
         self.ratio = ratio
@@ -173,7 +190,7 @@ class RBSTS:
     def leaf_at(self, index: int) -> BSTNode:
         """The leaf at position ``index`` (0-based); O(depth)."""
         if not 0 <= index < self.n_leaves:
-            raise IndexError(f"leaf index {index} out of range")
+            raise PositionError(f"leaf index {index} out of range")
         node = self.root
         while not node.is_leaf:
             k = node.left.n_leaves  # type: ignore[union-attr]
@@ -233,11 +250,17 @@ class RBSTS:
         # its depth field.
         base_depth = node.depth
         path = self._root_path(node)
+        if self._journal is not None:
+            # Capture the splice link and the reused leaves' placement
+            # pre-images *before* build_subtree mutates them.
+            self._journal.record_rebuild(node, parent, leaves)
         threshold = self.shortcut_threshold
         if forced_split is not None and len(leaves) >= 2:
             s = forced_split
             if not 1 <= s <= len(leaves) - 1:
-                raise ValueError(f"forced split {s} invalid for {len(leaves)} leaves")
+                raise InvalidParameterError(
+                    f"forced split {s} invalid for {len(leaves)} leaves"
+                )
             new_root = self._new_node()
             new_root.depth = base_depth
             new_root.n_leaves = len(leaves)
@@ -300,6 +323,8 @@ class RBSTS:
         """Refresh ``n_leaves``/``height``/``summary`` on the root path of
         ``start`` and repair stale shortcut presence (see shortcuts.py)."""
         chain = self._root_path(start)  # depth-indexed proper ancestors
+        if self._journal is not None:
+            self._journal.record_meta(chain)
         threshold = self.shortcut_threshold
         for v in reversed(chain):
             v.n_leaves = v.left.n_leaves + v.right.n_leaves  # type: ignore[union-attr]
@@ -321,7 +346,7 @@ class RBSTS:
         """Insert a new leaf so that it lands at position ``index``
         (``0 <= index <= n``).  Returns the new leaf handle."""
         if not 0 <= index <= self.n_leaves:
-            raise IndexError(f"insert position {index} out of range")
+            raise PositionError(f"insert position {index} out of range")
         new_leaf = self._new_node()
         new_leaf.item = item
         node = self.root
@@ -392,20 +417,47 @@ class RBSTS:
         self,
         requests: Sequence[Tuple[int, Any]],
         tracker: Optional[SpanTracker] = None,
-    ) -> List[BSTNode]:
-        """Insert a set of leaves concurrently.
+        *,
+        policy: str = "strict",
+    ) -> Any:
+        """Insert a set of leaves concurrently (transactionally).
 
         ``requests`` is a list of ``(index, item)`` pairs; *all indices
         refer to the sequence as it is before the batch*.  Requests with
-        equal indices land in request order.  Returns new leaf handles
-        in request order.
+        equal indices land in request order.
+
+        Admission control validates the whole batch up front: under
+        ``policy="strict"`` (default) any invalid request rejects the
+        batch atomically — no mutation, no RNG consumption,
+        ``last_batch_stats`` reset to ``{}`` — and raises a
+        :class:`~repro.errors.BatchValidationError` subclass carrying
+        per-request rejections.  On success, returns new leaf handles in
+        request order.  Under ``policy="partial"`` the rejected requests
+        are dropped, the remainder applied transactionally, and a
+        :class:`~repro.transactions.BatchReport` returned whose accepted
+        outcomes carry the new handles.  Any exception escaping
+        mid-apply (including injected crash faults) rolls the structure
+        back bit-for-bit to its pre-batch state.
         """
+        requests = list(requests)
+        rejections = validate_batch_insert(self.n_leaves, requests)
+
+        def apply(admitted: Sequence[Tuple[int, Any]]) -> Tuple[Any, List[Any]]:
+            handles = self._batch_insert_core(admitted, tracker)
+            return handles, handles
+
+        return execute_batch(
+            self, requests, rejections, apply, policy=policy, verb="batch_insert"
+        )
+
+    def _batch_insert_core(
+        self,
+        requests: Sequence[Tuple[int, Any]],
+        tracker: Optional[SpanTracker] = None,
+    ) -> List[BSTNode]:
+        """Already-admitted batch insert (parallel-coin formulation)."""
         if not requests:
             return []
-        n = self.n_leaves
-        for idx, _ in requests:
-            if not 0 <= idx <= n:
-                raise RequestError(f"insert position {idx} out of range 0..{n}")
         tracker = tracker if tracker is not None else SpanTracker()
 
         # Phase 1 — wound location: every node on every request's path
@@ -525,19 +577,47 @@ class RBSTS:
         self,
         leaves: Sequence[BSTNode],
         tracker: Optional[SpanTracker] = None,
+        *,
+        policy: str = "strict",
+    ) -> Any:
+        """Delete a set of leaves concurrently (by handle,
+        transactionally).
+
+        Admission control validates the whole batch up front (not a
+        leaf, unknown handle, duplicate handle, deleting every leaf);
+        under ``policy="strict"`` (default) any invalid request rejects
+        the batch atomically with zero mutation and zero RNG
+        consumption.  ``policy="partial"`` drops the rejected requests,
+        applies the rest transactionally, and returns a
+        :class:`~repro.transactions.BatchReport` whose accepted outcomes
+        carry the deleted items.  Mid-apply exceptions roll back
+        bit-for-bit.
+        """
+        leaves = list(leaves)
+        rejections = validate_batch_delete(
+            self.n_leaves,
+            leaves,
+            is_leaf=lambda h: isinstance(h, BSTNode) and h.is_leaf,
+            is_member=self.contains,
+        )
+
+        def apply(admitted: Sequence[BSTNode]) -> Tuple[Any, List[Any]]:
+            items = [leaf.item for leaf in admitted]
+            self._batch_delete_core(admitted, tracker)
+            return None, items
+
+        return execute_batch(
+            self, leaves, rejections, apply, policy=policy, verb="batch_delete"
+        )
+
+    def _batch_delete_core(
+        self,
+        leaves: Sequence[BSTNode],
+        tracker: Optional[SpanTracker] = None,
     ) -> None:
-        """Delete a set of leaves concurrently (by handle)."""
+        """Already-admitted batch delete (parallel-coin formulation)."""
         if not leaves:
             return
-        if len({id(l) for l in leaves}) != len(leaves):
-            raise RequestError("duplicate leaves in batch delete")
-        for leaf in leaves:
-            if not leaf.is_leaf:
-                raise TreeStructureError("delete target must be a leaf")
-            if not self.contains(leaf):
-                raise UnknownNodeError("leaf does not belong to this RBSTS")
-        if len(leaves) >= self.n_leaves:
-            raise TreeStructureError("cannot delete every leaf of an RBSTS")
         tracker = tracker if tracker is not None else SpanTracker()
         doomed = {id(l) for l in leaves}
 
@@ -649,19 +729,63 @@ class RBSTS:
         self,
         updates: Sequence[Tuple[BSTNode, Any]],
         tracker: Optional[SpanTracker] = None,
+        *,
+        policy: str = "strict",
+    ) -> Any:
+        """Replace several leaves' payloads (transactionally); summaries
+        on the wound ``PT(U)`` are recomputed level-by-level (charged as
+        parse-tree contraction per Theorem 3.1).
+
+        The whole batch is validated up front (targets must be leaves of
+        *this* structure); ``policy="strict"`` rejects atomically,
+        ``policy="partial"`` applies the valid subset and returns a
+        :class:`~repro.transactions.BatchReport`.
+        """
+        updates = list(updates)
+        rejections = validate_batch_update(
+            updates,
+            is_leaf=lambda h: isinstance(h, BSTNode) and h.is_leaf,
+            is_member=self.contains,
+        )
+
+        def apply(admitted: Sequence[Tuple[BSTNode, Any]]) -> Tuple[Any, List[Any]]:
+            self._batch_update_core(admitted, tracker)
+            return None, [item for _, item in admitted]
+
+        return execute_batch(
+            self, updates, rejections, apply, policy=policy, verb="batch_update_items"
+        )
+
+    def _batch_update_core(
+        self,
+        updates: Sequence[Tuple[BSTNode, Any]],
+        tracker: Optional[SpanTracker] = None,
     ) -> None:
-        """Replace several leaves' payloads; summaries on the wound
-        ``PT(U)`` are recomputed level-by-level (charged as parse-tree
-        contraction per Theorem 3.1)."""
+        """Already-admitted batch relabel."""
         tracker = tracker if tracker is not None else SpanTracker()
+        if self._journal is not None:
+            self._journal.record_items([leaf for leaf, _ in updates])
         for leaf, item in updates:
-            if not leaf.is_leaf:
-                raise TreeStructureError("update target must be a leaf")
             leaf.item = item
             if self.summarizer is not None:
                 leaf.summary = self.summarizer.of_item(item)
         self._charge_activation(tracker, len(updates))
         self._levelized_repair([leaf for leaf, _ in updates], tracker)
+
+    # ------------------------------------------------------------------
+    # transaction protocol (transactions.py drives these)
+    # ------------------------------------------------------------------
+    def _txn_begin(self) -> ReferenceJournal:
+        journal = ReferenceJournal(self)
+        self._journal = journal
+        return journal
+
+    def _txn_rollback(self, journal: ReferenceJournal) -> None:
+        self._journal = None
+        journal.rollback(self)
+
+    def _txn_commit(self, journal: ReferenceJournal) -> None:
+        self._journal = None
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -704,6 +828,8 @@ class RBSTS:
             for v in chain:
                 wound[id(v)] = v
         nodes = sorted(wound.values(), key=lambda v: -v.depth)
+        if self._journal is not None:
+            self._journal.record_meta(nodes)
         for v in nodes:
             v.n_leaves = v.left.n_leaves + v.right.n_leaves  # type: ignore[union-attr]
             v.height = 1 + max(v.left.height, v.right.height)  # type: ignore[union-attr]

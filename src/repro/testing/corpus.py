@@ -99,10 +99,17 @@ def replay_corpus(
     backend: str = "both",
 ) -> List[Tuple[str, RunReport]]:
     """Re-run every corpus entry; entries must replay *clean* (they
-    capture formerly-failing programs whose bugs are fixed)."""
+    capture formerly-failing programs whose bugs are fixed).
+
+    Entries carrying a ``crash_seed`` in their metadata re-arm the same
+    mid-batch crash schedule, so crash-consistent rollback reproducers
+    stay pinned too."""
     out: List[Tuple[str, RunReport]] = []
     for path in corpus_paths(directory):
         seq = load_entry(path)
         requested = seq.meta.get("backend", backend)
-        out.append((path, run_sequence(seq, backend=requested)))
+        crash = seq.meta.get("crash_seed")
+        out.append(
+            (path, run_sequence(seq, backend=requested, crash_seed=crash))
+        )
     return out

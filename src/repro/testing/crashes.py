@@ -1,0 +1,164 @@
+"""Crash-point fault injection for the transactional batch layer (PR 3).
+
+The batch contract (transactions.py, DESIGN.md §7) claims that *any*
+exception escaping mid-apply leaves the structure bit-identical to its
+pre-batch state.  This module tests that claim adversarially: it
+patches the interior mutation hooks of both RBSTS backends so that an
+armed :class:`CrashController` raises :class:`CrashInjected` at a
+randomized *crash point* strictly inside the apply — after admission,
+between (or inside) the structural rebuild / levelized repair /
+slab-management steps — and the executor then audits that rollback
+restored everything (shape signature, RNG state, ``last_batch_stats``,
+self-invariants) before re-applying the batch cleanly.
+
+Crash points (one :meth:`CrashController.tick` each):
+
+=======================  =====================================================
+hook                     why it is interesting
+=======================  =====================================================
+``_rebuild_at`` entry    between per-group rebuilds: earlier groups are
+                         already spliced, later ones untouched
+``_levelized_repair``    entry = all rebuilds done, bookkeeping still stale;
+entry + exit             exit = the *last* mutation of the batch is complete
+                         (full-undo path; exercises the meta pre-images)
+``_alloc_internals``     (flat) mid-allocation: free-list pops and slab
+entry                    growth interleave with splices
+``_free_slot`` entry     (flat) mid-recycling during batch deletes
+=======================  =====================================================
+
+:class:`CrashInjected` deliberately subclasses plain ``Exception`` (not
+:class:`~repro.errors.ReproError`) so no library ``except ReproError``
+handler can accidentally swallow the simulated crash.
+
+Patches are installed for the duration of a ``with crash_points(ctl):``
+block and always restored; ticks are no-ops while the controller is
+disarmed, so construction, audits and model updates run untouched.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, List
+
+from ..perf.flat_rbsts import FlatRBSTS
+from ..splitting.rbsts import RBSTS
+
+__all__ = ["CrashInjected", "CrashController", "crash_points"]
+
+
+class CrashInjected(Exception):
+    """The simulated mid-batch crash.
+
+    Intentionally *not* a :class:`~repro.errors.ReproError`: the library
+    must never catch it, only the transaction driver's blanket
+    ``except BaseException`` rollback path may see it pass through.
+    """
+
+
+class CrashController:
+    """Counts crash points and raises at the armed one.
+
+    ``arm(k)`` schedules a crash at the ``k``-th subsequent
+    :meth:`tick` (1-based).  A controller fires at most once per arm;
+    after firing (or :meth:`disarm`) every tick is a no-op, so journal
+    rollback code — which runs while the exception propagates — can
+    never re-trigger it.  ``fired`` reports whether the last armed
+    window actually crashed (the executor uses it to distinguish a
+    mid-batch crash from an overshoot where the batch completed).
+    """
+
+    __slots__ = ("remaining", "armed", "fired", "total_fired")
+
+    def __init__(self) -> None:
+        self.remaining = 0
+        self.armed = False
+        self.fired = False
+        self.total_fired = 0
+
+    def arm(self, steps: int) -> None:
+        if steps < 1:
+            raise ValueError("crash step count must be >= 1")
+        self.remaining = steps
+        self.armed = True
+        self.fired = False
+
+    def disarm(self) -> None:
+        self.armed = False
+        self.remaining = 0
+
+    def tick(self) -> None:
+        if not self.armed:
+            return
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.armed = False
+            self.fired = True
+            self.total_fired += 1
+            raise CrashInjected("injected crash point reached")
+
+
+def _patch(cls, attr: str, replacement) -> Callable[[], None]:
+    original = getattr(cls, attr)
+    setattr(cls, attr, replacement)
+
+    def restore() -> None:
+        setattr(cls, attr, original)
+
+    return restore
+
+
+def _tick_entry(ctl: CrashController, original):
+    def wrapped(self, *args, **kwargs):
+        ctl.tick()
+        return original(self, *args, **kwargs)
+
+    return wrapped
+
+
+def _tick_entry_exit(ctl: CrashController, original):
+    def wrapped(self, *args, **kwargs):
+        ctl.tick()
+        result = original(self, *args, **kwargs)
+        ctl.tick()
+        return result
+
+    return wrapped
+
+
+@contextmanager
+def crash_points(ctl: CrashController):
+    """Instrument both backends' interior mutation hooks with ``ctl``.
+
+    Safe to leave installed for a whole fuzz run: ticks only count while
+    the controller is armed (the executor arms around each guarded
+    batch call and disarms afterwards).
+    """
+    restores: List[Callable[[], None]] = [
+        _patch(RBSTS, "_rebuild_at", _tick_entry(ctl, RBSTS._rebuild_at)),
+        _patch(
+            RBSTS,
+            "_levelized_repair",
+            _tick_entry_exit(ctl, RBSTS._levelized_repair),
+        ),
+        _patch(
+            FlatRBSTS, "_rebuild_at", _tick_entry(ctl, FlatRBSTS._rebuild_at)
+        ),
+        _patch(
+            FlatRBSTS,
+            "_levelized_repair",
+            _tick_entry_exit(ctl, FlatRBSTS._levelized_repair),
+        ),
+        _patch(
+            FlatRBSTS,
+            "_alloc_internals",
+            _tick_entry(ctl, FlatRBSTS._alloc_internals),
+        ),
+        _patch(
+            FlatRBSTS, "_free_slot", _tick_entry(ctl, FlatRBSTS._free_slot)
+        ),
+    ]
+    try:
+        yield ctl
+    finally:
+        for restore in reversed(restores):
+            restore()

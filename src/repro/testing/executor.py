@@ -31,7 +31,8 @@ from ..listprefix.structure import IncrementalListPrefix
 from ..splitting.activation import activate, ancestors_closure, deactivate
 from ..trees.builders import random_tree
 from ..trees.nodes import add_op, mul_op
-from .oracles import OracleViolation, assert_model, assert_twins
+from .crashes import CrashController, CrashInjected, crash_points
+from .oracles import OracleViolation, assert_model, assert_twins, shape_signature
 from .ops import FUZZ_RINGS, OpSequence, norm_value
 
 __all__ = [
@@ -45,6 +46,22 @@ __all__ = [
 _RAW = 1 << 16
 
 BACKENDS = ("reference", "flat", "both")
+
+#: Upper bound on the armed crash-point index.  Batch ops hit between 2
+#: and ~15 interior crash points depending on backend and batch size, so
+#: a window of 10 fires mid-batch most of the time while still leaving
+#: an overshoot tail (armed point never reached -> the batch completes
+#: normally, which doubles as a no-interference check).
+_CRASH_WINDOW = 10
+
+
+def _sig_divergence(a, b) -> str:
+    if len(a) != len(b):
+        return f"node counts {len(a)} vs {len(b)}"
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return f"first divergence at preorder node {i}: {y!r} != {x!r}"
+    return "identical"  # pragma: no cover - callers check inequality first
 
 
 @dataclass
@@ -70,6 +87,7 @@ class RunReport:
     ops_executed: int = 0
     checks: int = 0
     final_n: int = 0
+    crashes: int = 0  # injected mid-batch crashes that fired (+ rolled back)
     failure: Optional[FailureInfo] = None
     counts: Dict[str, int] = field(default_factory=dict)
 
@@ -100,16 +118,33 @@ def run_sequence(
     check_every: int = 1,
     fault: Optional[str] = None,
     oracle: str = "recompute",
+    crash_seed: Optional[int] = None,
 ) -> RunReport:
     """Replay ``seq``; return a report (never raises on subject bugs —
-    violations and crashes are captured as :class:`FailureInfo`)."""
+    violations and crashes are captured as :class:`FailureInfo`).
+
+    ``crash_seed`` arms mid-batch crash injection (crashes.py): every
+    batch op on the list scenario crashes at a seeded random interior
+    point, the rollback is audited bit-for-bit (phase ``rollback``) and
+    the batch is then re-applied cleanly, so the rest of the program —
+    and every other oracle — still runs on the crash-free trajectory.
+    The contraction scenario ignores it (its engine boundary is
+    admission-only; the RBSTS underneath is covered by the list
+    scenario and the engine's own sub-batches are already admitted).
+    """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}")
     report = RunReport(scenario=seq.scenario, backend=backend)
     runner = _ListRunner if seq.scenario == "list" else _ContractionRunner
-    with _fault_context(fault):
+    crash_cfg = None
+    crash_ctx = nullcontext()
+    if crash_seed is not None and seq.scenario == "list":
+        ctl = CrashController()
+        crash_cfg = (ctl, random.Random(("crash", crash_seed).__repr__()))
+        crash_ctx = crash_points(ctl)
+    with _fault_context(fault), crash_ctx:
         try:
-            machine = runner(seq, backend, oracle)
+            machine = runner(seq, backend, oracle, crash_cfg)
         except Exception as exc:  # construction failure
             report.failure = FailureInfo(
                 -1, None, "construction", type(exc).__name__, str(exc)
@@ -146,6 +181,7 @@ def run_sequence(
                     len(seq.ops) - 1, None, "crash", type(exc).__name__, str(exc)
                 )
         report.final_n = machine.size()
+        report.crashes = getattr(machine, "crashes", 0)
     return report
 
 
@@ -157,7 +193,9 @@ def run_sequence(
 class _ListRunner:
     """Drives IncrementalListPrefix subjects + the naive list model."""
 
-    def __init__(self, seq: OpSequence, backend: str, oracle: str) -> None:
+    def __init__(
+        self, seq: OpSequence, backend: str, oracle: str, crash_cfg=None
+    ) -> None:
         self.seq = seq
         self.ring = FUZZ_RINGS[seq.ring]
         self.monoid = sum_monoid(self.ring)
@@ -170,6 +208,65 @@ class _ListRunner:
                     self.monoid, vals, seed=seq.seed, backend=name
                 )
         self.both = backend == "both"
+        self.crash = crash_cfg  # None or (CrashController, random.Random)
+        self.crashes = 0
+
+    # -- crash-point harness ----------------------------------------------
+    def _guarded(self, what: str, name: str, lp, thunk) -> None:
+        """Run one transactional batch call on one subject; with crash
+        injection armed, audit the crash-consistent rollback and then
+        re-apply the batch cleanly (the program continues on the
+        crash-free trajectory, so all downstream oracles still apply)."""
+        if self.crash is None:
+            thunk()
+            return
+        ctl, rng = self.crash
+        pre_sig = shape_signature(lp.tree)
+        pre_rng = lp.rng_state()
+        pre_stats = dict(lp.tree.last_batch_stats)
+        ctl.arm(rng.randint(1, _CRASH_WINDOW))
+        try:
+            thunk()
+        except CrashInjected:
+            self.crashes += 1
+            self._audit_rollback(what, name, lp, pre_sig, pre_rng, pre_stats)
+            thunk()  # clean re-apply (controller fired -> disarmed)
+        finally:
+            ctl.disarm()
+
+    def _audit_rollback(
+        self, what: str, name: str, lp, pre_sig, pre_rng, pre_stats
+    ) -> None:
+        """The crash left the apply mid-flight; the journal must have
+        restored the *exact* pre-batch state (DESIGN.md §7)."""
+        post_sig = shape_signature(lp.tree)
+        if post_sig != pre_sig:
+            raise OracleViolation(
+                "rollback",
+                f"{name}: {what} crash rollback left a different shape "
+                f"({_sig_divergence(pre_sig, post_sig)})",
+            )
+        if lp.rng_state() != pre_rng:
+            raise OracleViolation(
+                "rollback",
+                f"{name}: {what} crash rollback did not restore the "
+                "master-RNG state",
+            )
+        if dict(lp.tree.last_batch_stats) != pre_stats:
+            raise OracleViolation(
+                "rollback",
+                f"{name}: {what} crash rollback left stale "
+                f"last_batch_stats {lp.tree.last_batch_stats!r} != "
+                f"{pre_stats!r}",
+            )
+        try:
+            lp.check_invariants()
+        except Exception as exc:
+            raise OracleViolation(
+                "rollback",
+                f"{name}: invariants broken after {what} crash rollback: "
+                f"{exc}",
+            ) from exc
 
     def size(self) -> int:
         return len(self.model)
@@ -211,8 +308,10 @@ class _ListRunner:
             reqs = [(int(p) % (n + 1), self._nv(v)) for p, v in op[1]]
             if not reqs:
                 return
-            for lp in self.subjects.values():
-                lp.batch_insert(reqs)
+            for name, lp in self.subjects.items():
+                self._guarded(
+                    "bins", name, lp, lambda lp=lp: lp.batch_insert(reqs)
+                )
             self._compare_batch_stats("bins")
             by_pos: Dict[int, List[Any]] = {}
             for pos, v in reqs:  # equal indices land in request order
@@ -229,8 +328,13 @@ class _ListRunner:
             idxs = self._positions(op[1], dedupe=True)[: n - 1]
             if not idxs:
                 return
-            for lp in self.subjects.values():
-                lp.batch_delete([lp.handle_at(i) for i in idxs])
+            for name, lp in self.subjects.items():
+                # Materialise handles before the crash window: handle
+                # interning is lazy and happens outside transactions.
+                hs = [lp.handle_at(i) for i in idxs]
+                self._guarded(
+                    "bdel", name, lp, lambda lp=lp, hs=hs: lp.batch_delete(hs)
+                )
             self._compare_batch_stats("bdel")
             dead = set(idxs)
             self.model = [x for i, x in enumerate(self.model) if i not in dead]
@@ -238,8 +342,14 @@ class _ListRunner:
             updates = [(int(p) % n, self._nv(v)) for p, v in op[1]]
             if not updates:
                 return
-            for lp in self.subjects.values():
-                lp.batch_set([(lp.handle_at(i), v) for i, v in updates])
+            for name, lp in self.subjects.items():
+                pairs = [(lp.handle_at(i), v) for i, v in updates]
+                self._guarded(
+                    "bset",
+                    name,
+                    lp,
+                    lambda lp=lp, pairs=pairs: lp.batch_set(pairs),
+                )
             for i, v in updates:
                 self.model[i] = v
         elif kind == "prefix":
@@ -364,7 +474,11 @@ class _ContractionRunner:
     over structurally identical expression trees (same builder seed, so
     node ids stay in sync across all copies)."""
 
-    def __init__(self, seq: OpSequence, backend: str, oracle: str) -> None:
+    def __init__(
+        self, seq: OpSequence, backend: str, oracle: str, crash_cfg=None
+    ) -> None:
+        # crash_cfg is accepted for interface parity but unused: the
+        # contraction boundary is admission-only (run_sequence docstring).
         self.seq = seq
         self.ring = FUZZ_RINGS[seq.ring]
         self.engines: Dict[str, DynamicTreeContraction] = {}

@@ -21,6 +21,7 @@ from typing import Callable, Dict
 from ..perf.flat_rbsts import FlatRBSTS
 from ..splitting.rbsts import RBSTS
 from ..splitting.shortcuts import shortcuts_from_path
+from ..transactions import FlatJournal, ReferenceJournal
 
 __all__ = ["Fault", "FAULTS"]
 
@@ -33,6 +34,10 @@ class Fault:
     description: str
     detected_by: str  # which oracle phase is expected to fire
     _install: Callable[[], Callable[[], None]]
+    #: Journal faults only manifest when a mid-batch crash actually
+    #: triggers a rollback — the self-test must arm crash injection
+    #: (``crash_seed``) for these.
+    needs_crash: bool = False
 
     @contextmanager
     def activate(self):
@@ -116,6 +121,56 @@ def _install_ref_stale_height() -> Callable[[], None]:
     return _patch(RBSTS, "_update_upward", heightless_update_upward)
 
 
+# ---------------------------------------------------------------------------
+# journal faults (PR 3) — each forgets one pre-image class, so a
+# mid-batch crash rolls back to a *wrong* state.  Only the crash-armed
+# self-test can see them: with no crash, the journal is write-only.
+# ---------------------------------------------------------------------------
+
+
+def _install_ref_journal_drops_meta() -> Callable[[], None]:
+    """The reference journal forgets ancestor ``n_leaves``/``height``/
+    ``summary``/``shortcuts`` pre-images — rollback after a crash past
+    the levelized repair leaves stale interior bookkeeping."""
+
+    def metaless_record(self, nodes):  # noqa: ANN001 - patched method
+        return None
+
+    return _patch(ReferenceJournal, "record_meta", metaless_record)
+
+
+def _install_ref_journal_drops_items() -> Callable[[], None]:
+    """The reference journal forgets leaf ``(item, summary)`` pre-images
+    — a crashed ``bset`` rolls back structure but keeps the new labels."""
+
+    def itemless_record(self, leaves):  # noqa: ANN001
+        return None
+
+    return _patch(ReferenceJournal, "record_items", itemless_record)
+
+
+def _install_flat_journal_drops_slots() -> Callable[[], None]:
+    """The flat journal stops capturing per-slot 12-column pre-images —
+    rollback truncates the slab but leaves every mutated pre-existing
+    slot at its post-crash value."""
+
+    def slotless_save(self, tree, i):  # noqa: ANN001
+        return None
+
+    return _patch(FlatJournal, "save_slot", slotless_save)
+
+
+def _install_flat_journal_drops_free_tail() -> Callable[[], None]:
+    """The flat journal forgets free-list pops — slots recycled into a
+    crashed batch are restored column-wise but never returned to the
+    free list (orphaned: neither reachable nor free — slab hygiene)."""
+
+    def popless_note(self, free, take):  # noqa: ANN001
+        return None
+
+    return _patch(FlatJournal, "note_free_pops", popless_note)
+
+
 FAULTS: Dict[str, Fault] = {
     f.name: f
     for f in (
@@ -146,6 +201,38 @@ FAULTS: Dict[str, Fault] = {
             "(single-request path)",
             "invariants/twins",
             _install_ref_stale_height,
+        ),
+        Fault(
+            "ref-journal-drops-meta",
+            "ReferenceJournal.record_meta becomes a no-op (rollback "
+            "leaves stale ancestor bookkeeping after a crash)",
+            "rollback",
+            _install_ref_journal_drops_meta,
+            needs_crash=True,
+        ),
+        Fault(
+            "ref-journal-drops-items",
+            "ReferenceJournal.record_items becomes a no-op (crashed "
+            "bset rolls back structure but not labels)",
+            "rollback",
+            _install_ref_journal_drops_items,
+            needs_crash=True,
+        ),
+        Fault(
+            "flat-journal-drops-slots",
+            "FlatJournal.save_slot becomes a no-op (rollback misses "
+            "every per-slot pre-image)",
+            "rollback",
+            _install_flat_journal_drops_slots,
+            needs_crash=True,
+        ),
+        Fault(
+            "flat-journal-drops-free-tail",
+            "FlatJournal.note_free_pops becomes a no-op (recycled "
+            "slots orphaned after a crashed batch)",
+            "rollback",
+            _install_flat_journal_drops_free_tail,
+            needs_crash=True,
         ),
     )
 }

@@ -54,6 +54,8 @@ def fuzz_once(
     backend: str = "both",
     check_every: int = 1,
     fault: Optional[str] = None,
+    crash_seed: Optional[int] = None,
+    profile: str = "default",
     save_dir: Optional[str] = None,
     save: bool = True,
     verbose: bool = True,
@@ -61,20 +63,26 @@ def fuzz_once(
 ):
     """Generate + replay one sequence; shrink and persist on failure.
 
-    Returns ``(report, shrunk_or_None, corpus_path_or_None)``.
+    ``crash_seed`` arms mid-batch crash injection (crashes.py): every
+    transactional batch crashes at a seeded interior point, the
+    rollback is audited bit-for-bit, and the batch is re-applied
+    cleanly.  Returns ``(report, shrunk_or_None, corpus_path_or_None)``.
     """
-    seq = generate(scenario, seed, n_ops)
+    seq = generate(scenario, seed, n_ops, profile=profile)
     t0 = time.perf_counter()
     report = run_sequence(
-        seq, backend=backend, check_every=check_every, fault=fault
+        seq, backend=backend, check_every=check_every, fault=fault,
+        crash_seed=crash_seed,
     )
     dt = time.perf_counter() - t0
     if verbose:
         status = "ok" if report.ok else "FAIL"
+        crashinfo = "" if crash_seed is None else f"crashes={report.crashes}  "
         print(
             f"[fuzz] {status:>4}  {seq.describe()}  backend={backend}  "
             f"ops={report.ops_executed}/{len(seq.ops)}  "
-            f"checks={report.checks}  final_n={report.final_n}  {dt:.2f}s"
+            f"checks={report.checks}  {crashinfo}final_n={report.final_n}  "
+            f"{dt:.2f}s"
         )
     if report.ok:
         return report, None, None
@@ -85,12 +93,16 @@ def fuzz_once(
 
     def fails(cand: OpSequence) -> bool:
         return not run_sequence(
-            cand, backend=backend, check_every=1, fault=fault
+            cand, backend=backend, check_every=1, fault=fault,
+            crash_seed=crash_seed,
         ).ok
 
     result = shrink(seq, fails, max_replays=max_shrink_replays)
     shrunk = result.sequence
-    final = run_sequence(shrunk, backend=backend, check_every=1, fault=fault)
+    final = run_sequence(
+        shrunk, backend=backend, check_every=1, fault=fault,
+        crash_seed=crash_seed,
+    )
     if verbose:
         print(
             f"[fuzz] shrunk {len(seq.ops)} ops -> {len(shrunk.ops)} ops "
@@ -101,11 +113,15 @@ def fuzz_once(
     if save and fault is None:
         # Fault-injected failures are synthetic; only real bugs join the
         # regression corpus.
+        extra = {"backend": backend, "generator_seed": seed}
+        if crash_seed is not None:
+            # The replay test re-arms the same crash schedule.
+            extra["crash_seed"] = crash_seed
         path = corpus_mod.save_entry(
             shrunk,
             save_dir,
             failure=str(final.failure),
-            extra_meta={"backend": backend, "generator_seed": seed},
+            extra_meta=extra,
         )
         if verbose:
             print(f"[fuzz] reproducer written to {path}")
@@ -119,13 +135,23 @@ def self_test(
     max_shrunk_ops: int = 12,
     verbose: bool = True,
 ) -> int:
-    """Fault-injection self-verification (see module docstring)."""
+    """Fault-injection self-verification (see module docstring).
+
+    Journal faults (``needs_crash``) only corrupt the *rollback* path,
+    so for those the search, the shrink predicate and the final clean
+    re-run all arm crash injection — the clean run then doubles as a
+    true-rollback check on the shrunk program."""
     failures: List[str] = []
     for name, fault_obj in sorted(FAULTS.items()):
+        profile = "batch" if fault_obj.needs_crash else "default"
         found = None
         for seed in range(seeds):
+            crash = seed if fault_obj.needs_crash else None
             report = run_sequence(
-                generate("list", seed, ops), backend="both", fault=name
+                generate("list", seed, ops, profile=profile),
+                backend="both",
+                fault=name,
+                crash_seed=crash,
             )
             if not report.ok:
                 found = seed
@@ -135,15 +161,19 @@ def self_test(
             if verbose:
                 print(f"[self-test] FAIL {name}: fault never detected")
             continue
-        seq = generate("list", found, ops)
+        seq = generate("list", found, ops, profile=profile)
+        crash = found if fault_obj.needs_crash else None
 
         def fails(cand: OpSequence) -> bool:
-            return not run_sequence(cand, backend="both", fault=name).ok
+            return not run_sequence(
+                cand, backend="both", fault=name, crash_seed=crash
+            ).ok
 
         result = shrink(seq, fails)
         shrunk = result.sequence
         n_shrunk = len(shrunk.ops)
-        clean = run_sequence(shrunk, backend="both")  # fault removed
+        # fault removed (crash schedule kept for needs_crash faults)
+        clean = run_sequence(shrunk, backend="both", crash_seed=crash)
         detail = (
             f"seed {found}: {len(seq.ops)} -> {n_shrunk} ops "
             f"({result.attempts} replays)"
@@ -214,6 +244,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the fault-injection self-verification and exit",
     )
     ap.add_argument(
+        "--crash-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="arm mid-batch crash injection with this seed (list "
+        "scenario; audits crash-consistent rollback on every batch)",
+    )
+    ap.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        metavar="K",
+        help="fuzz K consecutive seeds starting at --seed (crash-seed "
+        "advances in lockstep when set)",
+    )
+    ap.add_argument(
+        "--profile",
+        choices=["default", "batch"],
+        default=None,
+        help="generator op-mix profile (default: 'batch' when "
+        "--crash-seed is set, else 'default')",
+    )
+    ap.add_argument(
         "--replay", metavar="PATH", default=None,
         help="replay one corpus JSON file instead of generating",
     )
@@ -240,9 +293,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.replay:
         seq = corpus_mod.load_entry(args.replay)
+        crash = args.crash_seed
+        if crash is None:
+            crash = seq.meta.get("crash_seed")
         report = run_sequence(
             seq, backend=args.backend, check_every=args.check_every,
-            fault=args.fault,
+            fault=args.fault, crash_seed=crash,
         )
         status = "ok" if report.ok else f"FAIL: {report.failure}"
         print(f"[replay] {seq.describe()}: {status}")
@@ -251,23 +307,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     scenarios = (
         ["list", "contraction"] if args.scenario == "all" else [args.scenario]
     )
+    profile = args.profile
+    if profile is None:
+        profile = "batch" if args.crash_seed is not None else "default"
     rc = 0
-    for scenario in scenarios:
-        n_ops = args.ops
-        if scenario == "contraction" and args.scenario == "all":
-            n_ops = max(1, args.ops // CONTRACTION_OPS_DIVISOR)
-        report, shrunk, _path = fuzz_once(
-            scenario,
-            args.seed,
-            n_ops,
-            backend=args.backend,
-            check_every=args.check_every,
-            fault=args.fault,
-            save_dir=args.corpus_dir,
-            save=not args.no_save,
-        )
-        if not report.ok:
-            rc = 1
+    for run in range(max(1, args.runs)):
+        seed = args.seed + run
+        crash = None if args.crash_seed is None else args.crash_seed + run
+        for scenario in scenarios:
+            n_ops = args.ops
+            if scenario == "contraction" and args.scenario == "all":
+                n_ops = max(1, args.ops // CONTRACTION_OPS_DIVISOR)
+            report, shrunk, _path = fuzz_once(
+                scenario,
+                seed,
+                n_ops,
+                backend=args.backend,
+                check_every=args.check_every,
+                fault=args.fault,
+                crash_seed=crash,
+                profile=profile if scenario == "list" else "default",
+                save_dir=args.corpus_dir,
+                save=not args.no_save,
+            )
+            if not report.ok:
+                rc = 1
     return rc
 
 

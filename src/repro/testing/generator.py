@@ -44,17 +44,36 @@ def _payload(rng: random.Random, k: int, with_values: bool) -> List[list]:
     return [[p] for p in raw]
 
 
-def _list_ops(rng: random.Random, n0: int, n_ops: int) -> List[list]:
+#: Profile -> (steady-state weights, delete-heavy weights) for the list
+#: scenario kinds [ins, del, bins, bdel, bset, prefix, range, activate].
+#: ``batch`` is the crash-fuzz profile: almost every op is a
+#: transactional batch, maximising mid-batch crash points per program.
+_LIST_PROFILES = {
+    "default": (
+        [14, 14, 16, 14, 12, 12, 6, 12],
+        [4, 30, 4, 34, 8, 8, 4, 8],
+    ),
+    "batch": (
+        [3, 3, 30, 26, 24, 8, 2, 4],
+        [2, 6, 10, 50, 20, 6, 2, 4],
+    ),
+}
+
+
+def _list_ops(
+    rng: random.Random, n0: int, n_ops: int, profile: str = "default"
+) -> List[list]:
     ops: List[list] = []
     n = n0  # approximate length, for bias only
     hi_band = 4 * n0 + 64
+    steady, delete_heavy = _LIST_PROFILES[profile]
     for _ in range(n_ops):
         kinds = ["ins", "del", "bins", "bdel", "bset", "prefix", "range", "activate"]
-        weights = [14, 14, 16, 14, 12, 12, 6, 12]
+        weights = list(steady)
         if n <= 2:  # keep a deletable margin
             weights[1] = weights[3] = 0
         if n > hi_band:  # delete-heavy regime
-            weights = [4, 30, 4, 34, 8, 8, 4, 8]
+            weights = list(delete_heavy)
         kind = rng.choices(kinds, weights)[0]
         if kind == "ins":
             ops.append(["ins", rng.randrange(_RAW), rng.randrange(_RAW)])
@@ -129,8 +148,13 @@ def generate(
     n_ops: int,
     *,
     ring: Optional[str] = None,
+    profile: str = "default",
 ) -> OpSequence:
-    """Build the :class:`OpSequence` fully determined by ``seed``."""
+    """Build the :class:`OpSequence` fully determined by
+    ``(seed, profile)``.  ``profile="batch"`` (list scenario) emits a
+    batch-heavy mix for the crash-injection fuzzer."""
+    if profile not in _LIST_PROFILES:
+        raise ValueError(f"unknown generator profile {profile!r}")
     rng = random.Random((seed, scenario).__repr__())
     n0 = rng.randint(2, 48)
     struct_seed = rng.getrandbits(32)
@@ -139,16 +163,19 @@ def generate(
         # the unbounded-payload path on the list scenario.
         ring = "integer" if scenario == "list" else "mod97"
     if scenario == "list":
-        ops = _list_ops(rng, n0, n_ops)
+        ops = _list_ops(rng, n0, n_ops, profile)
     elif scenario == "contraction":
         ops = _contraction_ops(rng, n0, n_ops)
     else:
         raise ValueError(f"unknown scenario {scenario!r}")
+    meta = {"generator_seed": seed, "generator": "repro.testing.generator/1"}
+    if profile != "default":
+        meta["profile"] = profile
     return OpSequence(
         scenario=scenario,
         seed=struct_seed,
         n0=n0,
         ring=ring,
         ops=ops,
-        meta={"generator_seed": seed, "generator": "repro.testing.generator/1"},
+        meta=meta,
     )

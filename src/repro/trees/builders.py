@@ -11,6 +11,7 @@ import random
 from typing import Any, Callable, List, Optional
 
 from ..algebra.rings import Ring
+from ..errors import EmptyTreeError
 from .expr import ExprTree
 from .nodes import Op, add_op, mul_op
 
@@ -66,7 +67,7 @@ def caterpillar_tree(
     walk the input tree, and the motivating case for the paper's
     shape-independent bounds."""
     if n_leaves < 1:
-        raise ValueError("need at least one leaf")
+        raise EmptyTreeError("need at least one leaf")
     rng = rng or random.Random(0)
     tree = ExprTree(ring, root_value=values(rng))
     spine = tree.root.nid
@@ -86,7 +87,7 @@ def random_tree(
     """A uniformly-split random full binary tree with ``n_leaves`` leaves
     (same distribution as the paper's random splitting tree §2)."""
     if n_leaves < 1:
-        raise ValueError("need at least one leaf")
+        raise EmptyTreeError("need at least one leaf")
     rng = rng or random.Random(0)
     tree = ExprTree(ring, root_value=values(rng))
 

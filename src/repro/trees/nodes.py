@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..algebra.rings import Ring
+from ..errors import LabelError
 
 __all__ = ["Op", "TreeNode", "add_op", "mul_op"]
 
@@ -39,7 +40,7 @@ class Op:
             return out
         if self.kind == "mul":
             return ring.mul(x, y)
-        raise ValueError(f"unknown op kind {self.kind!r}")
+        raise LabelError(f"unknown op kind {self.kind!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if self.kind == "add" and self.const is not None:

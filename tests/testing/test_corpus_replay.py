@@ -28,8 +28,17 @@ def test_corpus_is_seeded():
 def test_corpus_entry_replays_clean(path):
     seq = load_entry(path)
     backend = seq.meta.get("backend", "both")
-    report = run_sequence(seq, backend=backend, check_every=1)
+    crash_seed = seq.meta.get("crash_seed")
+    report = run_sequence(
+        seq, backend=backend, check_every=1, crash_seed=crash_seed
+    )
     assert report.ok, f"{os.path.basename(path)}: {report.failure}"
+    if crash_seed is not None:
+        # Crash-rollback reproducers are only worth pinning if the
+        # recorded crash schedule still fires mid-batch.
+        assert report.crashes > 0, (
+            f"{os.path.basename(path)}: crash schedule no longer fires"
+        )
 
 
 def test_corpus_schema_fields():

@@ -22,20 +22,32 @@ OPS = 60
 
 @pytest.mark.parametrize("fault", sorted(FAULTS))
 def test_fault_detected_and_shrunk(fault):
+    # Journal faults only corrupt the rollback path, so the whole
+    # pipeline (search, shrink predicate, clean re-run) arms mid-batch
+    # crash injection for them; the crash-armed clean run then doubles
+    # as a true-rollback check on the shrunk program.
+    needs_crash = FAULTS[fault].needs_crash
+    profile = "batch" if needs_crash else "default"
     found = None
     for seed in range(SEEDS):
         report = run_sequence(
-            generate("list", seed, OPS), backend="both", fault=fault
+            generate("list", seed, OPS, profile=profile),
+            backend="both",
+            fault=fault,
+            crash_seed=seed if needs_crash else None,
         )
         if not report.ok:
             found = seed
             break
     assert found is not None, f"fault {fault!r} never detected"
 
-    seq = generate("list", found, OPS)
+    seq = generate("list", found, OPS, profile=profile)
+    crash = found if needs_crash else None
 
     def fails(cand):
-        return not run_sequence(cand, backend="both", fault=fault).ok
+        return not run_sequence(
+            cand, backend="both", fault=fault, crash_seed=crash
+        ).ok
 
     result = shrink(seq, fails)
     shrunk = result.sequence
@@ -43,9 +55,11 @@ def test_fault_detected_and_shrunk(fault):
         f"shrunk reproducer too large: {len(shrunk.ops)} ops"
     )
     # Still fails with the fault ...
-    assert not run_sequence(shrunk, backend="both", fault=fault).ok
-    # ... and passes cleanly without it.
-    clean = run_sequence(shrunk, backend="both")
+    assert not run_sequence(
+        shrunk, backend="both", fault=fault, crash_seed=crash
+    ).ok
+    # ... and passes cleanly without it (same crash schedule).
+    clean = run_sequence(shrunk, backend="both", crash_seed=crash)
     assert clean.ok, f"shrunk repro fails without fault: {clean.failure}"
 
 
