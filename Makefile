@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-perf bench bench-smoke regress \
+.PHONY: test test-perf bench bench-smoke regress lint \
         fuzz-smoke fuzz-selftest fuzz-crash corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
@@ -34,6 +34,18 @@ bench-smoke:
 ## structurally invalid baseline).
 regress:
 	$(PYTHON) benchmarks/regress.py
+
+## Static invariants: the repro.lint rule suite (R001-R005 +
+## the R101-R103 PRAM race detector) over src/repro, then strict mypy
+## on the typed core when mypy is importable (the CI lint job installs
+## it; local runs without mypy skip that half with a notice).
+lint:
+	$(PYTHON) -m repro.lint
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "repro.lint: mypy not installed locally; skipping strict type check (CI runs it)"; \
+	fi
 
 ## Differential fuzz smoke (the CI load): 3 seeds x 2000 ops per
 ## scenario, both backends in lockstep, auditing after every op.

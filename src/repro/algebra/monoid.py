@@ -10,7 +10,7 @@ use :func:`sum_monoid`, while the LCA application (§5) uses
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from .rings import Ring
 
@@ -32,7 +32,7 @@ class Monoid:
     identity: Any
     combine: Callable[[Any, Any], Any]
 
-    def fold(self, items) -> Any:
+    def fold(self, items: Iterable[Any]) -> Any:
         acc = self.identity
         for x in items:
             acc = self.combine(acc, x)
@@ -70,7 +70,7 @@ def argmin_monoid() -> Monoid:
     deterministic.  Identity is ``(inf, None)``.
     """
 
-    def combine(a, b):
+    def combine(a: Any, b: Any) -> Any:
         return b if b[0] < a[0] else a
 
     return Monoid("argmin", (_INF, None), combine)

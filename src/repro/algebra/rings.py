@@ -17,7 +17,7 @@ per the HPC guides' "avoid needless wrappers in inner loops" advice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from ..errors import InvalidParameterError
 
@@ -60,14 +60,14 @@ class Ring:
         return f"Ring({self.name})"
 
     # -- convenience ------------------------------------------------------
-    def sum(self, items) -> Any:
+    def sum(self, items: Iterable[Any]) -> Any:
         """Fold ``add`` over an iterable (``zero`` if empty)."""
         acc = self.zero
         for x in items:
             acc = self.add(acc, x)
         return acc
 
-    def product(self, items) -> Any:
+    def product(self, items: Iterable[Any]) -> Any:
         """Fold ``mul`` over an iterable (``one`` if empty)."""
         acc = self.one
         for x in items:
@@ -75,11 +75,11 @@ class Ring:
         return acc
 
 
-def _int_add(a, b):
+def _int_add(a: Any, b: Any) -> Any:
     return a + b
 
 
-def _int_mul(a, b):
+def _int_mul(a: Any, b: Any) -> Any:
     return a * b
 
 

@@ -8,6 +8,7 @@ the quantities the corresponding theorem bounds.
 from __future__ import annotations
 
 from typing import Any, List, Sequence
+from ..errors import InvalidParameterError
 
 __all__ = ["Table"]
 
@@ -22,8 +23,9 @@ class Table:
 
     def add(self, *values: Any) -> None:
         if len(values) != len(self.columns):
-            raise ValueError(
-                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            raise InvalidParameterError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
             )
         self.rows.append([_fmt(v) for v in values])
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import UnknownNodeError
+from ..errors import InvalidParameterError, UnknownNodeError
 from ..pram.frames import SpanTracker
 from ..trees.expr import ExprTree
 from ..trees.nodes import Op
@@ -87,7 +87,7 @@ class CanonicalForms:
     def isomorphic(self, other: "CanonicalForms") -> bool:
         """Unordered-rooted-tree isomorphism in O(1) (shared table)."""
         if other.table is not self.table:
-            raise ValueError(
+            raise InvalidParameterError(
                 "isomorphism comparison requires a shared interning table"
             )
         return self.root_code() == other.root_code()

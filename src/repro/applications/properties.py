@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..algebra.rings import INTEGER
+from ..errors import NotAnInternalNodeError
 from ..contraction.dynamic import DynamicTreeContraction
 from ..pram.frames import SpanTracker
 from ..trees.expr import ExprTree
@@ -96,7 +97,7 @@ class DynamicTreeProperties:
         for nid in node_ids:
             node = self.tree.node(nid)
             if node.is_leaf:
-                raise ValueError(f"node {nid} is a leaf")
+                raise NotAnInternalNodeError(f"node {nid} is a leaf")
             pruned.append((nid, node.left.nid, node.right.nid))  # type: ignore[union-attr]
         self.sizes.batch_prune([(nid, 1) for nid in node_ids], tracker)
         self.tour.batch_prune(pruned, tracker)

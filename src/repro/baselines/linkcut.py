@@ -16,6 +16,7 @@ comparator in experiment E7: a batch of ``|U|`` requests costs
 from __future__ import annotations
 
 from typing import Dict, Optional
+from ..errors import DuplicateKeyError, LinkCutError, UnknownKeyError
 
 __all__ = ["LinkCutForest"]
 
@@ -72,7 +73,7 @@ class LinkCutForest:
     # -- node management -----------------------------------------------------
     def make_node(self, key: int, value: float = 0.0) -> None:
         if key in self._nodes:
-            raise KeyError(f"key {key} already present")
+            raise DuplicateKeyError(f"key {key} already present")
         self._nodes[key] = _Node(key, value)
 
     def __contains__(self, key: int) -> bool:
@@ -96,9 +97,9 @@ class LinkCutForest:
         c, p = self._node(child), self._node(parent)
         self._access(c)
         if c.left is not None:
-            raise ValueError(f"{child} is not the root of its tree")
+            raise LinkCutError(f"{child} is not the root of its tree")
         if self._find_root_node(p) is c:
-            raise ValueError("link would create a cycle")
+            raise LinkCutError("link would create a cycle")
         self._access(c)
         self._access(p)
         c.left = p
@@ -110,7 +111,7 @@ class LinkCutForest:
         c = self._node(child)
         self._access(c)
         if c.left is None:
-            raise ValueError(f"{child} is already a root")
+            raise LinkCutError(f"{child} is already a root")
         c.left.parent = None
         c.left = None
         c.pull()
@@ -160,7 +161,7 @@ class LinkCutForest:
         try:
             return self._nodes[key]
         except KeyError:
-            raise KeyError(f"no node with key {key}") from None
+            raise UnknownKeyError(f"no node with key {key}") from None
 
     def _rotate(self, x: _Node) -> None:
         p = x.parent

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Set
 from ..pram.frames import SpanTracker
 from ..splitting.node import BSTNode
 
-__all__ = ["WalkActivationResult", "activate_by_walking"]
+__all__ = ["WalkActivationResult", "activate_by_walking", "deactivate_walk"]
 
 
 @dataclass

@@ -22,7 +22,40 @@ keep working.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence, Tuple, Type
+
+__all__ = [
+    "ReproError",
+    "PRAMError",
+    "WriteConflictError",
+    "ProcessorLimitError",
+    "MachineStateError",
+    "StepDisciplineError",
+    "TreeStructureError",
+    "NotALeafError",
+    "NotAnInternalNodeError",
+    "UnknownNodeError",
+    "AlgebraError",
+    "RequestError",
+    "InvalidParameterError",
+    "EmptyTreeError",
+    "PositionError",
+    "ConvergenceError",
+    "ParseTreeError",
+    "LabelError",
+    "GraphStructureError",
+    "LinkCutError",
+    "DuplicateKeyError",
+    "UnknownKeyError",
+    "STRUCTURE_REASONS",
+    "HANDLE_REASONS",
+    "RequestRejection",
+    "BatchValidationError",
+    "BatchStructureError",
+    "BatchHandleError",
+    "BatchPositionError",
+    "batch_validation_error",
+]
 
 
 class ReproError(Exception):
@@ -36,6 +69,17 @@ class PRAMError(ReproError):
 class WriteConflictError(PRAMError):
     """Two processors wrote different values to one cell under a policy
     that forbids it (``COMMON``)."""
+
+
+class StepDisciplineError(PRAMError):
+    """A program violated the synchronous PRAM step discipline.
+
+    Raised (or recorded, in ``mode="record"``) by
+    :class:`~repro.pram.sanitizer.SanitizingSharedMemory` when a step
+    mixes a read of an address with a concurrently staged write to the
+    same address (stale-read hazard), when concurrent writers disagree
+    nondeterministically under ``ARBITRARY``, or when host-side
+    :meth:`~repro.pram.memory.SharedMemory.poke` fires mid-step."""
 
 
 class ProcessorLimitError(PRAMError):
@@ -55,6 +99,13 @@ class TreeStructureError(ReproError):
 
 class NotALeafError(TreeStructureError):
     """The operation requires a leaf but an internal node was given."""
+
+
+class NotAnInternalNodeError(TreeStructureError, ValueError):
+    """The operation requires an internal node but a leaf was given.
+
+    Subclasses ``ValueError`` for backward compatibility with the
+    historical raise sites (e.g. pruning the children of a leaf)."""
 
 
 class UnknownNodeError(ReproError):
@@ -110,6 +161,28 @@ class LabelError(ReproError, ValueError):
     """An expression-DAG label/evaluation step met an unknown or
     inconsistent node kind.  Subclasses ``ValueError`` for backward
     compatibility."""
+
+
+class GraphStructureError(ReproError, ValueError):
+    """A series-parallel graph input violates structural preconditions
+    (no edges, coincident terminals, self-loops, malformed SP specs).
+    Subclasses ``ValueError`` for backward compatibility."""
+
+
+class LinkCutError(TreeStructureError, ValueError):
+    """A link/cut-forest operation would break the forest invariants
+    (linking a non-root, creating a cycle, cutting a root).  Subclasses
+    ``ValueError`` for backward compatibility."""
+
+
+class DuplicateKeyError(ReproError, KeyError):
+    """A keyed insertion collided with an existing key.  Subclasses
+    ``KeyError`` for backward compatibility."""
+
+
+class UnknownKeyError(UnknownNodeError, KeyError):
+    """A keyed lookup referenced a key that is not present.  Subclasses
+    ``KeyError`` for backward compatibility."""
 
 
 # ---------------------------------------------------------------------------
@@ -235,7 +308,7 @@ def batch_validation_error(
         f"request(s) failed admission"
     )
     if reasons and reasons <= STRUCTURE_REASONS:
-        cls: type = BatchStructureError
+        cls: Type[BatchValidationError] = BatchStructureError
     elif reasons and reasons <= HANDLE_REASONS:
         cls = BatchHandleError
     elif reasons and reasons <= {"position-out-of-range"}:

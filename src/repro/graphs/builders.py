@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 from typing import Any, Callable, Optional
+from ..errors import GraphStructureError
 
 from .sptree import SPTree
 
@@ -22,7 +23,7 @@ def random_sp_tree(
     the natural generative model for SP graphs (every SP graph arises
     this way)."""
     if n_edges < 1:
-        raise ValueError("need at least one edge")
+        raise GraphStructureError("need at least one edge")
     rng = random.Random(seed)
     sample = weights if weights is not None else (lambda r: r.randint(1, 9))
     tree = SPTree(sample(rng))

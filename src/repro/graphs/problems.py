@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Callable, Tuple
+from ..errors import InvalidParameterError
 
 __all__ = [
     "SPProblem",
@@ -170,7 +171,7 @@ def count_colorings(k: int) -> SPProblem:
     *internal* vertices given the terminals share / don't share a
     colour (uniform over concrete colour choices by symmetry)."""
     if k < 1:
-        raise ValueError("k must be positive")
+        raise InvalidParameterError("k must be positive")
 
     def leaf(_w):
         return (0, 1)
@@ -199,7 +200,7 @@ def effective_resistance() -> SPProblem:
     def leaf(w):
         r = float(w)
         if r < 0:
-            raise ValueError("resistance must be non-negative")
+            raise InvalidParameterError("resistance must be non-negative")
         return r
 
     def series(r1, r2):

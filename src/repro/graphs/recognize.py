@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Dict, List, Sequence, Set, Tuple
 
-from ..errors import ReproError
+from ..errors import GraphStructureError, ReproError
 from .sptree import SPTree
 
 __all__ = ["NotSeriesParallel", "recognize", "tree_from_spec", "spec_of_tree"]
@@ -75,20 +75,20 @@ def recognize(
     if the graph is not SP (e.g. contains a ``K4`` subdivision), and
     ``ValueError`` on malformed input."""
     if not edges:
-        raise ValueError("graph has no edges")
+        raise GraphStructureError("graph has no edges")
     if s == t:
-        raise ValueError("terminals must be distinct")
+        raise GraphStructureError("terminals must be distinct")
     # Live edge store: eid -> (u, v, spec).
     store: Dict[int, Tuple[int, int, Spec]] = {}
     adj: Dict[int, Set[int]] = defaultdict(set)
     for eid, (u, v, w) in enumerate(edges):
         if u == v:
-            raise ValueError(f"self-loop at vertex {u}")
+            raise GraphStructureError(f"self-loop at vertex {u}")
         store[eid] = (u, v, ("edge", w))
         adj[u].add(eid)
         adj[v].add(eid)
     if s not in adj or t not in adj:
-        raise ValueError("a terminal has no incident edge")
+        raise GraphStructureError("a terminal has no incident edge")
     next_id = len(edges)
 
     def remove(eid: int) -> None:
@@ -180,7 +180,7 @@ def tree_from_spec(spec: Spec) -> SPTree:
             stack.append((left, node_spec[1]))
             stack.append((right, node_spec[2]))
         else:
-            raise ValueError(f"bad spec node {kind!r}")
+            raise GraphStructureError(f"bad spec node {kind!r}")
     return tree
 
 

@@ -1,0 +1,46 @@
+"""repro.lint — invariant-enforcing static analysis for this repo.
+
+An AST rule engine (:mod:`repro.lint.engine`) plus the repo's
+registered invariants (:mod:`repro.lint.config`):
+
+* **R001** every raise uses the :mod:`repro.errors` taxonomy;
+* **R002** randomness flows through seeded ``random.Random`` seams;
+* **R003** the flat backend stays a drop-in twin of the reference;
+* **R004** interior mutations are journaled or crash-point hooks;
+* **R005** modules declare their export surface via ``__all__``;
+* **R101–R103** PRAM step programs obey the synchronous step
+  discipline (no same-step stale reads, no ``poke`` inside programs,
+  no COMMON-policy writer disagreement).
+
+Run ``python -m repro.lint [--json]``; the repo-clean self-check in
+``tests/lint/test_repo_clean.py`` keeps ``src/repro`` at zero findings.
+"""
+
+from __future__ import annotations
+
+from .config import JournalSpec, LintConfig, ParityPair, REPO_CONFIG
+from .engine import (
+    SCHEMA,
+    Finding,
+    LintReport,
+    ModuleInfo,
+    RepoContext,
+    Rule,
+    run_lint,
+)
+from .rules import default_rules
+
+__all__ = [
+    "SCHEMA",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "RepoContext",
+    "Rule",
+    "run_lint",
+    "LintConfig",
+    "ParityPair",
+    "JournalSpec",
+    "REPO_CONFIG",
+    "default_rules",
+]

@@ -1,0 +1,13 @@
+"""``python -m repro.lint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from .cli import main
+
+__all__: List[str] = []
+
+if __name__ == "__main__":
+    sys.exit(main())

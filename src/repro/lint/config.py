@@ -1,0 +1,323 @@
+"""Registered allowlists and pair registries for the lint rules.
+
+Everything a rule exempts lives here, with a justification string, so
+"why is this allowed?" is answerable by reading one file — and adding a
+new exemption is a reviewable diff, not a scattered pragma.
+
+Paths are repo-root-relative with forward slashes (matching
+:attr:`repro.lint.engine.ModuleInfo.relpath`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+__all__ = [
+    "ParityPair",
+    "JournalSpec",
+    "LintConfig",
+    "REPO_CONFIG",
+]
+
+
+# ---------------------------------------------------------------------------
+# R003 — backend API parity pairs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParityPair:
+    """One reference↔flat surface that must stay in lockstep.
+
+    ``kind`` is ``"class"`` (compare public method/property names and
+    their parameter lists) or ``"function"`` (compare parameter lists).
+    ``allow_extra_flat``/``allow_extra_ref`` name members that may exist
+    on one side only (each with a justification in ``notes``).
+    ``param_renames`` maps reference-side parameter names to their
+    accepted flat-side spelling.
+    """
+
+    name: str
+    kind: str
+    ref_path: str
+    ref_symbol: str
+    flat_path: str
+    flat_symbol: str
+    allow_extra_ref: FrozenSet[str] = frozenset()
+    allow_extra_flat: FrozenSet[str] = frozenset()
+    param_renames: Mapping[str, str] = field(default_factory=dict)
+    notes: str = ""
+
+
+PARITY_PAIRS: Tuple[ParityPair, ...] = (
+    ParityPair(
+        name="rbsts",
+        kind="class",
+        ref_path="src/repro/splitting/rbsts.py",
+        ref_symbol="RBSTS",
+        flat_path="src/repro/perf/flat_rbsts.py",
+        flat_symbol="FlatRBSTS",
+        allow_extra_flat=frozenset({"slab_size", "free_slots", "handle"}),
+        notes=(
+            "slab_size/free_slots expose struct-of-arrays capacity (no "
+            "pointer-backend analogue); handle(idx) is the slot->FlatLeaf "
+            "constructor the reference backend does not need."
+        ),
+    ),
+    ParityPair(
+        name="activate",
+        kind="function",
+        ref_path="src/repro/splitting/activation.py",
+        ref_symbol="activate",
+        flat_path="src/repro/perf/flat_activation.py",
+        flat_symbol="flat_activate",
+    ),
+    ParityPair(
+        name="deactivate",
+        kind="function",
+        ref_path="src/repro/splitting/activation.py",
+        ref_symbol="deactivate",
+        flat_path="src/repro/perf/flat_activation.py",
+        flat_symbol="flat_deactivate",
+    ),
+    ParityPair(
+        name="activation-result",
+        kind="class",
+        ref_path="src/repro/splitting/activation.py",
+        ref_symbol="ActivationResult",
+        flat_path="src/repro/perf/flat_activation.py",
+        flat_symbol="FlatActivationResult",
+        allow_extra_flat=frozenset({"deactivate", "tree"}),
+        notes=(
+            "FlatActivationResult.deactivate() is a convenience bound "
+            "method (the reference API uses the free function); the "
+            "`tree` field is the backing FlatRBSTS the column clears "
+            "need — the reference result holds node objects instead."
+        ),
+    ),
+    ParityPair(
+        name="extended-parse-tree",
+        kind="function",
+        ref_path="src/repro/splitting/parse_tree.py",
+        ref_symbol="build_extended_parse_tree",
+        flat_path="src/repro/perf/flat_prefix.py",
+        flat_symbol="flat_extended_parse_tree",
+        param_renames={"root": "tree"},
+        notes=(
+            "the reference walks from a node, the flat twin from the "
+            "tree (slots need the column arrays)."
+        ),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# R004 — journal / crash-point coverage
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalSpec:
+    """One backend class whose interior mutations must be journal-guarded.
+
+    A method *mutates interior state* when it stores to a structural
+    node attribute (``node_fields``) on any object, subscript-assigns
+    into a column (``columns``), or calls a growing/shrinking list
+    method (``append``/``extend``/``insert``/``pop``/``clear``) on a
+    column.  Every such method must reference the journal seam
+    (``self._journal``), be registered as a crash-point hook in
+    ``testing/crashes.py``, or appear in ``allowlist`` (with a
+    justification).
+    """
+
+    path: str
+    class_name: str
+    node_fields: FrozenSet[str] = frozenset()
+    columns: FrozenSet[str] = frozenset()
+    allowlist: Mapping[str, str] = field(default_factory=dict)
+
+
+#: The file whose ``_patch(Class, "hook", ...)`` calls register the
+#: crash-point hooks (R004 cross-checks that each hook still exists).
+CRASH_POINTS_PATH = "src/repro/testing/crashes.py"
+
+JOURNAL_SPECS: Tuple[JournalSpec, ...] = (
+    JournalSpec(
+        path="src/repro/splitting/rbsts.py",
+        class_name="RBSTS",
+        node_fields=frozenset(
+            {
+                "left",
+                "right",
+                "parent",
+                "depth",
+                "height",
+                "n_leaves",
+                "summary",
+                "shortcuts",
+                "item",
+            }
+        ),
+        allowlist={
+            "__init__": "construction precedes the first transaction",
+            "_new_node": (
+                "initialises a node created this operation; no pre-image "
+                "exists to journal"
+            ),
+            "insert": (
+                "single-op path: payload store targets the freshly "
+                "allocated leaf only; structural splices happen inside "
+                "_rebuild_at/_update_upward (journaled + crash-ticked)"
+            ),
+            "delete": (
+                "single-op path: mutations confined to _rebuild_at/"
+                "_update_upward (journaled + crash-ticked)"
+            ),
+            "_batch_insert_core": (
+                "payload stores target leaves created this batch (no "
+                "pre-image to journal); structural splices run inside "
+                "_rebuild_at, which journals and crash-ticks"
+            ),
+        },
+    ),
+    JournalSpec(
+        path="src/repro/perf/flat_rbsts.py",
+        class_name="FlatRBSTS",
+        columns=frozenset(
+            {
+                "_parent",
+                "_left",
+                "_right",
+                "_n_leaves",
+                "_depth",
+                "_height",
+                "_shortcuts",
+                "_item",
+                "_summary",
+                "_active",
+                "_low",
+                "_handle",
+                "_free",
+            }
+        ),
+        allowlist={
+            "__init__": "construction precedes the first transaction",
+            "_build": (
+                "bulk construction from __init__; runs before any "
+                "transaction exists"
+            ),
+            "insert": (
+                "single-op path: stores target the slot allocated this "
+                "call; splices happen inside _rebuild_at/_update_upward "
+                "(journaled + crash-ticked)"
+            ),
+            "delete": (
+                "single-op path: mutations confined to journaled/"
+                "crash-ticked helpers"
+            ),
+            "_rebuild_without": (
+                "delete helper operating on slots whose pre-images the "
+                "caller's _rebuild_at journal entry already captured"
+            ),
+            "handle": (
+                "lazy interning-cache fill (slot -> FlatLeaf); "
+                "idempotent and derivable, not structural state the "
+                "crash fuzzer needs to roll back"
+            ),
+        },
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# R002 — sanctioned randomness seams
+# ---------------------------------------------------------------------------
+
+#: ``path::qualname`` entries allowed to draw module-level randomness.
+#: Empty today: every RNG in the repo is a seeded ``random.Random``
+#: instance threaded through constructors (the lockstep-replay
+#: contract).  Register new seams here, never inline.
+RNG_SEAMS: FrozenSet[str] = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Race detector — sanctioned CRCW races
+# ---------------------------------------------------------------------------
+
+#: ``(path, family)`` pairs where concurrent same-step read/write or
+#: multi-writer traffic is *the algorithm* (monotone flag marking under
+#: a combining policy), not a bug.  Mirrors the dynamic sanitizer's
+#: ``sanctioned`` parameter.
+SANCTIONED_RACES: FrozenSet[Tuple[str, str]] = frozenset(
+    {
+        # Theorem 2.1 processor activation: walkers and splitters mark
+        # ACTIVE concurrently under WritePolicy.MAX; the flag is
+        # monotone (0 -> 1) so every interleaving commits the same
+        # memory.  The `low` coverage cells combine under MAX the same
+        # way.
+        ("src/repro/splitting/activation_pram.py", "active"),
+        ("src/repro/splitting/activation_pram.py", "low"),
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# R001 — raise-site policy
+# ---------------------------------------------------------------------------
+
+#: Builtins a library raise site may still use directly: programming-
+#: error signals that the taxonomy deliberately never wraps (errors.py
+#: module docstring).
+R001_ALLOWED_BUILTINS: FrozenSet[str] = frozenset(
+    {"TypeError", "AssertionError", "NotImplementedError"}
+)
+
+#: All other builtin exception constructors are forbidden at raise sites.
+R001_FORBIDDEN_BUILTINS: FrozenSet[str] = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "RuntimeError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OverflowError",
+        "OSError",
+        "IOError",
+        "StopIteration",
+        "AttributeError",
+        "NameError",
+        "SystemError",
+        "BufferError",
+        "EOFError",
+        "MemoryError",
+        "ReferenceError",
+        "UnicodeError",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# the bundle rules receive
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    parity_pairs: Tuple[ParityPair, ...] = PARITY_PAIRS
+    journal_specs: Tuple[JournalSpec, ...] = JOURNAL_SPECS
+    crash_points_path: str = CRASH_POINTS_PATH
+    rng_seams: FrozenSet[str] = RNG_SEAMS
+    sanctioned_races: FrozenSet[Tuple[str, str]] = SANCTIONED_RACES
+    allowed_builtins: FrozenSet[str] = R001_ALLOWED_BUILTINS
+    forbidden_builtins: FrozenSet[str] = R001_FORBIDDEN_BUILTINS
+    #: Modules exempt from R005's "must define __all__" requirement
+    #: (entry-point shims with no importable surface).
+    exports_exempt: FrozenSet[str] = frozenset()
+
+
+REPO_CONFIG = LintConfig()

@@ -1,0 +1,931 @@
+"""R101/R102/R103 — PRAM step-discipline race detector.
+
+A PRAM *step program* is a generator yielding ``Read``/``Write``/
+``Fork``/``Local``/``Halt`` instructions; one yield costs one
+synchronous machine step, reads see the *previous* step's memory, and
+writes commit at end-of-step under the machine's CRCW policy.  This
+pass reconstructs, per program, which yield events can be simultaneous
+across processor instances, and flags the three step-discipline
+violations the dynamic sanitizer
+(:class:`repro.pram.sanitizer.SanitizingSharedMemory`) catches at run
+time:
+
+* **R101 stale read** — some instance may read a cell another instance
+  writes in the same step: the reader silently observes the pre-write
+  value, which is a data race unless the algorithm is a registered
+  monotone-marking pattern
+  (:data:`repro.lint.config.SANCTIONED_RACES`).
+* **R102 poke in step** — ``poke()`` is the *host-side* backdoor that
+  bypasses staging; calling it from inside a step program breaks the
+  synchronous commit contract.
+* **R103 COMMON disagreement** — under ``WritePolicy.COMMON``
+  concurrent writers must agree; two same-step writers whose values are
+  not provably equal are a latent ``WriteConflictError``.
+
+Alignment model (how "simultaneous" is decided statically)
+----------------------------------------------------------
+
+Instances spawned in the same wave run in lockstep, so yield *k* of
+instance A coincides with yield *k* of instance B.  Alignment survives:
+
+* straight-line code — events keyed ``("linear", offset)``;
+* ``if``/``else`` whose arms yield equally often (cross-arm events at
+  the same offset *are* simultaneous), or where a divergent arm
+  terminates (a returned instance emits nothing further);
+* ``while`` loops whose body yields uniformly on every continuing path
+  and contains no ``break`` — all live instances sit at the same
+  body position, so events are keyed ``("loop", id, pos)``.
+
+Alignment is lost (events become comparable with *everything*) after
+unequal-yield branches where both sides continue, after
+condition-exited loops (an exited instance's post-loop events overlap
+others' in-loop events), inside loops containing ``break``, inside
+``for`` loops that yield, and for any program started via ``Fork``
+(forked processors begin at arbitrary offsets).
+
+Address aliasing: addresses are ``("family", index)`` tuples.  Two
+same-family events cannot alias only when their index expressions are
+*syntactically identical* and *injective* in a varying spawn parameter
+(exactly ``p`` or ``p ± e`` with ``e`` instance-invariant): distinct
+instances then touch distinct cells.  Anything weaker — differing
+shifts, taint from read results — is conservatively an alias.
+
+Spawn analysis binds programs to machines: ``m = Machine(policy=
+WritePolicy.X)`` then ``m.spawn(prog(args...))`` associates ``prog``
+with policy ``X``; positional args mentioning an enclosing ``for``
+target are the *varying* instance parameters.  ``Fork(prog(...))``
+inside a program propagates its group/policy to the forked program with
+every parameter varying.  A program never spawned is analyzed alone
+with its first parameter assumed varying and no policy (R103 needs a
+known ``COMMON`` policy to fire).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .config import LintConfig
+from .engine import Finding, ModuleInfo, RepoContext, Rule
+
+__all__ = [
+    "StaleReadRule",
+    "PokeInStepRule",
+    "CommonDisagreementRule",
+    "Hazard",
+    "analyze_module",
+]
+
+_INSTRUCTION_NAMES = frozenset({"Read", "Write", "Fork", "Local", "Halt"})
+
+#: None = unaligned (comparable with every event in the group).
+AlignKey = Optional[Tuple[Any, ...]]
+
+
+@dataclass(frozen=True)
+class _Event:
+    kind: str  # "read" | "write" | "step" (Local/Fork/unknown)
+    family: Optional[str]  # None = statically unknown (matches any)
+    index: Optional[ast.expr]
+    value: Optional[ast.expr]  # writes only
+    align: AlignKey
+    node: ast.AST
+    program: str
+
+
+@dataclass
+class _ProgramModel:
+    name: str
+    func: ast.FunctionDef
+    params: List[str]
+    events: List[_Event] = field(default_factory=list)
+    pokes: List[ast.AST] = field(default_factory=list)
+    forks: List[str] = field(default_factory=list)
+    tainted: Set[str] = field(default_factory=set)
+    varying: Set[str] = field(default_factory=set)
+    policy: Optional[str] = None
+    group: Optional[str] = None
+    multi_instance: bool = True
+    fork_spawned: bool = False
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One step-discipline violation (pre-rule-filtering)."""
+
+    kind: str  # "stale-read" | "poke-in-step" | "common-disagreement"
+    program: str
+    family: Optional[str]
+    node: ast.AST
+    detail: str
+
+
+# ---------------------------------------------------------------------------
+# program discovery
+# ---------------------------------------------------------------------------
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func`` without descending into nested function/class
+    definitions (their yields/spawns belong to someone else)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_step_program(func: ast.FunctionDef) -> bool:
+    """A generator whose own body yields at least one PRAM instruction
+    constructor call."""
+    for node in _own_nodes(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            value = getattr(node, "value", None)
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _INSTRUCTION_NAMES
+            ):
+                return True
+    return False
+
+
+def _all_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# event extraction (the alignment model)
+# ---------------------------------------------------------------------------
+
+
+class _Scanner:
+    """Single pass over one program's body, assigning each yield event
+    an alignment key per the module docstring's model."""
+
+    def __init__(self, model: _ProgramModel) -> None:
+        self.model = model
+        self.offset = 0
+        self.aligned = True
+        self.prefix: Tuple[Any, ...] = ("linear",)
+        self.loop_counter = 0
+
+    # -- taint ------------------------------------------------------------
+    def _taint_pass(self) -> None:
+        """Names whose values vary per-instance beyond the spawn params:
+        anything assigned from a yield, a call, a subscript, or an
+        already-tainted name.  Two passes close simple chains."""
+        tainted = self.model.tainted
+        for _ in range(2):
+            for node in _own_nodes(self.model.func):
+                value: Optional[ast.expr] = None
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    value, targets = node.value, list(node.targets)
+                elif isinstance(node, ast.AugAssign):
+                    value, targets = node.value, [node.target]
+                elif isinstance(node, ast.AnnAssign) and node.value:
+                    value, targets = node.value, [node.target]
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    value, targets = node.iter, [node.target]
+                if value is None:
+                    continue
+                if _expr_tainted(value, tainted):
+                    for t in targets:
+                        for name in _target_names(t):
+                            tainted.add(name)
+
+    # -- statement traversal ----------------------------------------------
+    def scan(self) -> None:
+        self._taint_pass()
+        self._stmts(self.model.func.body)
+
+    def _stmts(self, body: Sequence[ast.stmt]) -> bool:
+        """Process a statement list; returns False when control cannot
+        fall through (ends in return/raise on every path)."""
+        for stmt in body:
+            if not self._stmt(stmt):
+                return False
+        return True
+
+    def _stmt(self, stmt: ast.stmt) -> bool:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return False
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            # Loops containing these are handled as unaligned wholesale
+            # before we recurse here; reaching one just ends the path.
+            return False
+        if isinstance(stmt, ast.If):
+            return self._if(stmt)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt)
+        if isinstance(stmt, (ast.With, ast.AsyncWith, ast.Try)):
+            # Rare in step programs; conservative: inner events lose
+            # alignment, control assumed to continue.
+            if _yield_count_upper(stmt) > 0:
+                self._emit_region(stmt, aligned=False)
+                self.aligned = False
+            return True
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return True
+        # Simple statement: emit its yields in source order.
+        for yield_node in _yields_in(stmt):
+            self._emit_yield(yield_node)
+        return True
+
+    def _if(self, stmt: ast.If) -> bool:
+        base_offset, base_aligned = self.offset, self.aligned
+
+        self.offset, self.aligned = base_offset, base_aligned
+        falls_body = self._stmts(stmt.body)
+        body_offset, body_aligned = self.offset, self.aligned
+
+        self.offset, self.aligned = base_offset, base_aligned
+        falls_else = self._stmts(stmt.orelse) if stmt.orelse else True
+        else_offset, else_aligned = self.offset, self.aligned
+
+        if falls_body and falls_else:
+            if body_offset == else_offset:
+                self.offset = body_offset
+                self.aligned = body_aligned and else_aligned
+            else:
+                # Unequal yield counts, both sides continue: instances
+                # desynchronize here.
+                self.offset = max(body_offset, else_offset)
+                self.aligned = False
+            return True
+        if falls_body:
+            self.offset, self.aligned = body_offset, body_aligned
+            return True
+        if falls_else:
+            self.offset, self.aligned = else_offset, else_aligned
+            return True
+        return False
+
+    def _while(self, stmt: ast.While) -> bool:
+        if _yield_count_upper(stmt) == 0:
+            return True  # local-computation loop: zero machine steps
+        has_break = any(
+            isinstance(n, ast.Break) for n in _own_loop_nodes(stmt)
+        )
+        uniform, _ = _uniform_count(stmt.body)
+        infinite = (
+            isinstance(stmt.test, ast.Constant) and stmt.test.value is True
+        )
+        if has_break or uniform is None or not self.aligned:
+            self._emit_region(stmt, aligned=False)
+            self.aligned = False
+            return True
+        # Uniform body, exits only via return (infinite test) or the
+        # condition: all live instances share the body position.
+        self.loop_counter += 1
+        saved_prefix, saved_offset = self.prefix, self.offset
+        self.prefix = ("loop", self.loop_counter)
+        self.offset = 0
+        self._stmts(stmt.body)
+        self.prefix, self.offset = saved_prefix, saved_offset
+        if infinite:
+            return True  # post-loop unreachable
+        # Condition exit: leavers overlap stayers from here on.
+        self.aligned = False
+        return True
+
+    def _for(self, stmt: ast.stmt) -> bool:
+        if _yield_count_upper(stmt) == 0:
+            return True
+        # Iteration counts are data-dependent: conservative.
+        self._emit_region(stmt, aligned=False)
+        self.aligned = False
+        return True
+
+    # -- event emission ---------------------------------------------------
+    def _emit_region(self, stmt: ast.AST, *, aligned: bool) -> None:
+        assert not aligned
+        for yield_node in _yields_in(stmt):
+            self._emit_yield(yield_node, force_unaligned=True)
+
+    def _emit_yield(
+        self, node: ast.Yield, *, force_unaligned: bool = False
+    ) -> None:
+        align: AlignKey = None
+        if self.aligned and not force_unaligned:
+            align = self.prefix + (self.offset,)
+        self.offset += 1
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+        ):
+            self._append("step", None, None, None, align, node)
+            return
+        name = value.func.id
+        if name == "Read":
+            addr = _call_arg(value, 0, "addr")
+            family, index = _split_addr(addr)
+            self._append("read", family, index, None, align, node)
+        elif name == "Write":
+            addr = _call_arg(value, 0, "addr")
+            wval = _call_arg(value, 1, "value")
+            family, index = _split_addr(addr)
+            self._append("write", family, index, wval, align, node)
+        elif name == "Fork":
+            prog = _call_arg(value, 0, "program")
+            if (
+                isinstance(prog, ast.Call)
+                and isinstance(prog.func, ast.Name)
+            ):
+                self.model.forks.append(prog.func.id)
+            self._append("step", None, None, None, align, node)
+        else:  # Local / Halt / unknown
+            self._append("step", None, None, None, align, node)
+
+    def _append(
+        self,
+        kind: str,
+        family: Optional[str],
+        index: Optional[ast.expr],
+        value: Optional[ast.expr],
+        align: AlignKey,
+        node: ast.AST,
+    ) -> None:
+        self.model.events.append(
+            _Event(kind, family, index, value, align, node, self.model.name)
+        )
+
+
+# -- small AST utilities ------------------------------------------------
+
+
+def _yields_in(stmt: ast.AST) -> List[ast.Yield]:
+    out: List[ast.Yield] = []
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop(0)  # breadth-ish; single-yield stmts dominate
+        if isinstance(node, ast.Yield):
+            out.append(node)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    out.sort(key=lambda n: (n.lineno, n.col_offset))
+    return out
+
+
+def _yield_count_upper(stmt: ast.AST) -> int:
+    return len(_yields_in(stmt))
+
+
+def _own_loop_nodes(loop: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of a loop body excluding nested loops' bodies (their
+    break/continue bind to the inner loop)."""
+    stack: List[ast.AST] = []
+    for part in ("body", "orelse"):
+        stack.extend(getattr(loop, part, []) or [])
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (
+                ast.While,
+                ast.For,
+                ast.AsyncFor,
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+            ),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _uniform_count(body: Sequence[ast.stmt]) -> Tuple[Optional[int], bool]:
+    """(yields on every fall-through path or None when they differ,
+    does-any-path-fall-through)."""
+    total = 0
+    for stmt in body:
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+            return total, False
+        if isinstance(stmt, ast.If):
+            c1, f1 = _uniform_count(stmt.body)
+            c2, f2 = _uniform_count(stmt.orelse) if stmt.orelse else (0, True)
+            if f1 and f2:
+                if c1 is None or c2 is None or c1 != c2:
+                    return None, True
+                total += c1
+            elif f1:
+                if c1 is None:
+                    return None, True
+                total += c1
+            elif f2:
+                if c2 is None:
+                    return None, True
+                total += c2
+            else:
+                return total, False
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            if _yield_count_upper(stmt) > 0:
+                return None, True  # nested yielding loop: not uniform
+        elif isinstance(stmt, (ast.With, ast.AsyncWith, ast.Try)):
+            if _yield_count_upper(stmt) > 0:
+                return None, True
+        else:
+            total += _yield_count_upper(stmt)
+    return total, True
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+def _expr_tainted(expr: ast.expr, tainted: Set[str]) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Call, ast.Subscript)):
+            return True
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+    return False
+
+
+def _call_arg(
+    call: ast.Call, pos: int, kw: str
+) -> Optional[ast.expr]:
+    if len(call.args) > pos:
+        return call.args[pos]
+    for keyword in call.keywords:
+        if keyword.arg == kw:
+            return keyword.value
+    return None
+
+
+def _split_addr(
+    addr: Optional[ast.expr],
+) -> Tuple[Optional[str], Optional[ast.expr]]:
+    """``("family", index)`` from an address expression."""
+    if addr is None:
+        return None, None
+    if isinstance(addr, ast.Tuple) and addr.elts:
+        head = addr.elts[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            index = addr.elts[1] if len(addr.elts) == 2 else addr
+            return head.value, index
+        return None, addr
+    if isinstance(addr, ast.Constant):
+        return str(addr.value), None
+    return None, addr
+
+
+# ---------------------------------------------------------------------------
+# spawn / machine association
+# ---------------------------------------------------------------------------
+
+
+def _associate_spawns(
+    module: ModuleInfo, programs: Dict[str, _ProgramModel]
+) -> None:
+    """Bind each program to (group, policy, varying params,
+    multi-instance) from its ``machine.spawn(prog(...))`` sites."""
+    spawn_counts: Dict[str, int] = {}
+    spawn_in_loop: Dict[str, bool] = {}
+
+    for host in _all_functions(module.tree):
+        if host.name in programs:
+            continue
+        policies = _machine_policies(host)
+        for node in _own_nodes(host):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "spawn"
+                and isinstance(node.func.value, ast.Name)
+                and node.args
+            ):
+                continue
+            prog_call = node.args[0]
+            if not (
+                isinstance(prog_call, ast.Call)
+                and isinstance(prog_call.func, ast.Name)
+                and prog_call.func.id in programs
+            ):
+                continue
+            model = programs[prog_call.func.id]
+            machine_name = node.func.value.id
+            model.group = (
+                f"{module.relpath}::{host.name}::{machine_name}"
+            )
+            if model.policy is None:
+                model.policy = policies.get(machine_name)
+            loop_vars = _enclosing_loop_targets(module, node, host)
+            in_loop = bool(loop_vars)
+            spawn_counts[model.name] = spawn_counts.get(model.name, 0) + 1
+            spawn_in_loop[model.name] = (
+                spawn_in_loop.get(model.name, False) or in_loop
+            )
+            for i, arg in enumerate(prog_call.args):
+                if i >= len(model.params):
+                    break
+                names = {
+                    n.id
+                    for n in ast.walk(arg)
+                    if isinstance(n, ast.Name)
+                }
+                if names & loop_vars:
+                    model.varying.add(model.params[i])
+
+    # Fork propagation: forked programs inherit group/policy, run from
+    # arbitrary offsets, and every parameter varies.
+    for _ in range(len(programs) + 1):
+        changed = False
+        for model in programs.values():
+            for target_name in model.forks:
+                target = programs.get(target_name)
+                if target is None:
+                    continue
+                if not target.fork_spawned:
+                    target.fork_spawned = True
+                    changed = True
+                if target.group is None and model.group is not None:
+                    target.group = model.group
+                    changed = True
+                if target.policy is None and model.policy is not None:
+                    target.policy = model.policy
+                    changed = True
+                new_varying = set(target.params) - target.varying
+                if new_varying:
+                    target.varying.update(new_varying)
+                    changed = True
+        if not changed:
+            break
+
+    for model in programs.values():
+        if model.group is None:
+            # Never spawned: analyze alone, first param assumed varying.
+            model.group = f"{module.relpath}::{model.name}"
+            if model.params and not model.varying:
+                model.varying.add(model.params[0])
+        elif not model.fork_spawned:
+            if not spawn_in_loop.get(model.name, False) and (
+                spawn_counts.get(model.name, 0) == 1
+            ):
+                model.multi_instance = False
+            if model.params and not model.varying and model.multi_instance:
+                model.varying.add(model.params[0])
+
+
+def _machine_policies(host: ast.FunctionDef) -> Dict[str, str]:
+    """``{machine_var: "PRIORITY", ...}`` from
+    ``m = Machine(policy=WritePolicy.X, ...)`` assignments."""
+    out: Dict[str, str] = {}
+    for node in _own_nodes(host):
+        if not (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "Machine"
+        ):
+            continue
+        policy: Optional[str] = None
+        for kw in node.value.keywords:
+            if (
+                kw.arg == "policy"
+                and isinstance(kw.value, ast.Attribute)
+                and isinstance(kw.value.value, ast.Name)
+                and kw.value.value.id == "WritePolicy"
+            ):
+                policy = kw.value.attr
+        for target in node.targets:
+            if isinstance(target, ast.Name) and policy is not None:
+                out[target.id] = policy
+    return out
+
+
+def _enclosing_loop_targets(
+    module: ModuleInfo, node: ast.AST, host: ast.FunctionDef
+) -> Set[str]:
+    """For-loop target names on the parent chain from ``node`` up to
+    (and excluding) ``host``."""
+    out: Set[str] = set()
+    cur: Optional[ast.AST] = node
+    while cur is not None and cur is not host:
+        if isinstance(cur, (ast.For, ast.AsyncFor)):
+            out.update(_target_names(cur.target))
+        cur = module.parents.get(cur)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# hazard computation
+# ---------------------------------------------------------------------------
+
+
+def analyze_module(
+    module: ModuleInfo, config: LintConfig
+) -> List[Hazard]:
+    """All step-discipline hazards in one module (pre-sanction
+    filtering is applied here; R102 pokes are never sanctionable)."""
+    programs: Dict[str, _ProgramModel] = {}
+    for func in _all_functions(module.tree):
+        if not _is_step_program(func):
+            continue
+        model = _ProgramModel(
+            name=func.name,
+            func=func,
+            params=[a.arg for a in func.args.posonlyargs + func.args.args],
+        )
+        programs[func.name] = model
+    if not programs:
+        return []
+
+    _associate_spawns(module, programs)
+    for model in programs.values():
+        _Scanner(model).scan()
+        for node in _own_nodes(model.func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "poke"
+            ):
+                model.pokes.append(node)
+
+    hazards: List[Hazard] = []
+    for model in programs.values():
+        for poke in model.pokes:
+            hazards.append(
+                Hazard(
+                    kind="poke-in-step",
+                    program=model.name,
+                    family=None,
+                    node=poke,
+                    detail=(
+                        f"step program {model.name!r} calls poke(), "
+                        "bypassing staged end-of-step commit; stage a "
+                        "Write instead (poke is host-side only)"
+                    ),
+                )
+            )
+
+    groups: Dict[str, List[_ProgramModel]] = {}
+    for model in programs.values():
+        groups.setdefault(model.group or model.name, []).append(model)
+    sanctioned = {
+        fam for path, fam in config.sanctioned_races
+        if path == module.relpath
+    }
+    for members in groups.values():
+        hazards.extend(_group_hazards(members, sanctioned))
+    return hazards
+
+
+def _group_hazards(
+    members: List[_ProgramModel], sanctioned: Set[str]
+) -> Iterator[Hazard]:
+    by_name = {m.name: m for m in members}
+    events = [e for m in members for e in m.events]
+    writes = [e for e in events if e.kind == "write"]
+    reads = [e for e in events if e.kind == "read"]
+    policy = next(
+        (m.policy for m in members if m.policy is not None), None
+    )
+    seen: Set[Tuple[str, str, int, Optional[str]]] = set()
+
+    def emit(
+        kind: str, victim: _Event, other: _Event, detail: str
+    ) -> Iterator[Hazard]:
+        key = (kind, victim.program, victim.node.lineno, victim.family)
+        if key in seen:
+            return
+        seen.add(key)
+        yield Hazard(
+            kind=kind,
+            program=victim.program,
+            family=victim.family,
+            node=victim.node,
+            detail=detail,
+        )
+
+    for w in writes:
+        wm = by_name[w.program]
+        for r in reads:
+            rm = by_name[r.program]
+            if not _may_conflict(w, wm, r, rm, sanctioned):
+                continue
+            yield from emit(
+                "stale-read",
+                r,
+                w,
+                f"read of family {r.family or '?'!r} in {r.program!r} "
+                f"may land in the same step as the write in "
+                f"{w.program!r} (line {w.node.lineno}); the reader "
+                "observes the pre-write value — restructure so the "
+                "read happens a step earlier/later, or register the "
+                "monotone-marking family in "
+                "repro.lint.config.SANCTIONED_RACES",
+            )
+        if policy != "COMMON":
+            continue
+        for w2 in writes:
+            if (w2.node.lineno, w2.program) < (w.node.lineno, w.program):
+                continue  # unordered pairs once (self-pair included)
+            w2m = by_name[w2.program]
+            if not _may_conflict(w, wm, w2, w2m, sanctioned, writes=True):
+                continue
+            if _values_agree(w, wm, w2, w2m):
+                continue
+            yield from emit(
+                "common-disagreement",
+                w,
+                w2,
+                f"family {w.family or '?'!r}: concurrent same-step "
+                f"writers ({w.program!r} line {w.node.lineno}, "
+                f"{w2.program!r} line {w2.node.lineno}) under "
+                "WritePolicy.COMMON with values not provably equal — "
+                "a latent WriteConflictError",
+            )
+
+
+def _may_conflict(
+    a: _Event,
+    am: _ProgramModel,
+    b: _Event,
+    bm: _ProgramModel,
+    sanctioned: Set[str],
+    *,
+    writes: bool = False,
+) -> bool:
+    if a is b and not writes:
+        return False
+    # family compatibility (None = unknown, matches anything)
+    if a.family is not None and b.family is not None and a.family != b.family:
+        return False
+    fam = a.family if a.family is not None else b.family
+    if fam is not None and fam in sanctioned:
+        return False
+    same_program = am is bm
+    if same_program and not am.multi_instance:
+        # A single processor executes one yield per step: no pair of
+        # its own events (including an event with itself) can coincide.
+        return False
+    # simultaneity
+    a_align = None if am.fork_spawned else a.align
+    b_align = None if bm.fork_spawned else b.align
+    if (
+        same_program
+        and a_align is not None
+        and b_align is not None
+        and a_align != b_align
+    ):
+        return False  # provably different steps
+    # aliasing
+    return _may_alias(a, am, b, bm)
+
+
+def _may_alias(
+    a: _Event, am: _ProgramModel, b: _Event, bm: _ProgramModel
+) -> bool:
+    if a.index is None or b.index is None:
+        # fixed cell vs fixed cell of the same family, or unknown
+        return True
+    da, db = ast.dump(a.index), ast.dump(b.index)
+    if da != db or am is not bm:
+        # Differing index forms, or the same form in two different
+        # programs (whose instance spaces may overlap): conservative.
+        return True
+    # Identical forms in the same program: distinct instances touch
+    # distinct cells iff the index is injective in a varying param.
+    return not _injective(a.index, am)
+
+
+def _injective(index: ast.expr, model: _ProgramModel) -> bool:
+    """Index is exactly ``p`` or ``p ± e`` / ``e + p`` with ``p`` a
+    varying param and ``e`` instance-invariant (no varying / tainted
+    names, no calls)."""
+
+    def invariant(expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Call, ast.Subscript, ast.Yield)):
+                return False
+            if isinstance(node, ast.Name) and (
+                node.id in model.varying or node.id in model.tainted
+            ):
+                return False
+        return True
+
+    def is_varying_name(expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Name)
+            and expr.id in model.varying
+            and expr.id not in model.tainted
+        )
+
+    if is_varying_name(index):
+        return True
+    if isinstance(index, ast.BinOp) and isinstance(
+        index.op, (ast.Add, ast.Sub)
+    ):
+        left, right = index.left, index.right
+        if is_varying_name(left) and invariant(right):
+            return True
+        if (
+            isinstance(index.op, ast.Add)
+            and is_varying_name(right)
+            and invariant(left)
+        ):
+            return True
+    return False
+
+
+def _values_agree(
+    a: _Event, am: _ProgramModel, b: _Event, bm: _ProgramModel
+) -> bool:
+    va, vb = a.value, b.value
+    if va is None or vb is None:
+        return False
+    if (
+        isinstance(va, ast.Constant)
+        and isinstance(vb, ast.Constant)
+        and type(va.value) is type(vb.value)
+        and va.value == vb.value
+    ):
+        return True
+    if ast.dump(va) == ast.dump(vb) and am is bm:
+        # Identical expression over instance-invariant names only.
+        free = {
+            n.id for n in ast.walk(va) if isinstance(n, ast.Name)
+        }
+        if not (free & (am.varying | am.tainted)) and not any(
+            isinstance(n, (ast.Call, ast.Yield)) for n in ast.walk(va)
+        ):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# rule adapters
+# ---------------------------------------------------------------------------
+
+
+class _RaceRuleBase(Rule):
+    kind = ""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def check(self, ctx: RepoContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in ctx:
+            for hazard in analyze_module(module, self.config):
+                if hazard.kind != self.kind:
+                    continue
+                findings.append(
+                    self.finding(module, hazard.node, hazard.detail)
+                )
+        return findings
+
+
+class StaleReadRule(_RaceRuleBase):
+    id = "R101"
+    title = "same-step read/write race (stale read)"
+    level = "error"
+    kind = "stale-read"
+
+
+class PokeInStepRule(_RaceRuleBase):
+    id = "R102"
+    title = "poke() inside a step program"
+    level = "error"
+    kind = "poke-in-step"
+
+
+class CommonDisagreementRule(_RaceRuleBase):
+    id = "R103"
+    title = "COMMON-policy same-step writer disagreement"
+    level = "error"
+    kind = "common-disagreement"

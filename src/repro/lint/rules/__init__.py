@@ -1,0 +1,44 @@
+"""Rule registry: every static invariant the repo enforces.
+
+``default_rules`` is the canonical ordering used by the CLI, the CI
+gate and the repo-clean self-check; tests build narrower rule sets
+against fixture configs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import LintConfig
+from ..engine import Rule
+from ..races import CommonDisagreementRule, PokeInStepRule, StaleReadRule
+from .exports import ExportHygieneRule
+from .journal import JournalCoverageRule
+from .parity import BackendParityRule
+from .raises import BareRaiseRule
+from .randomness import RandomnessRule
+
+__all__ = [
+    "BareRaiseRule",
+    "RandomnessRule",
+    "BackendParityRule",
+    "JournalCoverageRule",
+    "ExportHygieneRule",
+    "StaleReadRule",
+    "PokeInStepRule",
+    "CommonDisagreementRule",
+    "default_rules",
+]
+
+
+def default_rules(config: LintConfig) -> List[Rule]:
+    return [
+        BareRaiseRule(config),
+        RandomnessRule(config),
+        BackendParityRule(config),
+        JournalCoverageRule(config),
+        ExportHygieneRule(config),
+        StaleReadRule(config),
+        PokeInStepRule(config),
+        CommonDisagreementRule(config),
+    ]

@@ -1,0 +1,197 @@
+"""R005 — ``__all__`` export hygiene.
+
+The mypy-strict gate runs with ``no_implicit_reexport``, and the
+differential fuzzer's op-stream registry imports surfaces by name, so
+every library module must declare its public surface explicitly:
+
+* a module with public top-level defs must define ``__all__``
+  (a literal list/tuple of string constants, optionally built with
+  ``+`` concatenation of such literals);
+* every name in ``__all__`` must exist at module top level
+  (def/class/assignment/import);
+* ``__all__`` must not contain duplicates;
+* every *public* top-level class or function must be listed in
+  ``__all__`` — an unlisted public def is either missing from the
+  export list or should be renamed ``_private``.
+
+Entry-point shims with no importable surface register themselves in
+``repro.lint.config.LintConfig.exports_exempt``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..config import LintConfig
+from ..engine import Finding, ModuleInfo, RepoContext, Rule
+
+__all__ = ["ExportHygieneRule"]
+
+
+class ExportHygieneRule(Rule):
+    id = "R005"
+    title = "__all__ export hygiene"
+    level = "error"
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def check(self, ctx: RepoContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in ctx:
+            if module.relpath in self.config.exports_exempt:
+                continue
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        top = _top_level_names(module.tree)
+        public_defs = _public_defs(module.tree)
+        all_node = _find_all_assign(module.tree)
+
+        if all_node is None:
+            if public_defs:
+                listing = ", ".join(sorted(public_defs)[:4])
+                if len(public_defs) > 4:
+                    listing += ", ..."
+                yield self.finding(
+                    module,
+                    module.tree,
+                    "module has public top-level definitions "
+                    f"({listing}) but no __all__; declare the export "
+                    "surface explicitly",
+                )
+            return
+
+        names = _all_names(all_node.value)
+        if names is None:
+            yield self.finding(
+                module,
+                all_node,
+                "__all__ is not a literal list/tuple of strings; the "
+                "export surface must be statically readable",
+            )
+            return
+
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.finding(
+                    module,
+                    all_node,
+                    f"__all__ lists {name!r} more than once",
+                )
+            seen.add(name)
+            if name not in top:
+                yield self.finding(
+                    module,
+                    all_node,
+                    f"__all__ exports {name!r} but no top-level "
+                    "definition, assignment or import provides it",
+                )
+
+        for name, node in sorted(public_defs.items()):
+            if name in seen:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"public top-level definition {name!r} is not exported "
+                "via __all__; list it or rename it with a leading "
+                "underscore",
+            )
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _find_all_assign(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return node
+    return None
+
+
+def _all_names(expr: ast.expr) -> Optional[List[str]]:
+    """Names in an ``__all__`` literal (list/tuple of str constants,
+    ``+``-concatenation allowed); None when not statically readable."""
+    if isinstance(expr, (ast.List, ast.Tuple)):
+        out: List[str] = []
+        for elt in expr.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt.value)
+            else:
+                return None
+        return out
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        left = _all_names(expr.left)
+        right = _all_names(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None
+
+
+def _target_names(target: ast.expr) -> Iterable[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _top_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING blocks / import fallbacks: one level deep.
+            for sub in ast.iter_child_nodes(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name == "*":
+                            continue
+                        names.add(
+                            alias.asname or alias.name.split(".")[0]
+                        )
+                elif isinstance(
+                    sub,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    names.add(sub.name)
+    return names
+
+
+def _public_defs(tree: ast.Module) -> "Dict[str, ast.AST]":
+    """Public top-level class/function defs (the surface that must be
+    exported), keyed by name."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+        and not node.name.startswith("_")
+    }

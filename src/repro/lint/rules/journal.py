@@ -1,0 +1,250 @@
+"""R004 — journal / crash-point coverage.
+
+The crash-consistency story (transactions + differential crash fuzzing)
+only holds if every interior mutation of a backend either runs under
+the undo journal or sits at a registered crash-point hook, so the
+fuzzer can cut power mid-splice and replay the journal.  A new helper
+that splices ``left``/``right`` pointers without journaling is exactly
+the bug class the fuzzer cannot see — the tree is silently corruptible
+at a point no crash is ever injected.
+
+For each :class:`repro.lint.config.JournalSpec` this rule:
+
+1. finds every method of the named class that *mutates interior
+   state* — stores to a structural node attribute (``node_fields``),
+   subscript-assigns into a column (``columns``), or calls a
+   growing/shrinking list method on a column;
+2. requires each such method to reference the journal seam
+   (``self._journal``), be registered as a crash-point hook in
+   ``testing/crashes.py`` (``_patch(Class, "hook", ...)``), or appear
+   in the spec's ``allowlist`` with a justification;
+3. cross-checks that every registered crash hook for the class still
+   names an existing method (so a rename can't silently un-instrument
+   the fuzzer).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..config import JournalSpec, LintConfig
+from ..engine import Finding, ModuleInfo, RepoContext, Rule
+
+__all__ = ["JournalCoverageRule"]
+
+_LIST_MUTATORS = {"append", "extend", "insert", "pop", "clear", "remove"}
+
+
+class JournalCoverageRule(Rule):
+    id = "R004"
+    title = "unjournaled interior mutation (invisible to the crash fuzzer)"
+    level = "error"
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def check(self, ctx: RepoContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        hooks = _crash_hooks(ctx, self.config.crash_points_path)
+        for spec in self.config.journal_specs:
+            findings.extend(self._check_spec(ctx, spec, hooks))
+        return findings
+
+    def _check_spec(
+        self,
+        ctx: RepoContext,
+        spec: JournalSpec,
+        hooks: Optional[Dict[str, Set[str]]],
+    ) -> Iterable[Finding]:
+        module = ctx.module(spec.path)
+        if module is None:
+            return
+        cls = _find_class(module, spec.class_name)
+        if cls is None:
+            yield self.finding(
+                module,
+                module.tree,
+                f"journal spec: class {spec.class_name!r} not found in "
+                f"{spec.path} (update repro.lint.config.JOURNAL_SPECS)",
+            )
+            return
+        class_hooks = (
+            hooks.get(spec.class_name, set()) if hooks is not None else set()
+        )
+        methods = {
+            node.name: node
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        for name, fn in sorted(methods.items()):
+            site = _mutation_site(fn, spec)
+            if site is None:
+                continue
+            if name in spec.allowlist:
+                continue
+            if name in class_hooks:
+                continue
+            if _references_journal(fn):
+                continue
+            node, what = site
+            yield self.finding(
+                module,
+                node,
+                f"{spec.class_name}.{name} mutates interior state "
+                f"({what}) without touching self._journal and is not a "
+                "registered crash-point hook; journal the mutation, "
+                "register the hook in testing/crashes.py, or allowlist "
+                "the method in repro.lint.config.JOURNAL_SPECS with a "
+                "justification",
+            )
+
+        # Hook-existence cross-check: a rename must not silently
+        # un-instrument the fuzzer.
+        crashes_mod = (
+            ctx.module(self.config.crash_points_path)
+            if hooks is not None
+            else None
+        )
+        if crashes_mod is not None:
+            for hook in sorted(class_hooks):
+                if hook not in methods:
+                    yield self.finding(
+                        crashes_mod,
+                        crashes_mod.tree,
+                        f"crash-point hook {spec.class_name}.{hook} is "
+                        "registered in crash_points() but no such method "
+                        f"exists on {spec.class_name} (stale after a "
+                        "rename?)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# mutation-site detection
+# ---------------------------------------------------------------------------
+
+
+def _mutation_site(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, spec: JournalSpec
+) -> Optional[Tuple[ast.AST, str]]:
+    """First interior-mutation statement in ``fn``, or None."""
+    for node in ast.walk(fn):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            targets = [node.target]
+        for target in _flatten_targets(targets):
+            what = _target_mutates(target, spec)
+            if what is not None:
+                return node, what
+        if isinstance(node, ast.Call):
+            what = _call_mutates(node, spec)
+            if what is not None:
+                return node, what
+    return None
+
+
+def _flatten_targets(targets: Iterable[ast.expr]) -> Iterable[ast.expr]:
+    for t in targets:
+        if isinstance(t, (ast.Tuple, ast.List)):
+            yield from _flatten_targets(t.elts)
+        else:
+            yield t
+
+
+def _target_mutates(
+    target: ast.expr, spec: JournalSpec
+) -> Optional[str]:
+    # node-field store: <expr>.left = ...  (any object: nodes travel)
+    if isinstance(target, ast.Attribute) and target.attr in spec.node_fields:
+        # `self.<field> = ...` on the tree object itself is a scalar
+        # root/metadata store only when the field set is for *nodes*;
+        # specs for pointer backends list node attrs, and the tree has
+        # no same-named attrs, so flag all of them.
+        return f"store to node field .{target.attr}"
+    # column subscript store: self._left[i] = ...
+    if isinstance(target, ast.Subscript):
+        col = _column_of(target.value, spec)
+        if col is not None:
+            return f"subscript store into column {col}"
+    return None
+
+
+def _call_mutates(node: ast.Call, spec: JournalSpec) -> Optional[str]:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr not in _LIST_MUTATORS:
+        return None
+    col = _column_of(func.value, spec)
+    if col is not None:
+        return f"{func.attr}() on column {col}"
+    return None
+
+
+def _column_of(expr: ast.expr, spec: JournalSpec) -> Optional[str]:
+    """``self.<col>`` when <col> is a registered column name."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in spec.columns
+    ):
+        return f"self.{expr.attr}"
+    return None
+
+
+def _references_journal(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when the method touches the journal seam (``self._journal``
+    or a bare ``journal`` name, e.g. a passed-in journal object)."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr == "_journal":
+            return True
+        if isinstance(node, ast.Name) and node.id == "journal":
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# crash-hook extraction
+# ---------------------------------------------------------------------------
+
+
+def _find_class(module: ModuleInfo, name: str) -> Optional[ast.ClassDef]:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _crash_hooks(
+    ctx: RepoContext, crashes_path: str
+) -> Optional[Dict[str, Set[str]]]:
+    """``{ClassName: {hook, ...}}`` from ``_patch(Class, "hook", ...)``
+    calls in the crash-points module, or None when the module is not in
+    the scanned target set."""
+    module = ctx.module(crashes_path)
+    if module is None:
+        return None
+    hooks: Dict[str, Set[str]] = {}
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "_patch"
+            and len(node.args) >= 2
+        ):
+            continue
+        cls_arg, attr_arg = node.args[0], node.args[1]
+        if not (
+            isinstance(cls_arg, ast.Name)
+            and isinstance(attr_arg, ast.Constant)
+            and isinstance(attr_arg.value, str)
+        ):
+            continue
+        hooks.setdefault(cls_arg.id, set()).add(attr_arg.value)
+    return hooks

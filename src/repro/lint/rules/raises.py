@@ -1,0 +1,59 @@
+"""R001 — bare builtin raise.
+
+Every error the library raises must come from the :mod:`repro.errors`
+taxonomy so that ``except ReproError`` is a complete catch contract
+(tests/test_errors_taxonomy.py enforces the runtime side; this rule
+stops regressions before the fuzzer runs).  ``TypeError`` /
+``AssertionError`` / ``NotImplementedError`` stay allowed: they signal
+programming errors that the taxonomy deliberately never wraps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..config import LintConfig
+from ..engine import Finding, ModuleInfo, RepoContext, Rule
+
+__all__ = ["BareRaiseRule"]
+
+
+class BareRaiseRule(Rule):
+    id = "R001"
+    title = "bare builtin raise (use the repro.errors taxonomy)"
+    level = "error"
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def check(self, ctx: RepoContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        forbidden = self.config.forbidden_builtins
+        for module in ctx:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                name = _raised_name(node.exc)
+                if name in forbidden:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"raises builtin {name}; use a ReproError "
+                            "subclass from repro.errors (dual-inheritance "
+                            "classes keep the legacy builtin catchable)",
+                        )
+                    )
+        return findings
+
+
+def _raised_name(exc: ast.expr) -> str:
+    """The exception name at a raise site: ``raise X(...)`` or
+    ``raise X`` for a plain name ``X`` (attribute raises like
+    ``errors.Foo`` and re-raised variables are out of scope)."""
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return ""

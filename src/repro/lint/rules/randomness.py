@@ -1,0 +1,135 @@
+"""R002 — unsanctioned randomness.
+
+Lockstep replay (the differential fuzzer's core audit) requires every
+random draw to come from a seeded ``random.Random`` instance threaded
+through constructors.  Any call through the module-level ``random.*``
+API (the process-global RNG), an *unseeded* ``random.Random()``,
+``os.urandom``, ``secrets.*`` or ``uuid.uuid4`` silently breaks
+RNG-parity between backends and between runs.  Registered seams (none
+today) live in :data:`repro.lint.config.RNG_SEAMS` as
+``path::qualname`` entries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..config import LintConfig
+from ..engine import Finding, ModuleInfo, RepoContext, Rule
+
+__all__ = ["RandomnessRule"]
+
+#: ``random.<fn>`` module-level draws that hit the global RNG.
+_GLOBAL_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "getrandbits",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+    "triangular",
+    "vonmisesvariate",
+    "paretovariate",
+    "weibullvariate",
+    "lognormvariate",
+    "seed",
+    "setstate",
+    "getstate",
+    "randbytes",
+}
+
+
+class RandomnessRule(Rule):
+    id = "R002"
+    title = "unsanctioned randomness (breaks lockstep replay)"
+    level = "error"
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def check(self, ctx: RepoContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in ctx:
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        seams = self.config.rng_seams
+        for node in ast.walk(module.tree):
+            problem: Optional[str] = None
+            if isinstance(node, ast.Call):
+                problem = _call_problem(node)
+            elif isinstance(node, ast.ImportFrom):
+                problem = _import_problem(node)
+            if problem is None:
+                continue
+            qualname = _enclosing_qualname(module, node)
+            if f"{module.relpath}::{qualname}" in seams:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{problem} in {qualname!r}; draw from a seeded "
+                "random.Random threaded through the constructor, or "
+                "register the seam in repro.lint.config.RNG_SEAMS",
+            )
+
+
+def _call_problem(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base, attr = func.value.id, func.attr
+        if base == "random":
+            if attr in _GLOBAL_RANDOM_FNS:
+                return f"module-level random.{attr}() uses the global RNG"
+            if attr == "Random" and not node.args and not node.keywords:
+                return "random.Random() without a seed is OS-entropy seeded"
+        if base == "os" and attr == "urandom":
+            return "os.urandom() is non-reproducible entropy"
+        if base == "secrets":
+            return f"secrets.{attr}() is non-reproducible entropy"
+        if base == "uuid" and attr == "uuid4":
+            return "uuid.uuid4() is non-reproducible entropy"
+    if isinstance(func, ast.Name):
+        if func.id == "Random" and not node.args and not node.keywords:
+            return "Random() without a seed is OS-entropy seeded"
+        if func.id == "urandom":
+            return "urandom() is non-reproducible entropy"
+    return None
+
+
+def _import_problem(node: ast.ImportFrom) -> Optional[str]:
+    if node.module == "random":
+        bad = sorted(
+            a.name for a in node.names if a.name in _GLOBAL_RANDOM_FNS
+        )
+        if bad:
+            return (
+                f"importing global-RNG functions {bad} from random"
+            )
+    if node.module == "os":
+        if any(a.name == "urandom" for a in node.names):
+            return "importing os.urandom"
+    if node.module == "secrets":
+        return "importing from secrets"
+    return None
+
+
+def _enclosing_qualname(module: ModuleInfo, node: ast.AST) -> str:
+    parts: List[str] = []
+    cur: Optional[ast.AST] = node
+    while cur is not None:
+        if isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            parts.append(cur.name)
+        cur = module.parents.get(cur)
+    return ".".join(reversed(parts)) or "<module>"

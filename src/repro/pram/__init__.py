@@ -15,10 +15,13 @@ from .machine import Machine
 from .memory import SharedMemory, WritePolicy
 from .metrics import Metrics
 from .ops import Fork, Halt, Local, Read, Write
+from .sanitizer import HazardRecord, SanitizingSharedMemory
 
 __all__ = [
     "Machine",
     "SharedMemory",
+    "SanitizingSharedMemory",
+    "HazardRecord",
     "WritePolicy",
     "Metrics",
     "SpanTracker",

@@ -17,12 +17,13 @@ the executed algorithm on the paper's machine model, and
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 from ..errors import MachineStateError, ProcessorLimitError
 from .memory import SharedMemory, WritePolicy
 from .metrics import Metrics
 from .ops import Fork, Halt, Local, Program, Read, Write
+from .sanitizer import SanitizingSharedMemory
 
 __all__ = ["Machine"]
 
@@ -50,6 +51,16 @@ class Machine:
         the paper's processor bounds in tests.
     seed:
         Seed for the ``ARBITRARY`` policy's tie-breaking RNG.
+    sanitize:
+        ``False`` (default) uses the plain shared memory.  ``True`` or
+        ``"raise"`` installs a
+        :class:`~repro.pram.sanitizer.SanitizingSharedMemory` that
+        raises :class:`~repro.errors.StepDisciplineError` on the first
+        step-discipline hazard; ``"record"`` accumulates hazards on
+        ``machine.memory.hazards`` instead.
+    sanctioned:
+        Address families exempt from the sanitizer's hazard checks
+        (declared intentional CRCW races; ignored without ``sanitize``).
     """
 
     def __init__(
@@ -57,8 +68,17 @@ class Machine:
         policy: WritePolicy = WritePolicy.ARBITRARY,
         max_processors: int = 1_000_000,
         seed: int | None = 0,
+        *,
+        sanitize: bool | str = False,
+        sanctioned: Iterable[Any] = (),
     ) -> None:
-        self.memory = SharedMemory(policy=policy, seed=seed)
+        if sanitize:
+            mode = "raise" if sanitize is True else str(sanitize)
+            self.memory: SharedMemory = SanitizingSharedMemory(
+                policy=policy, seed=seed, mode=mode, sanctioned=sanctioned
+            )
+        else:
+            self.memory = SharedMemory(policy=policy, seed=seed)
         self.metrics = Metrics()
         self.max_processors = max_processors
         self._procs: List[_Processor] = []
@@ -111,6 +131,7 @@ class Machine:
             proc.resume_value = None
             if isinstance(instr, Read):
                 self.metrics.reads += 1
+                self.memory.note_read(proc.pid, instr.addr)
                 proc.resume_value = self.memory.read(instr.addr, instr.default)
             elif isinstance(instr, Write):
                 self.metrics.writes += 1

@@ -13,8 +13,15 @@ Write-conflict policies (the standard CRCW taxonomy):
   disagreement raises :class:`~repro.errors.WriteConflictError`.
 * ``ARBITRARY`` — one staged write wins, chosen by a seeded RNG so runs
   are reproducible.
-* ``PRIORITY`` — the writer with the smallest processor id wins.
+* ``PRIORITY`` — the writer with the smallest processor id wins (a
+  processor that stages twice in one step keeps its *first* write; a
+  well-formed program issues at most one instruction per step anyway).
 * ``MAX``      — the largest written value wins (a "combining" CRCW).
+
+Commit is atomic: conflict resolution runs over *every* staged cell
+before any cell is written back, so a ``COMMON`` violation leaves the
+committed memory exactly as it was at the previous step boundary (the
+offending step's staged writes are discarded).
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from typing import Any, Dict, Hashable, List, Tuple
 
 from ..errors import WriteConflictError
 
-__all__ = ["WritePolicy", "SharedMemory"]
+__all__ = ["WritePolicy", "SharedMemory", "Address"]
 
 Address = Hashable
 
@@ -52,44 +59,70 @@ class SharedMemory:
         # Staged writes for the current step: addr -> list of (pid, value).
         self._staged: Dict[Address, List[Tuple[int, Any]]] = {}
         self._rng = random.Random(seed)
-        self.conflict_count = 0  # cells with >1 distinct writer this run
+        self.conflict_count = 0  # cells with >1 distinct writers this run
 
     # -- step protocol -----------------------------------------------------
     def read(self, addr: Address, default: Any = None) -> Any:
         """Read the value committed at the end of the previous step."""
         return self._cells.get(addr, default)
 
+    def note_read(self, pid: int, addr: Address) -> None:
+        """Provenance hook invoked by the machine before each program
+        read.  A no-op here; :class:`~repro.pram.sanitizer.\
+SanitizingSharedMemory` overrides it to track per-step readers."""
+
     def stage_write(self, pid: int, addr: Address, value: Any) -> None:
         """Stage a write by processor ``pid``; visible after :meth:`commit`."""
         self._staged.setdefault(addr, []).append((pid, value))
 
+    def _resolve(self, addr: Address, writers: List[Tuple[int, Any]]) -> Any:
+        """Resolve one cell's staged writes under the active policy.
+        Pure with respect to committed memory (the RNG draw for
+        ``ARBITRARY`` is the only side effect)."""
+        policy = self.policy
+        if policy is WritePolicy.COMMON:
+            first = writers[0][1]
+            for _, v in writers[1:]:
+                if v != first:
+                    raise WriteConflictError(
+                        f"COMMON policy violated at {addr!r}: "
+                        f"values {first!r} and {v!r}"
+                    )
+            return first
+        if policy is WritePolicy.PRIORITY:
+            # Key on the pid only: duplicate writes by one pid must not
+            # fall through to comparing (possibly incomparable) values.
+            # ``min`` is stable, so the first staged write of the
+            # lowest pid wins.
+            return min(writers, key=lambda w: w[0])[1]
+        if policy is WritePolicy.MAX:
+            return max(v for _, v in writers)
+        if policy is WritePolicy.MIN:
+            return min(v for _, v in writers)
+        # ARBITRARY
+        return self._rng.choice(writers)[1]
+
     def commit(self) -> None:
-        """Resolve all staged writes for this step and commit them."""
+        """Resolve all staged writes for this step and commit atomically.
+
+        Resolution runs over every cell *before* the first write-back;
+        if any cell raises (``COMMON`` disagreement), committed memory
+        is untouched and the step's staged writes are discarded, so the
+        memory remains consistent at the previous step boundary.
+        """
         if not self._staged:
             return
-        policy = self.policy
-        for addr, writers in self._staged.items():
-            if len(writers) > 1:
-                self.conflict_count += 1
-            if policy is WritePolicy.COMMON:
-                first = writers[0][1]
-                for _, v in writers[1:]:
-                    if v != first:
-                        raise WriteConflictError(
-                            f"COMMON policy violated at {addr!r}: "
-                            f"values {first!r} and {v!r}"
-                        )
-                value = first
-            elif policy is WritePolicy.PRIORITY:
-                value = min(writers)[1]
-            elif policy is WritePolicy.MAX:
-                value = max(v for _, v in writers)
-            elif policy is WritePolicy.MIN:
-                value = min(v for _, v in writers)
-            else:  # ARBITRARY
-                value = self._rng.choice(writers)[1]
-            self._cells[addr] = value
-        self._staged.clear()
+        try:
+            resolved: Dict[Address, Any] = {}
+            conflicts = 0
+            for addr, writers in self._staged.items():
+                if len({pid for pid, _ in writers}) > 1:
+                    conflicts += 1
+                resolved[addr] = self._resolve(addr, writers)
+        finally:
+            self._staged.clear()
+        self._cells.update(resolved)
+        self.conflict_count += conflicts
 
     # -- host-side convenience ----------------------------------------------
     def poke(self, addr: Address, value: Any) -> None:

@@ -22,7 +22,7 @@ next step, and returns the new processor's id.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, Hashable
+from typing import Any, Generator, Hashable, Union
 
 __all__ = ["Read", "Write", "Fork", "Local", "Halt", "Instruction", "Program"]
 
@@ -53,7 +53,7 @@ class Fork:
     dynamically activate processors by a forking operation").
     """
 
-    program: Generator
+    program: "Program"
 
 
 @dataclass(frozen=True)
@@ -67,5 +67,7 @@ class Halt:
     """Stop this processor (equivalent to returning from the generator)."""
 
 
-Instruction = Read | Write | Fork | Local | Halt
-Program = Generator
+Instruction = Union[Read, Write, Fork, Local, Halt]
+#: A PRAM program: a generator yielding instructions, resumed with each
+#: instruction's result (read values, forked pids, ``None``).
+Program = Generator[Instruction, Any, None]

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import InvalidParameterError
 from .machine import Machine
 from .memory import WritePolicy
 from .metrics import Metrics
-from .ops import Read, Write
+from .ops import Program, Read, Write
 
 __all__ = ["parallel_sum", "prefix_sums", "list_ranking"]
 
@@ -29,12 +30,12 @@ def parallel_sum(values: Sequence[float]) -> Tuple[float, Metrics]:
     """
     n = len(values)
     if n == 0:
-        raise ValueError("parallel_sum of an empty sequence")
+        raise InvalidParameterError("parallel_sum of an empty sequence")
     machine = Machine(policy=WritePolicy.PRIORITY)
     for i, v in enumerate(values):
         machine.memory.poke(("x", i), v)
 
-    def reducer(i: int, stride: int):
+    def reducer(i: int, stride: int) -> Program:
         a = yield Read(("x", i))
         b = yield Read(("x", i + stride), default=None)
         if b is not None:
@@ -61,7 +62,7 @@ def prefix_sums(values: Sequence[float]) -> Tuple[List[float], Metrics]:
     for i, v in enumerate(values):
         machine.memory.poke(("x", i), v)
 
-    def stepper(i: int, stride: int):
+    def stepper(i: int, stride: int) -> Program:
         left = yield Read(("x", i - stride))
         mine = yield Read(("x", i))
         yield Write(("x", i), left + mine)
@@ -89,7 +90,7 @@ def list_ranking(
         machine.memory.poke(("next", node), nxt)
         machine.memory.poke(("rank", node), 0 if nxt is None else 1)
 
-    def ranker(i: int):
+    def ranker(i: int) -> Program:
         while True:
             nxt = yield Read(("next", i))
             if nxt is None:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from typing import Callable, List
+from ..errors import InvalidParameterError
 
 from ..perf.flat_rbsts import FlatRBSTS
 from ..splitting.rbsts import RBSTS
@@ -77,7 +78,7 @@ class CrashController:
 
     def arm(self, steps: int) -> None:
         if steps < 1:
-            raise ValueError("crash step count must be >= 1")
+            raise InvalidParameterError("crash step count must be >= 1")
         self.remaining = steps
         self.armed = True
         self.fired = False

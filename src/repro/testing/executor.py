@@ -25,6 +25,7 @@ from itertools import accumulate
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..algebra.monoid import sum_monoid
+from ..errors import InvalidParameterError
 from ..baselines import CONTRACTION_ORACLES
 from ..contraction.dynamic import DynamicTreeContraction
 from ..listprefix.structure import IncrementalListPrefix
@@ -133,7 +134,7 @@ def run_sequence(
     scenario and the engine's own sub-batches are already admitted).
     """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}")
+        raise InvalidParameterError(f"unknown backend {backend!r}")
     report = RunReport(scenario=seq.scenario, backend=backend)
     runner = _ListRunner if seq.scenario == "list" else _ContractionRunner
     crash_cfg = None
@@ -431,7 +432,7 @@ class _ListRunner:
                 for res in results.values():
                     deactivate(res)
         else:
-            raise ValueError(f"unknown list op kind {kind!r}")
+            raise InvalidParameterError(f"unknown list op kind {kind!r}")
 
     def _compare_batch_stats(self, what: str) -> None:
         if not self.both:
@@ -583,7 +584,7 @@ class _ContractionRunner:
                 nid = all_ids[int(raw[1]) % len(all_ids)]
                 queries.append(nid)
             else:
-                raise ValueError(f"unknown contraction request {kind!r}")
+                raise InvalidParameterError(f"unknown contraction request {kind!r}")
         # Drop queries of nodes removed by this batch's prunes, and
         # attach the survivors after the structural requests.
         queries = [nid for nid in queries if nid not in removed]
@@ -593,7 +594,7 @@ class _ContractionRunner:
     # -- op dispatch ------------------------------------------------------
     def apply(self, op: list) -> None:
         if op[0] != "cbatch":
-            raise ValueError(f"unknown contraction op kind {op[0]!r}")
+            raise InvalidParameterError(f"unknown contraction op kind {op[0]!r}")
         resolved, queries = self._resolve(op[1])
         if not resolved:
             return

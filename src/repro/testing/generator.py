@@ -19,6 +19,7 @@ import random
 from typing import List, Optional
 
 from .ops import OpSequence
+from ..errors import InvalidParameterError
 
 __all__ = ["generate"]
 
@@ -154,7 +155,7 @@ def generate(
     ``(seed, profile)``.  ``profile="batch"`` (list scenario) emits a
     batch-heavy mix for the crash-injection fuzzer."""
     if profile not in _LIST_PROFILES:
-        raise ValueError(f"unknown generator profile {profile!r}")
+        raise InvalidParameterError(f"unknown generator profile {profile!r}")
     rng = random.Random((seed, scenario).__repr__())
     n0 = rng.randint(2, 48)
     struct_seed = rng.getrandbits(32)
@@ -167,7 +168,7 @@ def generate(
     elif scenario == "contraction":
         ops = _contraction_ops(rng, n0, n_ops)
     else:
-        raise ValueError(f"unknown scenario {scenario!r}")
+        raise InvalidParameterError(f"unknown scenario {scenario!r}")
     meta = {"generator_seed": seed, "generator": "repro.testing.generator/1"}
     if profile != "default":
         meta["profile"] = profile

@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List
+from ..errors import InvalidParameterError
 
 from ..algebra.rings import INTEGER, Ring, modular_ring
 
@@ -91,9 +92,9 @@ class OpSequence:
 
     def __post_init__(self) -> None:
         if self.scenario not in ("list", "contraction"):
-            raise ValueError(f"unknown scenario {self.scenario!r}")
+            raise InvalidParameterError(f"unknown scenario {self.scenario!r}")
         if self.ring not in FUZZ_RINGS:
-            raise ValueError(f"unknown fuzz ring {self.ring!r}")
+            raise InvalidParameterError(f"unknown fuzz ring {self.ring!r}")
         self.n0 = max(2, int(self.n0))
 
     # -- structural edits used by the shrinker ---------------------------
@@ -132,7 +133,7 @@ class OpSequence:
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "OpSequence":
         if data.get("schema") != SCHEMA:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"unrecognised corpus schema {data.get('schema')!r}"
             )
         return cls(

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, List
 
 from .ops import OpSequence
+from ..errors import InvalidParameterError
 
 __all__ = ["ShrinkResult", "shrink"]
 
@@ -158,7 +159,7 @@ def shrink(
 ) -> ShrinkResult:
     """Minimise ``seq`` under ``fails`` (which must hold for ``seq``)."""
     if not fails(seq):
-        raise ValueError("shrink() requires a failing starting sequence")
+        raise InvalidParameterError("shrink() requires a failing starting sequence")
     budget = _Budget(max_replays)
     original_size = seq.size
     prev_size = None

@@ -61,7 +61,7 @@ sees bit-identical simulated costs with journaling on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .errors import (
     InvalidParameterError,
@@ -178,7 +178,7 @@ def validate_batch_delete(
     accept/reject behaviour.
     """
     rejections: List[RequestRejection] = []
-    seen: set = set()
+    seen: Set[Any] = set()
     valid: List[int] = []
     for i, h in enumerate(handles):
         if not is_leaf(h):
@@ -262,13 +262,13 @@ class ReferenceJournal:
     )
 
     def __init__(self, tree: Any) -> None:
-        self.entries: List[Tuple] = []
+        self.entries: List[Tuple[Any, ...]] = []
         self.rng_state = tree._rng.getstate()
         self.next_id = tree._next_id
         self.highwater = tree._n_highwater
         self.stats = dict(tree.last_batch_stats)
         self.root = tree.root
-        self._meta_seen: set = set()
+        self._meta_seen: Set[int] = set()
 
     # -- recording hooks ------------------------------------------------
     def record_rebuild(self, node: Any, parent: Any, leaves: Sequence[Any]) -> None:
@@ -391,7 +391,7 @@ class FlatJournal:
 
     def __init__(self, tree: Any) -> None:
         self.snap_len = len(tree._parent)
-        self.saved: Dict[int, Tuple] = {}
+        self.saved: Dict[int, Tuple[Any, ...]] = {}
         self.free_floor = len(tree._free)
         self.free_orig: List[int] = []  # F0[free_floor:len(F0)], index order
         self.root_index = tree.root_index

@@ -1,0 +1,25 @@
+"""Planted R004 violations: interior mutations outside the journal."""
+
+__all__ = ["Tree"]
+
+
+class Tree:
+    def __init__(self):
+        self._left = []
+        self._right = []
+        self._journal = None
+
+    def splice(self, a, b):  # planted: unjournaled column store
+        self._left[a] = b
+        self._right[b] = a
+
+    def grow(self):  # planted: unjournaled column append
+        self._left.append(-1)
+        self._right.append(-1)
+
+    def relink(self, node, child):  # planted: unjournaled node store
+        node.left = child
+
+    def guarded(self, a, b):  # clean: references the journal seam
+        self._journal.record(a)
+        self._left[a] = b

@@ -1,0 +1,27 @@
+"""Drifted flat side of the planted R003 parity pair.
+
+Planted drift: ``insert`` renamed a parameter, ``delete`` is missing,
+``depth`` became a method, ``compact`` grew with no reference twin,
+``flat_activate`` reordered parameters.
+"""
+
+__all__ = ["FlatStore", "flat_activate"]
+
+
+class FlatStore:
+    size: int
+
+    def insert(self, key, val):  # planted: parameter drift
+        pass
+
+    # planted: delete missing
+
+    def depth(self):  # planted: property became a method
+        return 0
+
+    def compact(self):  # planted: extra public member
+        pass
+
+
+def flat_activate(tree, budget=None, leaves=()):  # planted: param drift
+    return None

@@ -1,0 +1,21 @@
+"""Reference side of the planted R003 parity pair."""
+
+__all__ = ["Store", "activate"]
+
+
+class Store:
+    size: int
+
+    def insert(self, key, value):
+        pass
+
+    def delete(self, key):
+        pass
+
+    @property
+    def depth(self):
+        return 0
+
+
+def activate(tree, leaves, budget=None):
+    return None

@@ -1,0 +1,17 @@
+"""Planted R001 violations: bare builtin raises."""
+
+__all__ = ["lookup", "positive"]
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(key)  # planted: builtin raise
+    return table[key]
+
+
+def positive(x):
+    if x <= 0:
+        raise ValueError("must be positive")  # planted: builtin raise
+    if not isinstance(x, int):
+        raise TypeError("int required")  # allowed: programming error
+    return x

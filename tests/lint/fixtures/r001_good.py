@@ -1,0 +1,19 @@
+"""Clean twin of r001_bad: raises flow through the taxonomy."""
+
+from repro.errors import InvalidParameterError, UnknownKeyError
+
+__all__ = ["lookup", "positive"]
+
+
+def lookup(table, key):
+    if key not in table:
+        raise UnknownKeyError(key)
+    return table[key]
+
+
+def positive(x):
+    if x <= 0:
+        raise InvalidParameterError("must be positive")
+    if not isinstance(x, int):
+        raise TypeError("int required")  # allowed: programming error
+    return x

@@ -1,0 +1,9 @@
+"""Planted-but-suppressed R001 violation (pragma escape hatch)."""
+
+__all__ = ["legacy"]
+
+
+def legacy(x):
+    if x < 0:
+        raise ValueError("legacy contract")  # lint: ignore[R001]
+    return x

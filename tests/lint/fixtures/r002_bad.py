@@ -1,0 +1,18 @@
+"""Planted R002 violations: unsanctioned randomness."""
+
+import os
+import random
+
+__all__ = ["draw", "token", "fresh_rng"]
+
+
+def draw():
+    return random.random()  # planted: global RNG
+
+
+def token():
+    return os.urandom(8)  # planted: OS entropy
+
+
+def fresh_rng():
+    return random.Random()  # planted: unseeded Random

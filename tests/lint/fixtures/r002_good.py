@@ -1,0 +1,13 @@
+"""Clean twin of r002_bad: every draw comes from a seeded instance."""
+
+import random
+
+__all__ = ["Sampler"]
+
+
+class Sampler:
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def draw(self) -> float:
+        return self._rng.random()

@@ -1,0 +1,9 @@
+"""Planted R005 violations: no __all__ despite public defs."""
+
+
+def exported_maybe():
+    return 1
+
+
+class Widget:
+    pass

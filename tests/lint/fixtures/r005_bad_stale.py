@@ -1,0 +1,12 @@
+"""Planted R005 violations: stale/duplicated __all__ entries and an
+unexported public def."""
+
+__all__ = ["helper", "helper", "ghost"]
+
+
+def helper():
+    return 1
+
+
+def unlisted():
+    return 2

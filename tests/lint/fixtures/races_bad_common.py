@@ -1,0 +1,24 @@
+"""Planted R103: COMMON-policy writers that disagree.
+
+Every instance writes its own ``i`` into the single cell
+``("winner", 0)`` under ``WritePolicy.COMMON`` — the first step with
+two processors raises ``WriteConflictError`` at run time.
+"""
+
+from repro.pram.machine import Machine
+from repro.pram.memory import WritePolicy
+from repro.pram.ops import Read, Write
+
+__all__ = ["run"]
+
+
+def _claimer(i):
+    yield Write(("winner", 0), i)  # planted: disagreeing COMMON writers
+    _ = yield Read(("winner", 0))
+
+
+def run(n):
+    machine = Machine(policy=WritePolicy.COMMON)
+    for i in range(n):
+        machine.spawn(_claimer(i))
+    return machine.run()

@@ -1,0 +1,20 @@
+"""Planted R102: host-side poke() called from inside a step program."""
+
+from repro.pram.machine import Machine
+from repro.pram.memory import WritePolicy
+from repro.pram.ops import Read, Write
+
+__all__ = ["run"]
+
+
+def _cheater(i, mem):
+    v = yield Read(("x", i))
+    mem.poke(("x", i), v + 1)  # planted: bypasses end-of-step commit
+    yield Write(("done", i), 1)
+
+
+def run(n):
+    machine = Machine(policy=WritePolicy.PRIORITY)
+    for i in range(n):
+        machine.spawn(_cheater(i, machine.memory))
+    return machine.run()

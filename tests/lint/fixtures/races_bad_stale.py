@@ -1,0 +1,30 @@
+"""Planted R101: a same-step read/write race.
+
+The two ``if`` arms yield unequal often, but the colliding events sit
+at the *same* aligned offset (1): an instance in the write arm stores
+``("x", i)`` in the very step an instance in the read arm loads
+``("x", i + 1)`` — for neighbouring ``i`` that is the same cell, and
+the reader silently sees the pre-write value.
+"""
+
+from repro.pram.machine import Machine
+from repro.pram.memory import WritePolicy
+from repro.pram.ops import Read, Write
+
+__all__ = ["run"]
+
+
+def _racer(i):
+    flag = yield Read(("flag", i))
+    if flag:
+        yield Write(("x", i), 1)
+    else:
+        stale = yield Read(("x", i + 1))  # planted: same step as the write
+        yield Write(("y", i), stale)
+
+
+def run(n):
+    machine = Machine(policy=WritePolicy.ARBITRARY)
+    for i in range(n):
+        machine.spawn(_racer(i))
+    return machine.run()

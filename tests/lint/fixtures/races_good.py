@@ -1,0 +1,38 @@
+"""Clean step programs the race detector must accept.
+
+``_stepper`` is the Hillis–Steele prefix step: reads at offsets 0/1
+strictly precede the offset-2 write, and the write's ``("x", i)`` index
+is injective in the varying ``i``.  ``_marker`` writes the *same*
+constant to one cell under COMMON — concurrent, but agreeing.
+"""
+
+from repro.pram.machine import Machine
+from repro.pram.memory import WritePolicy
+from repro.pram.ops import Read, Write
+
+__all__ = ["run_stepper", "run_marker"]
+
+
+def _stepper(i, stride):
+    left = yield Read(("x", i - stride))
+    mine = yield Read(("x", i))
+    yield Write(("x", i), left + mine)
+
+
+def run_stepper(n, stride):
+    machine = Machine(policy=WritePolicy.PRIORITY)
+    for i in range(stride, n):
+        machine.spawn(_stepper(i, stride))
+    return machine.run()
+
+
+def _marker(i):
+    yield Write(("seen", 0), 1)  # COMMON writers agreeing on a constant
+    yield Write(("slot", i), 1)
+
+
+def run_marker(n):
+    machine = Machine(policy=WritePolicy.COMMON)
+    for i in range(n):
+        machine.spawn(_marker(i))
+    return machine.run()

@@ -1,0 +1,86 @@
+"""Race detector: planted step-discipline violations are flagged, the
+shipped PRAM programs pass."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.config import REPO_CONFIG, LintConfig
+from repro.lint.engine import run_lint
+from repro.lint.races import (
+    CommonDisagreementRule,
+    PokeInStepRule,
+    StaleReadRule,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_RACE_RULES = lambda cfg: [  # noqa: E731 - tiny factory
+    StaleReadRule(cfg),
+    PokeInStepRule(cfg),
+    CommonDisagreementRule(cfg),
+]
+
+
+def _run_fixture(name):
+    return run_lint(FIXTURES, [name], _RACE_RULES(REPO_CONFIG))
+
+
+def test_planted_stale_read_is_flagged():
+    report = _run_fixture("races_bad_stale.py")
+    rules = [f.rule for f in report.findings]
+    assert "R101" in rules, [str(f) for f in report.findings]
+    finding = next(f for f in report.findings if f.rule == "R101")
+    assert "'x'" in finding.message
+    assert "pre-write value" in finding.message
+
+
+def test_planted_common_disagreement_is_flagged():
+    report = _run_fixture("races_bad_common.py")
+    rules = [f.rule for f in report.findings]
+    assert "R103" in rules, [str(f) for f in report.findings]
+    finding = next(f for f in report.findings if f.rule == "R103")
+    assert "'winner'" in finding.message
+
+
+def test_planted_poke_in_step_is_flagged():
+    report = _run_fixture("races_bad_poke.py")
+    rules = [f.rule for f in report.findings]
+    assert rules == ["R102"], [str(f) for f in report.findings]
+
+
+def test_clean_programs_pass():
+    report = _run_fixture("races_good.py")
+    assert report.clean, [str(f) for f in report.findings]
+
+
+def test_shipped_pram_programs_pass():
+    report = run_lint(
+        REPO_ROOT,
+        ["src/repro/pram/programs.py"],
+        _RACE_RULES(REPO_CONFIG),
+    )
+    assert report.clean, [str(f) for f in report.findings]
+
+
+def test_shipped_activation_program_passes_via_sanction():
+    report = run_lint(
+        REPO_ROOT,
+        ["src/repro/splitting/activation_pram.py"],
+        _RACE_RULES(REPO_CONFIG),
+    )
+    assert report.clean, [str(f) for f in report.findings]
+
+
+def test_activation_sanction_is_load_bearing():
+    """Dropping the registered monotone-marking sanction must re-expose
+    the concurrent ACTIVE marking as a stale-read hazard — the registry
+    is doing real work."""
+    config = LintConfig(sanctioned_races=frozenset())
+    report = run_lint(
+        REPO_ROOT,
+        ["src/repro/splitting/activation_pram.py"],
+        _RACE_RULES(config),
+    )
+    assert any(f.rule == "R101" for f in report.findings)

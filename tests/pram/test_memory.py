@@ -91,3 +91,60 @@ def test_snapshot_is_a_copy():
     snap = mem.snapshot()
     snap["x"] = 99
     assert mem.read("x") == 1
+
+
+# ---------------------------------------------------------------------------
+# regression tests for the commit-atomicity / tie-break fixes
+# ---------------------------------------------------------------------------
+
+
+def test_commit_is_atomic_on_common_conflict():
+    """A COMMON disagreement must leave committed memory exactly at the
+    previous step boundary — no partial commit of the cells staged
+    before the offending one."""
+    mem = SharedMemory(policy=WritePolicy.COMMON)
+    mem.poke("a", "old-a")
+    mem.poke("b", "old-b")
+    before = mem.snapshot()
+    mem.stage_write(0, "a", "new-a")  # agreeing single writer
+    mem.stage_write(0, "b", 1)
+    mem.stage_write(1, "b", 2)  # disagreement
+    with pytest.raises(WriteConflictError):
+        mem.commit()
+    assert mem.snapshot() == before  # nothing committed, not even "a"
+
+
+def test_failed_commit_discards_the_staged_step():
+    mem = SharedMemory(policy=WritePolicy.COMMON)
+    mem.stage_write(0, "x", 1)
+    mem.stage_write(1, "x", 2)
+    with pytest.raises(WriteConflictError):
+        mem.commit()
+    # The offending step is gone: the next commit is a clean no-op.
+    mem.commit()
+    assert mem.read("x") is None
+
+
+def test_priority_duplicate_pid_does_not_compare_values():
+    """min() over (pid, value) pairs used to fall through to comparing
+    values when one pid staged twice — crashing on incomparable types.
+    The tie-break must key on the pid alone (first staged write wins)."""
+    mem = SharedMemory(policy=WritePolicy.PRIORITY)
+    mem.stage_write(1, "x", {"unorderable": True})
+    mem.stage_write(1, "x", {"second": True})
+    mem.stage_write(2, "x", "loser")
+    mem.commit()
+    assert mem.read("x") == {"unorderable": True}
+
+
+def test_conflict_count_requires_distinct_writers():
+    """One processor staging twice is not a write conflict."""
+    mem = SharedMemory(policy=WritePolicy.PRIORITY)
+    mem.stage_write(0, "x", 1)
+    mem.stage_write(0, "x", 2)
+    mem.commit()
+    assert mem.conflict_count == 0
+    mem.stage_write(0, "y", 1)
+    mem.stage_write(1, "y", 2)
+    mem.commit()
+    assert mem.conflict_count == 1

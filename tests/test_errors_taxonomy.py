@@ -167,3 +167,82 @@ def test_parse_tree_root_not_activated_both_catches():
         with pytest.raises(catch):
             # Empty member set: the root was never activated.
             build_extended_parse_tree(tree.root, set(), [leaf])
+
+
+# ---------------------------------------------------------------------------
+# this PR's sweep: graphs / linkcut / applications / pram
+# ---------------------------------------------------------------------------
+
+
+def test_new_dual_inheritance_classes():
+    assert issubclass(errors.GraphStructureError, ReproError)
+    assert issubclass(errors.GraphStructureError, ValueError)
+    assert issubclass(errors.LinkCutError, errors.TreeStructureError)
+    assert issubclass(errors.LinkCutError, ValueError)
+    assert issubclass(errors.DuplicateKeyError, ReproError)
+    assert issubclass(errors.DuplicateKeyError, KeyError)
+    assert issubclass(errors.UnknownKeyError, errors.UnknownNodeError)
+    assert issubclass(errors.UnknownKeyError, KeyError)
+    assert issubclass(
+        errors.NotAnInternalNodeError, errors.TreeStructureError
+    )
+    assert issubclass(errors.NotAnInternalNodeError, ValueError)
+    assert issubclass(errors.StepDisciplineError, errors.PRAMError)
+
+
+def test_graph_builders_both_catches():
+    from repro.graphs.builders import random_sp_tree
+
+    for catch in (ReproError, ValueError, errors.GraphStructureError):
+        with pytest.raises(catch):
+            random_sp_tree(0)
+
+
+def test_graph_recognize_both_catches():
+    from repro.graphs.recognize import recognize
+
+    for catch in (ReproError, ValueError, errors.GraphStructureError):
+        with pytest.raises(catch):
+            recognize([], 0, 1)  # no edges
+        with pytest.raises(catch):
+            recognize([(0, 1, 1.0)], 0, 0)  # identical terminals
+        with pytest.raises(catch):
+            recognize([(0, 0, 1.0)], 0, 1)  # self-loop
+
+
+def test_linkcut_both_catches():
+    from repro.baselines.linkcut import LinkCutForest
+
+    forest = LinkCutForest()
+    forest.make_node(1)
+    forest.make_node(2)
+    for catch in (ReproError, KeyError, errors.DuplicateKeyError):
+        with pytest.raises(catch):
+            forest.make_node(1)
+    for catch in (ReproError, KeyError, errors.UnknownKeyError):
+        with pytest.raises(catch):
+            forest.find_root(99)
+    forest.link(1, 2)
+    for catch in (ReproError, ValueError, errors.LinkCutError):
+        with pytest.raises(catch):
+            forest.link(1, 2)  # 1 is no longer a root
+        with pytest.raises(catch):
+            forest.cut(2)  # 2 is already a root
+
+
+def test_batch_prune_leaf_both_catches():
+    from repro.applications.properties import DynamicTreeProperties
+
+    props = DynamicTreeProperties(seed=0)
+    root = props.tree.root.nid  # the initial root is a leaf
+    for catch in (ReproError, ValueError, errors.NotAnInternalNodeError):
+        with pytest.raises(catch):
+            props.batch_prune([root])
+
+
+def test_parallel_sum_empty_both_catches():
+    from repro.pram.programs import parallel_sum
+
+    for catch in (ReproError, ValueError, InvalidParameterError):
+        with pytest.raises(catch):
+            parallel_sum([])
