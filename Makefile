@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-perf bench bench-smoke regress lint \
-        fuzz-smoke fuzz-selftest fuzz-crash corpus-replay clean
+        fuzz-smoke fuzz-selftest fuzz-crash fuzz-faults corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
 test:
@@ -67,6 +67,16 @@ fuzz-selftest:
 fuzz-crash:
 	$(PYTHON) -m repro.testing.fuzz --scenario list --seed 0 \
 		--crash-seed 0 --runs 200 --ops 80 --backend both --no-save
+
+## Recovery fuzzing (the PR 5 CI load): 200 seeded programs under
+## runtime fault injection (dead processors, lost forks, hangs, torn
+## writes, bit flips, stale epochs).  Every run must classify as
+## clean / degraded / aborted-restored, --require-coverage asserts all
+## three classes appear, and budget guards bound the wall clock.  See
+## TESTING.md ("Recovery fuzzing") and DESIGN.md section 9.
+fuzz-faults:
+	$(PYTHON) -m repro.resilience.fuzz --seed 0 --runs 200 --ops 40 \
+		--no-save --require-coverage
 
 ## Replay every pinned regression reproducer in tests/corpus/.
 corpus-replay:

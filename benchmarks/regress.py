@@ -35,6 +35,13 @@ import perf_harness  # noqa: E402  (sibling module, scripts run file-direct)
 # slack instead of the relative threshold (they are noise-dominated).
 ABS_SLACK_S = 0.010
 
+# Resilience-overhead ceiling for R1 cells: with fault rate 0 and light
+# detection the checkpointed path may cost at most 10% over the bare
+# path.  Gated on the *current* run's ratio (supervised / bare on the
+# same machine, so it is self-normalising — no baseline comparison
+# needed).
+OVERHEAD_LIMIT = 1.10
+
 
 # Keys every baseline cell must carry for compare() to work; checked up
 # front so a truncated artifact yields exit 3, not a KeyError traceback.
@@ -99,6 +106,14 @@ def compare(
             failures.append(
                 f"{key}: wall-clock {c:.4f}s > limit {limit:.4f}s "
                 f"(baseline {b:.4f}s, threshold {threshold:.0%})"
+            )
+        ratio = cur.get("overhead_ratio")
+        if ratio is not None and ratio > OVERHEAD_LIMIT:
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: resilience overhead_ratio {ratio} > "
+                f"{OVERHEAD_LIMIT} (the fault-free checkpoint fast path "
+                "regressed; see benchmarks/perf_harness.py cell_r1)"
             )
         print(f"{status:>10}  {key:<40} base {b:.4f}s  now {c:.4f}s")
     for key in base_by_key:

@@ -30,6 +30,7 @@ __all__ = [
     "WriteConflictError",
     "ProcessorLimitError",
     "MachineStateError",
+    "MachineHangError",
     "StepDisciplineError",
     "TreeStructureError",
     "NotALeafError",
@@ -47,6 +48,11 @@ __all__ = [
     "LinkCutError",
     "DuplicateKeyError",
     "UnknownKeyError",
+    "ResilienceError",
+    "CorruptionDetectedError",
+    "RepairFailedError",
+    "RetryExhaustedError",
+    "BudgetExceededError",
     "STRUCTURE_REASONS",
     "HANDLE_REASONS",
     "RequestRejection",
@@ -89,6 +95,29 @@ class ProcessorLimitError(PRAMError):
 class MachineStateError(PRAMError):
     """A machine operation was invoked in an invalid state (e.g. running a
     halted machine, or a program yielded an unknown instruction)."""
+
+
+class MachineHangError(MachineStateError, TimeoutError):
+    """:meth:`~repro.pram.machine.Machine.run` exhausted its step budget
+    with processors still live — the program did not quiesce.
+
+    This is the *only* error the resilience layer's hang detector treats
+    as a recoverable hang; every other :class:`MachineStateError` means a
+    malformed program and is never retried.  Subclasses ``TimeoutError``
+    so host-level timeout handling composes.
+
+    Attributes
+    ----------
+    max_steps:
+        The step budget that was exhausted.
+    live:
+        Number of processors still live when the budget ran out.
+    """
+
+    def __init__(self, message: str, *, max_steps: int = 0, live: int = 0) -> None:
+        super().__init__(message)
+        self.max_steps = max_steps
+        self.live = live
 
 
 class TreeStructureError(ReproError):
@@ -183,6 +212,69 @@ class DuplicateKeyError(ReproError, KeyError):
 class UnknownKeyError(UnknownNodeError, KeyError):
     """A keyed lookup referenced a key that is not present.  Subclasses
     ``KeyError`` for backward compatibility."""
+
+
+# ---------------------------------------------------------------------------
+# Resilience layer (PR 5).
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Base class for errors raised by the fault-tolerant execution layer
+    (:mod:`repro.resilience`)."""
+
+
+class CorruptionDetectedError(ResilienceError):
+    """An integrity scan found state that violates structural invariants
+    (injected or otherwise) — the trigger for scrub-and-repair.
+
+    ``sites`` lists machine-readable descriptions of the corrupt cells
+    (best effort; may be empty when only a summary check failed)."""
+
+    def __init__(self, message: str, sites: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        self.sites: Tuple[str, ...] = tuple(sites)
+
+
+class RepairFailedError(ResilienceError):
+    """Scrub-and-repair could not restore a consistent state (corruption
+    outside the repairable region, e.g. a destroyed root or free-list)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """The supervised executor ran out of retry budget and — if a
+    degradation ladder was configured — out of ladder rungs.  The
+    pre-batch state has been restored bit-for-bit.
+
+    ``attempts`` counts every execution attempt across all rungs;
+    ``last_error`` is the failure from the final attempt."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 0,
+        last_error: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class BudgetExceededError(ReproError, TimeoutError):
+    """A fuzzing run exceeded its operation or wall-clock budget.  The
+    offending seed is replayable; subclasses ``TimeoutError`` so generic
+    timeout handling composes.
+
+    ``budget`` names which guard fired (``"op-budget"`` or
+    ``"wall-timeout"``); ``spent`` is the amount consumed."""
+
+    def __init__(
+        self, message: str, *, budget: str = "op-budget", spent: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.spent = spent
 
 
 # ---------------------------------------------------------------------------

@@ -11,7 +11,7 @@ Paths are repo-root-relative with forward slashes (matching
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "ParityPair",
@@ -129,13 +129,21 @@ class JournalSpec:
     (``self._journal``), be registered as a crash-point hook in
     ``testing/crashes.py``, or appear in ``allowlist`` (with a
     justification).
+
+    ``class_name=None`` scans the whole module instead of one class:
+    every top-level function and every method of every class is
+    checked.  This is how the resilience layer is covered — its scrub
+    rewrites and checkpoint restores mutate *someone else's* backend,
+    so ``any_receiver=True`` widens column matching from ``self.<col>``
+    to ``<any expr>.<col>`` (e.g. ``tree._n_leaves[s] = ...``).
     """
 
     path: str
-    class_name: str
+    class_name: Optional[str] = None
     node_fields: FrozenSet[str] = frozenset()
     columns: FrozenSet[str] = frozenset()
     allowlist: Mapping[str, str] = field(default_factory=dict)
+    any_receiver: bool = False
 
 
 #: The file whose ``_patch(Class, "hook", ...)`` calls register the
@@ -227,6 +235,76 @@ JOURNAL_SPECS: Tuple[JournalSpec, ...] = (
             ),
         },
     ),
+    # Resilience-layer mutation sites (module scans).  Scrub rewrites
+    # and checkpoint restores patch *another object's* backend cells, so
+    # column matching is receiver-agnostic.  ``resilience/faults.py`` is
+    # deliberately NOT covered: it is the attacker — its whole point is
+    # unjournaled corruption (in-batch damage targets journal-covered
+    # cells by construction; at-rest damage is scrub-and-repair's diet).
+    JournalSpec(
+        path="src/repro/resilience/scrub.py",
+        class_name=None,
+        node_fields=frozenset(
+            {
+                "left",
+                "right",
+                "parent",
+                "depth",
+                "height",
+                "n_leaves",
+                "summary",
+                "shortcuts",
+            }
+        ),
+        columns=frozenset(
+            {
+                "_parent",
+                "_left",
+                "_right",
+                "_n_leaves",
+                "_depth",
+                "_height",
+                "_shortcuts",
+                "_item",
+                "_summary",
+                "_free",
+            }
+        ),
+        any_receiver=True,
+        allowlist={},
+    ),
+    JournalSpec(
+        path="src/repro/resilience/executor.py",
+        class_name=None,
+        node_fields=frozenset(
+            {
+                "left",
+                "right",
+                "parent",
+                "depth",
+                "height",
+                "n_leaves",
+                "summary",
+                "shortcuts",
+            }
+        ),
+        columns=frozenset(
+            {
+                "_parent",
+                "_left",
+                "_right",
+                "_n_leaves",
+                "_depth",
+                "_height",
+                "_shortcuts",
+                "_item",
+                "_summary",
+                "_free",
+            }
+        ),
+        any_receiver=True,
+        allowlist={},
+    ),
 )
 
 
@@ -258,6 +336,12 @@ SANCTIONED_RACES: FrozenSet[Tuple[str, str]] = frozenset(
         # way.
         ("src/repro/splitting/activation_pram.py", "active"),
         ("src/repro/splitting/activation_pram.py", "low"),
+        # Resilience psum reduction: workers poll their input cells
+        # until the (single) writer's value appears.  A read landing in
+        # the writer's step observes the pre-write value (None) and
+        # simply polls again next step — the cell is write-once, so
+        # every interleaving converges on the same sum.
+        ("src/repro/resilience/harness.py", "s"),
     }
 )
 

@@ -60,23 +60,32 @@ class JournalCoverageRule(Rule):
         module = ctx.module(spec.path)
         if module is None:
             return
-        cls = _find_class(module, spec.class_name)
-        if cls is None:
-            yield self.finding(
-                module,
-                module.tree,
-                f"journal spec: class {spec.class_name!r} not found in "
-                f"{spec.path} (update repro.lint.config.JOURNAL_SPECS)",
+        if spec.class_name is None:
+            # Module scan: every top-level function plus every method of
+            # every class (the resilience layer's scrub rewrites and
+            # checkpoint restores live in module functions).
+            owner = spec.path.rsplit("/", 1)[-1]
+            methods = _module_functions(module)
+            class_hooks: Set[str] = set()
+        else:
+            owner = spec.class_name
+            cls = _find_class(module, spec.class_name)
+            if cls is None:
+                yield self.finding(
+                    module,
+                    module.tree,
+                    f"journal spec: class {spec.class_name!r} not found in "
+                    f"{spec.path} (update repro.lint.config.JOURNAL_SPECS)",
+                )
+                return
+            class_hooks = (
+                hooks.get(spec.class_name, set()) if hooks is not None else set()
             )
-            return
-        class_hooks = (
-            hooks.get(spec.class_name, set()) if hooks is not None else set()
-        )
-        methods = {
-            node.name: node
-            for node in cls.body
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        }
+            methods = {
+                node.name: node
+                for node in cls.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
 
         for name, fn in sorted(methods.items()):
             site = _mutation_site(fn, spec)
@@ -92,9 +101,9 @@ class JournalCoverageRule(Rule):
             yield self.finding(
                 module,
                 node,
-                f"{spec.class_name}.{name} mutates interior state "
-                f"({what}) without touching self._journal and is not a "
-                "registered crash-point hook; journal the mutation, "
+                f"{owner}.{name} mutates interior state "
+                f"({what}) without touching the journal seam and is not "
+                "a registered crash-point hook; journal the mutation, "
                 "register the hook in testing/crashes.py, or allowlist "
                 "the method in repro.lint.config.JOURNAL_SPECS with a "
                 "justification",
@@ -104,7 +113,7 @@ class JournalCoverageRule(Rule):
         # un-instrument the fuzzer.
         crashes_mod = (
             ctx.module(self.config.crash_points_path)
-            if hooks is not None
+            if hooks is not None and spec.class_name is not None
             else None
         )
         if crashes_mod is not None:
@@ -187,13 +196,15 @@ def _call_mutates(node: ast.Call, spec: JournalSpec) -> Optional[str]:
 
 
 def _column_of(expr: ast.expr, spec: JournalSpec) -> Optional[str]:
-    """``self.<col>`` when <col> is a registered column name."""
-    if (
-        isinstance(expr, ast.Attribute)
-        and isinstance(expr.value, ast.Name)
-        and expr.value.id == "self"
-        and expr.attr in spec.columns
-    ):
+    """``self.<col>`` when <col> is a registered column name — or
+    ``<any receiver>.<col>`` when the spec is receiver-agnostic (the
+    resilience layer mutates *another object's* columns)."""
+    if not isinstance(expr, ast.Attribute) or expr.attr not in spec.columns:
+        return None
+    if spec.any_receiver:
+        recv = expr.value.id if isinstance(expr.value, ast.Name) else "<expr>"
+        return f"{recv}.{expr.attr}"
+    if isinstance(expr.value, ast.Name) and expr.value.id == "self":
         return f"self.{expr.attr}"
     return None
 
@@ -212,6 +223,22 @@ def _references_journal(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
 # ---------------------------------------------------------------------------
 # crash-hook extraction
 # ---------------------------------------------------------------------------
+
+
+def _module_functions(
+    module: ModuleInfo,
+) -> Dict[str, "ast.FunctionDef | ast.AsyncFunctionDef"]:
+    """Top-level functions plus every class method, keyed by qualname
+    (``fn`` / ``Class.fn``)."""
+    out: Dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out[f"{node.name}.{sub.name}"] = sub
+    return out
 
 
 def _find_class(module: ModuleInfo, name: str) -> Optional[ast.ClassDef]:

@@ -1317,6 +1317,15 @@ class FlatRBSTS:
                     raise TreeStructureError(
                         f"leaf {node} has n={counts[node]}, h={height[node]}"
                     )
+                if self.summarizer is not None:
+                    # §3's exactly-maintained invariant reaches the
+                    # leaves: summary must equal of_item(item).  A
+                    # corrupted *root* leaf (single-leaf tree) has no
+                    # internal combine above it to expose the damage.
+                    if self._summary[node] != self.summarizer.of_item(
+                        self._item[node]
+                    ):
+                        raise TreeStructureError(f"bad summary at {node}")
                 h = self._handle[node]
                 if h is not None and (h.tree is not self or h.idx != node):
                     raise TreeStructureError(f"mis-interned handle at {node}")

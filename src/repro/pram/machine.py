@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional, Tuple
 
-from ..errors import MachineStateError, ProcessorLimitError
+from ..errors import MachineHangError, MachineStateError, ProcessorLimitError
 from .memory import SharedMemory, WritePolicy
 from .metrics import Metrics
 from .ops import Fork, Halt, Local, Program, Read, Write
@@ -162,13 +162,20 @@ class Machine:
         return self.live_count()
 
     def run(self, max_steps: int = 1_000_000) -> Metrics:
-        """Run until all processors halt (or ``max_steps`` elapse)."""
+        """Run until all processors halt (or ``max_steps`` elapse).
+
+        Non-quiescence raises :class:`~repro.errors.MachineHangError`
+        (a :class:`~repro.errors.MachineStateError` subclass), the
+        dedicated signal the resilience layer's hang detector keys on.
+        """
         for _ in range(max_steps):
             if self.step() == 0 and not any(p.live for p in self._procs):
                 return self.metrics
         if self.live_count():
-            raise MachineStateError(
+            raise MachineHangError(
                 f"machine did not quiesce within {max_steps} steps "
-                f"({self.live_count()} processors still live)"
+                f"({self.live_count()} processors still live)",
+                max_steps=max_steps,
+                live=self.live_count(),
             )
         return self.metrics

@@ -1,0 +1,122 @@
+"""The resilience regression corpus (``fault-recovery-*`` entries).
+
+Shares ``tests/corpus/`` with the fuzz corpus but under its own schema
+tag, so each replay suite only picks up its own entries
+(:func:`repro.testing.corpus.corpus_paths` filters by schema).  An
+entry pins one seeded program *plus* its fault plan and policy; the
+replay test asserts the recorded fault still fires and the executor
+still recovers to the oracle-identical state."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import InvalidParameterError
+from ..testing.corpus import corpus_paths, default_corpus_dir
+from ..testing.ops import SCHEMA as FUZZ_SCHEMA
+from ..testing.ops import OpSequence
+from .executor import ResiliencePolicy
+from .faults import FaultPlan
+from .harness import ResilienceReport, run_resilience_program
+
+__all__ = [
+    "RESILIENCE_SCHEMA",
+    "load_resilience_entry",
+    "replay_resilience_corpus",
+    "resilience_corpus_paths",
+    "save_resilience_entry",
+]
+
+RESILIENCE_SCHEMA = "repro-resilience-corpus/1"
+
+
+def _digest(seq: OpSequence, plan: FaultPlan) -> str:
+    body = json.dumps(
+        [seq.scenario, seq.seed, seq.n0, seq.ring, seq.ops, plan.describe()],
+        sort_keys=True,
+    )
+    return hashlib.sha256(body.encode()).hexdigest()[:10]
+
+
+def save_resilience_entry(
+    seq: OpSequence,
+    plan: FaultPlan,
+    policy: ResiliencePolicy,
+    directory: Optional[str] = None,
+    *,
+    prefix: str = "fault-recovery",
+    note: Optional[str] = None,
+    expect: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Pin one fault-recovery program; returns the file path.  ``expect``
+    records what the replay must reproduce (outcome class, fired fault
+    substrings, ...)."""
+    directory = directory or default_corpus_dir()
+    os.makedirs(directory, exist_ok=True)
+    entry = {
+        "schema": RESILIENCE_SCHEMA,
+        "program": seq.to_json(),
+        "plan": plan.describe(),
+        "policy": {
+            "max_retries": policy.max_retries,
+            "ladder": list(policy.ladder),
+            "detect": policy.detect,
+        },
+        "expect": dict(expect or {}),
+        "note": note or "",
+    }
+    path = os.path.join(
+        directory, f"{prefix}-{_digest(seq, plan)}.json"
+    )
+    with open(path, "w") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_resilience_entry(
+    path: str,
+) -> Tuple[OpSequence, FaultPlan, ResiliencePolicy, Dict[str, Any]]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != RESILIENCE_SCHEMA:
+        raise InvalidParameterError(
+            f"unrecognised resilience corpus schema {data.get('schema')!r}"
+        )
+    program = dict(data["program"])
+    program["schema"] = FUZZ_SCHEMA  # the program is a plain fuzz program
+    seq = OpSequence.from_json(program)
+    p = data.get("plan", {})
+    plan = FaultPlan(
+        int(p.get("seed", 0)),
+        rate=float(p.get("rate", 0.25)),
+        persistence=p.get("persistence", "mixed"),
+        sticky_rate=float(p.get("sticky_rate", 0.3)),
+    )
+    pol = data.get("policy", {})
+    policy = ResiliencePolicy(
+        max_retries=int(pol.get("max_retries", 2)),
+        ladder=tuple(pol.get("ladder", ("flat", "reference", "sequential"))),
+        detect=pol.get("detect", "deep"),
+    )
+    return seq, plan, policy, dict(data.get("expect", {}))
+
+
+def resilience_corpus_paths(directory: Optional[str] = None) -> List[str]:
+    return corpus_paths(directory, schema=RESILIENCE_SCHEMA)
+
+
+def replay_resilience_corpus(
+    directory: Optional[str] = None,
+) -> List[Tuple[str, ResilienceReport, Dict[str, Any]]]:
+    """Re-run every pinned fault-recovery entry.  Callers (the replay
+    test) assert ``report.ok`` plus the entry's ``expect`` clauses."""
+    out: List[Tuple[str, ResilienceReport, Dict[str, Any]]] = []
+    for path in resilience_corpus_paths(directory):
+        seq, plan, policy, expect = load_resilience_entry(path)
+        report = run_resilience_program(seq, plan=plan, policy=policy)
+        out.append((path, report, expect))
+    return out

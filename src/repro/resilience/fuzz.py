@@ -1,0 +1,165 @@
+"""CLI entry point: ``python -m repro.resilience.fuzz``.
+
+Recovery fuzzing: each seed generates a ``"faulty"``-profile list
+program, arms a :class:`~.faults.FaultPlan` with the same seed, and
+runs it through :func:`~.harness.run_resilience_program` — faults race
+recovery, and every operation must complete (oracle-identical, RNG
+parity included), complete degraded (recorded ladder demotion,
+oracle-identical answers), or abort with the pre-op state restored
+bit-for-bit.  Any other behaviour fails the run.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.resilience.fuzz --seed 0 --runs 200
+    PYTHONPATH=src python -m repro.resilience.fuzz --replay tests/corpus/fault-recovery-xxxx.json
+    PYTHONPATH=src python -m repro.resilience.fuzz --runs 200 --require-coverage
+
+Exit codes: 0 clean, 1 contract violation (reproducer written), 2
+usage / coverage failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..testing.generator import generate
+from .corpus import load_resilience_entry, save_resilience_entry
+from .faults import FaultPlan
+from .harness import ResilienceReport, policy_for_seed, run_resilience_program
+
+__all__ = ["fuzz_one", "main"]
+
+
+def fuzz_one(
+    seed: int,
+    n_ops: int,
+    *,
+    rate: float = 0.35,
+    save_dir: Optional[str] = None,
+    save: bool = True,
+    verbose: bool = True,
+) -> ResilienceReport:
+    """One seeded recovery-fuzz run; persists a reproducer on failure."""
+    seq = generate("list", seed, n_ops, profile="faulty")
+    # Every third seed draws only transient faults: recovery must then
+    # reconverge with the fault-free run *exactly* (outcome a, RNG
+    # parity included) even though faults did fire.
+    sticky_rate = 0.0 if seed % 3 == 2 else 0.3
+    plan = FaultPlan(seed, rate=rate, sticky_rate=sticky_rate)
+    policy = policy_for_seed(seed)
+    t0 = time.perf_counter()
+    report = run_resilience_program(seq, plan=plan, policy=policy)
+    dt = time.perf_counter() - t0
+    if verbose:
+        status = "ok" if report.ok else "FAIL"
+        print(
+            f"[resilience] {status:>4}  seed={seed}  {report.outcome:>8}  "
+            f"faults={len(report.faults)}  "
+            f"degradations={len(report.degradations)}  "
+            f"aborted={len(report.aborted_ops)}  {dt:.2f}s"
+        )
+    if not report.ok:
+        if verbose:
+            print(f"[resilience] violation: {report.failure}")
+        if save:
+            path = save_resilience_entry(
+                seq,
+                plan,
+                policy,
+                save_dir,
+                prefix="resilience-fail",
+                note=str(report.failure),
+                expect={"outcome": report.outcome},
+            )
+            if verbose:
+                print(f"[resilience] reproducer written to {path}")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.resilience.fuzz",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--seed", type=int, default=0, help="first seed")
+    ap.add_argument(
+        "--runs", type=int, default=1, metavar="K",
+        help="fuzz K consecutive seeds starting at --seed",
+    )
+    ap.add_argument("--ops", type=int, default=60, help="ops per program")
+    ap.add_argument(
+        "--rate", type=float, default=0.35,
+        help="per-op fault probability (0 disables injection)",
+    )
+    ap.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="replay one resilience corpus JSON entry",
+    )
+    ap.add_argument(
+        "--save-dir", default=None,
+        help="where to write reproducers (default tests/corpus/)",
+    )
+    ap.add_argument(
+        "--no-save", action="store_true",
+        help="do not write reproducers",
+    )
+    ap.add_argument(
+        "--require-coverage", action="store_true",
+        help="fail unless all three outcome classes (clean / degraded / "
+        "aborted) were observed across the runs",
+    )
+    ap.add_argument("--quiet", action="store_true", help="summary line only")
+    args = ap.parse_args(argv)
+
+    if args.replay:
+        seq, plan, policy, expect = load_resilience_entry(args.replay)
+        report = run_resilience_program(seq, plan=plan, policy=policy)
+        status = "ok" if report.ok else f"FAIL: {report.failure}"
+        print(f"[replay] {report.describe()}")
+        want = expect.get("outcome")
+        if want is not None and report.outcome != want:
+            print(
+                f"[replay] outcome {report.outcome!r} != pinned {want!r}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0 if report.ok else 1
+
+    tally: Dict[str, int] = {"clean": 0, "degraded": 0, "aborted": 0}
+    rc = 0
+    t0 = time.perf_counter()
+    for run in range(max(1, args.runs)):
+        report = fuzz_one(
+            args.seed + run,
+            args.ops,
+            rate=args.rate,
+            save_dir=args.save_dir,
+            save=not args.no_save,
+            verbose=not args.quiet,
+        )
+        tally[report.outcome] = tally.get(report.outcome, 0) + 1
+        if not report.ok:
+            rc = 1
+    dt = time.perf_counter() - t0
+    print(
+        f"[resilience] {max(1, args.runs)} runs in {dt:.1f}s: "
+        + "  ".join(f"{k}={v}" for k, v in sorted(tally.items()))
+    )
+    if args.require_coverage and rc == 0:
+        missing = [k for k in ("clean", "degraded", "aborted") if not tally.get(k)]
+        if missing:
+            print(
+                f"[resilience] coverage failure: no {'/'.join(missing)} "
+                "outcome observed — widen --runs or --rate",
+                file=sys.stderr,
+            )
+            return 2
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

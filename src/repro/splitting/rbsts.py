@@ -872,6 +872,15 @@ class RBSTS:
                     raise TreeStructureError(
                         f"leaf {node.nid} has n={node.n_leaves}, h={node.height}"
                     )
+                if self.summarizer is not None:
+                    # §3's exactly-maintained invariant reaches the
+                    # leaves: summary must equal of_item(item).  A
+                    # corrupted *root* leaf (single-leaf tree) has no
+                    # internal combine above it to expose the damage.
+                    if node.summary != self.summarizer.of_item(node.item):
+                        raise TreeStructureError(
+                            f"bad summary at {node.nid}"
+                        )
             else:
                 left, right = node.left, node.right
                 if left is None or right is None:

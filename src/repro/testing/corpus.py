@@ -21,7 +21,7 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from .executor import RunReport, run_sequence
-from .ops import OpSequence
+from .ops import SCHEMA, OpSequence
 
 __all__ = [
     "default_corpus_dir",
@@ -82,15 +82,30 @@ def load_entry(path: str) -> OpSequence:
         return OpSequence.loads(fh.read())
 
 
-def corpus_paths(directory: Optional[str] = None) -> List[str]:
+def corpus_paths(
+    directory: Optional[str] = None, *, schema: Optional[str] = None
+) -> List[str]:
+    """JSON entries in the corpus directory whose ``schema`` field matches
+    ``schema`` (default: the fuzz-corpus schema).  ``tests/corpus`` is
+    shared with the resilience corpus (``repro.resilience.corpus``), so
+    each replay suite filters to its own schema instead of globbing."""
     directory = directory or default_corpus_dir()
+    wanted = SCHEMA if schema is None else schema
     if not os.path.isdir(directory):
         return []
-    return sorted(
-        os.path.join(directory, name)
-        for name in os.listdir(directory)
-        if name.endswith(".json")
-    )
+    out = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if isinstance(data, dict) and data.get("schema") == wanted:
+            out.append(path)
+    return out
 
 
 def replay_corpus(

@@ -19,13 +19,14 @@ request).
 from __future__ import annotations
 
 import random
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from itertools import accumulate
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..algebra.monoid import sum_monoid
-from ..errors import InvalidParameterError
+from ..errors import BudgetExceededError, InvalidParameterError
 from ..baselines import CONTRACTION_ORACLES
 from ..contraction.dynamic import DynamicTreeContraction
 from ..listprefix.structure import IncrementalListPrefix
@@ -120,6 +121,8 @@ def run_sequence(
     fault: Optional[str] = None,
     oracle: str = "recompute",
     crash_seed: Optional[int] = None,
+    op_budget: Optional[int] = None,
+    wall_timeout: Optional[float] = None,
 ) -> RunReport:
     """Replay ``seq``; return a report (never raises on subject bugs —
     violations and crashes are captured as :class:`FailureInfo`).
@@ -132,10 +135,18 @@ def run_sequence(
     The contraction scenario ignores it (its engine boundary is
     admission-only; the RBSTS underneath is covered by the list
     scenario and the engine's own sub-batches are already admitted).
+
+    ``op_budget`` / ``wall_timeout`` are hang guards: a run that
+    executes more ops or more wall-clock seconds than budgeted *raises*
+    :class:`~repro.errors.BudgetExceededError` (deliberately not
+    captured as a :class:`FailureInfo` — budget exhaustion is an
+    operational condition, not a subject bug; the seed in the message
+    makes the slow program replayable).
     """
     if backend not in BACKENDS:
         raise InvalidParameterError(f"unknown backend {backend!r}")
     report = RunReport(scenario=seq.scenario, backend=backend)
+    t_start = time.monotonic()
     runner = _ListRunner if seq.scenario == "list" else _ContractionRunner
     crash_cfg = None
     crash_ctx = nullcontext()
@@ -152,11 +163,33 @@ def run_sequence(
             )
             return report
         for i, op in enumerate(seq.ops):
+            if op_budget is not None and report.ops_executed >= op_budget:
+                raise BudgetExceededError(
+                    f"seed {seq.seed}: op budget {op_budget} exhausted at "
+                    f"op[{i}] ({seq.describe()})",
+                    budget="op-budget",
+                    spent=report.ops_executed,
+                )
+            if wall_timeout is not None:
+                elapsed = time.monotonic() - t_start
+                if elapsed > wall_timeout:
+                    raise BudgetExceededError(
+                        f"seed {seq.seed}: wall timeout {wall_timeout}s "
+                        f"exceeded at op[{i}] after {elapsed:.2f}s "
+                        f"({seq.describe()})",
+                        budget="wall-timeout",
+                        spent=elapsed,
+                    )
             try:
                 machine.apply(op)
                 if check_every <= 1 or i % check_every == 0 or i == len(seq.ops) - 1:
                     machine.audit()
                     report.checks += 1
+            except BudgetExceededError:
+                # A guard firing inside an op (e.g. a nested machine run
+                # under a budget) must escape the crash net: hung
+                # programs fail fast with the seed attached.
+                raise
             except OracleViolation as exc:
                 report.failure = FailureInfo(
                     i, op, exc.phase, type(exc).__name__, str(exc)

@@ -31,6 +31,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..errors import BudgetExceededError
 from . import corpus as corpus_mod
 from .executor import run_sequence
 from .faults import FAULTS
@@ -60,6 +61,8 @@ def fuzz_once(
     save: bool = True,
     verbose: bool = True,
     max_shrink_replays: int = 600,
+    op_budget: Optional[int] = None,
+    wall_timeout: Optional[float] = None,
 ):
     """Generate + replay one sequence; shrink and persist on failure.
 
@@ -72,7 +75,8 @@ def fuzz_once(
     t0 = time.perf_counter()
     report = run_sequence(
         seq, backend=backend, check_every=check_every, fault=fault,
-        crash_seed=crash_seed,
+        crash_seed=crash_seed, op_budget=op_budget,
+        wall_timeout=wall_timeout,
     )
     dt = time.perf_counter() - t0
     if verbose:
@@ -261,7 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     ap.add_argument(
         "--profile",
-        choices=["default", "batch"],
+        choices=["default", "batch", "faulty"],
         default=None,
         help="generator op-mix profile (default: 'batch' when "
         "--crash-seed is set, else 'default')",
@@ -286,6 +290,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=12,
         help="self-test bound on the shrunk reproducer length",
     )
+    ap.add_argument(
+        "--op-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort (exit 2) after executing N ops in one sequence — "
+        "hang guard; the offending seed stays replayable",
+    )
+    ap.add_argument(
+        "--wall-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="abort (exit 2) once one sequence has run S wall-clock "
+        "seconds — hang guard; the offending seed stays replayable",
+    )
     args = ap.parse_args(argv)
 
     if args.self_test:
@@ -296,10 +316,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         crash = args.crash_seed
         if crash is None:
             crash = seq.meta.get("crash_seed")
-        report = run_sequence(
-            seq, backend=args.backend, check_every=args.check_every,
-            fault=args.fault, crash_seed=crash,
-        )
+        try:
+            report = run_sequence(
+                seq, backend=args.backend, check_every=args.check_every,
+                fault=args.fault, crash_seed=crash,
+                op_budget=args.op_budget, wall_timeout=args.wall_timeout,
+            )
+        except BudgetExceededError as exc:
+            print(f"[replay] budget exceeded ({exc.budget}): {exc}", file=sys.stderr)
+            return 2
         status = "ok" if report.ok else f"FAIL: {report.failure}"
         print(f"[replay] {seq.describe()}: {status}")
         return 0 if report.ok else 1
@@ -318,18 +343,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             n_ops = args.ops
             if scenario == "contraction" and args.scenario == "all":
                 n_ops = max(1, args.ops // CONTRACTION_OPS_DIVISOR)
-            report, shrunk, _path = fuzz_once(
-                scenario,
-                seed,
-                n_ops,
-                backend=args.backend,
-                check_every=args.check_every,
-                fault=args.fault,
-                crash_seed=crash,
-                profile=profile if scenario == "list" else "default",
-                save_dir=args.corpus_dir,
-                save=not args.no_save,
-            )
+            try:
+                report, shrunk, _path = fuzz_once(
+                    scenario,
+                    seed,
+                    n_ops,
+                    backend=args.backend,
+                    check_every=args.check_every,
+                    fault=args.fault,
+                    crash_seed=crash,
+                    profile=profile if scenario == "list" else "default",
+                    save_dir=args.corpus_dir,
+                    save=not args.no_save,
+                    op_budget=args.op_budget,
+                    wall_timeout=args.wall_timeout,
+                )
+            except BudgetExceededError as exc:
+                print(
+                    f"[fuzz] budget exceeded ({exc.budget}) on seed "
+                    f"{seed}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
             if not report.ok:
                 rc = 1
     return rc

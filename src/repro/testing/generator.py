@@ -58,6 +58,14 @@ _LIST_PROFILES = {
         [3, 3, 30, 26, 24, 8, 2, 4],
         [2, 6, 10, 50, 20, 6, 2, 4],
     ),
+    # Resilience-fuzz profile: batch-heavy (each batch is one checkpointed
+    # recovery unit) with queries mixed in to catch stale answers after a
+    # repair; no ``activate`` (the resilient list session models the plain
+    # list semantics only, PR 5).
+    "faulty": (
+        [4, 2, 26, 20, 22, 14, 12, 0],
+        [2, 6, 10, 44, 20, 10, 8, 0],
+    ),
 }
 
 

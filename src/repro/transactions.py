@@ -536,6 +536,16 @@ def _apply_txn(
     admitted: Sequence[Any],
     apply: Callable[[Sequence[Any]], Tuple[Any, Optional[List[Any]]]],
 ) -> Tuple[Any, Optional[List[Any]]]:
+    # Nested-transaction flattening: when an *outer* transaction is
+    # already open (``tree._journal`` set — e.g. the resilience layer's
+    # batch checkpoint, see :mod:`repro.resilience.executor`), the inner
+    # batch records its pre-images into that journal and the outer owner
+    # decides commit vs. rollback.  Opening a second journal here would
+    # be wrong twice over: ``_txn_begin`` would overwrite the outer
+    # seam (orphaning its pre-images), and the inner commit would
+    # discard undo state the outer rollback still needs.
+    if getattr(tree, "_journal", None) is not None:
+        return apply(admitted)
     journal = tree._txn_begin()
     try:
         result = apply(admitted)

@@ -1,0 +1,24 @@
+"""Planted R004 violations for the module-scan / any-receiver mode:
+resilience-style repair helpers that rewrite another object's backend
+cells outside any journal."""
+
+__all__ = ["bad_recompute", "good_recompute", "Repairer"]
+
+
+def bad_recompute(tree, node, value):  # planted: unjournaled column store
+    tree._n_leaves[node] = value
+
+
+def good_recompute(tree, journal, node, value):  # clean: journal seam
+    journal.save_slot(tree, node)
+    tree._n_leaves[node] = value
+
+
+class Repairer:
+    def bad_relink(self, child, grandparent):  # planted: node store
+        child.parent = grandparent
+
+    def good_relink(self, tree, child, grandparent):  # clean: journal seam
+        journal = tree._txn_begin()
+        child.parent = grandparent
+        tree._txn_commit(journal)

@@ -179,6 +179,51 @@ def test_r004_flags_unjournaled_mutations():
     assert all("guarded" not in f.message for f in report.findings)
 
 
+def test_r004_module_scan_flags_resilience_style_mutations():
+    """``class_name=None`` + ``any_receiver`` covers module-level repair
+    helpers that rewrite *another object's* backend cells (the
+    resilience scrub/restore sites)."""
+    config = LintConfig(
+        journal_specs=(
+            JournalSpec(
+                path="scrub_bad.py",
+                class_name=None,
+                node_fields=frozenset({"parent"}),
+                columns=frozenset({"_n_leaves"}),
+                any_receiver=True,
+            ),
+        )
+    )
+    report = _run(["scrub_bad.py"], [JournalCoverageRule(config)])
+    flagged = sorted(f.message.split(" ")[0] for f in report.findings)
+    assert flagged == [
+        "scrub_bad.py.Repairer.bad_relink",
+        "scrub_bad.py.bad_recompute",
+    ], [str(f) for f in report.findings]
+    # Both good_* variants reference the journal seam and stay clean.
+    assert all("good_" not in f.message for f in report.findings)
+
+
+def test_r004_module_scan_allowlist():
+    config = LintConfig(
+        journal_specs=(
+            JournalSpec(
+                path="scrub_bad.py",
+                class_name=None,
+                node_fields=frozenset({"parent"}),
+                columns=frozenset({"_n_leaves"}),
+                any_receiver=True,
+                allowlist={
+                    "bad_recompute": "test",
+                    "Repairer.bad_relink": "test",
+                },
+            ),
+        )
+    )
+    report = _run(["scrub_bad.py"], [JournalCoverageRule(config)])
+    assert report.clean, [str(f) for f in report.findings]
+
+
 def test_r004_allowlist_silences_with_justification():
     config = LintConfig(
         journal_specs=(

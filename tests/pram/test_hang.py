@@ -1,0 +1,71 @@
+"""`Machine.run(max_steps)` hang detection: a non-quiescing program
+must raise `MachineHangError` (the one recoverable hang signal the
+resilience layer keys on), and quiescing programs must never trip it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineHangError, MachineStateError
+from repro.pram.machine import Machine
+from repro.pram.ops import Fork, Local, Read, Write
+
+
+def spinner():
+    """Deliberately non-quiescing: polls a cell nobody ever writes."""
+    while True:
+        yield Read(("never", 0), None)
+
+
+def test_non_quiescing_program_raises_machine_hang_error():
+    m = Machine()
+    m.spawn(spinner())
+    with pytest.raises(MachineHangError) as ei:
+        m.run(max_steps=50)
+    assert ei.value.max_steps == 50
+    assert ei.value.live == 1
+
+
+def test_hang_error_taxonomy():
+    # Recoverable-hang detection composes with both generic timeout
+    # handling and the machine-error taxonomy.
+    assert issubclass(MachineHangError, TimeoutError)
+    assert issubclass(MachineHangError, MachineStateError)
+
+
+def test_starved_fork_family_reports_all_live_processors():
+    def parent():
+        yield Fork(spinner())
+        yield Fork(spinner())
+        yield Local()
+
+    m = Machine()
+    m.spawn(parent())
+    with pytest.raises(MachineHangError) as ei:
+        m.run(max_steps=40)
+    assert ei.value.live == 2  # parent halted; both spinners starve
+
+
+def test_quiescing_program_is_untouched_by_a_tight_budget():
+    m = Machine()
+
+    def prog():
+        yield Write("a", 1)
+        yield Local()
+
+    m.spawn(prog())
+    metrics = m.run(max_steps=3)  # exactly enough
+    assert metrics.steps == 2
+    assert m.memory.read("a") == 1
+
+
+def test_budget_exhaustion_after_quiescence_is_not_a_hang():
+    m = Machine()
+
+    def prog():
+        yield Write("a", 1)
+
+    m.spawn(prog())
+    m.run(max_steps=1_000)  # budget far exceeds steps: no error
+    # Re-running an already-quiescent machine is a no-op, not a hang.
+    m.run(max_steps=1)
