@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-perf bench bench-smoke regress lint \
+.PHONY: test test-perf bench bench-smoke bench-regress regress lint \
         fuzz-smoke fuzz-selftest fuzz-crash fuzz-faults corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
@@ -16,7 +16,7 @@ test:
 test-perf:
 	$(PYTHON) -m pytest tests/perf -q
 
-## Full perf harness: refresh BENCH_PR1.json at the repo root.
+## Full perf harness: refresh BENCH_PR6.json at the repo root.
 bench:
 	$(PYTHON) benchmarks/perf_harness.py
 
@@ -27,7 +27,15 @@ bench:
 bench-smoke:
 	$(PYTHON) benchmarks/perf_harness.py --quick --out /tmp/bench_smoke.json
 	$(PYTHON) benchmarks/regress.py --baseline /tmp/bench_smoke.json --quick --threshold 10.0
-	$(PYTHON) -c "import json; d=json.load(open('BENCH_PR1.json')); assert d['schema']=='repro-perf-harness/1' and d['cells'], 'bad baseline'; print('BENCH_PR1.json ok:', len(d['cells']), 'cells')"
+	$(PYTHON) -c "import json; d=json.load(open('BENCH_PR6.json')); assert d['schema']=='repro-perf-harness/1' and d['cells'], 'bad baseline'; print('BENCH_PR6.json ok:', len(d['cells']), 'cells')"
+
+## Speedup-gate subset: re-run only the gated E4/E5/E6 full-size cells
+## and fail if any flat-over-reference ratio drops below its
+## regress.MIN_SPEEDUPS floor.  The ratio is two same-machine timings,
+## so it needs no baseline normalisation; the wall-clock threshold is
+## loosened accordingly (CI machines vary, ratios don't).
+bench-regress:
+	$(PYTHON) benchmarks/regress.py --cells gate --threshold 10.0
 
 ## Regression gate against the committed baseline (exit 1 on >25%
 ## wall-clock regression or any simulated-cost drift; exit 3 on a

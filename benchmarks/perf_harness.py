@@ -1,4 +1,4 @@
-"""Machine-readable perf-regression harness (PR 1).
+"""Machine-readable perf-regression harness (PR 1, refreshed PR 6).
 
 Runs a fixed, seeded grid of cells drawn from experiments E1 / E4 /
 E5 / E6 and records, per cell and per backend:
@@ -12,20 +12,29 @@ E5 / E6 and records, per cell and per backend:
   across machines — and identical across backends, which doubles as a
   cross-backend parity check.
 
-The output is ``BENCH_PR1.json`` at the repository root (override with
-``--out``).  ``regress.py`` replays the same grid against a stored
-baseline and fails on wall-clock regressions or any simulated-cost
-drift.
+The output is ``BENCH_PR6.json`` at the repository root (override with
+``--out``).  ``regress.py`` replays the same grid against the newest
+stored baseline and fails on wall-clock regressions, simulated-cost
+drift, or a gate-cell speedup dropping below its floor.
 
-Run:  PYTHONPATH=src python benchmarks/perf_harness.py [--quick] [--out PATH]
+``--profile`` additionally runs each cell under :mod:`cProfile` and
+embeds the top-20 functions by cumulative time in the cell record
+(``"profile"`` key).  Profiling inflates ``wall_clock_s``, so never
+use a ``--profile`` run as a regression baseline.
+
+Run:  PYTHONPATH=src python benchmarks/perf_harness.py
+          [--quick] [--profile] [--out PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import gc
 import json
 import os
 import platform
+import pstats
 import random
 import sys
 import time
@@ -44,14 +53,19 @@ from repro.trees.builders import random_expression_tree
 from repro.trees.nodes import add_op
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR6.json")
 
 BACKENDS = ("reference", "flat")
 REPEATS = 3
 SEEDS = (0, 1, 2)
+PROFILE_TOP = 20
 
-# The acceptance-gate cell: E4 at n = 2^16, |U| = 64.
+# The acceptance-gate cells: flat-over-reference speedup floors live in
+# ``regress.MIN_SPEEDUPS`` keyed by the same experiment names.
 E4_GATE = {"n": 1 << 16, "u": 64}
+E5_GATE = {"n": 1 << 13, "u": 64}
+E6_GATE = {"n": 1 << 11, "u": 32}
+GATE_CELLS = {"E4": E4_GATE, "E5": E5_GATE, "E6": E6_GATE}
 
 
 # ----------------------------------------------------------------------
@@ -167,7 +181,10 @@ def cell_r1(backend: str, seed: int, n: int, u: int) -> Tuple[float, Dict, float
     :class:`~repro.resilience.executor.ResilientListSession` checkpoints
     with fault rate 0 and light detection.  Construction is excluded
     from both timings so the ratio isolates the checkpoint seam.
-    Returns ``(supervised_s, simulated, bare_s)``."""
+    Returns ``(supervised_s, simulated, bare_s)``.  Both phases start
+    from a collected heap: the ratio is the gated quantity, and
+    allocator debris from earlier grid cells otherwise skews the two
+    phases unequally."""
     rng = random.Random(seed * 41 + n + u)
     values = list(range(n))
     ins = sorted(
@@ -177,6 +194,7 @@ def cell_r1(backend: str, seed: int, n: int, u: int) -> Tuple[float, Dict, float
     monoid = sum_monoid(INTEGER)
 
     lp = IncrementalListPrefix(monoid, values, seed=seed + n, backend=backend)
+    gc.collect()
     t0 = time.perf_counter()
     lp.batch_insert(list(ins))
     lp.batch_delete([lp.handle_at(i) for i in dels])
@@ -189,6 +207,7 @@ def cell_r1(backend: str, seed: int, n: int, u: int) -> Tuple[float, Dict, float
         seed=seed + n,
         policy=ResiliencePolicy(detect="light", ladder=(backend,)),
     )
+    gc.collect()
     t0 = time.perf_counter()
     session.batch_insert(list(ins))
     session.batch_delete(list(dels))
@@ -223,8 +242,8 @@ def grid(quick: bool) -> List[Dict[str, Any]]:
         {"experiment": "E1", "n": 1 << 16, "u": 64},
         {"experiment": "E4", "n": 1 << 10, "u": 64},
         {"experiment": "E4", **E4_GATE},
-        {"experiment": "E5", "n": 1 << 13, "u": 64},
-        {"experiment": "E6", "n": 1 << 11, "u": 32},
+        {"experiment": "E5", **E5_GATE},
+        {"experiment": "E6", **E6_GATE},
         {"experiment": "R1", "n": 1 << 13, "u": 256},
     ]
     if quick:
@@ -241,11 +260,36 @@ def grid(quick: bool) -> List[Dict[str, Any]]:
 # ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------
-def run_cell(spec: Dict[str, Any], backend: str) -> Dict[str, Any]:
+def _top_profile(prof: cProfile.Profile, top: int = PROFILE_TOP) -> List[Dict]:
+    """The ``top`` rows of a finished profile, by cumulative time."""
+    stats = pstats.Stats(prof)
+    ranked = sorted(
+        stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
+    )
+    rows = []
+    for (path, line, func), (_cc, nc, tt, ct, _callers) in ranked[:top]:
+        where = "~" if path == "~" else f"{os.path.basename(path)}:{line}"
+        rows.append(
+            {
+                "func": f"{where}({func})",
+                "ncalls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return rows
+
+
+def run_cell(
+    spec: Dict[str, Any], backend: str, profile: bool = False
+) -> Dict[str, Any]:
     if spec["experiment"] == "R1":
-        return _run_cell_r1(spec, backend)
+        return _run_cell_r1(spec, backend, profile)
     kernel = KERNELS[spec["experiment"]]
     n, u = spec["n"], spec["u"]
+    prof = cProfile.Profile() if profile else None
+    if prof is not None:
+        prof.enable()
     best = float("inf")
     simulated: Dict[str, Any] = {}
     for _ in range(REPEATS):
@@ -264,22 +308,32 @@ def run_cell(spec: Dict[str, Any], backend: str) -> Dict[str, Any]:
                 f"{simulated} != {sim_acc}"
             )
         simulated = sim_acc
-    return {
+    if prof is not None:
+        prof.disable()
+    entry = {
         "experiment": spec["experiment"],
         "cell": {"n": n, "u": u, "seeds": list(SEEDS)},
         "backend": backend,
         "wall_clock_s": round(best, 6),
         "simulated": simulated,
     }
+    if prof is not None:
+        entry["profile"] = _top_profile(prof)
+    return entry
 
 
-def _run_cell_r1(spec: Dict[str, Any], backend: str) -> Dict[str, Any]:
+def _run_cell_r1(
+    spec: Dict[str, Any], backend: str, profile: bool = False
+) -> Dict[str, Any]:
     """The resilience-overhead cell: like :func:`run_cell` but also
     records ``overhead_ratio`` (supervised / bare wall-clock, both
     best-of-``REPEATS``) as a top-level key — ``regress.py`` gates it at
     1.10 so the checkpoint seam can never silently slow the fault-free
     fast path by more than 10%."""
     n, u = spec["n"], spec["u"]
+    prof = cProfile.Profile() if profile else None
+    if prof is not None:
+        prof.enable()
     best_on = best_off = float("inf")
     simulated: Dict[str, Any] = {}
     for _ in range(REPEATS):
@@ -299,7 +353,9 @@ def _run_cell_r1(spec: Dict[str, Any], backend: str) -> Dict[str, Any]:
                 f"{simulated} != {sim_acc}"
             )
         simulated = sim_acc
-    return {
+    if prof is not None:
+        prof.disable()
+    entry = {
         "experiment": "R1",
         "cell": {"n": n, "u": u, "seeds": list(SEEDS)},
         "backend": backend,
@@ -308,14 +364,29 @@ def _run_cell_r1(spec: Dict[str, Any], backend: str) -> Dict[str, Any]:
         "overhead_ratio": round(best_on / best_off, 3),
         "simulated": simulated,
     }
+    if prof is not None:
+        entry["profile"] = _top_profile(prof)
+    return entry
 
 
-def run(quick: bool = False) -> Dict[str, Any]:
+def run(
+    quick: bool = False, profile: bool = False, cells: str = "all"
+) -> Dict[str, Any]:
+    specs = grid(quick)
+    if cells == "gate":
+        # Just the speedup-gated cells (regress.py --cells gate).
+        specs = [
+            s
+            for s in specs
+            if GATE_CELLS.get(s["experiment"]) == {"n": s["n"], "u": s["u"]}
+        ]
+    elif cells != "all":
+        raise ValueError(f"unknown cells mode {cells!r}")
     entries: List[Dict[str, Any]] = []
-    for spec in grid(quick):
+    for spec in specs:
         per_backend: Dict[str, Dict[str, Any]] = {}
         for backend in BACKENDS:
-            entry = run_cell(spec, backend)
+            entry = run_cell(spec, backend, profile)
             per_backend[backend] = entry
             entries.append(entry)
             print(
@@ -331,33 +402,44 @@ def run(quick: bool = False) -> Dict[str, Any]:
                 f"{ref['simulated']} != {flat['simulated']}"
             )
 
-    def speedup(exp: str, n: int, u: int) -> float:
+    def speedup(exp: str, n: int, u: int) -> float | None:
         pick = {
             e["backend"]: e["wall_clock_s"]
             for e in entries
             if e["experiment"] == exp and e["cell"]["n"] == n and e["cell"]["u"] == u
         }
+        if len(pick) < 2:
+            return None  # cell absent from this run's subset
         return round(pick["reference"] / pick["flat"], 3)
 
     summary = {
+        "gate_cells": GATE_CELLS,
         "e4_gate_cell": E4_GATE,
         "e4_speedup_flat_over_reference": (
             None if quick else speedup("E4", E4_GATE["n"], E4_GATE["u"])
+        ),
+        "e5_speedup_flat_over_reference": (
+            None if quick else speedup("E5", E5_GATE["n"], E5_GATE["u"])
+        ),
+        "e6_speedup_flat_over_reference": (
+            None if quick else speedup("E6", E6_GATE["n"], E6_GATE["u"])
         ),
         "speedups_flat_over_reference": {
             f"{s['experiment']}_n{s['n']}_u{s['u']}": speedup(
                 s["experiment"], s["n"], s["u"]
             )
-            for s in grid(quick)
+            for s in specs
         },
     }
     return {
         "schema": "repro-perf-harness/1",
-        "pr": 1,
+        "pr": 6,
         "created_utc": datetime.now(timezone.utc).isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "quick": quick,
+        "profiled": profile,
+        "cells_mode": cells,
         "repeats": REPEATS,
         "cells": entries,
         "summary": summary,
@@ -367,20 +449,27 @@ def run(quick: bool = False) -> Dict[str, Any]:
 def main(argv: List[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="smoke-size grid")
+    ap.add_argument(
+        "--profile",
+        action="store_true",
+        help="embed top-20 cProfile rows per cell (inflates wall clocks; "
+        "never baseline a profiled run)",
+    )
     ap.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
     args = ap.parse_args(argv)
-    report = run(quick=args.quick)
+    report = run(quick=args.quick, profile=args.profile)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
     s = report["summary"]
     print(f"wrote {args.out}", file=sys.stderr)
-    if s["e4_speedup_flat_over_reference"] is not None:
-        print(
-            "E4 gate cell speedup (flat over reference): "
-            f"{s['e4_speedup_flat_over_reference']}x",
-            file=sys.stderr,
-        )
+    for exp in sorted(GATE_CELLS):
+        val = s[f"{exp.lower()}_speedup_flat_over_reference"]
+        if val is not None:
+            print(
+                f"{exp} gate cell speedup (flat over reference): {val}x",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -1,14 +1,22 @@
 """Perf-regression gate: replay the harness grid against a baseline.
 
-Loads a baseline report (``BENCH_PR1.json`` at the repo root by
-default), re-runs the identical seeded cell grid, and fails when:
+Loads a baseline report (the newest ``BENCH_PR*.json`` at the repo
+root by default — highest numeric suffix wins), re-runs the identical
+seeded cell grid, and fails when:
 
 * any cell's wall-clock exceeds the baseline by more than
   ``--threshold`` (default 25%) — tiny cells get an absolute slack
   floor so scheduler noise can't flake the gate; or
 * any cell's *simulated* costs differ from the baseline at all.  The
   simulated numbers are exact deterministic functions of the seeds, so
-  any drift means the algorithm changed, not the machine.
+  any drift means the algorithm changed, not the machine; or
+* a gate cell's flat-over-reference speedup (computed on the *current*
+  run, so it is machine-independent) falls below its
+  ``MIN_SPEEDUPS`` floor.
+
+``--cells gate`` re-runs only the speedup-gated cells (E4/E5/E6 full
+sizes) — the quick CI mode behind ``make bench-regress``.  The
+baseline is filtered to the same subset before comparison.
 
 Exit codes: 0 ok, 1 regression detected, 2 baseline missing/unreadable,
 3 baseline readable but structurally invalid (no ``cells`` array, or a
@@ -16,16 +24,18 @@ cell lacking the required keys) — a distinct code so CI can tell "stale
 machine" (2) apart from "corrupt/truncated baseline artifact" (3).
 
 Run:  PYTHONPATH=src python benchmarks/regress.py [--baseline PATH]
-          [--threshold 0.25] [--quick]
+          [--threshold 0.25] [--quick] [--cells all|gate]
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
+import re
 import sys
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
@@ -34,6 +44,14 @@ import perf_harness  # noqa: E402  (sibling module, scripts run file-direct)
 # Cells faster than this in the baseline are judged against an absolute
 # slack instead of the relative threshold (they are noise-dominated).
 ABS_SLACK_S = 0.010
+
+# Flat-over-reference speedup floors for the gate cells
+# (``perf_harness.GATE_CELLS``).  Ratios of two same-machine timings,
+# so no baseline comparison or machine normalisation is needed.
+# Measured on the PR 6 refresh: E4 ~2.8x, E5 ~1.4x, E6 ~2.9x.  Floors
+# sit well under the measured ratios; E5's is loosest because that
+# cell's ratio is the noisiest (smallest absolute times).
+MIN_SPEEDUPS = {"E4": 2.0, "E5": 1.1, "E6": 2.5}
 
 # Resilience-overhead ceiling for R1 cells: with fault rate 0 and light
 # detection the checkpointed path may cost at most 10% over the bare
@@ -73,6 +91,48 @@ def validate_cells(baseline: Dict[str, Any]) -> List[str]:
         } <= entry["cell"].keys():
             problems.append(f"cells[{i}]: 'cell' must carry 'n' and 'u'")
     return problems
+
+
+def newest_baseline() -> Optional[str]:
+    """The ``BENCH_PR<k>.json`` at the repo root with the highest ``k``.
+
+    Harness artifacts are stacked per PR; the newest one is the only
+    baseline whose grid matches the current harness.
+    """
+    best_key = -1
+    best_path = None
+    for path in glob.glob(os.path.join(perf_harness.REPO_ROOT, "BENCH_PR*.json")):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", os.path.basename(path))
+        if m and int(m.group(1)) > best_key:
+            best_key, best_path = int(m.group(1)), path
+    return best_path
+
+
+def gate_failures(current: Dict[str, Any]) -> List[str]:
+    """Speedup-floor checks on the current run's gate cells."""
+    failures: List[str] = []
+    by_key = {key_of(e): e for e in current["cells"]}
+    for exp, cell in sorted(perf_harness.GATE_CELLS.items()):
+        floor = MIN_SPEEDUPS[exp]
+        pick = {}
+        for backend in perf_harness.BACKENDS:
+            entry = by_key.get(f"{exp}:n={cell['n']}:u={cell['u']}:{backend}")
+            if entry is not None:
+                pick[backend] = entry["wall_clock_s"]
+        if len(pick) < 2:
+            continue  # gate cell not in this run's subset
+        ratio = pick["reference"] / pick["flat"]
+        status = "OK" if ratio >= floor else "REGRESSION"
+        print(
+            f"{status:>10}  {exp} gate speedup (flat over reference) "
+            f"{ratio:.3f}x (floor {floor}x)"
+        )
+        if ratio < floor:
+            failures.append(
+                f"{exp} gate cell n={cell['n']} u={cell['u']}: speedup "
+                f"{ratio:.3f}x below floor {floor}x"
+            )
+    return failures
 
 
 def key_of(entry: Dict[str, Any]) -> str:
@@ -123,14 +183,37 @@ def compare(
 
 def main(argv: List[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", default=perf_harness.DEFAULT_OUT)
+    ap.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report (default: newest BENCH_PR*.json at repo root)",
+    )
     ap.add_argument("--threshold", type=float, default=0.25)
     ap.add_argument(
         "--quick",
         action="store_true",
         help="run the smoke grid (baseline must also be quick)",
     )
+    ap.add_argument(
+        "--cells",
+        choices=("all", "gate"),
+        default="all",
+        help="'gate' re-runs only the speedup-gated E4/E5/E6 cells",
+    )
     args = ap.parse_args(argv)
+    if args.cells == "gate" and args.quick:
+        print("--cells gate needs the full-size grid (drop --quick)", file=sys.stderr)
+        return 2
+
+    if args.baseline is None:
+        args.baseline = newest_baseline()
+        if args.baseline is None:
+            print(
+                "no BENCH_PR*.json baseline at the repo root (generate one "
+                "with benchmarks/perf_harness.py)",
+                file=sys.stderr,
+            )
+            return 2
 
     try:
         with open(args.baseline) as fh:
@@ -159,8 +242,19 @@ def main(argv: List[str] | None = None) -> int:
             print(f"  - {p}", file=sys.stderr)
         return 3
 
-    current = perf_harness.run(quick=args.quick)
+    print(f"baseline: {args.baseline}", file=sys.stderr)
+    current = perf_harness.run(quick=args.quick, cells=args.cells)
+    if args.cells == "gate":
+        # The baseline holds the full grid; compare only the subset the
+        # current run actually executed.
+        current_keys = {key_of(e) for e in current["cells"]}
+        baseline = dict(
+            baseline,
+            cells=[e for e in baseline["cells"] if key_of(e) in current_keys],
+        )
     failures = compare(baseline, current, args.threshold)
+    if not args.quick:
+        failures.extend(gate_failures(current))
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for f in failures:

@@ -43,10 +43,9 @@ from ..splitting.node import BSTNode
 from ..splitting.rbsts import RBSTS
 from ..trees.expr import ExprTree
 from ..trees.nodes import Op
-from .evaluator import collect_wound, heal_bottom_up
 from .labels import apply_label
-from .rake_tree import RakeTrace, build_trace
-from .schedule import Schedule, build_schedule, build_schedule_flat
+from .rake_tree import build_trace
+from .schedule import build_flat_schedule, build_schedule
 
 __all__ = ["DynamicTreeContraction"]
 
@@ -80,7 +79,18 @@ class DynamicTreeContraction:
         self.handle: Dict[int, BSTNode] = {
             h.item: h for h in self.pt.leaves()
         }
-        self.trace: RakeTrace = build_trace(tree, self._schedule())
+        # Either backend satisfies the same trace protocol (value/size/
+        # set_leaf_label/set_rake_op/heal/death_record/removal_kind),
+        # pinned by lint rule R003 and the differential fuzzer.
+        self.trace: Any
+        if backend == "flat":
+            from ..perf.flat_contraction import FlatContraction
+
+            self.trace = FlatContraction(tree.ring).replay(
+                tree, self._schedule()
+            )
+        else:
+            self.trace = build_trace(tree, self._schedule())
         self.last_stats: Dict[str, Any] = {
             "fresh_rt_nodes": self.trace.fresh_nodes,
             "rounds": self.trace.rounds,
@@ -145,23 +155,23 @@ class DynamicTreeContraction:
                 if pid in cache:
                     stack.pop()
                     continue
-                rec = self.trace.death.get(pid)
+                rec = self.trace.death_record(pid)
                 if rec is None:
                     if pid != self.trace.final_pos:
                         raise UnknownNodeError(
                             f"node {pid} is not part of the contraction"
                         )
-                    cache[pid] = self.trace.root_rt.label[1]  # type: ignore[union-attr]
+                    cache[pid] = self.trace.value
                     stack.pop()
                     continue
                 if rec[0] == "raked":
                     # Leaf occupant: its label is a constant (A = 0).
-                    cache[pid] = rec[1].label[1]
+                    cache[pid] = rec[1]
                     stack.pop()
                     continue
-                _, label_rt, w_id, kids = rec
+                _, label, w_id, kids = rec
                 if kids is None:
-                    cache[pid] = label_rt.label[1]
+                    cache[pid] = label[1]
                     stack.pop()
                     continue
                 k0, k1 = kids
@@ -172,7 +182,7 @@ class DynamicTreeContraction:
                             f"node {w_id} lost its operation"
                         )
                     val = op.apply(ring, cache[k0], cache[k1])
-                    cache[pid] = apply_label(ring, label_rt.label, val)
+                    cache[pid] = apply_label(ring, label, val)
                     stack.pop()
                 else:
                     if k0 not in cache:
@@ -223,16 +233,13 @@ class DynamicTreeContraction:
             "batch_set_leaf_values",
         )
         if admitted:
-            dirty = []
+            tokens = []
             for nid, value in admitted:
                 self.tree.set_leaf_value(nid, value)
-                base = self.trace.base[nid]
-                base.label = (self.tree.ring.zero, value)
-                dirty.append(base)
-            wound = collect_wound(dirty)
-            heal_bottom_up(self.tree.ring, wound, tracker)
+                tokens.append(self.trace.set_leaf_label(nid, value))
+            wound = self.trace.heal(tokens, tracker)
             self._charge_wound(tracker, len(admitted))
-            self.last_stats = {"wound": len(wound), "fresh_rt_nodes": 0}
+            self.last_stats = {"wound": wound, "fresh_rt_nodes": 0}
         if rej is None:
             return None
         return self._report(rej, len(updates), [None] * len(admitted))
@@ -259,21 +266,13 @@ class DynamicTreeContraction:
             updates, self._validate_set_ops(updates), policy, "batch_set_ops"
         )
         if admitted:
-            dirty = []
+            tokens = []
             for nid, op in admitted:
                 self.tree.set_op(nid, op)
-                rec = self.trace.removal.get(nid)
-                if rec is None or rec[0] != "compressed":
-                    raise TreeStructureError(  # pragma: no cover - pre-admitted
-                        f"node {nid} has no rake event (is it a leaf?)"
-                    )
-                rake_rt = rec[1]
-                rake_rt.op = op
-                dirty.append(rake_rt)
-            wound = collect_wound(dirty)
-            heal_bottom_up(self.tree.ring, wound, tracker)
+                tokens.append(self.trace.set_rake_op(nid, op))
+            wound = self.trace.heal(tokens, tracker)
             self._charge_wound(tracker, len(admitted))
-            self.last_stats = {"wound": len(wound), "fresh_rt_nodes": 0}
+            self.last_stats = {"wound": wound, "fresh_rt_nodes": 0}
         if rej is None:
             return None
         return self._report(rej, len(updates), [None] * len(admitted))
@@ -629,8 +628,7 @@ class DynamicTreeContraction:
                     )
                 )
                 continue
-            rec = self.trace.removal.get(nid)
-            if rec is None or rec[0] != "compressed":
+            if self.trace.removal_kind(nid) != "compressed":
                 rejections.append(
                     RequestRejection(
                         i,
@@ -786,18 +784,23 @@ class DynamicTreeContraction:
                 )
         return [rej[i] for i in sorted(rej)]
 
-    def _schedule(self) -> Schedule:
+    def _schedule(self) -> Any:
         """Derive the rake schedule from the current PT shape via the
-        backend-appropriate traversal."""
+        backend-appropriate traversal (a
+        :class:`~repro.contraction.schedule.FlatSchedule` for the flat
+        backend — same raked stream, no per-event objects)."""
         if self.backend == "flat":
-            return build_schedule_flat(self.pt)
+            return build_flat_schedule(self.pt)
         return build_schedule(self.pt.root)
 
     def _recontract(self, tracker: SpanTracker, u: int) -> None:
         """Memoised replay: re-derive RT, reusing every event outside
         the wound.  ``fresh_nodes`` is the measured wound size."""
         old = self.trace
-        self.trace = build_trace(self.tree, self._schedule(), old=old)
+        if self.backend == "flat":
+            self.trace = old.replay(self.tree, self._schedule())
+        else:
+            self.trace = build_trace(self.tree, self._schedule(), old=old)
         self._charge_wound(tracker, u, extra=self.trace.fresh_nodes)
         self.last_stats = {
             "fresh_rt_nodes": self.trace.fresh_nodes,

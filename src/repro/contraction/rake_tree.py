@@ -139,6 +139,55 @@ class RakeTrace:
             stack.append(node.right)
         return len(seen)
 
+    # -- trace protocol (shared with FlatContraction; lint rule R003
+    # pins the two surfaces together) ----------------------------------
+    def set_leaf_label(self, nid: int, value: Any) -> RTNode:
+        """Overwrite leaf ``nid``'s base label with ``(0, value)``;
+        returns the dirty RT node (a heal token)."""
+        base = self.base[nid]
+        base.label = (self.ring.zero, value)
+        return base
+
+    def set_rake_op(self, nid: int, op: Op) -> RTNode:
+        """Swap the op baked into the rake event that removed internal
+        node ``nid``; returns the dirty rake RT node (a heal token)."""
+        rec = self.removal.get(nid)
+        if rec is None or rec[0] != "compressed":
+            raise TreeStructureError(  # pragma: no cover - pre-admitted
+                f"node {nid} has no rake event (is it a leaf?)"
+            )
+        rake_rt = rec[1]
+        rake_rt.op = op
+        return rake_rt
+
+    def heal(
+        self, tokens: Any, tracker: Optional[Any] = None
+    ) -> int:
+        """Recompute ``RT(W)`` from the dirty ``tokens`` bottom-up;
+        returns the wound size and charges the Theorem 4.2 cost."""
+        from .evaluator import collect_wound, heal_bottom_up
+
+        wound = collect_wound(tokens)
+        heal_bottom_up(self.ring, wound, tracker)
+        return len(wound)
+
+    def death_record(self, pid: int) -> Optional[Tuple]:
+        """Normalised position-death record for value queries:
+        ``('raked', B)`` or ``('sibling', (A, B), w_tnode, kids)``."""
+        rec = self.death.get(pid)
+        if rec is None:
+            return None
+        if rec[0] == "raked":
+            return ("raked", rec[1].label[1])
+        _, label_rt, w_id, kids = rec
+        return ("sibling", label_rt.label, w_id, kids)
+
+    def removal_kind(self, nid: int) -> Optional[str]:
+        """``'raked'`` / ``'compressed'`` / ``None`` for T node
+        ``nid``'s removal record."""
+        rec = self.removal.get(nid)
+        return None if rec is None else rec[0]
+
 
 def build_trace(
     tree: ExprTree,

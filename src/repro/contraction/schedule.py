@@ -25,7 +25,14 @@ from typing import Any, Dict, List
 
 from ..splitting.node import BSTNode
 
-__all__ = ["RakeEvent", "Schedule", "build_schedule", "build_schedule_flat"]
+__all__ = [
+    "RakeEvent",
+    "Schedule",
+    "FlatSchedule",
+    "build_schedule",
+    "build_schedule_flat",
+    "build_flat_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,25 @@ class Schedule:
 
     def events(self) -> List[RakeEvent]:
         return [ev for rnd in self.rounds for ev in rnd]
+
+
+class FlatSchedule:
+    """The rake schedule as one flat column for the flat replay.
+
+    ``raked`` lists the raked T-leaf ids round-major (and, within a
+    round, in the same left-to-right emission order as the reference
+    :class:`Schedule`); ``n_rounds`` is the schedule depth.  Survivors
+    and PT provenance are omitted: the flat replay re-derives the
+    sibling from its contracted-tree view, exactly like
+    :func:`~repro.contraction.rake_tree.build_trace` does — the raked
+    leaf id is the only event key either replay uses.
+    """
+
+    __slots__ = ("raked", "n_rounds")
+
+    def __init__(self, raked: List[int], n_rounds: int) -> None:
+        self.raked = raked
+        self.n_rounds = n_rounds
 
 
 def build_schedule(root: BSTNode) -> Schedule:
@@ -149,3 +175,48 @@ def build_schedule_flat(tree) -> Schedule:
             )
         )
     return Schedule(rounds=events_by_round)
+
+
+def build_flat_schedule(tree) -> FlatSchedule:
+    """:class:`FlatSchedule` over a
+    :class:`~repro.perf.flat_rbsts.FlatRBSTS` — the allocation-lean
+    builder the flat contraction backend uses.
+
+    Same two-phase post-order recurrence as :func:`build_schedule_flat`
+    (round = ``1 + max(children)``, representative = right child's),
+    but over slot-indexed lists with the visit state packed into the
+    stack entry's sign (``~slot`` marks the post-visit), emitting bare
+    raked-leaf ids instead of :class:`RakeEvent` objects.  The emitted
+    ``raked`` stream round-by-round is identical to the reference
+    schedules' for equal PT shapes.
+    """
+    left, right, item = tree._left, tree._right, tree._item
+    n = len(left)
+    rounds_of = [0] * n
+    repr_of = [0] * n
+    raked_by_round: List[List[int]] = []
+    stack: List[int] = [tree.root_index]
+    while stack:
+        v = stack.pop()
+        if v >= 0:
+            l = left[v]
+            if l == -1:  # leaf slot
+                repr_of[v] = item[v]
+                continue
+            stack.append(~v)
+            stack.append(right[v])
+            stack.append(l)
+            continue
+        v = ~v
+        l, r = left[v], right[v]
+        rl, rr = rounds_of[l], rounds_of[r]
+        rnd = (rl if rl > rr else rr) + 1
+        rounds_of[v] = rnd
+        repr_of[v] = repr_of[r]
+        if rnd > len(raked_by_round):
+            raked_by_round.append([])
+        raked_by_round[rnd - 1].append(repr_of[l])
+    raked: List[int] = []
+    for batch in raked_by_round:
+        raked.extend(batch)
+    return FlatSchedule(raked, len(raked_by_round))

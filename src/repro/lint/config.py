@@ -97,6 +97,24 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
         ),
     ),
     ParityPair(
+        name="contraction-trace",
+        kind="class",
+        ref_path="src/repro/contraction/rake_tree.py",
+        ref_symbol="RakeTrace",
+        flat_path="src/repro/perf/flat_contraction.py",
+        flat_symbol="FlatContraction",
+        allow_extra_ref=frozenset({"new_node"}),
+        allow_extra_flat=frozenset({"replay", "removal"}),
+        notes=(
+            "new_node is the reference trace's RTNode allocator (the "
+            "slab allocates rows inline); replay() is the flat "
+            "backend's build entry point (the reference uses the free "
+            "function build_trace); the removal property materialises "
+            "the reference-shaped removal dict on demand (the "
+            "reference keeps it as a plain instance attribute)."
+        ),
+    ),
+    ParityPair(
         name="extended-parse-tree",
         kind="function",
         ref_path="src/repro/splitting/parse_tree.py",

@@ -14,6 +14,12 @@ cores.  This package holds those cores:
 * :mod:`~repro.perf.flat_prefix` — extended parse-tree flattening
   (``P̂T(U)``, §3) over the flat arrays, feeding
   :class:`~repro.listprefix.structure.IncrementalListPrefix`.
+* :mod:`~repro.perf.flat_contraction` — ``FlatContraction``, the rake
+  tree of §4.2 over parallel label/topology columns with memoised
+  replay; selected via ``DynamicTreeContraction(tree, backend="flat")``.
+* :mod:`~repro.perf.kernels` — per-level label kernels (NumPy-vectorized
+  over numeric rings, pure-Python otherwise; ``REPRO_KERNELS`` forces a
+  mode).
 
 Every flat core is pinned op-for-op against its reference twin by the
 differential harness in ``tests/perf/`` — same seeds, same shapes, same
@@ -21,16 +27,36 @@ shortcut lists, same summaries, same activation round counts.
 """
 
 from .flat_activation import FlatActivationResult, flat_activate, flat_deactivate
+from .flat_contraction import FlatContraction
 from .flat_prefix import FlatSummaryRef, flat_extended_parse_tree, flat_prefix_fold
 from .flat_rbsts import FlatLeaf, FlatRBSTS
+from .kernels import (
+    KERNEL_ENV,
+    NumpyKernels,
+    PythonKernels,
+    VectorRing,
+    kernel_mode,
+    prefix_compose,
+    select_kernels,
+    vector_ring_for,
+)
 
 __all__ = [
     "FlatActivationResult",
+    "FlatContraction",
     "FlatLeaf",
     "FlatRBSTS",
     "FlatSummaryRef",
+    "KERNEL_ENV",
+    "NumpyKernels",
+    "PythonKernels",
+    "VectorRing",
     "flat_activate",
     "flat_deactivate",
     "flat_extended_parse_tree",
     "flat_prefix_fold",
+    "kernel_mode",
+    "prefix_compose",
+    "select_kernels",
+    "vector_ring_for",
 ]

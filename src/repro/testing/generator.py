@@ -113,18 +113,40 @@ def _list_ops(
     return ops
 
 
-def _contraction_ops(rng: random.Random, n0: int, n_ops: int) -> List[list]:
+#: Profile -> (steady weights, delete-heavy weights, max batch size) for
+#: the contraction kinds [grow, prune, setv, setop, query].
+#: ``contraction-heavy`` is the FlatContraction workout: bigger §1.3
+#: batches dominated by grow/prune churn, so every replay rebuilds a
+#: wide wound and the slab's free-list / GC paths stay hot.
+_CONTRACTION_PROFILES = {
+    "default": (
+        [30, 25, 20, 10, 15],
+        [8, 55, 15, 7, 15],
+        4,
+    ),
+    "contraction-heavy": (
+        [42, 30, 8, 8, 12],
+        [10, 60, 8, 8, 14],
+        8,
+    ),
+}
+
+
+def _contraction_ops(
+    rng: random.Random, n0: int, n_ops: int, profile: str = "default"
+) -> List[list]:
+    steady, delete_heavy, max_batch = _CONTRACTION_PROFILES[profile]
     ops: List[list] = []
     n = n0  # approximate leaf count, for bias only
     for _ in range(n_ops):
         reqs: List[list] = []
-        for _ in range(rng.randint(1, 4)):
+        for _ in range(rng.randint(1, max_batch)):
             kinds = ["grow", "prune", "setv", "setop", "query"]
-            weights = [30, 25, 20, 10, 15]
+            weights = list(steady)
             if n < 4:
                 weights[1] = 0
             if n > 3 * n0 + 48:
-                weights = [8, 55, 15, 7, 15]
+                weights = list(delete_heavy)
             kind = rng.choices(kinds, weights)[0]
             slot = rng.randrange(_RAW)
             if kind == "grow":
@@ -161,9 +183,14 @@ def generate(
 ) -> OpSequence:
     """Build the :class:`OpSequence` fully determined by
     ``(seed, profile)``.  ``profile="batch"`` (list scenario) emits a
-    batch-heavy mix for the crash-injection fuzzer."""
-    if profile not in _LIST_PROFILES:
-        raise InvalidParameterError(f"unknown generator profile {profile!r}")
+    batch-heavy mix for the crash-injection fuzzer;
+    ``profile="contraction-heavy"`` (contraction scenario) emits wide
+    grow/prune-dominated batches for the flat backend."""
+    valid = _LIST_PROFILES if scenario == "list" else _CONTRACTION_PROFILES
+    if profile not in valid:
+        raise InvalidParameterError(
+            f"unknown generator profile {profile!r} for scenario {scenario!r}"
+        )
     rng = random.Random((seed, scenario).__repr__())
     n0 = rng.randint(2, 48)
     struct_seed = rng.getrandbits(32)
@@ -174,7 +201,7 @@ def generate(
     if scenario == "list":
         ops = _list_ops(rng, n0, n_ops, profile)
     elif scenario == "contraction":
-        ops = _contraction_ops(rng, n0, n_ops)
+        ops = _contraction_ops(rng, n0, n_ops, profile)
     else:
         raise InvalidParameterError(f"unknown scenario {scenario!r}")
     meta = {"generator_seed": seed, "generator": "repro.testing.generator/1"}

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List
 from ..errors import InvalidParameterError
 
-from ..algebra.rings import INTEGER, Ring, modular_ring
+from ..algebra.rings import BOOLEAN, INTEGER, Ring, modular_ring
 
 __all__ = [
     "FUZZ_RINGS",
@@ -53,9 +53,14 @@ __all__ = [
 SCHEMA = "repro-fuzz-corpus/1"
 
 #: Rings the fuzzer drives (hypothesis covers the exotic ones).
+#: ``boolean`` is non-numeric on purpose: it forces the flat
+#: contraction backend onto the pure-python kernel path (see
+#: ``repro.perf.kernels.select_kernels``), keeping that fallback pinned
+#: by corpus replay.
 FUZZ_RINGS: Dict[str, Ring] = {
     "integer": INTEGER,
     "mod97": modular_ring(97),
+    "boolean": BOOLEAN,
 }
 
 LIST_OP_KINDS = (
@@ -75,6 +80,8 @@ def norm_value(ring_name: str, raw: int) -> Any:
     """Map a raw non-negative integer into a small canonical ring element."""
     if ring_name == "mod97":
         return int(raw) % 97
+    if ring_name == "boolean":
+        return (int(raw) & 1) == 1
     # integer: small signed values, zero reachable (shrinker target).
     return (int(raw) % 101) - 50
 

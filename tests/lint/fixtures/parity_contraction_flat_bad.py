@@ -1,0 +1,37 @@
+"""Drifted flat side of the planted contraction-trace parity pair.
+
+Planted drift against ``parity_contraction_ref.Trace``:
+
+* ``set_rake_op`` renamed its ``op`` parameter to ``operation``;
+* ``heal`` lost the ``tracker`` parameter;
+* ``removal_kind`` is missing;
+* ``sweep`` grew with no reference twin (and no allow-extra entry);
+* ``value`` became a plain method instead of a property.
+"""
+
+__all__ = ["FlatTrace"]
+
+
+class FlatTrace:
+    def value(self):  # planted: property became a method
+        return 0
+
+    def size(self):
+        return 0
+
+    def set_leaf_label(self, nid, value):
+        return 0
+
+    def set_rake_op(self, nid, operation):  # planted: parameter drift
+        return 0
+
+    def heal(self, tokens):  # planted: parameter drift (tracker lost)
+        return 0
+
+    def death_record(self, pid):
+        return None
+
+    # planted: removal_kind missing
+
+    def sweep(self):  # planted: extra public member
+        pass

@@ -1,0 +1,35 @@
+"""Reference side of the planted contraction-trace R003 parity pair.
+
+Shaped like :class:`repro.contraction.rake_tree.RakeTrace`'s trace
+protocol (value / size / set_leaf_label / set_rake_op / heal /
+death_record / removal_kind, plus the reference-only ``new_node``).
+"""
+
+__all__ = ["Trace"]
+
+
+class Trace:
+    def new_node(self, kind, tnode, label):
+        return None
+
+    @property
+    def value(self):
+        return 0
+
+    def size(self):
+        return 0
+
+    def set_leaf_label(self, nid, value):
+        return None
+
+    def set_rake_op(self, nid, op):
+        return None
+
+    def heal(self, tokens, tracker=None):
+        return 0
+
+    def death_record(self, pid):
+        return None
+
+    def removal_kind(self, nid):
+        return None

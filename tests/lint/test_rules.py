@@ -150,6 +150,56 @@ def test_r003_allow_extra_registry_silences_growth():
     assert all("compact" not in f.message for f in report.findings)
 
 
+def test_r003_contraction_trace_pair_flags_planted_drift():
+    """The contraction-trace pair shape (RakeTrace vs FlatContraction)
+    with every drift class planted on the flat side."""
+    config = LintConfig(
+        parity_pairs=(
+            ParityPair(
+                name="contraction-trace",
+                kind="class",
+                ref_path="parity_contraction_ref.py",
+                ref_symbol="Trace",
+                flat_path="parity_contraction_flat_bad.py",
+                flat_symbol="FlatTrace",
+                allow_extra_ref=frozenset({"new_node"}),
+                notes="test: new_node registered reference-only",
+            ),
+        )
+    )
+    report = _run(
+        ["parity_contraction_ref.py", "parity_contraction_flat_bad.py"],
+        [BackendParityRule(config)],
+    )
+    messages = [f.message for f in report.findings]
+    assert len(messages) == 5, messages
+    joined = " ".join(messages)
+    assert "parameter drift on 'set_rake_op'" in joined
+    assert "parameter drift on 'heal'" in joined
+    assert "lacks public member 'removal_kind'" in joined
+    assert "grew public member 'sweep'" in joined
+    assert "'value' is a property" in joined
+    # The registered reference-only allocator never reports.
+    assert "new_node" not in joined
+
+
+def test_r003_repo_contraction_pair_registered():
+    """The real RakeTrace<->FlatContraction surfaces are pinned by the
+    repo config — and currently in lockstep."""
+    pair = {p.name: p for p in REPO_CONFIG.parity_pairs}["contraction-trace"]
+    assert pair.ref_symbol == "RakeTrace"
+    assert pair.flat_symbol == "FlatContraction"
+    assert pair.allow_extra_ref == frozenset({"new_node"})
+    assert pair.allow_extra_flat == frozenset({"replay", "removal"})
+    repo_root = Path(__file__).resolve().parents[2]
+    report = run_lint(
+        repo_root,
+        [pair.ref_path, pair.flat_path],
+        [BackendParityRule(REPO_CONFIG)],
+    )
+    assert report.clean, [f.message for f in report.findings]
+
+
 # ---------------------------------------------------------------------------
 # R004 — journal / crash-point coverage
 # ---------------------------------------------------------------------------

@@ -1,0 +1,305 @@
+"""Differential harness: FlatContraction pinned op-for-op against the
+reference RakeTrace.
+
+The flat contraction backend's contract (see
+``src/repro/perf/flat_contraction.py``) promises the *same replay
+semantics* as :func:`~repro.contraction.rake_tree.build_trace` — values,
+rounds, wound sizes, fresh-node counts, removal/death records, tracker
+charges and RNG consumption all bit-identical, on either kernel path.
+These tests drive randomized mixed batch sequences through both
+backends in lockstep and compare everything observable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.rings import BOOLEAN, FLOAT, INTEGER, modular_ring
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.contraction.rake_tree import RakeTrace
+from repro.errors import TreeStructureError
+from repro.perf.flat_contraction import FlatContraction
+from repro.perf.kernels import KERNEL_ENV
+from repro.pram.frames import SpanTracker
+from repro.trees.builders import random_expression_tree, random_tree
+from repro.trees.expr import ExprTree
+from repro.trees.nodes import add_op, mul_op
+
+MOD97 = modular_ring(97)
+
+
+def make_pair(ring, n, seed):
+    """Twin engines over identically-built trees, one per backend."""
+    t_ref = random_expression_tree(ring, n, seed=seed)
+    t_flat = random_expression_tree(ring, n, seed=seed)
+    ref = DynamicTreeContraction(t_ref, seed=seed + 1)
+    flat = DynamicTreeContraction(t_flat, seed=seed + 1, backend="flat")
+    return ref, flat
+
+
+def assert_twins(ref, flat):
+    assert flat.value() == ref.value()
+    assert flat.rounds() == ref.rounds()
+    assert flat.last_stats == ref.last_stats
+    assert flat.rng_state() == ref.rng_state()
+    ref.check_consistency()
+    flat.check_consistency()
+
+
+def random_ops(rnd):
+    return mul_op() if rnd.random() < 0.3 else add_op()
+
+
+def drive(ref, flat, rnd, steps=10):
+    """A deterministic mixed batch sequence applied to both twins."""
+    tree_r, tree_f = ref.tree, flat.tree
+    for _ in range(steps):
+        kind = rnd.choice(["grow", "prune", "setv", "setop", "query"])
+        tr_r, tr_f = SpanTracker(), SpanTracker()
+        if kind == "grow":
+            leaves = [l.nid for l in tree_r.leaves_in_order()]
+            targets = sorted(rnd.sample(leaves, min(3, len(leaves))))
+            reqs = [
+                (nid, random_ops(rnd), rnd.randint(-4, 4), rnd.randint(-4, 4))
+                for nid in targets
+            ]
+            assert ref.batch_grow(reqs, tr_r) == flat.batch_grow(reqs, tr_f)
+        elif kind == "prune":
+            cands = [
+                n.nid
+                for n in tree_r.nodes_preorder()
+                if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+            ]
+            if not cands:
+                continue
+            targets = sorted(rnd.sample(cands, min(2, len(cands))))
+            reqs = [(nid, rnd.randint(-4, 4)) for nid in targets]
+            ref.batch_prune(reqs, tr_r)
+            flat.batch_prune(reqs, tr_f)
+        elif kind == "setv":
+            leaves = [l.nid for l in tree_r.leaves_in_order()]
+            targets = sorted(rnd.sample(leaves, min(4, len(leaves))))
+            reqs = [(nid, rnd.randint(-4, 4)) for nid in targets]
+            ref.batch_set_leaf_values(reqs, tr_r)
+            flat.batch_set_leaf_values(reqs, tr_f)
+        elif kind == "setop":
+            internal = [
+                n.nid for n in tree_r.nodes_preorder() if not n.is_leaf
+            ]
+            if not internal:
+                continue
+            targets = sorted(rnd.sample(internal, min(2, len(internal))))
+            reqs = [(nid, random_ops(rnd)) for nid in targets]
+            ref.batch_set_ops(reqs, tr_r)
+            flat.batch_set_ops(reqs, tr_f)
+        else:  # query
+            ids = [n.nid for n in tree_r.nodes_preorder()]
+            picks = sorted(rnd.sample(ids, min(6, len(ids))))
+            assert ref.query_values(picks, tr_r) == flat.query_values(
+                picks, tr_f
+            )
+        assert (tr_r.work, tr_r.span) == (tr_f.work, tr_f.span)
+        assert_twins(ref, flat)
+
+
+# ---------------------------------------------------------------------------
+# construction + the backend switch
+# ---------------------------------------------------------------------------
+
+
+def test_backend_switch_dispatches():
+    tree = random_expression_tree(INTEGER, 16, seed=0)
+    flat = DynamicTreeContraction(tree, backend="flat")
+    assert isinstance(flat.trace, FlatContraction)
+    tree2 = random_expression_tree(INTEGER, 16, seed=0)
+    ref = DynamicTreeContraction(tree2)
+    assert isinstance(ref.trace, RakeTrace)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("n", [2, 3, 7, 64, 257])
+def test_same_seed_same_contraction(n, seed):
+    ref, flat = make_pair(INTEGER, n, seed)
+    assert_twins(ref, flat)
+    assert flat.value() == flat.tree.evaluate()
+    assert flat.trace.size() == ref.trace.size()
+
+
+def test_single_leaf_early_path():
+    """The single-node tree mirrors the reference early return: zero
+    rounds, the value read straight off the base row."""
+    t_ref, t_flat = ExprTree(INTEGER, root_value=11), ExprTree(
+        INTEGER, root_value=11
+    )
+    ref = DynamicTreeContraction(t_ref)
+    flat = DynamicTreeContraction(t_flat, backend="flat")
+    assert flat.value() == 11
+    assert (flat.rounds(), ref.rounds()) == (0, 0)
+    ref.batch_grow([(t_ref.root.nid, add_op(), 1, 2)])
+    flat.batch_grow([(t_flat.root.nid, add_op(), 1, 2)])
+    assert flat.value() == 3
+    assert_twins(ref, flat)
+
+
+# ---------------------------------------------------------------------------
+# the main differential mixes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ring", [INTEGER, MOD97], ids=lambda r: r.name)
+@pytest.mark.parametrize("seed", range(10))
+def test_mixed_ops_differential(ring, seed):
+    rnd = random.Random(0xF1A7 ^ seed)
+    ref, flat = make_pair(ring, rnd.randint(4, 90), seed)
+    drive(ref, flat, rnd, steps=10)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_float_ring_bitwise_parity(seed):
+    """Float labels: both backends apply the identical IEEE-754
+    expression shapes, so even the inexact ring agrees exactly."""
+    rnd = random.Random(0x0F10A7 ^ seed)
+    t_ref = random_tree(
+        FLOAT, 40, random.Random(seed),
+        values=lambda r: round(r.uniform(-2.0, 2.0), 3),
+    )
+    t_flat = random_tree(
+        FLOAT, 40, random.Random(seed),
+        values=lambda r: round(r.uniform(-2.0, 2.0), 3),
+    )
+    ref = DynamicTreeContraction(t_ref, seed=seed)
+    flat = DynamicTreeContraction(t_flat, seed=seed, backend="flat")
+    assert_twins(ref, flat)
+    for _ in range(6):
+        leaves = [l.nid for l in t_ref.leaves_in_order()]
+        targets = sorted(rnd.sample(leaves, 3))
+        reqs = [(nid, round(rnd.uniform(-2.0, 2.0), 3)) for nid in targets]
+        ref.batch_set_leaf_values(reqs)
+        flat.batch_set_leaf_values(reqs)
+        assert_twins(ref, flat)
+
+
+def test_boolean_ring_forces_python_kernels(monkeypatch):
+    """Non-numeric rings take the Python kernels in every mode — the
+    fallback is silent and the answers still match the oracle."""
+    monkeypatch.setenv(KERNEL_ENV, "numpy")
+    rnd = random.Random(7)
+    tree = random_tree(
+        BOOLEAN, 33, random.Random(7), values=lambda r: r.random() < 0.5
+    )
+    flat = DynamicTreeContraction(tree, seed=1, backend="flat")
+    assert flat.value() == tree.evaluate()
+    leaves = [l.nid for l in tree.leaves_in_order()]
+    flat.batch_set_leaf_values(
+        [(nid, rnd.random() < 0.5) for nid in sorted(rnd.sample(leaves, 5))]
+    )
+    assert flat.value() == tree.evaluate()
+    flat.check_consistency()
+
+
+# ---------------------------------------------------------------------------
+# kernel-path equivalence: REPRO_KERNELS must not change any output
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "ring", [INTEGER, FLOAT, MOD97], ids=lambda r: r.name
+)
+def test_kernel_modes_bit_identical(ring, monkeypatch):
+    def transcript(mode):
+        monkeypatch.setenv(KERNEL_ENV, mode)
+        rnd = random.Random(0xBEEF)
+        tree = random_expression_tree(ring, 70, seed=5)
+        d = DynamicTreeContraction(tree, seed=6, backend="flat")
+        out = [d.value(), d.rounds(), dict(d.last_stats)]
+        for _ in range(8):
+            leaves = [l.nid for l in tree.leaves_in_order()]
+            targets = sorted(rnd.sample(leaves, 4))
+            d.batch_set_leaf_values(
+                [(nid, rnd.randint(-4, 4)) for nid in targets]
+            )
+            out.append((d.value(), dict(d.last_stats)))
+            grow = sorted(rnd.sample(leaves, 2))
+            d.batch_grow(
+                [(nid, random_ops(rnd), 1, rnd.randint(-3, 3)) for nid in grow]
+            )
+            ids = [n.nid for n in tree.nodes_preorder()]
+            out.append(d.query_values(sorted(rnd.sample(ids, 5))))
+            out.append((d.value(), dict(d.last_stats)))
+        d.check_consistency()
+        return out
+
+    assert transcript("python") == transcript("numpy")
+
+
+# ---------------------------------------------------------------------------
+# protocol surfaces: removal / death records
+# ---------------------------------------------------------------------------
+
+
+def test_removal_and_death_records_match_reference():
+    ref, flat = make_pair(INTEGER, 48, 3)
+    m = ref.tree._next_id
+    for nid in range(m + 2):
+        assert flat.trace.removal_kind(nid) == ref.trace.removal_kind(nid)
+        r_rec = ref.trace.death_record(nid)
+        f_rec = flat.trace.death_record(nid)
+        if r_rec is None:
+            assert f_rec is None
+        else:
+            # Same tag, payload label, survivor, and child positions.
+            assert f_rec == r_rec
+    # The lazy reference-shaped removal map exposes the same keys/kinds.
+    assert {k: v[0] for k, v in flat.trace.removal.items()} == {
+        k: v[0] for k, v in ref.trace.removal.items()
+    }
+
+
+def test_set_op_on_leaf_rejected_flat():
+    tree = random_expression_tree(INTEGER, 12, seed=4)
+    flat = DynamicTreeContraction(tree, backend="flat")
+    leaf = tree.leaves_in_order()[0]
+    with pytest.raises(TreeStructureError):
+        flat.batch_set_ops([(leaf.nid, add_op())])
+
+
+def test_query_values_match_subtree_oracle_flat():
+    tree = random_expression_tree(INTEGER, 150, seed=6)
+    flat = DynamicTreeContraction(tree, seed=7, backend="flat")
+    rng = random.Random(6)
+    ids = rng.sample([n.nid for n in tree.nodes_preorder()], 30)
+    for nid, v in zip(ids, flat.query_values(ids)):
+        assert v == tree.evaluate(at=nid)
+
+
+# ---------------------------------------------------------------------------
+# slab hygiene: churn must not grow the slab without bound
+# ---------------------------------------------------------------------------
+
+
+def test_slab_stays_bounded_under_churn():
+    from repro.perf.flat_contraction import _GC_FACTOR
+
+    rnd = random.Random(9)
+    tree = random_expression_tree(INTEGER, 48, seed=9)
+    flat = DynamicTreeContraction(tree, seed=10, backend="flat")
+    for step in range(40):
+        leaves = [l.nid for l in tree.leaves_in_order()]
+        grow = sorted(rnd.sample(leaves, 3))
+        flat.batch_grow(
+            [(nid, random_ops(rnd), 1, 2) for nid in grow]
+        )
+        cands = [
+            n.nid
+            for n in tree.nodes_preorder()
+            if not n.is_leaf and n.left.is_leaf and n.right.is_leaf
+        ]
+        prune = sorted(rnd.sample(cands, min(3, len(cands))))
+        flat.batch_prune([(nid, rnd.randint(-4, 4)) for nid in prune])
+        assert flat.value() == tree.evaluate()
+        trace = flat.trace
+        in_use = len(trace._kind) - len(trace._free)
+        assert in_use <= _GC_FACTOR * max(64, tree._next_id)
+    flat.check_consistency()

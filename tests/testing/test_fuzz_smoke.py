@@ -50,6 +50,33 @@ def test_sequential_oracle_agrees():
     assert report.ok, report.failure
 
 
+@pytest.mark.parametrize("ring", ["mod97", "boolean"])
+def test_contraction_heavy_profile_clean(ring):
+    """The PR6 ``contraction-heavy`` profile replays clean on both
+    backends; the boolean run pins the python-kernel fallback."""
+    seq = generate(
+        "contraction", 9, 25, ring=ring, profile="contraction-heavy"
+    )
+    assert seq.meta["profile"] == "contraction-heavy"
+    report = run_sequence(seq, backend="both", check_every=1)
+    assert report.ok, report.failure
+
+
+def test_contraction_heavy_widens_batches():
+    seq = generate("contraction", 4, 60, profile="contraction-heavy")
+    widest = max(len(op[1]) for op in seq.ops)
+    assert widest > 4  # default profile caps batches at 4
+
+
+def test_profile_is_scenario_scoped():
+    from repro.errors import InvalidParameterError
+
+    with pytest.raises(InvalidParameterError):
+        generate("contraction", 0, 10, profile="batch")
+    with pytest.raises(InvalidParameterError):
+        generate("list", 0, 10, profile="contraction-heavy")
+
+
 def test_generator_determinism_and_roundtrip():
     a = generate("list", 11, 60)
     b = generate("list", 11, 60)
