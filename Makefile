@@ -6,7 +6,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-perf bench bench-smoke bench-regress regress lint \
-        fuzz-smoke fuzz-selftest fuzz-crash fuzz-faults corpus-replay clean
+        fuzz-smoke fuzz-selftest fuzz-crash fuzz-faults fuzz-parallel \
+        corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
 test:
@@ -16,7 +17,7 @@ test:
 test-perf:
 	$(PYTHON) -m pytest tests/perf -q
 
-## Full perf harness: refresh BENCH_PR6.json at the repo root.
+## Full perf harness: refresh BENCH_PR7.json at the repo root.
 bench:
 	$(PYTHON) benchmarks/perf_harness.py
 
@@ -27,11 +28,12 @@ bench:
 bench-smoke:
 	$(PYTHON) benchmarks/perf_harness.py --quick --out /tmp/bench_smoke.json
 	$(PYTHON) benchmarks/regress.py --baseline /tmp/bench_smoke.json --quick --threshold 10.0
-	$(PYTHON) -c "import json; d=json.load(open('BENCH_PR6.json')); assert d['schema']=='repro-perf-harness/1' and d['cells'], 'bad baseline'; print('BENCH_PR6.json ok:', len(d['cells']), 'cells')"
+	$(PYTHON) -c "import json; d=json.load(open('BENCH_PR7.json')); assert d['schema']=='repro-perf-harness/1' and d['cells'], 'bad baseline'; print('BENCH_PR7.json ok:', len(d['cells']), 'cells')"
 
-## Speedup-gate subset: re-run only the gated E4/E5/E6 full-size cells
-## and fail if any flat-over-reference ratio drops below its
-## regress.MIN_SPEEDUPS floor.  The ratio is two same-machine timings,
+## Speedup-gate subset: re-run only the gated E4/E5/E6/E14 full-size
+## cells and fail if any gated ratio (flat over reference; parallel-w4
+## over flat for E14) drops below its regress.MIN_SPEEDUPS floor.  Each
+## ratio is two same-machine timings,
 ## so it needs no baseline normalisation; the wall-clock threshold is
 ## loosened accordingly (CI machines vary, ratios don't).
 bench-regress:
@@ -61,6 +63,17 @@ lint:
 fuzz-smoke:
 	@for s in 0 1 2; do \
 		$(PYTHON) -m repro.testing.fuzz --seed $$s --ops 2000 --backend both --no-save || exit 1; \
+	done
+
+## Shared-memory differential fuzz (the PR 7 CI load): bounded seeds
+## on backend="parallel" with a 2-worker pool and every eligible round
+## forced through real worker IPC (REPRO_PARALLEL_OFFLOAD=force, so
+## small fuzz-sized rounds can't silently take the inline shortcut).
+## Exit 0 means the pool-executed rounds audited bit-for-bit clean.
+fuzz-parallel:
+	@for s in 0 1 2; do \
+		REPRO_PARALLEL_WORKERS=2 REPRO_PARALLEL_OFFLOAD=force \
+		$(PYTHON) -m repro.testing.fuzz --seed $$s --ops 1000 --backend parallel --no-save || exit 1; \
 	done
 
 ## Prove the fuzzer finds planted bugs and shrinks them (<= 12 ops).

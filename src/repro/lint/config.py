@@ -35,7 +35,11 @@ class ParityPair:
     ``allow_extra_flat``/``allow_extra_ref`` name members that may exist
     on one side only (each with a justification in ``notes``).
     ``param_renames`` maps reference-side parameter names to their
-    accepted flat-side spelling.
+    accepted flat-side spelling.  ``flat_base`` — a ``(path, symbol)``
+    of the flat class's base — merges the base's public members into
+    the flat surface before diffing, so a subclass backend (e.g. the
+    parallel backend subclassing the flat one) is compared by its
+    *effective* surface, not just the overrides its own body declares.
     """
 
     name: str
@@ -47,6 +51,7 @@ class ParityPair:
     allow_extra_ref: FrozenSet[str] = frozenset()
     allow_extra_flat: FrozenSet[str] = frozenset()
     param_renames: Mapping[str, str] = field(default_factory=dict)
+    flat_base: Optional[Tuple[str, str]] = None
     notes: str = ""
 
 
@@ -125,6 +130,40 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
         notes=(
             "the reference walks from a node, the flat twin from the "
             "tree (slots need the column arrays)."
+        ),
+    ),
+    ParityPair(
+        name="parallel-rbsts",
+        kind="class",
+        ref_path="src/repro/perf/flat_rbsts.py",
+        ref_symbol="FlatRBSTS",
+        flat_path="src/repro/perf/parallel/rbsts.py",
+        flat_symbol="ParallelRBSTS",
+        flat_base=("src/repro/perf/flat_rbsts.py", "FlatRBSTS"),
+        allow_extra_flat=frozenset({"close", "engine"}),
+        notes=(
+            "backend='parallel' must stay a drop-in twin of the flat "
+            "surface it subclasses (the differential rig replays one "
+            "op stream on both); close() releases the shared-memory "
+            "slabs and engine is the attached worker-pool engine — "
+            "neither has a single-process analogue."
+        ),
+    ),
+    ParityPair(
+        name="parallel-contraction",
+        kind="class",
+        ref_path="src/repro/perf/flat_contraction.py",
+        ref_symbol="FlatContraction",
+        flat_path="src/repro/perf/parallel/contraction.py",
+        flat_symbol="ParallelContraction",
+        flat_base=("src/repro/perf/flat_contraction.py", "FlatContraction"),
+        allow_extra_flat=frozenset({"close", "engine"}),
+        notes=(
+            "ParallelContraction overrides heal/set_rake_op (cached "
+            "level schedules + offloaded evaluation) and must keep "
+            "their signatures in lockstep with FlatContraction; "
+            "close()/engine are the slab/pool handles with no "
+            "single-process analogue."
         ),
     ),
 )

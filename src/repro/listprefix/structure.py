@@ -49,9 +49,11 @@ class IncrementalListPrefix:
     seed:
         RBSTS randomness seed.
     backend:
-        ``"reference"`` (pointer graph) or ``"flat"``
+        ``"reference"`` (pointer graph), ``"flat"``
         (:class:`~repro.perf.flat_rbsts.FlatRBSTS` struct-of-arrays
-        core); same seed → same shapes and answers on both.
+        core) or ``"parallel"`` (flat core over shared-memory slabs
+        with a worker-pool scan engine; ``workers=`` sets the pool
+        size); same seed → same shapes and answers on all three.
 
     Leaf *handles* (:class:`~repro.splitting.node.BSTNode`, or
     :class:`~repro.perf.flat_rbsts.FlatLeaf` under the flat backend)
@@ -66,15 +68,21 @@ class IncrementalListPrefix:
         *,
         seed: int = 0,
         backend: str = "reference",
+        workers: Optional[int] = None,
     ):
         self.monoid = monoid
+        kwargs = {} if workers is None else {"workers": workers}
         self.tree = RBSTS(
             values,
             seed=seed,
             summarizer=Summarizer(monoid, lambda item: item),
             backend=backend,
+            **kwargs,
         )
-        self._flat = backend == "flat"
+        # The flat and parallel backends share the struct-of-arrays
+        # layout; ``parallel`` additionally owns a worker-pool engine.
+        self._flat = backend in ("flat", "parallel")
+        self._parallel = backend == "parallel"
 
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
@@ -150,11 +158,16 @@ class IncrementalListPrefix:
             # the textbook span O(log k), work O(k).
             k = len(sums)
             tracker.charge(work=2 * k, span=max(1, 2 * math.ceil(math.log2(k + 1))))
-            running = self.monoid.identity
             inclusive: dict[int, Any] = {}
-            for entry, s in zip(pat.entries, sums):
-                running = self.monoid.combine(running, s)
-                inclusive[id(entry.node)] = running
+            scanned = self._prefix_scan(sums)
+            if scanned is None:
+                running = self.monoid.identity
+                for entry, s in zip(pat.entries, sums):
+                    running = self.monoid.combine(running, s)
+                    inclusive[id(entry.node)] = running
+            else:
+                for entry, r in zip(pat.entries, scanned):
+                    inclusive[id(entry.node)] = r
             return [inclusive[id(h)] for h in handles]
         finally:
             deactivate(result)
@@ -194,6 +207,24 @@ class IncrementalListPrefix:
             deactivate(result)
 
     # -- internals --------------------------------------------------------
+    def _prefix_scan(self, sums: Sequence[Any]) -> Optional[List[Any]]:
+        """The running fold of the P̂T(U) summaries via the vectorized
+        doubling scan, or ``None`` to use the sequential loop.
+
+        Only ring-sum monoids over exact vector rings are eligible
+        (``flat_prefix_scan``), where scan ≡ fold outright — answers
+        are identical on every backend either way.  Under the parallel
+        backend the scan additionally runs chunked across the worker
+        pool via the tree's engine.
+        """
+        if not self._flat:
+            return None
+        if self._parallel:
+            return self.tree.engine.prefix_values(sums)
+        from ..perf.flat_prefix import flat_prefix_scan
+
+        return flat_prefix_scan(self.monoid, sums)
+
     def _parse_tree(self, result, handles):
         """Flatten ``P̂T(U)`` with the construction matching the active
         backend; the produced entry sequence is identical either way."""

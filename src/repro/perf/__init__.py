@@ -20,6 +20,12 @@ cores.  This package holds those cores:
 * :mod:`~repro.perf.kernels` — per-level label kernels (NumPy-vectorized
   over numeric rings, pure-Python otherwise; ``REPRO_KERNELS`` forces a
   mode).
+* :mod:`~repro.perf.parallel` — true multicore execution
+  (``backend="parallel"``): shared-memory slab columns
+  (``multiprocessing.shared_memory``), a persistent spawn-context
+  worker pool, and a chunked round engine running the same vectorized
+  kernels across processes.  Imported lazily (worker-pool machinery
+  stays cold until a parallel backend is constructed).
 
 Every flat core is pinned op-for-op against its reference twin by the
 differential harness in ``tests/perf/`` — same seeds, same shapes, same
@@ -28,7 +34,12 @@ shortcut lists, same summaries, same activation round counts.
 
 from .flat_activation import FlatActivationResult, flat_activate, flat_deactivate
 from .flat_contraction import FlatContraction
-from .flat_prefix import FlatSummaryRef, flat_extended_parse_tree, flat_prefix_fold
+from .flat_prefix import (
+    FlatSummaryRef,
+    flat_extended_parse_tree,
+    flat_prefix_fold,
+    flat_prefix_scan,
+)
 from .flat_rbsts import FlatLeaf, FlatRBSTS
 from .kernels import (
     KERNEL_ENV,
@@ -55,6 +66,7 @@ __all__ = [
     "flat_deactivate",
     "flat_extended_parse_tree",
     "flat_prefix_fold",
+    "flat_prefix_scan",
     "kernel_mode",
     "prefix_compose",
     "select_kernels",

@@ -304,6 +304,57 @@ class NumpyKernels(PythonKernels):
         return self._out(out_a), self._out(out_b)
 
 
+def _resident_compose_scan(
+    vec: VectorRing, out_a: List[Any], out_b: List[Any]
+) -> Optional[List[Tuple[Any, Any]]]:
+    """Array-resident doubling scan over *exact* int64 rings, or
+    ``None`` when the per-stride list path must be used.
+
+    Same bracketing and expression order as the stride loop of
+    :func:`prefix_compose`, but the labels stay in two NumPy arrays for
+    the whole scan instead of round-tripping through Python lists every
+    stride.  Eligibility is conservative and provably exact: ``Z/p``
+    reduces every stride; ``Z`` requires every slope in ``{-1, 0, 1}``
+    (so slope products never grow) and bounds the offset partial sums
+    by ``n·max|B| < 2**62``.  Anything else — floats, big ints, steep
+    slopes — falls back, and the fallback is element-for-element
+    identical, so callers can never observe which path ran.
+    """
+    if _np is None or (vec.modulus is None and vec.guard is None):
+        return None
+    n = len(out_a)
+    try:
+        arr_a = _np.asarray(out_a, dtype=vec.dtype)
+        arr_b = _np.asarray(out_b, dtype=vec.dtype)
+    except (OverflowError, TypeError, ValueError):
+        return None
+    if arr_a.shape != (n,) or arr_b.shape != (n,):
+        return None
+    modulus = vec.modulus
+    if modulus is None:
+        if n and (int(arr_a.max()) > 1 or int(arr_a.min()) < -1):
+            return None
+        m = max(abs(int(arr_b.max(initial=0))), abs(int(arr_b.min(initial=0))))
+        if m * n >= 1 << 62:
+            return None
+    stride = 1
+    while stride < n:
+        a = arr_a[stride:]
+        b = arr_b[stride:]
+        c = arr_a[:-stride]
+        d = arr_b[:-stride]
+        if modulus is None:
+            na = a * c
+            nb = (a * d) + b
+        else:
+            na = (a * c) % modulus
+            nb = ((a * d) % modulus + b) % modulus
+        arr_a[stride:] = na
+        arr_b[stride:] = nb
+        stride <<= 1
+    return list(zip(arr_a.tolist(), arr_b.tolist()))
+
+
 def prefix_compose(
     ring: Ring,
     labels: Sequence[Tuple[Any, Any]],
@@ -326,6 +377,10 @@ def prefix_compose(
     n = len(labels)
     out_a = [lab[0] for lab in labels]
     out_b = [lab[1] for lab in labels]
+    if isinstance(kernels, NumpyKernels) and n >= SCALAR_CUTOFF:
+        resident = _resident_compose_scan(kernels.vec, out_a, out_b)
+        if resident is not None:
+            return resident
     # Inclusive-scan by doubling: stride passes compose out[i] (outer)
     # over out[i - stride] (inner).  Composition is associative
     # (labels.py), so the doubling bracketing equals the left fold for

@@ -1,0 +1,49 @@
+"""``repro.perf.parallel`` — true multicore execution (DESIGN.md §11).
+
+The ``backend="parallel"`` stack: shared-memory column slabs
+(:mod:`~repro.perf.parallel.slab`), the persistent spawn-context worker
+pool and its chunk/ACK round protocol (:mod:`~repro.perf.parallel.pool`),
+the round execution engine (:mod:`~repro.perf.parallel.engine`), and the
+structure subclasses that plug them into the flat backends
+(:class:`ParallelRBSTS`, :class:`ParallelContraction`).
+
+Select with ``RBSTS(items, backend="parallel")``,
+``IncrementalListPrefix(..., backend="parallel")`` or
+``DynamicTreeContraction(tree, backend="parallel")``; worker count via
+the ``workers=`` kwarg or ``REPRO_PARALLEL_WORKERS`` (default 2).
+Bit-for-bit and RNG-identical to ``backend="flat"`` by construction;
+degrades to flat-equivalent inline execution when shared memory or an
+exact vector ring is unavailable.
+"""
+
+from .contraction import ParallelContraction
+from .engine import ParallelEngine
+from .pool import DeadWorkerError, WorkerPool, get_pool, shutdown_pools
+from .rbsts import ParallelRBSTS, default_workers
+from .slab import (
+    BOXED_SENTINEL,
+    NONE_SENTINEL,
+    STORE_MAX,
+    SharedSlab,
+    SlabColumn,
+    live_segments,
+    parallel_available,
+)
+
+__all__ = [
+    "BOXED_SENTINEL",
+    "DeadWorkerError",
+    "NONE_SENTINEL",
+    "ParallelContraction",
+    "ParallelEngine",
+    "ParallelRBSTS",
+    "STORE_MAX",
+    "SharedSlab",
+    "SlabColumn",
+    "WorkerPool",
+    "default_workers",
+    "get_pool",
+    "live_segments",
+    "parallel_available",
+    "shutdown_pools",
+]

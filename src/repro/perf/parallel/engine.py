@@ -1,0 +1,394 @@
+"""`ParallelEngine` — chunked round execution over shared slabs.
+
+The engine owns the parallel backend's execution policy: it takes one
+*round* at a time (a doubling-scan stride, or one contraction
+level-family), partitions the active range into contiguous disjoint
+chunks, runs the chunks on the worker pool (or inline on the master
+when the round is too small to amortize IPC), and commits at the
+round's barrier.  Everything it runs is the exact vectorized arithmetic
+of :class:`~repro.perf.kernels.NumpyKernels`, so results are identical
+no matter how the range is chunked, how many workers run, or whether a
+round is offloaded at all — that invariance is what the chunk-jitter
+determinism tests pin.
+
+Scan rounds are double-buffered: workers read stride ``s`` from the
+source buffer pair and write only the destination pair, and the buffer
+swap happens *after* the commit barrier.  A worker that dies mid-round
+therefore never corrupts the round's inputs — the engine recomputes the
+lost chunk inline from the intact source (``on_death="restore"``, the
+default) or raises :class:`~repro.perf.parallel.pool.DeadWorkerError`
+for the resilience ladder to catch (``on_death="raise"``, rung
+``parallel → flat``).
+
+Offload policy: rounds below ``offload_min`` elements run inline on the
+master over the same resident arrays (identical results, no IPC).
+``REPRO_PARALLEL_OFFLOAD`` overrides: ``force`` ships every eligible
+round to the workers (what the differential CI job uses so real
+cross-process rounds are exercised), ``off`` pins everything inline.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...algebra.rings import Ring
+from ..kernels import VectorRing, vector_ring_for
+from .pool import (
+    DeadWorkerError,
+    WorkerPool,
+    _compose_range,
+    _eval_family,
+    get_pool,
+)
+from .slab import STORE_MAX, SharedSlab, parallel_available
+
+try:  # pragma: no cover - the image bakes numpy in
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["ParallelEngine", "PREFIX_SCAN_CUTOFF"]
+
+#: Below this many elements the prefix doubling scan costs more than
+#: the sequential fold (list→array conversion dominates); both paths
+#: are exact so the answer cannot depend on the choice.
+PREFIX_SCAN_CUTOFF = 512
+
+#: Default round size below which chunks run inline on the master.
+OFFLOAD_MIN = 1 << 15
+
+_OFFLOAD_ENV = "REPRO_PARALLEL_OFFLOAD"
+
+
+class ParallelEngine:
+    """Execution policy + scratch slabs for one parallel structure.
+
+    Parameters
+    ----------
+    ring:
+        The structure's value ring (``None`` = no numeric plane; the
+        engine disables itself and the backend behaves like ``flat``).
+    workers:
+        Worker-pool size.  Pools are shared per worker count across
+        engines (:func:`~repro.perf.parallel.pool.get_pool`), so many
+        structures cost one set of processes.
+    force_offload:
+        Ship every eligible round to the pool regardless of size (the
+        differential tests use this to exercise real cross-process
+        rounds on small structures).
+    on_death:
+        ``"restore"`` — recompute a dead worker's chunk inline from the
+        intact round inputs and retire the worker;
+        ``"raise"`` — propagate :class:`DeadWorkerError` (the
+        resilience ladder's ``parallel→flat`` demotion trigger).
+    """
+
+    def __init__(
+        self,
+        ring: Optional[Ring],
+        *,
+        workers: int = 2,
+        offload_min: int = OFFLOAD_MIN,
+        force_offload: bool = False,
+        on_death: str = "restore",
+        pool: Optional[WorkerPool] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.offload_min = offload_min
+        self.on_death = on_death
+        self.vec: Optional[VectorRing] = (
+            vector_ring_for(ring) if ring is not None else None
+        )
+        self.enabled = _np is not None and self.vec is not None
+        self.shared_ok = self.enabled and parallel_available()
+        mode = os.environ.get(_OFFLOAD_ENV, "auto").strip().lower() or "auto"
+        self.force_offload = force_offload or mode == "force"
+        self._offload_off = mode == "off"
+        self._pool = pool
+        self._pool_ready = False
+        self._pool_broken = False
+        #: Test knob: perturbs how many chunks a round is cut into.
+        #: Results must be invariant to it (determinism stress tests).
+        self.chunk_jitter = 0
+        self._scratch: Dict[str, SharedSlab] = {}
+        self.stats: Dict[str, int] = {
+            "offloaded_chunks": 0,
+            "inline_rounds": 0,
+            "recovered_chunks": 0,
+            "worker_deaths": 0,
+        }
+
+    # -- pool ------------------------------------------------------------
+    @property
+    def pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = get_pool(self.workers)
+        return self._pool
+
+    def _ready_pool(self) -> Optional[WorkerPool]:
+        if self._pool_broken:
+            return None
+        pool = self.pool
+        if not self._pool_ready:
+            pool.ensure()
+            self._pool_ready = True
+        alive = pool.alive_workers
+        if len(alive) < pool.size:
+            pool.ensure()
+            alive = pool.alive_workers
+        if not alive:
+            # Workers cannot survive spawn in this environment (e.g. no
+            # importable __main__): stop paying the respawn cost and run
+            # every round inline from now on.
+            self._pool_broken = True
+            return None
+        return pool
+
+    def _should_offload(self, size: int) -> bool:
+        if not self.shared_ok or self._offload_off:
+            return False
+        if self.force_offload:
+            return True
+        return size >= self.offload_min
+
+    def _round_lost(
+        self, pool: WorkerPool, dead_submits: int = 0
+    ) -> List[Tuple[int, Tuple]]:
+        """Commit barrier + death bookkeeping for one offloaded round.
+
+        ``dead_submits`` counts chunks whose worker was already found
+        dead at dispatch (the pool marked that death in ``submit``);
+        they count as losses for the ``on_death`` policy too.  The
+        barrier is always drained first so pending ACKs never leak
+        into the next round.
+        """
+        lost = pool.barrier()
+        if lost:
+            self.stats["worker_deaths"] += len(
+                {w for w, _ in lost}
+            )
+        if lost or dead_submits:
+            self._pool_ready = False  # respawn before the next round
+            if self.on_death == "raise":
+                raise DeadWorkerError(
+                    f"{len(lost) + dead_submits} chunk(s) lost to dead "
+                    f"worker(s) mid-round (pool deaths: {pool.deaths})"
+                )
+        return lost
+
+    @staticmethod
+    def _partition(lo: int, hi: int, ways: int) -> List[Tuple[int, int]]:
+        """Contiguous, disjoint, exhaustive chunks of ``[lo, hi)`` —
+        the conflict-free write partition the commit barrier relies on."""
+        total = hi - lo
+        ways = max(1, min(ways, total))
+        out = []
+        step, extra = divmod(total, ways)
+        start = lo
+        for i in range(ways):
+            end = start + step + (1 if i < extra else 0)
+            out.append((start, end))
+            start = end
+        assert start == hi
+        return out
+
+    # -- scratch slabs ---------------------------------------------------
+    def _scratch_pair(self, role: str, n: int) -> SharedSlab:
+        slab = self._scratch.get(role)
+        if slab is None or slab.length < n:
+            if slab is not None:
+                slab.release()
+            cap = 1024
+            while cap < n:
+                cap *= 2
+            slab = SharedSlab(cap, self.vec.dtype)
+            self._scratch[role] = slab
+        return slab
+
+    def close(self) -> None:
+        """Release scratch slabs (pools are shared and outlive engines)."""
+        for slab in self._scratch.values():
+            slab.release()
+        self._scratch.clear()
+
+    # -- the affine doubling scan ---------------------------------------
+    def prefix_values(self, values: Sequence[Any]) -> Optional[List[Any]]:
+        """Inclusive running ring-sums of ``values`` via the doubling
+        scan (the §3 parallel-prefix phase), or ``None`` when the
+        sequential fold must be used instead.
+
+        Eligible only for *exact* vector rings (``Z`` under the proven
+        overflow bound, ``Z/p``): there the scan's bracketing equals the
+        sequential fold outright, so callers can swap it in without
+        changing a single answer.  Floats are never eligible — IEEE
+        addition is not associative and the reference backend folds
+        sequentially.
+        """
+        if not self.enabled:
+            return None
+        vec = self.vec
+        if vec.modulus is None and vec.guard is None:
+            return None  # float ring: scan ≠ sequential fold bitwise
+        k = len(values)
+        if k < PREFIX_SCAN_CUTOFF and not self.force_offload:
+            return None
+        try:
+            b = _np.asarray(values, dtype=vec.dtype)
+        except (OverflowError, TypeError, ValueError):
+            return None  # unboxable operands: stay on the exact fold
+        if b.size != k or b.ndim != 1:
+            return None
+        if vec.modulus is None:
+            # Exact-sum bound: every partial sum is ≤ k·max|v|; keep the
+            # whole scan below the sentinel-free storable range.
+            m = max(abs(int(b.max(initial=0))), abs(int(b.min(initial=0))))
+            if m * k >= STORE_MAX:
+                return None
+        out = self._scan(b)
+        if vec.modulus is not None:
+            return [int(x) for x in out.tolist()]
+        return out.tolist()
+
+    def _scan(self, b) -> Any:
+        """Double-buffered affine doubling scan with slope 1 (prefix
+        sums).  Chunked across the pool per stride when big enough."""
+        n = int(b.size)
+        mod = self.vec.modulus
+        sa = self._scratch_pair("sa", n).array
+        sb = self._scratch_pair("sb", n).array
+        da = self._scratch_pair("da", n).array
+        db = self._scratch_pair("db", n).array
+        sa[:n] = 1
+        da[:n] = 1
+        sb[:n] = b
+        src_b, dst_b = sb, db
+        src_a, dst_a = sa, da
+        src_roles, dst_roles = ("sa", "sb"), ("da", "db")
+        stride = 1
+        while stride < n:
+            active = n - stride
+            offload = self._should_offload(active)
+            done = False
+            if offload:
+                pool = self._ready_pool()
+                if pool is not None:
+                    done = self._offload_scan(
+                        pool, src_roles, dst_roles, stride, n, mod
+                    )
+            if not done:
+                self.stats["inline_rounds"] += 1
+                _compose_range(
+                    src_a, src_b, dst_a, dst_b, stride, stride, n, mod
+                )
+            dst_a[:stride] = src_a[:stride]
+            dst_b[:stride] = src_b[:stride]
+            # -- commit: swap buffers only after the barrier ------------
+            src_a, dst_a = dst_a, src_a
+            src_b, dst_b = dst_b, src_b
+            src_roles, dst_roles = dst_roles, src_roles
+            stride <<= 1
+        return src_b[:n].copy()
+
+    def _ways(self, alive_count: int) -> int:
+        if not self.chunk_jitter:
+            return alive_count
+        return max(1, alive_count + (self.chunk_jitter % 3) - 1)
+
+    def _offload_scan(
+        self, pool, src_roles, dst_roles, stride, n, mod
+    ) -> bool:
+        alive = pool.alive_workers
+        chunks = self._partition(stride, n, self._ways(len(alive)))
+        specs = {
+            "sa": self._scratch[src_roles[0]].spec(),
+            "sb": self._scratch[src_roles[1]].spec(),
+            "da": self._scratch[dst_roles[0]].spec(),
+            "db": self._scratch[dst_roles[1]].spec(),
+        }
+        if any(s is None for s in specs.values()):
+            return False  # anonymous fallback slabs: inline only
+        redo: List[Tuple[int, int]] = []
+        for i, (lo, hi) in enumerate(chunks):
+            worker = alive[i % len(alive)]
+            if not pool.submit(worker, ("scan", specs, stride, lo, hi, mod)):
+                redo.append((lo, hi))  # dead before send: redo inline
+        lost = self._round_lost(pool, dead_submits=len(redo))
+        redo.extend((msg[3], msg[4]) for _, msg in lost)
+        if redo:
+            src_a = self._scratch[src_roles[0]].array
+            src_b = self._scratch[src_roles[1]].array
+            dst_a = self._scratch[dst_roles[0]].array
+            dst_b = self._scratch[dst_roles[1]].array
+            for lo, hi in redo:
+                _compose_range(src_a, src_b, dst_a, dst_b, stride, lo, hi, mod)
+            self.stats["recovered_chunks"] += len(redo)
+        self.stats["offloaded_chunks"] += len(chunks) - len(redo)
+        return True
+
+    # -- contraction level rounds ---------------------------------------
+    def eval_level(
+        self,
+        la_slab: SharedSlab,
+        lb_slab: SharedSlab,
+        lab_a,
+        lab_b,
+        family: str,
+        idx,
+        li,
+        ri,
+        consts,
+    ) -> None:
+        """One contraction level-family over the label slabs.
+
+        ``idx``/``li``/``ri`` are row-index arrays (outputs / left
+        inputs / right inputs); the caller has already guard-checked
+        the gathered operands, so the vector arithmetic here is exact.
+        """
+        mod = self.vec.modulus
+        size = int(idx.size)
+        if self._should_offload(size):
+            pool = self._ready_pool()
+            if pool is not None and self._offload_eval(
+                pool, la_slab, lb_slab, lab_a, lab_b,
+                family, idx, li, ri, consts, mod,
+            ):
+                return
+        self.stats["inline_rounds"] += 1
+        _eval_family(lab_a, lab_b, family, idx, li, ri, consts, mod)
+
+    def _offload_eval(
+        self, pool, la_slab, lb_slab, lab_a, lab_b,
+        family, idx, li, ri, consts, mod,
+    ) -> bool:
+        la_spec, lb_spec = la_slab.spec(), lb_slab.spec()
+        if la_spec is None or lb_spec is None:
+            return False
+        specs = {"la": la_spec, "lb": lb_spec}
+        alive = pool.alive_workers
+        chunks = self._partition(0, int(idx.size), self._ways(len(alive)))
+        redo: List[Tuple[int, int]] = []
+        bounds: Dict[int, Tuple[int, int]] = {}
+        for i, (lo, hi) in enumerate(chunks):
+            worker = alive[i % len(alive)]
+            msg = (
+                "eval", specs, family, idx[lo:hi], li[lo:hi], ri[lo:hi],
+                None if consts is None else consts[lo:hi], mod,
+            )
+            if pool.submit(worker, msg):
+                bounds[id(msg)] = (lo, hi)
+            else:
+                redo.append((lo, hi))  # dead before send: redo inline
+        lost = self._round_lost(pool, dead_submits=len(redo))
+        redo.extend(bounds[id(msg)] for _, msg in lost)
+        for lo, hi in redo:
+            # Level inputs are strictly lower-level rows, never written
+            # by this round — recomputing the chunk is idempotent.
+            _eval_family(
+                lab_a, lab_b, family, idx[lo:hi], li[lo:hi], ri[lo:hi],
+                None if consts is None else consts[lo:hi], mod,
+            )
+        if redo:
+            self.stats["recovered_chunks"] += len(redo)
+        self.stats["offloaded_chunks"] += len(chunks) - len(redo)
+        return True

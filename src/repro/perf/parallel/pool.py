@@ -1,0 +1,303 @@
+"""The persistent worker-process pool behind ``backend="parallel"``.
+
+One pool holds N long-lived worker processes (``spawn`` context — the
+only start method that is identical across Linux/macOS/Windows and safe
+with threads; DESIGN.md §11 discusses the fork trade-off).  The master
+talks to each worker over a private pipe with a strict request/ACK
+protocol; a *round* sends one chunk message per worker and then blocks
+at the commit barrier until every chunk ACKs, so worker writes never
+interleave with master reads.
+
+Workers execute two kernel families over attached shared slabs
+(:mod:`~repro.perf.parallel.slab`):
+
+* ``scan`` — one doubling-scan stride of affine composition
+  ``(A,B) ∘ (C,D) = (A·C, A·D + B)`` from a source buffer pair into a
+  destination pair (double-buffered, so a half-written destination can
+  always be recomputed from the intact source);
+* ``eval`` — one contraction level-family
+  (rake-add/rake-add-const/rake-mul/compress) gather→compute→scatter
+  over the label slabs at master-provided row indices.
+
+Chunks partition each round's active range contiguously and disjointly,
+so the per-round merge is conflict-free by construction (the COMMON
+policy of the PRAM model holds trivially; the engine's commit barrier
+re-checks disjointness).  All arithmetic is the exact vectorized form
+of :class:`~repro.perf.kernels.NumpyKernels` — the master only offloads
+ranges it has already guard-checked, so results are bit-for-bit what
+the flat backend computes.
+
+A worker that dies mid-round (crash, OOM-kill, test-injected
+``_crash``) surfaces as :class:`DeadWorkerError` — the process-level
+realization of the PR 5 ``dead-processor`` fault.  The engine either
+recomputes the lost chunk inline and retires the worker (default) or
+propagates the error to the resilience ladder.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...errors import ResilienceError
+from .slab import SharedSlab
+
+try:  # pragma: no cover - the image bakes numpy in
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["DeadWorkerError", "WorkerPool", "get_pool", "shutdown_pools"]
+
+
+class DeadWorkerError(ResilienceError):
+    """A pool worker died mid-round — the process-level instance of the
+    resilience layer's ``dead-processor`` fault (repro.resilience.faults).
+    """
+
+
+def _apply_mod(arr, modulus: Optional[int]):
+    return arr if modulus is None else arr % modulus
+
+
+def _compose_range(src_a, src_b, dst_a, dst_b, stride, lo, hi, modulus):
+    """``out[i] = cur[i] ∘ cur[i-stride]`` for ``i`` in ``[lo, hi)`` —
+    the exact expression order of :meth:`NumpyKernels.compress`."""
+    a = src_a[lo:hi]
+    b = src_b[lo:hi]
+    c = src_a[lo - stride : hi - stride]
+    d = src_b[lo - stride : hi - stride]
+    dst_a[lo:hi] = _apply_mod(a * c, modulus)
+    dst_b[lo:hi] = _apply_mod(_apply_mod(a * d, modulus) + b, modulus)
+
+
+def _eval_family(lab_a, lab_b, family, idx, li, ri, consts, modulus):
+    """One contraction level-family over the label arrays, mirroring
+    :class:`~repro.perf.kernels.NumpyKernels` expression-for-expression.
+    Writes only rows in ``idx`` (disjoint across chunks)."""
+    if family == "cmp":
+        a = lab_a[li]
+        b = lab_b[li]
+        c = lab_a[ri]
+        d = lab_b[ri]
+        lab_a[idx] = _apply_mod(a * c, modulus)
+        lab_b[idx] = _apply_mod(_apply_mod(a * d, modulus) + b, modulus)
+        return
+    bb = lab_b[li]
+    cc = lab_a[ri]
+    dd = lab_b[ri]
+    if family == "mul":
+        lab_a[idx] = _apply_mod(cc * bb, modulus)
+        lab_b[idx] = dd
+        return
+    if family == "addc":
+        bb = _apply_mod(bb + consts, modulus)
+    lab_a[idx] = cc
+    lab_b[idx] = _apply_mod(_apply_mod(cc * bb, modulus) + dd, modulus)
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - separate process
+    """Worker loop: attach slabs on demand, run chunks, ACK each one."""
+    attached: Dict[str, SharedSlab] = {}
+
+    def view(spec):
+        slab = attached.get(spec["name"])
+        if slab is None or slab.length != spec["length"]:
+            if slab is not None:
+                slab.detach()
+            slab = SharedSlab.attach(spec)
+            attached[spec["name"]] = slab
+        return slab.array
+
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "ping":
+                conn.send(("ok", os.getpid()))
+            elif kind == "scan":
+                _, specs, stride, lo, hi, modulus = msg
+                _compose_range(
+                    view(specs["sa"]), view(specs["sb"]),
+                    view(specs["da"]), view(specs["db"]),
+                    stride, lo, hi, modulus,
+                )
+                conn.send(("ok", (lo, hi)))
+            elif kind == "eval":
+                _, specs, family, idx, li, ri, consts, modulus = msg
+                _eval_family(
+                    view(specs["la"]), view(specs["lb"]),
+                    family, idx, li, ri, consts, modulus,
+                )
+                conn.send(("ok", (int(idx[0]), len(idx))))
+            elif kind == "_crash":
+                os._exit(17)  # test hook: simulate a dying processor
+            elif kind == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("err", f"unknown op {kind!r}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        for slab in attached.values():
+            slab.detach()
+        conn.close()
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "alive")
+
+    def __init__(self, ctx) -> None:
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+        self.proc.start()
+        child.close()
+        self.alive = True
+
+    def stop(self) -> None:
+        if self.alive:
+            try:
+                self.conn.send(("close",))
+                self.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+        self.alive = False
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover - stuck worker
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+
+
+class WorkerPool:
+    """N persistent spawn-context workers with a barrier-round protocol.
+
+    ``submit`` fans chunk messages out; ``barrier`` collects one ACK per
+    submitted chunk and reports which workers died instead of ACKing.
+    Dead workers are retired (their chunks re-run inline by the engine);
+    :meth:`ensure` respawns them before the next round.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.size = max(1, int(workers))
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: List[Optional[_Worker]] = [None] * self.size
+        self._pending: List[Tuple[int, Any]] = []
+        self.deaths = 0  # lifetime dead-worker count (observability)
+
+    # -- lifecycle -------------------------------------------------------
+    def ensure(self) -> None:
+        """Spawn (or respawn) every worker slot and verify liveness."""
+        for i in range(self.size):
+            w = self._workers[i]
+            if w is None or not w.alive or not w.proc.is_alive():
+                if w is not None:
+                    w.stop()
+                self._workers[i] = _Worker(self._ctx)
+        self.ping()
+
+    def ping(self) -> None:
+        for i, w in enumerate(self._workers):
+            if w is None or not w.alive:
+                continue
+            try:
+                w.conn.send(("ping",))
+                w.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                w.alive = False
+                self.deaths += 1
+
+    @property
+    def alive_workers(self) -> List[int]:
+        return [
+            i for i, w in enumerate(self._workers)
+            if w is not None and w.alive
+        ]
+
+    def terminate_worker(self, i: int) -> None:
+        """Test hook: hard-kill worker ``i`` (simulates a dead processor)."""
+        w = self._workers[i]
+        if w is not None and w.alive:
+            try:
+                w.conn.send(("_crash",))
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                pass
+            w.proc.join(timeout=5)
+
+    def close(self) -> None:
+        for w in self._workers:
+            if w is not None:
+                w.stop()
+        self._workers = [None] * self.size
+
+    # -- rounds ----------------------------------------------------------
+    def submit(self, worker: int, msg: Tuple) -> bool:
+        """Send one chunk message; False if the worker is already dead."""
+        w = self._workers[worker]
+        if w is None or not w.alive:
+            return False
+        try:
+            w.conn.send(msg)
+        except (OSError, BrokenPipeError):
+            w.alive = False
+            self.deaths += 1
+            return False
+        self._pending.append((worker, msg))
+        return True
+
+    def barrier(self) -> List[Tuple[int, Tuple]]:
+        """The round's commit barrier: wait for every pending ACK.
+
+        Returns the list of ``(worker, message)`` chunks whose worker
+        died before ACKing (empty = clean round).  Dead workers are
+        marked and skipped in future rounds until :meth:`ensure`.
+        """
+        lost: List[Tuple[int, Tuple]] = []
+        for worker, msg in self._pending:
+            w = self._workers[worker]
+            assert w is not None
+            if not w.alive:
+                lost.append((worker, msg))
+                continue
+            try:
+                status, detail = w.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                w.alive = False
+                self.deaths += 1
+                lost.append((worker, msg))
+                continue
+            if status != "ok":  # pragma: no cover - protocol bug guard
+                raise ResilienceError(f"worker {worker} error: {detail}")
+        self._pending = []
+        return lost
+
+
+# ---------------------------------------------------------------------------
+# shared pool registry — structures share one pool per worker count, so
+# fuzz runs don't spawn processes per structure.
+# ---------------------------------------------------------------------------
+
+_POOLS: Dict[int, WorkerPool] = {}
+
+
+def get_pool(workers: int) -> WorkerPool:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = WorkerPool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    for pool in _POOLS.values():
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

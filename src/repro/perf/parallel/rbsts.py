@@ -1,0 +1,97 @@
+"""``ParallelRBSTS`` — the shared-slab RBSTS behind ``backend="parallel"``.
+
+A thin subclass of :class:`~repro.perf.flat_rbsts.FlatRBSTS`: every
+algorithm (splits, batch rebuilds, shortcut repair, journals) is
+inherited unchanged.  What changes is *storage and execution*:
+
+* when the summarizer's monoid is a ring-sum over an exact vector ring
+  (``Z``, ``Z/p``), the ``_summary`` column is converted in place to a
+  :class:`~repro.perf.parallel.slab.SlabColumn` over shared memory —
+  the inherited code keeps mutating it through the list protocol, and
+  worker processes can map the same bytes;
+* a :class:`~repro.perf.parallel.engine.ParallelEngine` is attached so
+  the list-prefix layer can run its §3 prefix phase as a chunked
+  doubling scan across the pool (``IncrementalListPrefix.batch_prefix``
+  consults ``tree.engine``).
+
+Because the inherited algorithms and the RNG stream are untouched,
+``backend="parallel"`` is RNG-identical and bit-for-bit equal to
+``backend="flat"`` by construction — the differential rig
+(``tests/perf/test_parallel_vs_flat.py``) replays the fuzz corpus on
+both to pin it.  Monoids without an exact vector ring simply keep the
+Python-list column and the sequential fold: same answers, no slabs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Optional
+
+from ...splitting.build import Summarizer
+from ..flat_rbsts import DEFAULT_RATIO, FlatRBSTS
+from .engine import ParallelEngine
+from .slab import SlabColumn
+
+__all__ = ["ParallelRBSTS", "default_workers", "exact_vector_ring"]
+
+_WORKERS_ENV = "REPRO_PARALLEL_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker-pool size when the caller doesn't pass one
+    (``REPRO_PARALLEL_WORKERS``, default 2)."""
+    try:
+        return max(1, int(os.environ.get(_WORKERS_ENV, "2")))
+    except ValueError:  # pragma: no cover - bad env
+        return 2
+
+
+def exact_vector_ring(engine: ParallelEngine):
+    """The engine's vector ring if it is *exact* (int64 ``Z`` / ``Z/p``),
+    else ``None``.  Float rings never get slab columns: their ``None``
+    encoding would collide with legitimate NaN summaries."""
+    vec = engine.vec
+    if vec is None or (vec.modulus is None and vec.guard is None):
+        return None
+    return vec
+
+
+class ParallelRBSTS(FlatRBSTS):
+    """Struct-of-arrays RBSTS with shared-memory summary column and an
+    attached worker-pool engine (``RBSTS(items, backend="parallel")``)."""
+
+    def __init__(
+        self,
+        items: Iterable[Any],
+        *,
+        seed: int = 0,
+        summarizer: Optional[Summarizer] = None,
+        ratio: float = DEFAULT_RATIO,
+        workers: Optional[int] = None,
+        force_offload: bool = False,
+    ) -> None:
+        super().__init__(items, seed=seed, summarizer=summarizer, ratio=ratio)
+        ring = None
+        if summarizer is not None:
+            ring = getattr(summarizer.monoid, "ring", None)
+        self.engine = ParallelEngine(
+            ring,
+            workers=default_workers() if workers is None else workers,
+            force_offload=force_offload,
+        )
+        vec = exact_vector_ring(self.engine)
+        if vec is not None:
+            # In-place storage swap: all inherited code (and the
+            # FlatJournal) keeps using the column via the list protocol.
+            self._summary = SlabColumn.from_list(
+                list(self._summary), dtype=vec.dtype, modulus=vec.modulus
+            )
+
+    def close(self) -> None:
+        """Release the summary slab and engine scratch slabs (the GC
+        finalizers would get there eventually; tests want it now)."""
+        if isinstance(self._summary, SlabColumn):
+            col = self._summary
+            self._summary = list(col)  # keep the tree readable
+            col.release()
+        self.engine.close()

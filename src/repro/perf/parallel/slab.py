@@ -1,0 +1,395 @@
+"""Shared-memory column slabs for ``backend="parallel"`` (DESIGN.md §11).
+
+The flat backends store structure as parallel Python-list columns; this
+module provides the two pieces that let *numeric* columns live in
+``multiprocessing.shared_memory`` instead:
+
+* :class:`SharedSlab` — one named shared-memory segment viewed as a
+  NumPy array, with create/attach/close/unlink lifecycle and a
+  process-local leak registry (:func:`live_segments`) so tests can
+  assert every segment is released, including on exception paths.
+* :class:`SlabColumn` — a growable list-protocol column backed by a
+  :class:`SharedSlab`.  It is a drop-in replacement for the Python-list
+  columns of :class:`~repro.perf.flat_rbsts.FlatRBSTS` /
+  :class:`~repro.perf.flat_contraction.FlatContraction`: ``append`` /
+  ``extend`` / indexing / ``del col[n:]`` all behave identically, so the
+  transactional journals (:mod:`repro.transactions`) cover slab-backed
+  columns through the exact same pre-image/truncate protocol as list
+  columns — no journal changes needed, and the rollback tests pin it.
+
+Exactness contract: the storable range is ``|v| <= 2**62`` for int64
+columns.  ``None`` (an unevaluated or swept label) and out-of-range
+Python ints are *boxed*: the array cell holds a sentinel far outside
+the storable range and the real value lives in a master-side dict.
+Sentinels fail every kernel magnitude guard, so a vectorized pass can
+never silently consume a boxed cell — it falls back to the scalar path,
+which reads through ``__getitem__`` and sees the exact boxed value.
+
+When shared memory is unavailable (no ``/dev/shm``, exotic platforms)
+the slab degrades to an anonymous process-local NumPy buffer: results
+are identical, worker offload is disabled, and the backend behaves like
+``backend="flat"`` with resident arrays (the documented fallback).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import weakref
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from ...errors import InvalidParameterError, PositionError
+
+try:  # pragma: no cover - the image bakes numpy in
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+try:
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - stdlib, but be safe
+    _shm = None  # type: ignore[assignment]
+
+__all__ = [
+    "parallel_available",
+    "live_segments",
+    "SharedSlab",
+    "SlabColumn",
+    "NONE_SENTINEL",
+    "BOXED_SENTINEL",
+    "STORE_MAX",
+]
+
+#: Largest |value| stored raw in an int64 cell; bigger ints are boxed.
+#: Leaves headroom so kernel intermediates (``a*b + c*d``) of guarded
+#: operands can never collide with the sentinels.
+STORE_MAX = 1 << 62
+
+#: Array cell for a ``None`` entry (unevaluated / swept label).
+NONE_SENTINEL = -(1 << 63) + 1
+
+#: Array cell for a boxed out-of-range Python int (value in the dict).
+BOXED_SENTINEL = -(1 << 63) + 2
+
+# Process-local registry of segment names this process created and has
+# not yet unlinked — the leak check of the lifecycle tests.  Names
+# only: holding the SharedSlab itself would pin it alive and defeat
+# the weakref.finalize safety net for owners that forget release().
+_LIVE: Dict[str, None] = {}
+
+
+def parallel_available() -> bool:
+    """True when the parallel backend can use real shared memory."""
+    if _np is None or _shm is None:
+        return False
+    try:
+        seg = _shm.SharedMemory(create=True, size=64)
+    except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+        return False
+    seg.close()
+    seg.unlink()
+    return True
+
+
+def live_segments() -> List[str]:
+    """Names of shared segments created here and not yet unlinked."""
+    return sorted(_LIVE)
+
+
+# Per-process monotone counter: segment names are unique without
+# drawing entropy (pid disambiguates across processes; the create-time
+# collision retry below handles a stale same-pid leftover).
+_NAME_COUNTER = itertools.count()
+
+
+def _fresh_name() -> str:
+    return f"repro-{os.getpid()}-{next(_NAME_COUNTER)}"
+
+
+class SharedSlab:
+    """One shared-memory segment viewed as a 1-D NumPy array.
+
+    Created slabs register in the leak registry and carry a
+    ``weakref.finalize`` safety net, but owners are expected to call
+    :meth:`release` explicitly (the tests assert the registry drains).
+    """
+
+    def __init__(self, length: int, dtype: str, *, shared: bool = True) -> None:
+        if _np is None:
+            raise InvalidParameterError("SharedSlab requires numpy")
+        self.dtype = dtype
+        self.length = length
+        itemsize = _np.dtype(dtype).itemsize
+        self.name: Optional[str] = None
+        self._seg = None
+        if shared and _shm is not None:
+            seg = None
+            for _ in range(8):  # collision retry: stale same-pid names
+                try:
+                    seg = _shm.SharedMemory(
+                        create=True, size=max(1, length * itemsize),
+                        name=_fresh_name(),
+                    )
+                    break
+                except FileExistsError:
+                    continue
+                except (OSError, ValueError):
+                    break
+            if seg is not None:
+                self._seg = seg
+                self.name = seg.name
+                self.array = _np.ndarray(
+                    (length,), dtype=dtype, buffer=seg.buf
+                )
+                _LIVE[seg.name] = None
+                self._finalizer = weakref.finalize(
+                    self, SharedSlab._cleanup, seg, seg.name
+                )
+                return
+        # Anonymous fallback: identical semantics, not cross-process.
+        self.array = _np.zeros((length,), dtype=dtype)
+        self._finalizer = None
+
+    @property
+    def is_shared(self) -> bool:
+        return self._seg is not None
+
+    def spec(self) -> Optional[Dict[str, Any]]:
+        """Attachment descriptor shipped to workers (None if anonymous)."""
+        if self._seg is None:
+            return None
+        return {"name": self.name, "dtype": self.dtype, "length": self.length}
+
+    @staticmethod
+    def attach(spec: Dict[str, Any]) -> "SharedSlab":
+        """Worker-side view over an existing segment (no ownership)."""
+        slab = SharedSlab.__new__(SharedSlab)
+        slab.dtype = spec["dtype"]
+        slab.length = spec["length"]
+        seg = _shm.SharedMemory(name=spec["name"])
+        slab._seg = seg
+        slab.name = seg.name
+        slab.array = _np.ndarray(
+            (slab.length,), dtype=slab.dtype, buffer=seg.buf
+        )
+        slab._finalizer = None  # attachments never unlink
+        return slab
+
+    def detach(self) -> None:
+        """Close a worker-side attachment without unlinking."""
+        if self._seg is not None:
+            self.array = None
+            self._seg.close()
+            self._seg = None
+
+    @staticmethod
+    def _cleanup(seg, name: str) -> None:
+        try:
+            seg.close()
+            seg.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        _LIVE.pop(name, None)
+
+    def release(self) -> None:
+        """Close and unlink the owned segment (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        elif self._seg is not None:  # pragma: no cover - attach misuse
+            self.detach()
+        self.array = None
+
+
+class SlabColumn:
+    """A growable column over a :class:`SharedSlab`, list-compatible.
+
+    Supports exactly the operations the flat backends perform on their
+    Python-list columns (``append``/``extend``/``+=``/get/set/
+    ``del col[n:]``/``len``/iteration), so it can replace a column
+    in-place — including under :class:`~repro.transactions.FlatJournal`,
+    whose slot pre-images and epoch truncation go through this same
+    protocol.
+    """
+
+    __slots__ = ("_slab", "_n", "_dtype", "_modulus", "_boxed", "_is_float")
+
+    def __init__(
+        self,
+        dtype: str = "int64",
+        *,
+        modulus: Optional[int] = None,
+        capacity: int = 64,
+    ) -> None:
+        self._dtype = dtype
+        self._modulus = modulus
+        self._is_float = dtype == "float64"
+        self._slab = SharedSlab(max(64, capacity), dtype)
+        self._n = 0
+        self._boxed: Dict[int, Any] = {}
+
+    @classmethod
+    def from_list(
+        cls, values: Iterable[Any], dtype: str = "int64",
+        *, modulus: Optional[int] = None,
+    ) -> "SlabColumn":
+        values = list(values)
+        col = cls(dtype, modulus=modulus, capacity=max(64, len(values)))
+        col.extend(values)
+        return col
+
+    # -- storage ---------------------------------------------------------
+    @property
+    def data(self):
+        """The live NumPy view (first ``len(self)`` cells)."""
+        return self._slab.array[: self._n]
+
+    @property
+    def slab(self) -> SharedSlab:
+        return self._slab
+
+    @property
+    def has_boxed(self) -> bool:
+        """True when some cell holds a sentinel (vector passes must
+        rely on the magnitude guards, which sentinels always fail)."""
+        return bool(self._boxed) or (
+            self._is_float and bool(_np.isnan(self.data).any())
+        )
+
+    def release(self) -> None:
+        self._slab.release()
+
+    def _grow_to(self, need: int) -> None:
+        cap = self._slab.length
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        fresh = SharedSlab(cap, self._dtype)
+        fresh.array[: self._n] = self._slab.array[: self._n]
+        self._slab.release()
+        self._slab = fresh
+
+    # -- element codec ---------------------------------------------------
+    def _store(self, i: int, v: Any) -> None:
+        arr = self._slab.array
+        if v is None:
+            arr[i] = _np.nan if self._is_float else NONE_SENTINEL
+            self._boxed.pop(i, None)
+            return
+        if self._is_float:
+            arr[i] = v
+            self._boxed.pop(i, None)
+            return
+        if -STORE_MAX <= v <= STORE_MAX:
+            arr[i] = v
+            self._boxed.pop(i, None)
+        else:
+            arr[i] = BOXED_SENTINEL
+            self._boxed[i] = v
+
+    def _load(self, i: int) -> Any:
+        if self._is_float:
+            x = float(self._slab.array[i])
+            return None if x != x else x
+        x = int(self._slab.array[i])
+        if x == NONE_SENTINEL:
+            return None
+        if x == BOXED_SENTINEL:
+            return self._boxed[i]
+        return x
+
+    # -- list protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[Any]:
+        return (self._load(i) for i in range(self._n))
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self._load(j) for j in range(*i.indices(self._n))]
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise PositionError(f"column index {i} out of range")
+        return self._load(i)
+
+    def __setitem__(self, i, v) -> None:
+        if isinstance(i, slice):
+            for j, x in zip(range(*i.indices(self._n)), v):
+                self._store(j, x)
+            return
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise PositionError(f"column index {i} out of range")
+        self._store(i, v)
+
+    def __delitem__(self, i) -> None:
+        # Only epoch truncation (``del col[n:]``) is ever used — the
+        # journal's rollback protocol (transactions.py).
+        if not isinstance(i, slice) or i.stop is not None or i.step is not None:
+            raise TypeError("SlabColumn only supports tail truncation")
+        start = i.start if i.start is not None else 0
+        if start < 0:
+            start += self._n
+        start = max(0, min(start, self._n))
+        if self._boxed:
+            for j in [j for j in self._boxed if j >= start]:
+                del self._boxed[j]
+        self._n = start
+
+    def append(self, v: Any) -> None:
+        self._grow_to(self._n + 1)
+        self._store(self._n, v)
+        self._n += 1
+
+    def extend(self, values: Iterable[Any]) -> None:
+        values = list(values)
+        k = len(values)
+        if not k:
+            return
+        self._grow_to(self._n + k)
+        base = self._n
+        arr = self._slab.array
+        done = False
+        if not self._is_float and k >= 8:
+            # Bulk path: one exact conversion when every element is a
+            # storable int; anything else falls to the scalar codec.
+            try:
+                block = _np.asarray(values, dtype=self._dtype)
+            except (OverflowError, TypeError, ValueError):
+                block = None
+            if block is not None and block.size:
+                lo, hi = int(block.min()), int(block.max())
+                if -STORE_MAX <= lo and hi <= STORE_MAX:
+                    arr[base : base + k] = block
+                    done = True
+        elif self._is_float and k >= 8 and all(
+            type(v) is float for v in values
+        ):
+            arr[base : base + k] = values
+            done = True
+        if not done:
+            for j, v in enumerate(values):
+                self._store(base + j, v)
+        self._n = base + k
+
+    def __iadd__(self, values: Iterable[Any]) -> "SlabColumn":
+        if isinstance(values, (tuple, list)) and len(values) <= 4:
+            for v in values:
+                self.append(v)
+        else:
+            self.extend(values)
+        return self
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        if isinstance(other, SlabColumn):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SlabColumn({self._dtype}, n={self._n})"

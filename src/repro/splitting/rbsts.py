@@ -92,7 +92,12 @@ class RBSTS:
         implementation; ``"flat"`` returns a
         :class:`~repro.perf.flat_rbsts.FlatRBSTS` — the struct-of-arrays
         core with the same public surface and identical seeded behaviour
-        (``tests/perf/test_flat_vs_reference.py`` pins the two op-for-op).
+        (``tests/perf/test_flat_vs_reference.py`` pins the two op-for-op);
+        ``"parallel"`` returns a
+        :class:`~repro.perf.parallel.rbsts.ParallelRBSTS` — the flat core
+        over shared-memory slabs with a worker-pool engine (``workers=``
+        kwarg; bit-for-bit equal to ``"flat"``, pinned by
+        ``tests/perf/test_parallel_vs_flat.py``).
     """
 
     def __new__(
@@ -107,6 +112,10 @@ class RBSTS:
             from ..perf.flat_rbsts import FlatRBSTS
 
             return FlatRBSTS(items, **kwargs)  # type: ignore[return-value]
+        if backend == "parallel":
+            from ..perf.parallel.rbsts import ParallelRBSTS
+
+            return ParallelRBSTS(items, **kwargs)  # type: ignore[return-value]
         if backend != "reference":
             raise InvalidParameterError(f"unknown RBSTS backend {backend!r}")
         return super().__new__(cls)

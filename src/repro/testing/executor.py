@@ -47,7 +47,11 @@ __all__ = [
 
 _RAW = 1 << 16
 
-BACKENDS = ("reference", "flat", "both")
+#: ``"both"`` runs the reference/flat twin pair (shape-signature and
+#: RNG lockstep); ``"parallel"`` runs the shared-memory worker-pool
+#: backend alone against the naive model (its bit-for-bit twin is the
+#: flat backend, pinned by ``tests/perf/test_parallel_vs_flat.py``).
+BACKENDS = ("reference", "flat", "parallel", "both")
 
 #: Upper bound on the armed crash-point index.  Batch ops hit between 2
 #: and ~15 interior crash points depending on backend and batch size, so
@@ -236,11 +240,11 @@ class _ListRunner:
         vals = initial_values(seq)
         self.model: List[Any] = list(vals)
         self.subjects: Dict[str, IncrementalListPrefix] = {}
-        for name in ("reference", "flat"):
-            if backend in (name, "both"):
-                self.subjects[name] = IncrementalListPrefix(
-                    self.monoid, vals, seed=seq.seed, backend=name
-                )
+        wanted = ("reference", "flat") if backend == "both" else (backend,)
+        for name in wanted:
+            self.subjects[name] = IncrementalListPrefix(
+                self.monoid, vals, seed=seq.seed, backend=name
+            )
         self.both = backend == "both"
         self.crash = crash_cfg  # None or (CrashController, random.Random)
         self.crashes = 0
@@ -516,11 +520,11 @@ class _ContractionRunner:
         self.seq = seq
         self.ring = FUZZ_RINGS[seq.ring]
         self.engines: Dict[str, DynamicTreeContraction] = {}
-        for name in ("reference", "flat"):
-            if backend in (name, "both"):
-                self.engines[name] = DynamicTreeContraction(
-                    self._build_tree(), seed=seq.seed, backend=name
-                )
+        wanted = ("reference", "flat") if backend == "both" else (backend,)
+        for name in wanted:
+            self.engines[name] = DynamicTreeContraction(
+                self._build_tree(), seed=seq.seed, backend=name
+            )
         self.both = backend == "both"
         oracle_cls = CONTRACTION_ORACLES[oracle]
         naive_tree = self._build_tree()
@@ -528,7 +532,9 @@ class _ContractionRunner:
             self.naive = oracle_cls(naive_tree, seed=seq.seed)
         else:
             self.naive = oracle_cls(naive_tree)
-        self.primary = self.engines.get("reference") or self.engines["flat"]
+        self.primary = self.engines.get("reference") or next(
+            iter(self.engines.values())
+        )
 
     def _build_tree(self):
         rng = random.Random(("tree", self.seq.seed).__repr__())

@@ -220,9 +220,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--ops", type=int, default=500, help="ops per sequence")
     ap.add_argument(
         "--backend",
-        choices=["reference", "flat", "both"],
+        choices=["reference", "flat", "parallel", "both"],
         default="both",
-        help="subject backends ('both' = lockstep differential)",
+        help="subject backends ('both' = lockstep differential; "
+        "'parallel' = shared-memory worker-pool backend vs the model)",
     )
     ap.add_argument(
         "--scenario",

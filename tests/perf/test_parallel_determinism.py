@@ -1,0 +1,130 @@
+"""Determinism stress: the parallel backend's answers must be a pure
+function of the workload — independent of chunk boundaries, worker
+count, offload policy, and run-to-run scheduling.
+
+The engine's ``chunk_jitter`` knob perturbs how each round's active
+range is partitioned (the only degree of freedom the pool has: chunks
+are contiguous, disjoint and exhaustive for *any* partition), so
+replaying one seeded workload under different jitter values and worker
+counts must converge to bit-identical final state.  Five repeats of
+the same configuration guard against residual nondeterminism (shared
+state across pool reuse, stale scratch slabs, attach caching).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER, modular_ring
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.listprefix.structure import IncrementalListPrefix
+from repro.perf.parallel import parallel_available, shutdown_pools
+from repro.testing.oracles import shape_signature
+from repro.trees.builders import random_tree
+from repro.trees.nodes import add_op, mul_op
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(), reason="shared_memory/numpy unavailable"
+)
+
+_P = 65537
+
+
+def teardown_module(module):
+    shutdown_pools()
+
+
+def _list_state(workers, jitter, force):
+    """One full seeded list workload; returns the complete final state."""
+    monoid = sum_monoid(INTEGER)
+    rng = random.Random(4242)
+    vals = [rng.randint(-99, 99) for _ in range(800)]
+    lp = IncrementalListPrefix(
+        monoid, vals, seed=21, backend="parallel", workers=workers
+    )
+    lp.tree.engine.chunk_jitter = jitter
+    if force:
+        lp.tree.engine.force_offload = True
+    try:
+        answers = []
+        for rnd in range(4):
+            n = len(lp)
+            lp.batch_insert([((i * 13 + rnd) % (n + 1), rnd - i) for i in range(24)])
+            n = len(lp)
+            lp.batch_set([(lp.handle_at((i * 7) % n), i - rnd) for i in range(16)])
+            idxs = sorted({(i * 5 + rnd) % n for i in range(300)})
+            answers.append(lp.batch_prefix([lp.handle_at(i) for i in idxs]))
+            lp.batch_delete([lp.handle_at(i) for i in sorted({(i * 3) % (len(lp) - 1) for i in range(12)})])
+        return (
+            answers,
+            lp.values(),
+            lp.total(),
+            lp.rng_state(),
+            shape_signature(lp.tree),
+        )
+    finally:
+        lp.tree.close()
+
+
+def test_list_state_invariant_under_chunking():
+    """5 replays spanning worker counts, jitter values and forced
+    offload all land on the identical final state."""
+    base = _list_state(workers=2, jitter=0, force=False)
+    for workers, jitter, force in (
+        (2, 0, False),  # exact repeat: run-to-run determinism
+        (2, 1, True),
+        (2, 2, True),
+        (1, 0, True),
+        (4, 1, False),
+    ):
+        state = _list_state(workers=workers, jitter=jitter, force=force)
+        assert state == base, (
+            f"final state depends on chunking (workers={workers}, "
+            f"jitter={jitter}, force_offload={force})"
+        )
+
+
+def _contraction_values(workers, jitter, force):
+    rng = random.Random(99)
+    tree = random_tree(
+        modular_ring(_P),
+        150,
+        rng,
+        values=lambda r: r.randrange(_P),
+        ops=lambda r: mul_op() if r.random() < 0.3 else add_op(),
+    )
+    engine = DynamicTreeContraction(
+        tree, seed=7, backend="parallel", workers=workers
+    )
+    engine.trace.engine.chunk_jitter = jitter
+    if force:
+        engine.trace.engine.force_offload = True
+    try:
+        out = []
+        leaves = sorted(l.nid for l in tree.leaves_in_order())
+        for rnd in range(5):
+            ups = [(nid, (nid * 17 + rnd) % _P) for nid in leaves]
+            engine.batch_set_leaf_values(ups)
+            out.append(engine.value())
+        return out, engine.rounds(), engine.pt.rng_state()
+    finally:
+        engine.trace.close()
+        engine.pt.close()
+
+
+def test_contraction_values_invariant_under_chunking():
+    base = _contraction_values(workers=2, jitter=0, force=False)
+    for workers, jitter, force in (
+        (2, 0, False),
+        (2, 1, True),
+        (2, 2, True),
+        (4, 2, True),
+    ):
+        got = _contraction_values(workers, jitter, force)
+        assert got == base, (
+            f"contraction values depend on chunking (workers={workers}, "
+            f"jitter={jitter}, force_offload={force})"
+        )

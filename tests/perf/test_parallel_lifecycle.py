@@ -1,0 +1,241 @@
+"""Shared-memory and worker-pool lifecycle: crash recovery, segment
+hygiene, and the resilience-ladder demotion story.
+
+* a worker hard-killed mid-round (``os._exit``, the process-level
+  ``dead-processor`` fault of PR 5) must not change any answer — the
+  engine recomputes the lost chunk inline from the intact source
+  buffers and retires the worker;
+* ``on_death="raise"`` surfaces :class:`DeadWorkerError` instead, and
+  the resilience ladder treats it as recoverable: a ``parallel`` rung
+  that keeps dying demotes to ``flat`` and the session completes;
+* every named SharedMemory segment this process creates must be
+  unlinked by ``close()`` — including when the workload dies by
+  exception — so repeated construct/destroy cycles cannot leak
+  ``/dev/shm`` (checked via the ``live_segments`` registry).
+
+Kill-based tests assume POSIX process semantics and are skipped on
+Windows; everything runs under the ``spawn`` start method, the only
+one that behaves identically across Linux/macOS/Windows.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import sys
+from itertools import accumulate
+
+import pytest
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.errors import RetryExhaustedError
+from repro.listprefix.structure import IncrementalListPrefix
+from repro.perf.parallel import (
+    DeadWorkerError,
+    ParallelEngine,
+    get_pool,
+    live_segments,
+    parallel_available,
+    shutdown_pools,
+)
+from repro.resilience.executor import ResiliencePolicy, ResilientListSession
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(), reason="shared_memory/numpy unavailable"
+)
+
+_posix_kill = pytest.mark.skipif(
+    sys.platform.startswith("win"),
+    reason="worker kill semantics (os._exit over a pipe) are POSIX-shaped",
+)
+
+
+def teardown_module(module):
+    shutdown_pools()
+
+
+def _values(n, seed=5):
+    rng = random.Random(seed)
+    return [rng.randint(-40, 40) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# dead workers
+# ---------------------------------------------------------------------------
+
+
+@_posix_kill
+def test_worker_crash_mid_round_is_recovered_inline():
+    vals = _values(600)
+    expect = list(accumulate(vals))
+    engine = ParallelEngine(INTEGER, workers=2, force_offload=True)
+    try:
+        assert engine.prefix_values(vals) == expect  # warm pool + slabs
+        pool = engine.pool
+        alive = pool.alive_workers
+        assert len(alive) == 2
+        before = pool.deaths
+        pool.terminate_worker(alive[0])
+        # The dead worker's chunks are recomputed inline at the commit
+        # barrier; the answer cannot change.
+        assert engine.prefix_values(vals) == expect
+        assert engine.stats["recovered_chunks"] >= 1
+        assert pool.deaths > before
+        # The next round respawns the dead slot and runs clean.
+        assert engine.prefix_values(vals) == expect
+        assert len(pool.alive_workers) == 2
+    finally:
+        engine.close()
+
+
+@_posix_kill
+def test_on_death_raise_surfaces_dead_worker_error():
+    vals = _values(600)
+    engine = ParallelEngine(
+        INTEGER, workers=2, force_offload=True, on_death="raise"
+    )
+    try:
+        assert engine.prefix_values(vals) == list(accumulate(vals))
+        pool = engine.pool
+        pool.terminate_worker(pool.alive_workers[0])
+        with pytest.raises(DeadWorkerError):
+            engine.prefix_values(vals)
+        # The engine stays usable after the error: the pool heals.
+        assert engine.prefix_values(vals) == list(accumulate(vals))
+    finally:
+        engine.close()
+
+
+def test_ladder_demotes_parallel_to_flat_on_dead_workers():
+    """A parallel rung whose pool keeps dying falls down the PR 5
+    ladder: retries exhaust, one DegradationEvent is recorded, and the
+    session completes the workload on ``flat`` with correct answers."""
+    vals = _values(300)
+    session = ResilientListSession(
+        sum_monoid(INTEGER),
+        vals,
+        seed=3,
+        policy=ResiliencePolicy(
+            max_retries=1,
+            ladder=("parallel", "flat", "reference", "sequential"),
+            detect="light",
+        ),
+    )
+    assert session.rung == "parallel"
+    checksum = session.total()
+
+    def always_dead(*_args):
+        raise DeadWorkerError("no workers survive (injected)")
+
+    # Inject the death into the supervised prefix path of the *current*
+    # (parallel) structure; the rebuilt flat structure is untouched.
+    session._structure.prefix = always_dead
+    got = session.prefix(len(vals) - 1)
+    assert got == sum(vals) == checksum
+    assert session.rung == "flat"
+    assert [(e.from_rung, e.to_rung) for e in session.events] == [
+        ("parallel", "flat")
+    ]
+    # Post-demotion operations run clean on the flat rung.
+    session.batch_set([(0, 1000)])
+    assert session.total() == sum(vals) - vals[0] + 1000
+
+
+def test_ladder_rejects_unknown_rung_but_accepts_parallel():
+    ResiliencePolicy(ladder=("parallel", "flat"))  # must not raise
+    from repro.errors import InvalidParameterError
+
+    with pytest.raises(InvalidParameterError):
+        ResiliencePolicy(ladder=("parallel", "threads"))
+
+
+def test_retry_exhaustion_at_ladder_bottom_still_raises():
+    session = ResilientListSession(
+        sum_monoid(INTEGER),
+        _values(50),
+        seed=3,
+        policy=ResiliencePolicy(
+            max_retries=0, ladder=("parallel",), detect="light"
+        ),
+    )
+
+    def always_dead(*_args):
+        raise DeadWorkerError("injected")
+
+    # DeadWorkerError is RECOVERABLE, so with zero retries and a
+    # single-rung ladder the supervisor must surface RetryExhaustedError.
+    session._structure.prefix = always_dead
+    with pytest.raises(RetryExhaustedError):
+        session.prefix(10)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory segment hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_close_unlinks_every_segment():
+    gc.collect()  # flush finalizers of earlier tests' structures
+    before = set(live_segments())
+    lp = IncrementalListPrefix(
+        sum_monoid(INTEGER), _values(400), seed=1, backend="parallel", workers=2
+    )
+    hs = [lp.handle_at(i) for i in range(0, 400, 2)]
+    lp.batch_prefix(hs)
+    assert set(live_segments()) >= before  # summary slab (+ scratch) live
+    assert len(live_segments()) > len(before)
+    lp.tree.close()
+    gc.collect()
+    assert set(live_segments()) == before, (
+        f"leaked segments: {sorted(set(live_segments()) - before)}"
+    )
+
+
+def test_exception_path_does_not_leak_segments():
+    gc.collect()
+    before = set(live_segments())
+
+    def workload():
+        lp = IncrementalListPrefix(
+            sum_monoid(INTEGER),
+            _values(300),
+            seed=2,
+            backend="parallel",
+            workers=2,
+        )
+        try:
+            lp.batch_prefix([lp.handle_at(i) for i in range(0, 300, 3)])
+            raise RuntimeError("workload dies mid-flight")
+        finally:
+            lp.tree.close()
+
+    with pytest.raises(RuntimeError):
+        workload()
+    gc.collect()
+    assert set(live_segments()) == before
+
+
+def test_gc_finalizer_is_the_safety_net():
+    """Dropping a slab-backed structure without close() must still
+    unlink its segments once the GC runs the finalizers."""
+    gc.collect()
+    before = set(live_segments())
+    lp = IncrementalListPrefix(
+        sum_monoid(INTEGER), _values(300), seed=4, backend="parallel", workers=2
+    )
+    lp.batch_prefix([lp.handle_at(i) for i in range(0, 300, 3)])
+    engine = lp.tree.engine
+    del lp
+    gc.collect()
+    engine.close()  # scratch slabs are owned by the (shared) engine
+    gc.collect()
+    assert set(live_segments()) == before
+
+
+def test_pool_registry_is_shared_per_worker_count():
+    a = get_pool(2)
+    b = get_pool(2)
+    c = get_pool(3)
+    assert a is b
+    assert a is not c

@@ -1,0 +1,263 @@
+"""SlabColumn storage semantics and journaled rollback over slabs.
+
+The parallel backend swaps the flat backends' Python-list columns for
+:class:`SlabColumn` (shared-memory int64/float64 arrays with a boxing
+codec).  Two contracts are pinned here:
+
+* **list-protocol equivalence** — every operation the flat cores
+  perform on a list column (append/extend/``+=``/get/set/slice get/
+  ``del col[n:]``/len/iter/``==``) behaves identically on a slab
+  column, including for ``None`` and ints beyond the ``|v| <= 2**62``
+  storable range (boxed through sentinels, read back exactly);
+* **journal transparency** — :class:`repro.transactions.FlatJournal`
+  needs zero slab-specific code: its tail-truncate + per-slot
+  pre-image rollback restores slab bytes in place, so a transaction
+  on a ``backend="parallel"`` structure rolls back bit-for-bit
+  (the claim cited by the :mod:`repro.transactions` docstring).
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+
+import pytest
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.errors import PositionError
+from repro.listprefix.structure import IncrementalListPrefix
+from repro.perf.parallel import (
+    BOXED_SENTINEL,
+    NONE_SENTINEL,
+    STORE_MAX,
+    SlabColumn,
+    live_segments,
+    parallel_available,
+    shutdown_pools,
+)
+from repro.testing.oracles import shape_signature
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(), reason="shared_memory/numpy unavailable"
+)
+
+
+def teardown_module(module):
+    shutdown_pools()
+
+
+# ---------------------------------------------------------------------------
+# SlabColumn: list-protocol equivalence
+# ---------------------------------------------------------------------------
+
+
+def _mirror_ops(col, ref):
+    """Apply one scripted op sequence to both containers."""
+    rng = random.Random(1234)
+    for step in range(200):
+        roll = rng.random()
+        if roll < 0.35 or not ref:
+            v = rng.choice([None, rng.randint(-50, 50), rng.randint(-50, 50)])
+            col.append(v)
+            ref.append(v)
+        elif roll < 0.55:
+            vs = [rng.randint(-9, 9) for _ in range(rng.randint(0, 12))]
+            col.extend(vs)
+            ref.extend(vs)
+        elif roll < 0.8:
+            i = rng.randrange(len(ref))
+            v = rng.choice([None, rng.randint(-99, 99)])
+            col[i] = v
+            ref[i] = v
+        else:
+            k = rng.randint(0, len(ref))
+            del col[k:]
+            del ref[k:]
+    return col, ref
+
+
+def test_list_protocol_matches_python_list():
+    col, ref = _mirror_ops(SlabColumn("int64"), [])
+    assert len(col) == len(ref)
+    assert list(col) == ref
+    assert col == ref  # __eq__ against a plain list
+    if ref:
+        assert col[0] == ref[0] and col[-1] == ref[-1]
+        assert col[1:7] == ref[1:7]
+    col.release()
+
+
+def test_iadd_matches_list_semantics():
+    col = SlabColumn("int64")
+    ref: list = []
+    col += [1, 2]  # short tuple path
+    ref += [1, 2]
+    col += list(range(40))  # bulk extend path
+    ref += list(range(40))
+    assert col == ref
+    col.release()
+
+
+def test_none_round_trips_through_sentinel():
+    col = SlabColumn.from_list([5, None, -5])
+    assert list(col) == [5, None, -5]
+    assert int(col.data[1]) == NONE_SENTINEL
+    # None is a sentinel, not a boxed value: no dict entry.
+    assert not col.has_boxed
+    col[0] = None
+    assert col[0] is None
+    col.release()
+
+
+def test_oversized_ints_are_boxed_exactly():
+    big = (1 << 200) + 12345
+    col = SlabColumn.from_list([1, big, -big, 2])
+    assert col.has_boxed
+    assert int(col.data[1]) == BOXED_SENTINEL
+    assert col[1] == big and col[2] == -big  # exact, not float-rounded
+    assert list(col) == [1, big, -big, 2]
+    # Overwriting with a storable int unboxes the cell.
+    col[1] = 7
+    assert col[1] == 7
+    assert int(col.data[1]) != BOXED_SENTINEL
+    # Boundary: |v| == STORE_MAX stays raw, one past gets boxed.
+    col.append(STORE_MAX)
+    col.append(STORE_MAX + 1)
+    assert int(col.data[4]) == STORE_MAX
+    assert int(col.data[5]) == BOXED_SENTINEL
+    assert col[5] == STORE_MAX + 1
+    col.release()
+
+
+def test_tail_truncation_drops_boxed_entries():
+    big = 1 << 100
+    col = SlabColumn.from_list([0, big, 2, big, 4])
+    del col[2:]
+    assert list(col) == [0, big]
+    # The boxed entry past the cut is gone; re-growing the column must
+    # not resurrect it.
+    col.extend([9, 9, 9])
+    assert list(col) == [0, big, 9, 9, 9]
+    with pytest.raises(TypeError):
+        del col[0]  # only tail truncation is part of the protocol
+    with pytest.raises(TypeError):
+        del col[0:2]
+    col.release()
+
+
+def test_bulk_extend_falls_back_on_unstorable_values():
+    vals = list(range(20)) + [None, 1 << 80] + list(range(20))
+    col = SlabColumn("int64")
+    col.extend(vals)  # mixed: bulk conversion fails, scalar codec runs
+    assert list(col) == vals
+    col.release()
+
+
+def test_index_errors_are_position_errors():
+    col = SlabColumn.from_list([1, 2, 3])
+    with pytest.raises(PositionError):
+        col[3]
+    with pytest.raises(PositionError):
+        col[-4] = 0
+    assert col[-1] == 3  # negative indexing still works
+    col.release()
+
+
+def test_growth_releases_the_old_segment():
+    gc.collect()
+    before = set(live_segments())
+    col = SlabColumn("int64", capacity=64)
+    col.extend(range(500))  # forces at least one grow/copy cycle
+    assert list(col) == list(range(500))
+    # Exactly one live segment per column: grown-out slabs are unlinked
+    # eagerly, not left for the GC.
+    assert len(set(live_segments()) - before) == 1
+    col.release()
+    assert set(live_segments()) == before
+
+
+def test_float_column_uses_nan_for_none():
+    col = SlabColumn("float64")
+    col.extend([1.5, None, -2.25] + [float(i) for i in range(10)])
+    assert col[0] == 1.5 and col[1] is None and col[2] == -2.25
+    assert col.has_boxed  # NaN present: vector passes must guard
+    col.release()
+
+
+# ---------------------------------------------------------------------------
+# FlatJournal over a slab-backed tree: rollback is bit-for-bit
+# ---------------------------------------------------------------------------
+
+
+def _snapshot(lp):
+    return (
+        lp.values(),
+        lp.total(),
+        lp.rng_state(),
+        shape_signature(lp.tree),
+    )
+
+
+def test_journal_rollback_restores_slab_state():
+    rng = random.Random(31)
+    vals = [rng.choice([None, rng.randint(-30, 30), 1 << 90]) or 0 for _ in range(200)]
+    lp = IncrementalListPrefix(
+        sum_monoid(INTEGER), vals, seed=6, backend="parallel", workers=2
+    )
+    try:
+        pre = _snapshot(lp)
+        journal = lp.tree._txn_begin()
+        lp.batch_insert([(i * 11 % (len(lp) + 1), 1000 + i) for i in range(20)])
+        lp.batch_set([(lp.handle_at(i * 7 % len(lp)), -i) for i in range(15)])
+        lp.batch_delete([lp.handle_at(i) for i in sorted({i * 13 % (len(lp) - 1) for i in range(10)})])
+        assert _snapshot(lp) != pre  # the batch really changed state
+        lp.tree._txn_rollback(journal)
+        lp.check_invariants()
+        assert _snapshot(lp) == pre
+        # The rolled-back structure keeps answering correctly.
+        assert lp.total() == sum(vals)
+    finally:
+        lp.tree.close()
+
+
+def test_journal_commit_keeps_slab_state():
+    vals = list(range(100))
+    lp = IncrementalListPrefix(
+        sum_monoid(INTEGER), vals, seed=6, backend="parallel", workers=2
+    )
+    try:
+        journal = lp.tree._txn_begin()
+        lp.batch_set([(lp.handle_at(0), 999)])
+        lp.tree._txn_commit(journal)
+        lp.check_invariants()
+        assert lp.total() == sum(vals) - 0 + 999
+        assert lp.values()[0] == 999
+    finally:
+        lp.tree.close()
+
+
+def test_journal_rollback_matches_flat_twin():
+    """After an aborted transaction, the parallel structure is still in
+    lockstep with a flat twin that never ran the transaction at all —
+    rollback cannot leave any RNG or shape skew behind."""
+    vals = [(-1) ** i * i for i in range(150)]
+    monoid = sum_monoid(INTEGER)
+    flat = IncrementalListPrefix(monoid, vals, seed=8, backend="flat")
+    par = IncrementalListPrefix(
+        monoid, vals, seed=8, backend="parallel", workers=2
+    )
+    try:
+        journal = par.tree._txn_begin()
+        par.batch_insert([(3, 77), (9, -77)])
+        par.tree._txn_rollback(journal)
+        # Post-rollback, both twins receive the same op stream.
+        for lp in (flat, par):
+            lp.batch_insert([(5, 11), (50, -11)])
+            lp.batch_set([(lp.handle_at(2), 42)])
+        assert par.values() == flat.values()
+        assert par.total() == flat.total()
+        assert par.rng_state() == flat.rng_state()
+        assert shape_signature(par.tree) == shape_signature(flat.tree)
+    finally:
+        par.tree.close()

@@ -1,0 +1,316 @@
+"""Differential process-pool rig: ``backend="parallel"`` pinned
+bit-for-bit against ``backend="flat"`` (the PR 7 tentpole contract).
+
+The parallel backend inherits every algorithm and the RNG stream from
+the flat core — only storage (shared slabs) and execution (worker-pool
+chunks) change — so for the same seed and op stream the two must agree
+on *everything*: tree shapes, summaries, master-RNG state, batch
+statistics, prefix answers.  These tests replay PR 2 fuzzer-generated
+op sequences on both backends in lockstep at 1/2/4 workers, plus a
+forced-offload pass (``REPRO_PARALLEL_OFFLOAD=force``) that pushes
+every eligible round through real worker IPC regardless of size.
+
+The contraction twin (``DynamicTreeContraction`` level batches) is
+pinned the same way over value/grow/prune rounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER, modular_ring
+from repro.contraction.dynamic import DynamicTreeContraction
+from repro.listprefix.structure import IncrementalListPrefix
+from repro.perf.parallel import parallel_available, shutdown_pools
+from repro.testing.executor import initial_values
+from repro.testing.generator import generate
+from repro.testing.oracles import shape_signature
+from repro.testing.ops import FUZZ_RINGS, norm_value
+from repro.trees.builders import random_tree
+from repro.trees.nodes import add_op, mul_op
+
+WORKERS = (1, 2, 4)
+SEQ_SEEDS = (0, 1, 2, 3)
+_RAW = 1 << 16
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(), reason="shared_memory/numpy unavailable"
+)
+
+
+def teardown_module(module):
+    shutdown_pools()
+
+
+# ---------------------------------------------------------------------------
+# lockstep list-scenario replay
+# ---------------------------------------------------------------------------
+
+
+class _Lockstep:
+    """Apply one normalized op stream to N subjects simultaneously and
+    compare them bit-for-bit after every step.
+
+    Positions are normalised against a single model-length counter, so
+    every subject receives *identical* requests — any divergence is a
+    backend bug, not a driver artifact.
+    """
+
+    def __init__(self, seq, subjects):
+        self.ring = seq.ring
+        self.subjects = subjects  # name -> IncrementalListPrefix
+        self.n = seq.n0
+
+    def _nv(self, raw):
+        return norm_value(self.ring, raw)
+
+    def apply(self, op):
+        kind, n = op[0], self.n
+        if kind == "ins":
+            pos, val = int(op[1]) % (n + 1), self._nv(op[2])
+            for lp in self.subjects.values():
+                lp.insert(pos, val)
+            self.n += 1
+        elif kind == "del":
+            if n < 2:
+                return
+            pos = int(op[1]) % n
+            for lp in self.subjects.values():
+                lp.delete(lp.handle_at(pos))
+            self.n -= 1
+        elif kind == "bins":
+            reqs = [(int(p) % (n + 1), self._nv(v)) for p, v in op[1]]
+            if not reqs:
+                return
+            for lp in self.subjects.values():
+                lp.batch_insert(list(reqs))
+            self.n += len(reqs)
+        elif kind == "bdel":
+            if n < 2:
+                return
+            idxs, seen = [], set()
+            for p in op[1]:
+                q = int(p) % n
+                if q not in seen:
+                    seen.add(q)
+                    idxs.append(q)
+            idxs = idxs[: n - 1]
+            if not idxs:
+                return
+            for lp in self.subjects.values():
+                lp.batch_delete([lp.handle_at(i) for i in idxs])
+            self.n -= len(idxs)
+        elif kind == "bset":
+            updates = [(int(p) % n, self._nv(v)) for p, v in op[1]]
+            if not updates:
+                return
+            for lp in self.subjects.values():
+                lp.batch_set([(lp.handle_at(i), v) for i, v in updates])
+        elif kind == "prefix":
+            idxs = [int(p) % n for p in op[1]]
+            if not idxs:
+                return
+            answers = {
+                name: lp.batch_prefix([lp.handle_at(i) for i in idxs])
+                for name, lp in self.subjects.items()
+            }
+            base = answers["flat"]
+            for name, got in answers.items():
+                assert got == base, (
+                    f"batch_prefix diverged on {name}: {got!r} != {base!r}"
+                )
+        elif kind == "range":
+            i, j = int(op[1]) % n, int(op[2]) % n
+            if i > j:
+                i, j = j, i
+            answers = {
+                name: lp.range_fold(lp.handle_at(i), lp.handle_at(j))
+                for name, lp in self.subjects.items()
+            }
+            base = answers["flat"]
+            for name, got in answers.items():
+                assert got == base, f"range_fold diverged on {name}"
+        elif kind == "activate":
+            return  # covered by the flat-vs-reference rig; no-op here
+        else:  # pragma: no cover - generator never emits others
+            raise AssertionError(f"unknown op kind {kind!r}")
+
+    def audit(self, deep: bool) -> None:
+        flat = self.subjects["flat"]
+        base_rng = flat.rng_state()
+        base_total = flat.total()
+        base_stats = dict(flat.tree.last_batch_stats)
+        base_sig = shape_signature(flat.tree) if deep else None
+        for name, lp in self.subjects.items():
+            if name == "flat":
+                continue
+            assert lp.rng_state() == base_rng, (
+                f"{name}: master-RNG stream diverged from flat"
+            )
+            assert lp.total() == base_total, f"{name}: total() diverged"
+            assert dict(lp.tree.last_batch_stats) == base_stats, (
+                f"{name}: last_batch_stats diverged"
+            )
+            if deep:
+                assert shape_signature(lp.tree) == base_sig, (
+                    f"{name}: shape signature diverged from flat"
+                )
+                lp.check_invariants()
+
+
+def _close_all(subjects):
+    for name, lp in subjects.items():
+        if name != "flat":
+            lp.tree.close()
+
+
+def _run_lockstep(seq, workers=WORKERS, audit_every=4):
+    monoid = sum_monoid(FUZZ_RINGS[seq.ring])
+    vals = initial_values(seq)
+    subjects = {
+        "flat": IncrementalListPrefix(
+            monoid, vals, seed=seq.seed, backend="flat"
+        )
+    }
+    for w in workers:
+        subjects[f"parallel-w{w}"] = IncrementalListPrefix(
+            monoid, vals, seed=seq.seed, backend="parallel", workers=w
+        )
+    step = _Lockstep(seq, subjects)
+    try:
+        step.audit(deep=True)
+        for i, op in enumerate(seq.ops):
+            step.apply(op)
+            step.audit(deep=(i % audit_every == 0))
+        step.audit(deep=True)
+    finally:
+        _close_all(subjects)
+
+
+@pytest.mark.parametrize("seed", SEQ_SEEDS)
+def test_fuzz_sequences_lockstep(seed):
+    seq = generate("list", seed, 60)
+    _run_lockstep(seq)
+
+
+def test_batch_heavy_profile_lockstep():
+    seq = generate("list", 11, 40, profile="batch")
+    _run_lockstep(seq)
+
+
+def test_forced_offload_lockstep(monkeypatch):
+    """Every eligible scan goes through real worker IPC (no inline
+    shortcut) and the answers still match flat bit-for-bit."""
+    monkeypatch.setenv("REPRO_PARALLEL_OFFLOAD", "force")
+    seq = generate("list", 5, 30)
+    _run_lockstep(seq, workers=(2,), audit_every=2)
+
+
+def test_large_prefix_batches_hit_the_scan():
+    """Wide query batches (above the scan cutoffs) answer identically
+    on flat (vectorized doubling scan) and parallel (chunked pool
+    scan); the running-fold loop is the reference for both."""
+    monoid = sum_monoid(INTEGER)
+    rng = random.Random(77)
+    vals = [rng.randint(-50, 50) for _ in range(3000)]
+    flat = IncrementalListPrefix(monoid, vals, seed=9, backend="flat")
+    par = IncrementalListPrefix(
+        monoid, vals, seed=9, backend="parallel", workers=2
+    )
+    try:
+        idxs = sorted(rng.sample(range(3000), 600))
+        a = flat.batch_prefix([flat.handle_at(i) for i in idxs])
+        b = par.batch_prefix([par.handle_at(i) for i in idxs])
+        assert a == b
+        # Naive oracle on a spot-check subset.
+        acc, pos, naive = 0, 0, {}
+        for i, v in enumerate(vals):
+            acc += v
+            naive[i] = acc
+        assert a == [naive[i] for i in idxs]
+    finally:
+        par.tree.close()
+
+
+# ---------------------------------------------------------------------------
+# contraction twin
+# ---------------------------------------------------------------------------
+
+_P = 10007
+
+
+def _expr_tree(n, seed):
+    rng = random.Random(seed)
+    return random_tree(
+        modular_ring(_P),
+        n,
+        rng,
+        values=lambda r: r.randrange(_P),
+        ops=lambda r: mul_op() if r.random() < 0.3 else add_op(),
+    )
+
+
+def test_contraction_rounds_lockstep():
+    """Value/grow/prune rounds on flat vs parallel: same values, same
+    RNG stream, same round counts (the heal-schedule cache and the
+    offloaded eval must be invisible)."""
+    rng = random.Random(13)
+    flat = DynamicTreeContraction(_expr_tree(96, 4), seed=2, backend="flat")
+    par = DynamicTreeContraction(
+        _expr_tree(96, 4), seed=2, backend="parallel", workers=2
+    )
+    try:
+        for rnd in range(6):
+            leaves = [l.nid for l in flat.tree.leaves_in_order()]
+            ups = [
+                (nid, (nid * 7 + rnd) % _P)
+                for nid in sorted(rng.sample(leaves, len(leaves) // 2))
+            ]
+            assert flat.batch_set_leaf_values(ups) == par.batch_set_leaf_values(ups)
+            if rnd % 2 == 0:
+                grow = [
+                    (nid, add_op(), 1 + rnd, 2)
+                    for nid in sorted(rng.sample(leaves, 4))
+                ]
+                assert flat.batch_grow(grow) == par.batch_grow(grow)
+            assert flat.value() == par.value()
+            assert flat.rounds() == par.rounds()
+            assert flat.pt.rng_state() == par.pt.rng_state()
+            flat.check_consistency()
+            par.check_consistency()
+    finally:
+        par.trace.close()
+        par.pt.close()
+
+
+def test_contraction_repeated_rounds_use_cached_schedule():
+    """The E14 shape: identical token sets round after round — the
+    cached heal schedule must keep answers equal to a fresh flat run
+    on every round (cache staleness would diverge immediately)."""
+    flat = DynamicTreeContraction(_expr_tree(200, 8), seed=3, backend="flat")
+    par = DynamicTreeContraction(
+        _expr_tree(200, 8), seed=3, backend="parallel", workers=2
+    )
+    try:
+        leaves = sorted(l.nid for l in flat.tree.leaves_in_order())
+        for rnd in range(5):
+            ups = [(nid, (nid * 11 + rnd * 3) % _P) for nid in leaves]
+            flat.batch_set_leaf_values(ups)
+            par.batch_set_leaf_values(ups)
+            assert flat.value() == par.value()
+        # A structural change must invalidate the cached schedule.
+        grow = [(leaves[0], mul_op(), 5, 6)]
+        flat.batch_grow(grow)
+        par.batch_grow(grow)
+        for rnd in range(2):
+            leaves2 = sorted(l.nid for l in flat.tree.leaves_in_order())
+            ups = [(nid, (nid + rnd) % _P) for nid in leaves2]
+            flat.batch_set_leaf_values(ups)
+            par.batch_set_leaf_values(ups)
+            assert flat.value() == par.value()
+    finally:
+        par.trace.close()
+        par.pt.close()
