@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-perf bench bench-smoke bench-regress regress lint \
         fuzz-smoke fuzz-selftest fuzz-crash fuzz-faults fuzz-parallel \
-        corpus-replay clean
+        fuzz-snapshots corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
 test:
@@ -98,6 +98,16 @@ fuzz-crash:
 fuzz-faults:
 	$(PYTHON) -m repro.resilience.fuzz --seed 0 --runs 200 --ops 40 \
 		--no-save --require-coverage
+
+## Snapshot fuzzing (the PR 8 CI load): seeded crash + corruption
+## programs over the unified snapshot save/restore pipeline — the
+## differential rig (capture -> mutate -> restore -> replay), save
+## atomicity under injected crashes, torn-restore re-restore, and
+## corrupted-file recovery with taxonomy errors.  --require-coverage
+## asserts every exercise class (including fired save and restore
+## crashes) appears across the runs.  See TESTING.md.
+fuzz-snapshots:
+	$(PYTHON) -m repro.snapshots.fuzz --seed 0 --runs 96 --require-coverage
 
 ## Replay every pinned regression reproducer in tests/corpus/.
 corpus-replay:

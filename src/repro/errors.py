@@ -53,6 +53,10 @@ __all__ = [
     "RepairFailedError",
     "RetryExhaustedError",
     "BudgetExceededError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotChecksumError",
+    "SnapshotStateError",
     "STRUCTURE_REASONS",
     "HANDLE_REASONS",
     "RequestRejection",
@@ -275,6 +279,43 @@ class BudgetExceededError(ReproError, TimeoutError):
         super().__init__(message)
         self.budget = budget
         self.spent = spent
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / persistence layer (PR 8).
+# ---------------------------------------------------------------------------
+
+
+class SnapshotError(ReproError):
+    """Base class for errors raised by the unified snapshot layer
+    (:mod:`repro.snapshots`): capture, restore, and versioned
+    persistence."""
+
+
+class SnapshotFormatError(SnapshotError, ValueError):
+    """A serialized snapshot is structurally unreadable: bad magic, a
+    truncated header or payload, malformed JSON, an unknown schema
+    version, or a value the codec cannot represent.  Subclasses
+    ``ValueError`` so generic parse-failure handling composes."""
+
+
+class SnapshotChecksumError(SnapshotError):
+    """A serialized snapshot parsed structurally but an at-rest
+    integrity check failed: the header digest or a per-column payload
+    digest does not match its recorded checksum (torn write, bit flip,
+    or tampering).  ``column`` names the damaged section (``"header"``
+    or a column name) when known."""
+
+    def __init__(self, message: str, *, column: str = "") -> None:
+        super().__init__(message)
+        self.column = column
+
+
+class SnapshotStateError(SnapshotError):
+    """A snapshot cannot be applied to the given structure: backend
+    family mismatch, algebra/value-universe mismatch, or a handle-less
+    (loaded-from-disk) state used where live handle identity is
+    required."""
 
 
 # ---------------------------------------------------------------------------

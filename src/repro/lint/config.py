@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
+from ..snapshots.core import FLAT_SNAPSHOT_COLUMNS, REFERENCE_SNAPSHOT_FIELDS
+
 __all__ = [
     "ParityPair",
     "JournalSpec",
+    "SnapshotSpec",
     "LintConfig",
     "REPO_CONFIG",
 ]
@@ -366,6 +369,78 @@ JOURNAL_SPECS: Tuple[JournalSpec, ...] = (
 
 
 # ---------------------------------------------------------------------------
+# R004 — snapshot-coverage mode (PR 8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SnapshotSpec:
+    """One backend class whose mutated state must be *restorable via the
+    unified snapshot path* (``repro.snapshots``).
+
+    The journal mode above asks "is this mutation observed?"; the
+    snapshot mode asks the complementary question: "does the snapshot
+    restore bring this state back?".  A mutation of a column or node
+    field **outside** the declared coverage sets is state a
+    ``Snapshot.restore`` / ``SnapshotState.restore`` silently loses —
+    exactly the bug class the crash/snapshot fuzzers cannot see, because
+    their bit-for-bit audits only compare covered state.
+
+    * ``columns`` — the ``self._<col>`` containers the snapshot path
+      restores (:data:`repro.snapshots.core.FLAT_SNAPSHOT_COLUMNS` for
+      the flat family).  Any subscript store or list-mutator call on a
+      *different* private ``self._x`` container is flagged.
+    * ``node_class`` — ``(path, class)`` whose ``__slots__`` define the
+      node-field universe; fields outside ``covered_fields``
+      (:data:`repro.snapshots.core.REFERENCE_SNAPSHOT_FIELDS`) are
+      flagged when stored to.  Adding a slot to ``BSTNode`` and mutating
+      it without extending snapshot coverage fails lint.
+    * ``allowlist`` — method name -> justification for exempt sites
+      (e.g. scalar registers the snapshot captures separately).
+
+    R004 also cross-checks the crash-hook registry
+    (``testing/crashes.py``): every class with registered crash hooks
+    must be claimed by a SnapshotSpec or listed in
+    :data:`SNAPSHOT_EXEMPT` — a crash point inside an un-snapshottable
+    structure is a crash nobody can recover from.
+    """
+
+    path: str
+    class_name: str
+    columns: FrozenSet[str] = frozenset()
+    node_class: Optional[Tuple[str, str]] = None
+    covered_fields: FrozenSet[str] = frozenset()
+    allowlist: Mapping[str, str] = field(default_factory=dict)
+
+
+SNAPSHOT_SPECS: Tuple[SnapshotSpec, ...] = (
+    SnapshotSpec(
+        path="src/repro/splitting/rbsts.py",
+        class_name="RBSTS",
+        node_class=("src/repro/splitting/node.py", "BSTNode"),
+        covered_fields=REFERENCE_SNAPSHOT_FIELDS,
+    ),
+    SnapshotSpec(
+        path="src/repro/perf/flat_rbsts.py",
+        class_name="FlatRBSTS",
+        columns=FLAT_SNAPSHOT_COLUMNS,
+    ),
+    SnapshotSpec(
+        path="src/repro/perf/parallel/rbsts.py",
+        class_name="ParallelRBSTS",
+        columns=FLAT_SNAPSHOT_COLUMNS,
+    ),
+)
+
+#: Crash-hooked classes that legitimately carry no snapshot-coverable
+#: structural state.  ``SnapshotIO`` is the persistence pipeline's
+#: stage-hook seam: its crash points bracket save/restore *of* snapshots
+#: and the atomic-write / re-restore contracts are what recover from
+#: them — there is nothing for a SnapshotSpec to cover.
+SNAPSHOT_EXEMPT: FrozenSet[str] = frozenset({"SnapshotIO"})
+
+
+# ---------------------------------------------------------------------------
 # R002 — sanctioned randomness seams
 # ---------------------------------------------------------------------------
 
@@ -451,6 +526,8 @@ R001_FORBIDDEN_BUILTINS: FrozenSet[str] = frozenset(
 class LintConfig:
     parity_pairs: Tuple[ParityPair, ...] = PARITY_PAIRS
     journal_specs: Tuple[JournalSpec, ...] = JOURNAL_SPECS
+    snapshot_specs: Tuple[SnapshotSpec, ...] = SNAPSHOT_SPECS
+    snapshot_exempt: FrozenSet[str] = SNAPSHOT_EXEMPT
     crash_points_path: str = CRASH_POINTS_PATH
     rng_seams: FrozenSet[str] = RNG_SEAMS
     sanctioned_races: FrozenSet[Tuple[str, str]] = SANCTIONED_RACES

@@ -21,6 +21,17 @@ For each :class:`repro.lint.config.JournalSpec` this rule:
 3. cross-checks that every registered crash hook for the class still
    names an existing method (so a rename can't silently un-instrument
    the fuzzer).
+
+**Snapshot-coverage mode** (PR 8): the unified snapshot layer
+(``repro.snapshots``) restores a declared set of columns and node
+fields, and the crash/snapshot fuzzers' bit-for-bit audits compare
+exactly that state.  For each :class:`repro.lint.config.SnapshotSpec`
+this rule flags any structural mutation *outside* the covered sets — a
+subscript store / list-mutator call on an uncovered private
+``self._x`` container, or a store to a node ``__slots__`` field the
+snapshot does not restore — because a restore would silently lose it.
+It also cross-checks the crash-hook registry: every crash-hooked class
+must be claimed by a SnapshotSpec or listed in ``snapshot_exempt``.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..config import JournalSpec, LintConfig
+from ..config import JournalSpec, LintConfig, SnapshotSpec
 from ..engine import Finding, ModuleInfo, RepoContext, Rule
 
 __all__ = ["JournalCoverageRule"]
@@ -49,6 +60,9 @@ class JournalCoverageRule(Rule):
         hooks = _crash_hooks(ctx, self.config.crash_points_path)
         for spec in self.config.journal_specs:
             findings.extend(self._check_spec(ctx, spec, hooks))
+        for snap_spec in self.config.snapshot_specs:
+            findings.extend(self._check_snapshot_spec(ctx, snap_spec))
+        findings.extend(self._check_snapshot_registry(ctx, hooks))
         return findings
 
     def _check_spec(
@@ -127,6 +141,84 @@ class JournalCoverageRule(Rule):
                         f"exists on {spec.class_name} (stale after a "
                         "rename?)",
                     )
+
+    # -- snapshot-coverage mode -------------------------------------------
+
+    def _check_snapshot_spec(
+        self, ctx: RepoContext, spec: SnapshotSpec
+    ) -> Iterable[Finding]:
+        module = ctx.module(spec.path)
+        if module is None:
+            return
+        cls = _find_class(module, spec.class_name)
+        if cls is None:
+            yield self.finding(
+                module,
+                module.tree,
+                f"snapshot spec: class {spec.class_name!r} not found in "
+                f"{spec.path} (update repro.lint.config.SNAPSHOT_SPECS)",
+            )
+            return
+        uncovered_fields = self._uncovered_fields(ctx, spec)
+        for node in cls.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name in spec.allowlist:
+                continue
+            site = _uncovered_mutation(node, spec, uncovered_fields)
+            if site is None:
+                continue
+            stmt, what = site
+            yield self.finding(
+                module,
+                stmt,
+                f"{spec.class_name}.{node.name} mutates state outside "
+                f"snapshot coverage ({what}); a Snapshot/SnapshotState "
+                "restore would silently lose it — extend the covered "
+                "column/field sets in repro.snapshots.core (and the "
+                "restore paths), or allowlist the method in "
+                "repro.lint.config.SNAPSHOT_SPECS with a justification",
+            )
+
+    def _uncovered_fields(
+        self, ctx: RepoContext, spec: SnapshotSpec
+    ) -> Set[str]:
+        """Node ``__slots__`` fields the snapshot does not restore."""
+        if spec.node_class is None:
+            return set()
+        path, class_name = spec.node_class
+        module = ctx.module(path)
+        if module is None:
+            return set()
+        cls = _find_class(module, class_name)
+        if cls is None:
+            return set()
+        return _slots_of(cls) - set(spec.covered_fields)
+
+    def _check_snapshot_registry(
+        self, ctx: RepoContext, hooks: Optional[Dict[str, Set[str]]]
+    ) -> Iterable[Finding]:
+        """Every crash-hooked class must be snapshot-covered or exempt:
+        a crash point inside an un-snapshottable structure is a crash
+        nobody can recover from."""
+        if hooks is None or not self.config.snapshot_specs:
+            return
+        crashes_mod = ctx.module(self.config.crash_points_path)
+        if crashes_mod is None:
+            return
+        claimed = {spec.class_name for spec in self.config.snapshot_specs}
+        for cls_name in sorted(hooks):
+            if cls_name in claimed or cls_name in self.config.snapshot_exempt:
+                continue
+            yield self.finding(
+                crashes_mod,
+                crashes_mod.tree,
+                f"class {cls_name} has registered crash-point hooks but no "
+                "SnapshotSpec covers it (and it is not snapshot-exempt); "
+                "the crash fuzzer can cut power inside it yet no unified "
+                "snapshot path can restore it — add a SnapshotSpec or an "
+                "exemption in repro.lint.config",
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +299,90 @@ def _column_of(expr: ast.expr, spec: JournalSpec) -> Optional[str]:
     if isinstance(expr.value, ast.Name) and expr.value.id == "self":
         return f"self.{expr.attr}"
     return None
+
+
+# ---------------------------------------------------------------------------
+# snapshot-coverage detection
+# ---------------------------------------------------------------------------
+
+
+def _uncovered_mutation(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    spec: SnapshotSpec,
+    uncovered_fields: Set[str],
+) -> Optional[Tuple[ast.AST, str]]:
+    """First mutation statement in ``fn`` that touches state outside the
+    snapshot's covered column/field sets, or None."""
+    for node in ast.walk(fn):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            targets = [node.target]
+        for target in _flatten_targets(targets):
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in uncovered_fields
+            ):
+                return node, f"store to uncovered node field .{target.attr}"
+            if isinstance(target, ast.Subscript):
+                col = _uncovered_column(target.value, spec)
+                if col is not None:
+                    return node, f"subscript store into uncovered {col}"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _LIST_MUTATORS
+            ):
+                col = _uncovered_column(func.value, spec)
+                if col is not None:
+                    return node, f"{func.attr}() on uncovered {col}"
+    return None
+
+
+def _uncovered_column(expr: ast.expr, spec: SnapshotSpec) -> Optional[str]:
+    """``self._<x>`` where ``_<x>`` looks like a per-slot container but
+    is not in the spec's covered column set.  Only underscore-prefixed
+    attributes count: public attributes and scalar registers are not
+    column storage (the snapshot captures scalars separately)."""
+    if not spec.columns:
+        return None
+    if not (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr.startswith("_")
+    ):
+        return None
+    if expr.attr in spec.columns:
+        return None
+    return f"container self.{expr.attr}"
+
+
+def _slots_of(cls: ast.ClassDef) -> Set[str]:
+    """String entries of a class's ``__slots__`` assignment."""
+    for node in cls.body:
+        if not (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in node.targets
+            )
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            return {
+                e.value
+                for e in value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            }
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return {value.value}
+    return set()
 
 
 def _references_journal(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:

@@ -56,6 +56,7 @@ from ..errors import (
 )
 from ..pram.frames import SpanTracker
 from ..splitting.build import Summarizer
+from ..snapshots.core import txn_begin, txn_commit, txn_rollback
 from ..transactions import (
     FlatJournal,
     execute_batch,
@@ -140,6 +141,10 @@ class FlatRBSTS:
         # outside a batch transaction.  Set before any build so the
         # construction never journals.
         self._journal: Optional[FlatJournal] = None
+        # Innermost open snapshot in the transaction stack and the
+        # MVCC epoch counter (repro.snapshots.core).
+        self._txn: Optional[FlatJournal] = None
+        self._snapshot_epoch = 0
         self._rng = random.Random(seed)
         self.summarizer = summarizer
         self.ratio = ratio
@@ -1220,19 +1225,20 @@ class FlatRBSTS:
         self._levelized_repair(starts, tracker)
 
     # ------------------------------------------------------------------
-    # transaction protocol (transactions.py drives these)
+    # transaction protocol (transactions.py drives these; the stack —
+    # including nested opens and the recording-seam fanout — lives in
+    # repro.snapshots.core)
     # ------------------------------------------------------------------
     def _txn_begin(self) -> FlatJournal:
         journal = FlatJournal(self)
-        self._journal = journal
+        txn_begin(self, journal)
         return journal
 
     def _txn_rollback(self, journal: FlatJournal) -> None:
-        self._journal = None
-        journal.rollback(self)
+        txn_rollback(self, journal)
 
     def _txn_commit(self, journal: FlatJournal) -> None:
-        self._journal = None
+        txn_commit(self, journal)
 
     # ------------------------------------------------------------------
     # shared helpers (cost accounting mirrors the reference)

@@ -148,25 +148,30 @@ class ResilientExecutor:
     ) -> Any:
         """Run ``thunk(attempt)`` under checkpointed bounded retry.
 
-        Success path: open a checkpoint (when ``tree`` is given), run
-        the thunk, run the verifier and (in ``deep`` mode) the tree's
-        invariant audit, commit, return.  Recoverable failure path:
-        roll back the checkpoint, optionally scrub-and-repair at-rest
-        damage the rollback could not remove, charge simulated backoff,
-        retry.  :class:`~repro.errors.BatchValidationError` is a client
-        error, not a fault — the checkpoint is discarded (state already
-        honours the rejection contract) and it propagates immediately.
+        Success path: take ONE snapshot per supervised call (when
+        ``tree`` is given), run the thunk, run the verifier and (in
+        ``deep`` mode) the tree's invariant audit, commit, return.
+        Recoverable failure path: *rewind* the snapshot without
+        detaching it (``snapshot.restore`` — the unified snapshot layer
+        keeps its copy-on-write pre-images valid across the rewind, so
+        the same snapshot covers every bounded retry instead of
+        re-journaling the whole batch per attempt), optionally
+        scrub-and-repair at-rest damage the rewind could not remove,
+        charge simulated backoff, retry.
+        :class:`~repro.errors.BatchValidationError` is a client error,
+        not a fault — the snapshot is discarded (state already honours
+        the rejection contract) and it propagates immediately.
         Exhausted retries raise
         :class:`~repro.errors.RetryExhaustedError` with the pre-batch
         state intact.
         """
         policy = self.policy
         last: Optional[BaseException] = None
+        journal = tree._txn_begin() if tree is not None else None
+        if journal is not None:
+            self.stats["checkpoints"] += 1
         for attempt in range(policy.max_retries + 1):
             self.stats["attempts"] += 1
-            journal = tree._txn_begin() if tree is not None else None
-            if journal is not None:
-                self.stats["checkpoints"] += 1
             try:
                 result = thunk(attempt)
                 if verify is not None:
@@ -183,7 +188,10 @@ class ResilientExecutor:
             except RECOVERABLE as exc:
                 last = exc
                 if journal is not None:
-                    tree._txn_rollback(journal)
+                    # Rewind to the call's snapshot but keep it armed:
+                    # pre-images survive the restore, so the next
+                    # attempt reuses the same checkpoint.
+                    journal.restore(tree)
                     self.stats["rollbacks"] += 1
                 if isinstance(exc, MachineHangError):
                     self.stats["hangs"] += 1
@@ -192,6 +200,9 @@ class ResilientExecutor:
                     and tree is not None
                     and isinstance(exc, (TreeStructureError, CorruptionDetectedError))
                 ):
+                    # The heal's repair transaction nests *inside* the
+                    # open checkpoint (snapshot stack) — the checkpoint
+                    # observes the repair and a later rewind undoes it.
                     self._heal(tree, repair_seed)
                 if attempt < policy.max_retries:
                     self.stats["retries"] += 1
@@ -205,6 +216,11 @@ class ResilientExecutor:
                     tree._txn_rollback(journal)
                     self.stats["rollbacks"] += 1
                 raise
+        # Exhausted: the last recoverable handler already rewound; close
+        # the checkpoint with a final rollback so the pre-call state is
+        # bit-for-bit restored even if a post-rewind heal mutated.
+        if journal is not None:
+            tree._txn_rollback(journal)
         raise RetryExhaustedError(
             f"{label or 'operation'} failed after "
             f"{policy.max_retries + 1} attempts: {last}",

@@ -383,7 +383,10 @@ def corrupt_journaled_cell(tree: Any, event: FaultEvent) -> Optional[str]:
     description of the fired fault, or ``None`` when the journal offers
     no live target (the fault fizzles — nothing was corrupted).
     """
-    journal = getattr(tree, "_journal", None)
+    # The innermost open snapshot (``tree._txn``) — not the recording
+    # seam ``tree._journal``, which may be a fanout when transactions
+    # nest (repro.snapshots.core).
+    journal = getattr(tree, "_txn", None)
     if journal is None:
         return None
     if isinstance(journal, FlatJournal):

@@ -1,0 +1,436 @@
+"""Versioned, checksummed snapshot persistence (PR 8).
+
+On-disk format (``repro-snapshot/1``), little-endian-free and
+stdlib-only — documented as a table in DESIGN.md §12:
+
+========  ======================================================
+section   contents
+========  ======================================================
+magic     8 bytes ``b"RPSNAP01"``
+hlen      4-byte big-endian unsigned header length
+header    ``hlen`` bytes of UTF-8 JSON (schema version, backend,
+          scalar registers, per-column ``{name, count, nbytes,
+          sha256}`` directory)
+hsum      32 bytes: SHA-256 of the header bytes
+payload   per-column UTF-8 JSON arrays, concatenated in header
+          directory order, each ``nbytes`` long
+========  ======================================================
+
+Corruption taxonomy (deterministic verification order):
+
+* structural damage — bad magic, truncation anywhere, malformed JSON,
+  unknown schema, trailing garbage, unsupported value →
+  :class:`~repro.errors.SnapshotFormatError`;
+* integrity damage — header or per-column SHA-256 mismatch →
+  :class:`~repro.errors.SnapshotChecksumError` (``column`` names the
+  damaged section).
+
+``load`` therefore *never* returns a silently-wrong structure: every
+byte of the payload is covered by a digest that is itself covered by
+the header digest.
+
+Saves are atomic: the blob is written to ``<path>.tmp``, fsynced, and
+``os.replace``d over the target — a crash mid-save leaves the previous
+good snapshot untouched (the crash fuzzer pins this via the
+:class:`SnapshotIO` stage hooks, which are the patchable crash points
+for :func:`repro.testing.crashes.snapshot_crash_points`).
+
+Handle objects are never serialized: the ``_handle`` column is stored
+as a presence mask and loaded states restore with fresh handles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SnapshotChecksumError, SnapshotFormatError
+from .core import FLAT_COLUMNS, SCHEMA, SnapshotState
+
+__all__ = [
+    "MAGIC",
+    "SnapshotIO",
+    "IO_HOOKS",
+    "ScrubReport",
+    "LoadResult",
+    "save",
+    "load",
+    "load_newest",
+    "scrub_snapshot",
+]
+
+MAGIC = b"RPSNAP01"
+_HSUM_LEN = 32
+
+
+class SnapshotIO:
+    """Stage hooks bracketing the save/load/restore pipelines.
+
+    Every method is a no-op; the crash fuzzer patches them
+    (``repro.testing.crashes.snapshot_crash_points``) to inject
+    crashes *between* pipeline stages — after encoding, after the tmp
+    file is written but before the atomic rename, mid-restore between
+    columns — exactly the windows the atomicity and re-restore
+    guarantees must survive.
+    """
+
+    def save_encoded(self, path: Path, nbytes: int) -> None:
+        """After the blob is encoded, before anything touches disk."""
+
+    def save_tmp_written(self, path: Path, tmp: Path) -> None:
+        """After the tmp file is durably written, before the rename."""
+
+    def save_replaced(self, path: Path) -> None:
+        """After the atomic rename."""
+
+    def load_read(self, path: Path, nbytes: int) -> None:
+        """After the raw bytes are read, before verification."""
+
+    def restore_begin(self, tree: Any) -> None:
+        """Entering an in-memory deep restore."""
+
+    def restore_column(self, tree: Any, name: str) -> None:
+        """After each column (flat) / the node graph (reference) is
+        written back."""
+
+    def restore_scalars(self, tree: Any) -> None:
+        """After structure, before the scalar registers."""
+
+
+#: Singleton seam consulted by the pipelines below and by
+#: :meth:`SnapshotState.restore`.
+IO_HOOKS = SnapshotIO()
+
+
+# ---------------------------------------------------------------------------
+# value codec (tagged JSON)
+# ---------------------------------------------------------------------------
+
+_TAGS = ("T", "L", "D", "F")
+
+
+def _enc(v: Any) -> Any:
+    if v is None or isinstance(v, (bool, int, str)):
+        return v
+    if isinstance(v, float):
+        return v if math.isfinite(v) else {"F": repr(v)}
+    if isinstance(v, tuple):
+        return {"T": [_enc(x) for x in v]}
+    if isinstance(v, list):
+        return {"L": [_enc(x) for x in v]}
+    if isinstance(v, dict):
+        return {"D": [[_enc(k), _enc(x)] for k, x in v.items()]}
+    raise SnapshotFormatError(
+        f"unsupported value type {type(v).__name__!s} in snapshot payload"
+    )
+
+
+def _dec(v: Any) -> Any:
+    if v is None or isinstance(v, (bool, int, str, float)):
+        return v
+    if isinstance(v, dict):
+        if len(v) != 1:
+            raise SnapshotFormatError(f"malformed tagged value {v!r}")
+        tag, body = next(iter(v.items()))
+        if tag == "T":
+            return tuple(_dec(x) for x in body)
+        if tag == "L":
+            return [_dec(x) for x in body]
+        if tag == "D":
+            return {_dec(k): _dec(x) for k, x in body}
+        if tag == "F":
+            return float(body)
+        raise SnapshotFormatError(f"unknown value tag {tag!r}")
+    if isinstance(v, list):
+        raise SnapshotFormatError("bare JSON array in snapshot payload")
+    raise SnapshotFormatError(
+        f"undecodable value type {type(v).__name__!s}"
+    )
+
+
+def _encode_column(name: str, values: Sequence[Any]) -> bytes:
+    if name == "_handle":
+        encoded = [0 if h is None else 1 for h in values]
+    else:
+        encoded = [_enc(v) for v in values]
+    return json.dumps(encoded, separators=(",", ":")).encode("utf-8")
+
+
+def _decode_column(name: str, payload: bytes) -> List[Any]:
+    try:
+        raw = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotFormatError(
+            f"column {name!r} payload is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(raw, list):
+        raise SnapshotFormatError(f"column {name!r} payload is not an array")
+    if name == "_handle":
+        return list(raw)
+    return [_dec(v) for v in raw]
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+
+def _column_names(state: SnapshotState) -> Tuple[str, ...]:
+    names = list(FLAT_COLUMNS)
+    if state.backend == "reference":
+        names.append("_nid")
+    return tuple(names)
+
+
+def _encode(state: SnapshotState) -> bytes:
+    directory: List[Dict[str, Any]] = []
+    payloads: List[bytes] = []
+    for name in _column_names(state):
+        blob = _encode_column(name, state.columns[name])
+        directory.append(
+            {
+                "name": name,
+                "count": len(state.columns[name]),
+                "nbytes": len(blob),
+                "sha256": hashlib.sha256(blob).hexdigest(),
+            }
+        )
+        payloads.append(blob)
+    header_obj = {
+        "schema": SCHEMA,
+        "backend": state.backend,
+        "n": state.n,
+        "root_index": state.root_index,
+        "free": list(state.free),
+        "rng": _enc(state.rng_state),
+        "next_id": state.next_id,
+        "highwater": state.highwater,
+        "stats": _enc(state.stats),
+        "epoch": state.epoch,
+        "columns": directory,
+    }
+    header = json.dumps(header_obj, separators=(",", ":")).encode("utf-8")
+    return b"".join(
+        [
+            MAGIC,
+            len(header).to_bytes(4, "big"),
+            header,
+            hashlib.sha256(header).digest(),
+            b"".join(payloads),
+        ]
+    )
+
+
+def save(state: SnapshotState, path: Any) -> Path:
+    """Serialize ``state`` to ``path`` atomically (tmp + fsync +
+    ``os.replace``); a crash at any point leaves either the previous
+    file intact or the new file complete, never a torn mix.  Returns
+    the final path."""
+    path = Path(path)
+    blob = _encode(state)
+    IO_HOOKS.save_encoded(path, len(blob))
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    IO_HOOKS.save_tmp_written(path, tmp)
+    os.replace(tmp, path)
+    IO_HOOKS.save_replaced(path)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# load / verify
+# ---------------------------------------------------------------------------
+
+
+def _verify(raw: bytes, where: str) -> Tuple[Dict[str, Any], List[Tuple[str, bytes]]]:
+    """Structural + integrity verification of a serialized snapshot.
+    Returns the parsed header and the per-column payload slices, or
+    raises the taxonomy error for the *first* problem in deterministic
+    order (structure before checksums, header before payload)."""
+    if len(raw) < len(MAGIC) + 4:
+        raise SnapshotFormatError(f"{where}: truncated before header length")
+    if raw[: len(MAGIC)] != MAGIC:
+        raise SnapshotFormatError(f"{where}: bad magic (not a snapshot file)")
+    hlen = int.from_bytes(raw[len(MAGIC) : len(MAGIC) + 4], "big")
+    hstart = len(MAGIC) + 4
+    hend = hstart + hlen
+    if hlen <= 0 or len(raw) < hend + _HSUM_LEN:
+        raise SnapshotFormatError(f"{where}: truncated header")
+    header_bytes = raw[hstart:hend]
+    stored_hsum = raw[hend : hend + _HSUM_LEN]
+    if hashlib.sha256(header_bytes).digest() != stored_hsum:
+        raise SnapshotChecksumError(
+            f"{where}: header digest mismatch", column="header"
+        )
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotFormatError(f"{where}: header is not valid JSON: {exc}")
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+        raise SnapshotFormatError(
+            f"{where}: unknown snapshot schema "
+            f"{header.get('schema') if isinstance(header, dict) else header!r}"
+        )
+    directory = header.get("columns")
+    if not isinstance(directory, list):
+        raise SnapshotFormatError(f"{where}: missing column directory")
+    offset = hend + _HSUM_LEN
+    slices: List[Tuple[str, bytes]] = []
+    for entry in directory:
+        if not isinstance(entry, dict) or not {
+            "name",
+            "count",
+            "nbytes",
+            "sha256",
+        } <= set(entry):
+            raise SnapshotFormatError(f"{where}: malformed column entry")
+        nbytes = entry["nbytes"]
+        if not isinstance(nbytes, int) or nbytes < 0 or offset + nbytes > len(raw):
+            raise SnapshotFormatError(
+                f"{where}: truncated payload for column {entry['name']!r}"
+            )
+        slices.append((entry["name"], raw[offset : offset + nbytes]))
+        offset += nbytes
+    if offset != len(raw):
+        raise SnapshotFormatError(
+            f"{where}: {len(raw) - offset} trailing bytes after payload"
+        )
+    for entry, (name, blob) in zip(directory, slices):
+        if hashlib.sha256(blob).hexdigest() != entry["sha256"]:
+            raise SnapshotChecksumError(
+                f"{where}: column {name!r} payload digest mismatch",
+                column=name,
+            )
+    return header, slices
+
+
+def _decode(header: Dict[str, Any], slices: List[Tuple[str, bytes]], where: str) -> SnapshotState:
+    state = SnapshotState()
+    backend = header.get("backend")
+    if backend not in ("flat", "reference"):
+        raise SnapshotFormatError(f"{where}: unknown backend {backend!r}")
+    state.backend = backend
+    expected = set(_column_names(state))
+    state.columns = {}
+    for (name, blob), entry in zip(slices, header["columns"]):
+        values = _decode_column(name, blob)
+        if len(values) != entry["count"]:
+            raise SnapshotFormatError(
+                f"{where}: column {name!r} count mismatch "
+                f"({len(values)} != {entry['count']})"
+            )
+        state.columns[name] = values
+    if set(state.columns) != expected:
+        raise SnapshotFormatError(
+            f"{where}: column set mismatch for backend {backend!r}"
+        )
+    state.n = header.get("n", 0)
+    if any(len(col) != state.n for col in state.columns.values()):
+        raise SnapshotFormatError(f"{where}: ragged columns (n={state.n})")
+    state.root_index = header.get("root_index", 0)
+    if not isinstance(state.root_index, int) or not (
+        0 <= state.root_index < max(state.n, 1)
+    ):
+        raise SnapshotFormatError(
+            f"{where}: root index {header.get('root_index')!r} out of range"
+        )
+    free = header.get("free", [])
+    if not isinstance(free, list) or not all(isinstance(i, int) for i in free):
+        raise SnapshotFormatError(f"{where}: malformed free list")
+    state.free = free
+    state.rng_state = _dec(header.get("rng"))
+    state.next_id = header.get("next_id")
+    state.highwater = header.get("highwater", 0)
+    stats = _dec(header.get("stats"))
+    state.stats = stats if isinstance(stats, dict) else {}
+    state.epoch = header.get("epoch", 0)
+    state.handles = None
+    state.source_id = None
+    return state
+
+
+def load(path: Any) -> SnapshotState:
+    """Load and fully verify one serialized snapshot.  Raises
+    :class:`~repro.errors.SnapshotFormatError` /
+    :class:`~repro.errors.SnapshotChecksumError` on any structural or
+    integrity damage — never returns a silently-wrong state."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SnapshotFormatError(f"{path}: unreadable: {exc}") from None
+    IO_HOOKS.load_read(path, len(raw))
+    header, slices = _verify(raw, str(path))
+    return _decode(header, slices, str(path))
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """At-rest verification outcome for one snapshot file."""
+
+    path: Path
+    ok: bool
+    problem: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path}: {'ok' if self.ok else self.problem}"
+
+
+def scrub_snapshot(path: Any) -> ScrubReport:
+    """Verify a snapshot file at rest (magic, schema, header digest,
+    every per-column digest, full decode) without raising."""
+    path = Path(path)
+    try:
+        load(path)
+    except (SnapshotFormatError, SnapshotChecksumError) as exc:
+        return ScrubReport(path, False, f"{type(exc).__name__}: {exc}")
+    return ScrubReport(path, True)
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Outcome of :func:`load_newest`: the newest intact snapshot plus
+    a damage report for every newer file that failed verification."""
+
+    state: SnapshotState
+    path: Path
+    damage: Tuple[ScrubReport, ...] = ()
+
+
+def load_newest(directory: Any, *, pattern: str = "*.snap") -> LoadResult:
+    """Load the newest intact snapshot in ``directory``.
+
+    Candidates matching ``pattern`` are tried newest-first (mtime,
+    then name, descending); damaged files are skipped and reported in
+    :attr:`LoadResult.damage`.  Raises the newest candidate's error if
+    *no* candidate survives verification, and
+    :class:`~repro.errors.SnapshotFormatError` if there are none."""
+    directory = Path(directory)
+    candidates = sorted(
+        directory.glob(pattern),
+        key=lambda p: (p.stat().st_mtime, p.name),
+        reverse=True,
+    )
+    if not candidates:
+        raise SnapshotFormatError(f"{directory}: no snapshot files match {pattern!r}")
+    damage: List[ScrubReport] = []
+    first_error: Optional[Exception] = None
+    for path in candidates:
+        try:
+            state = load(path)
+        except (SnapshotFormatError, SnapshotChecksumError) as exc:
+            damage.append(ScrubReport(path, False, f"{type(exc).__name__}: {exc}"))
+            if first_error is None:
+                first_error = exc
+            continue
+        return LoadResult(state, path, tuple(damage))
+    assert first_error is not None
+    raise first_error

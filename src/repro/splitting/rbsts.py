@@ -52,6 +52,7 @@ from ..errors import (
     UnknownNodeError,
 )
 from ..pram.frames import SpanTracker
+from ..snapshots.core import txn_begin, txn_commit, txn_rollback
 from ..transactions import (
     ReferenceJournal,
     execute_batch,
@@ -136,6 +137,10 @@ class RBSTS:
         # batch transaction.  Set before any build so the construction
         # rebuilds never journal.
         self._journal: Optional[ReferenceJournal] = None
+        # Innermost open snapshot in the transaction stack and the
+        # MVCC epoch counter (repro.snapshots.core).
+        self._txn: Optional[ReferenceJournal] = None
+        self._snapshot_epoch = 0
         self._rng = random.Random(seed)
         self.summarizer = summarizer
         self.ratio = ratio
@@ -782,19 +787,20 @@ class RBSTS:
         self._levelized_repair([leaf for leaf, _ in updates], tracker)
 
     # ------------------------------------------------------------------
-    # transaction protocol (transactions.py drives these)
+    # transaction protocol (transactions.py drives these; the stack —
+    # including nested opens and the recording-seam fanout — lives in
+    # repro.snapshots.core)
     # ------------------------------------------------------------------
     def _txn_begin(self) -> ReferenceJournal:
         journal = ReferenceJournal(self)
-        self._journal = journal
+        txn_begin(self, journal)
         return journal
 
     def _txn_rollback(self, journal: ReferenceJournal) -> None:
-        self._journal = None
-        journal.rollback(self)
+        txn_rollback(self, journal)
 
     def _txn_commit(self, journal: ReferenceJournal) -> None:
-        self._journal = None
+        txn_commit(self, journal)
 
     # ------------------------------------------------------------------
     # shared helpers

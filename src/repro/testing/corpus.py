@@ -118,13 +118,43 @@ def replay_corpus(
 
     Entries carrying a ``crash_seed`` in their metadata re-arm the same
     mid-batch crash schedule, so crash-consistent rollback reproducers
-    stay pinned too."""
+    stay pinned too.  Entries carrying a ``snapshot_seed`` (optionally
+    with a ``snapshot_mode``) re-arm the snapshot differential rig, and
+    a ``snapshot_exercise`` additionally runs the named persistence
+    exercise from :mod:`repro.snapshots.fuzz` (save-crash /
+    restore-crash / corruption) — an exercise violation is recorded as
+    the entry's failure."""
     out: List[Tuple[str, RunReport]] = []
     for path in corpus_paths(directory):
         seq = load_entry(path)
         requested = seq.meta.get("backend", backend)
         crash = seq.meta.get("crash_seed")
-        out.append(
-            (path, run_sequence(seq, backend=requested, crash_seed=crash))
+        report = run_sequence(
+            seq,
+            backend=requested,
+            crash_seed=crash,
+            snapshot_seed=seq.meta.get("snapshot_seed"),
+            snapshot_mode=seq.meta.get("snapshot_mode", "state"),
         )
+        exercise = seq.meta.get("snapshot_exercise")
+        if exercise is not None and report.ok:
+            from ..snapshots.fuzz import run_exercise  # lazy: optional leg
+
+            try:
+                run_exercise(
+                    exercise,
+                    int(seq.meta.get("exercise_seed", seq.seed)),
+                    backend=seq.meta.get("exercise_backend", "flat"),
+                )
+            except Exception as exc:
+                from .executor import FailureInfo
+
+                report.failure = FailureInfo(
+                    -1,
+                    None,
+                    "snapshot-exercise",
+                    type(exc).__name__,
+                    str(exc),
+                )
+        out.append((path, report))
     return out

@@ -42,9 +42,15 @@ from typing import Callable, List
 from ..errors import InvalidParameterError
 
 from ..perf.flat_rbsts import FlatRBSTS
+from ..snapshots.persist import SnapshotIO
 from ..splitting.rbsts import RBSTS
 
-__all__ = ["CrashInjected", "CrashController", "crash_points"]
+__all__ = [
+    "CrashInjected",
+    "CrashController",
+    "crash_points",
+    "snapshot_crash_points",
+]
 
 
 class CrashInjected(Exception):
@@ -156,6 +162,65 @@ def crash_points(ctl: CrashController):
         ),
         _patch(
             FlatRBSTS, "_free_slot", _tick_entry(ctl, FlatRBSTS._free_slot)
+        ),
+    ]
+    try:
+        yield ctl
+    finally:
+        for restore in reversed(restores):
+            restore()
+
+
+@contextmanager
+def snapshot_crash_points(ctl: CrashController):
+    """Instrument the snapshot persistence pipeline (PR 8) with ``ctl``.
+
+    The patched :class:`~repro.snapshots.persist.SnapshotIO` stage
+    hooks put crash points exactly in the windows the atomicity and
+    restore guarantees must survive:
+
+    ======================  ==============================================
+    hook                    window it crashes in
+    ======================  ==============================================
+    ``save_encoded``        blob built, nothing on disk yet
+    ``save_tmp_written``    tmp file durable, atomic rename not yet done —
+                            the previous good snapshot must survive
+    ``save_replaced``       rename done — the new snapshot must be intact
+    ``restore_begin``       deep restore about to start
+    ``restore_column``      mid-restore between columns: the target is
+                            torn in memory; a re-restore must still
+                            succeed bit-for-bit
+    ``restore_scalars``     structure written, registers not yet
+    ======================  ==============================================
+    """
+    restores: List[Callable[[], None]] = [
+        _patch(
+            SnapshotIO, "save_encoded", _tick_entry(ctl, SnapshotIO.save_encoded)
+        ),
+        _patch(
+            SnapshotIO,
+            "save_tmp_written",
+            _tick_entry(ctl, SnapshotIO.save_tmp_written),
+        ),
+        _patch(
+            SnapshotIO,
+            "save_replaced",
+            _tick_entry(ctl, SnapshotIO.save_replaced),
+        ),
+        _patch(
+            SnapshotIO,
+            "restore_begin",
+            _tick_entry(ctl, SnapshotIO.restore_begin),
+        ),
+        _patch(
+            SnapshotIO,
+            "restore_column",
+            _tick_entry(ctl, SnapshotIO.restore_column),
+        ),
+        _patch(
+            SnapshotIO,
+            "restore_scalars",
+            _tick_entry(ctl, SnapshotIO.restore_scalars),
         ),
     ]
     try:

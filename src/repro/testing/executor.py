@@ -30,6 +30,7 @@ from ..errors import BudgetExceededError, InvalidParameterError
 from ..baselines import CONTRACTION_ORACLES
 from ..contraction.dynamic import DynamicTreeContraction
 from ..listprefix.structure import IncrementalListPrefix
+from ..snapshots.core import SnapshotState
 from ..splitting.activation import activate, ancestors_closure, deactivate
 from ..trees.builders import random_tree
 from ..trees.nodes import add_op, mul_op
@@ -41,6 +42,7 @@ __all__ = [
     "FailureInfo",
     "OracleViolation",
     "RunReport",
+    "SNAPSHOT_MODES",
     "initial_values",
     "run_sequence",
 ]
@@ -59,6 +61,18 @@ BACKENDS = ("reference", "flat", "parallel", "both")
 #: an overshoot tail (armed point never reached -> the batch completes
 #: normally, which doubles as a no-interference check).
 _CRASH_WINDOW = 10
+
+#: Probability that the snapshot differential rig guards any given
+#: mutation (per subject).  Sampling keeps the O(n) deep captures from
+#: dominating a fuzz run while the seed still steers *which* ops get
+#: the capture -> mutate -> restore -> replay treatment.
+_SNAP_RATE = 0.7
+
+#: ``"state"`` exercises deep capture/restore only; ``"persist"``
+#: additionally pushes every captured state through the serialization
+#: codec (encode -> verify -> decode) and checks the decoded image is
+#: field-identical before the restore/replay audit runs.
+SNAPSHOT_MODES = ("state", "persist")
 
 
 def _sig_divergence(a, b) -> str:
@@ -94,6 +108,7 @@ class RunReport:
     checks: int = 0
     final_n: int = 0
     crashes: int = 0  # injected mid-batch crashes that fired (+ rolled back)
+    snapshots: int = 0  # differential snapshot audits that ran
     failure: Optional[FailureInfo] = None
     counts: Dict[str, int] = field(default_factory=dict)
 
@@ -125,6 +140,8 @@ def run_sequence(
     fault: Optional[str] = None,
     oracle: str = "recompute",
     crash_seed: Optional[int] = None,
+    snapshot_seed: Optional[int] = None,
+    snapshot_mode: str = "state",
     op_budget: Optional[int] = None,
     wall_timeout: Optional[float] = None,
 ) -> RunReport:
@@ -140,6 +157,17 @@ def run_sequence(
     admission-only; the RBSTS underneath is covered by the list
     scenario and the engine's own sub-batches are already admitted).
 
+    ``snapshot_seed`` arms the snapshot differential rig (mutually
+    exclusive with ``crash_seed``): a seeded sample of mutating list
+    ops is wrapped in capture -> mutate -> restore -> replay, auditing
+    that the restore is bit-for-bit identical to never having mutated
+    (shape signature, RNG state, ``last_batch_stats``, invariants) and
+    that the replay lands bit-for-bit on the first application — on
+    every backend, including ``parallel``.  ``snapshot_mode="persist"``
+    additionally round-trips each captured state through the
+    serialization codec.  The contraction scenario ignores it for the
+    same admission-boundary reason as ``crash_seed``.
+
     ``op_budget`` / ``wall_timeout`` are hang guards: a run that
     executes more ops or more wall-clock seconds than budgeted *raises*
     :class:`~repro.errors.BudgetExceededError` (deliberately not
@@ -149,6 +177,14 @@ def run_sequence(
     """
     if backend not in BACKENDS:
         raise InvalidParameterError(f"unknown backend {backend!r}")
+    if snapshot_mode not in SNAPSHOT_MODES:
+        raise InvalidParameterError(f"unknown snapshot mode {snapshot_mode!r}")
+    if crash_seed is not None and snapshot_seed is not None:
+        raise InvalidParameterError(
+            "crash_seed and snapshot_seed are mutually exclusive: crash "
+            "injection re-applies batches whose pre-state the snapshot "
+            "rig would have already rewound"
+        )
     report = RunReport(scenario=seq.scenario, backend=backend)
     t_start = time.monotonic()
     runner = _ListRunner if seq.scenario == "list" else _ContractionRunner
@@ -158,9 +194,15 @@ def run_sequence(
         ctl = CrashController()
         crash_cfg = (ctl, random.Random(("crash", crash_seed).__repr__()))
         crash_ctx = crash_points(ctl)
+    snap_cfg = None
+    if snapshot_seed is not None and seq.scenario == "list":
+        snap_cfg = (
+            random.Random(("snapshot", snapshot_seed).__repr__()),
+            snapshot_mode,
+        )
     with _fault_context(fault), crash_ctx:
         try:
-            machine = runner(seq, backend, oracle, crash_cfg)
+            machine = runner(seq, backend, oracle, crash_cfg, snap_cfg)
         except Exception as exc:  # construction failure
             report.failure = FailureInfo(
                 -1, None, "construction", type(exc).__name__, str(exc)
@@ -220,6 +262,7 @@ def run_sequence(
                 )
         report.final_n = machine.size()
         report.crashes = getattr(machine, "crashes", 0)
+        report.snapshots = getattr(machine, "snapshots", 0)
     return report
 
 
@@ -232,7 +275,12 @@ class _ListRunner:
     """Drives IncrementalListPrefix subjects + the naive list model."""
 
     def __init__(
-        self, seq: OpSequence, backend: str, oracle: str, crash_cfg=None
+        self,
+        seq: OpSequence,
+        backend: str,
+        oracle: str,
+        crash_cfg=None,
+        snap_cfg=None,
     ) -> None:
         self.seq = seq
         self.ring = FUZZ_RINGS[seq.ring]
@@ -248,13 +296,24 @@ class _ListRunner:
         self.both = backend == "both"
         self.crash = crash_cfg  # None or (CrashController, random.Random)
         self.crashes = 0
+        self.snap = snap_cfg  # None or (random.Random, mode)
+        self.snapshots = 0
 
-    # -- crash-point harness ----------------------------------------------
+    # -- crash-point / snapshot harness -----------------------------------
     def _guarded(self, what: str, name: str, lp, thunk) -> None:
-        """Run one transactional batch call on one subject; with crash
+        """Run one transactional batch call on one subject.  With crash
         injection armed, audit the crash-consistent rollback and then
         re-apply the batch cleanly (the program continues on the
-        crash-free trajectory, so all downstream oracles still apply)."""
+        crash-free trajectory, so all downstream oracles still apply).
+        With the snapshot rig armed, run the capture -> mutate ->
+        restore -> replay differential instead."""
+        if self.snap is not None:
+            rng, mode = self.snap
+            if rng.random() < _SNAP_RATE:
+                self._snap_differential(what, name, lp, thunk, mode)
+            else:
+                thunk()
+            return
         if self.crash is None:
             thunk()
             return
@@ -306,6 +365,112 @@ class _ListRunner:
                 f"{exc}",
             ) from exc
 
+    # -- snapshot differential rig ----------------------------------------
+    def _mut(self, what: str, name: str, lp, thunk) -> None:
+        """Single-op mutation entry point: snapshot-guarded when the
+        differential rig is armed.  (Single inserts/deletes are not
+        transactional batches, so crash injection never applies to
+        them — the plain path is unchanged.)"""
+        if self.snap is not None:
+            self._guarded(what, name, lp, thunk)
+        else:
+            thunk()
+
+    def _snap_differential(self, what: str, name: str, lp, thunk, mode) -> None:
+        """capture -> mutate -> restore -> replay.  The restore must be
+        lockstep-identical to never having mutated, and the replay must
+        land bit-for-bit on the first application (DESIGN.md §12)."""
+        pre = self._observe(lp)
+        state = SnapshotState.capture(lp.tree)
+        if mode == "persist":
+            self._audit_codec(what, name, state)
+        thunk()
+        post = self._observe(lp)
+        state.restore(lp.tree)
+        self.snapshots += 1
+        self._assert_observed(what, name, lp, pre, "snapshot-restore")
+        thunk()
+        self._assert_observed(what, name, lp, post, "snapshot-replay")
+
+    @staticmethod
+    def _observe(lp) -> Tuple[Any, Any, Dict[str, Any]]:
+        return (
+            shape_signature(lp.tree),
+            lp.rng_state(),
+            dict(lp.tree.last_batch_stats),
+        )
+
+    def _assert_observed(self, what, name, lp, expect, phase: str) -> None:
+        sig, rng_state, stats = expect
+        cur_sig = shape_signature(lp.tree)
+        if cur_sig != sig:
+            raise OracleViolation(
+                phase,
+                f"{name}: {what} {phase} diverged in shape "
+                f"({_sig_divergence(sig, cur_sig)})",
+            )
+        if lp.rng_state() != rng_state:
+            raise OracleViolation(
+                phase,
+                f"{name}: {what} {phase} did not reproduce the master-RNG "
+                "state",
+            )
+        if dict(lp.tree.last_batch_stats) != stats:
+            raise OracleViolation(
+                phase,
+                f"{name}: {what} {phase} left last_batch_stats "
+                f"{lp.tree.last_batch_stats!r} != {stats!r}",
+            )
+        try:
+            lp.check_invariants()
+        except Exception as exc:
+            raise OracleViolation(
+                phase,
+                f"{name}: invariants broken after {what} {phase}: {exc}",
+            ) from exc
+
+    def _audit_codec(self, what: str, name: str, state: SnapshotState) -> None:
+        """Push the captured state through encode -> verify -> decode in
+        memory and check the decoded image is field-identical (handles
+        compare as their persisted presence mask)."""
+        from ..snapshots.persist import _decode, _encode, _verify
+
+        where = f"{name}/{what}"
+        raw = _encode(state)
+        header, slices = _verify(raw, where)
+        dec = _decode(header, slices, where)
+        for col, values in state.columns.items():
+            expect = (
+                [0 if h is None else 1 for h in values]
+                if col == "_handle"
+                else values
+            )
+            if dec.columns[col] != expect:
+                raise OracleViolation(
+                    "snapshot-codec",
+                    f"{name}: {what} column {col!r} did not survive the "
+                    "serialization round trip",
+                )
+        for field_name in (
+            "backend",
+            "n",
+            "root_index",
+            "free",
+            "rng_state",
+            "next_id",
+            "highwater",
+            "stats",
+            "epoch",
+        ):
+            if getattr(dec, field_name) != getattr(state, field_name):
+                raise OracleViolation(
+                    "snapshot-codec",
+                    f"{name}: {what} scalar {field_name!r} did not survive "
+                    f"the serialization round trip "
+                    f"({getattr(dec, field_name)!r} != "
+                    f"{getattr(state, field_name)!r})",
+                )
+
     def size(self) -> int:
         return len(self.model)
 
@@ -332,15 +497,19 @@ class _ListRunner:
         n = len(self.model)
         if kind == "ins":
             pos, val = int(op[1]) % (n + 1), self._nv(op[2])
-            for lp in self.subjects.values():
-                lp.insert(pos, val)
+            for name, lp in self.subjects.items():
+                self._mut("ins", name, lp, lambda lp=lp: lp.insert(pos, val))
             self.model.insert(pos, val)
         elif kind == "del":
             if n < 2:
                 return
             pos = int(op[1]) % n
-            for lp in self.subjects.values():
-                lp.delete(lp.handle_at(pos))
+            for name, lp in self.subjects.items():
+                # Materialise the handle outside the snapshot window so
+                # the replay reuses the identical handle object (live
+                # restores preserve handle identity).
+                h = lp.handle_at(pos)
+                self._mut("del", name, lp, lambda lp=lp, h=h: lp.delete(h))
             self.model.pop(pos)
         elif kind == "bins":
             reqs = [(int(p) % (n + 1), self._nv(v)) for p, v in op[1]]
@@ -513,10 +682,16 @@ class _ContractionRunner:
     node ids stay in sync across all copies)."""
 
     def __init__(
-        self, seq: OpSequence, backend: str, oracle: str, crash_cfg=None
+        self,
+        seq: OpSequence,
+        backend: str,
+        oracle: str,
+        crash_cfg=None,
+        snap_cfg=None,
     ) -> None:
-        # crash_cfg is accepted for interface parity but unused: the
-        # contraction boundary is admission-only (run_sequence docstring).
+        # crash_cfg/snap_cfg are accepted for interface parity but
+        # unused: the contraction boundary is admission-only
+        # (run_sequence docstring).
         self.seq = seq
         self.ring = FUZZ_RINGS[seq.ring]
         self.engines: Dict[str, DynamicTreeContraction] = {}

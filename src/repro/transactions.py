@@ -71,12 +71,17 @@ sees bit-identical simulated costs with journaling on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 from .errors import (
     InvalidParameterError,
     RequestRejection,
     batch_validation_error,
+)
+from .snapshots.core import (
+    FLAT_COLUMNS as _SNAP_FLAT_COLUMNS,
+    FlatSnapshot,
+    ReferenceSnapshot,
 )
 
 __all__ = [
@@ -249,138 +254,37 @@ def validate_batch_update(
 
 
 # ---------------------------------------------------------------------------
-# reference-backend journal (ordered undo log)
+# journals — thin wrappers over the unified snapshot layer (PR 8)
 # ---------------------------------------------------------------------------
+#
+# The undo-log and column-epoch machinery that used to live here moved
+# wholesale into :mod:`repro.snapshots.core`, where the SAME classes
+# also serve as the resilience layer's checkpoints and the persistence
+# layer's capture sources.  The journal names survive as aliases so
+# PR 3-era call sites (and the fault injectors that monkey-patch
+# recording hooks) keep working unchanged.
+
+#: Canonical flat-column tuple (re-exported; source of truth lives in
+#: :mod:`repro.snapshots.core`).
+_FLAT_COLUMNS = _SNAP_FLAT_COLUMNS
 
 
-class ReferenceJournal:
-    """Undo log for one transactional batch on the pointer-graph RBSTS.
+class ReferenceJournal(ReferenceSnapshot):
+    """Undo log for one transactional batch on the pointer-graph RBSTS
+    — now an alias for :class:`repro.snapshots.core.ReferenceSnapshot`.
 
-    Recording hooks are called from ``RBSTS`` internals while
-    ``tree._journal is self``; outside a transaction ``tree._journal``
-    is ``None`` and every hook site is a single attribute test.
+    Recording hooks are called from ``RBSTS`` internals while the
+    recording seam ``tree._journal`` is installed; outside a
+    transaction it is ``None`` and every hook site is a single
+    attribute test.
     """
 
-    __slots__ = (
-        "entries",
-        "rng_state",
-        "next_id",
-        "highwater",
-        "stats",
-        "root",
-        "_meta_seen",
-    )
-
-    def __init__(self, tree: Any) -> None:
-        self.entries: List[Tuple[Any, ...]] = []
-        self.rng_state = tree._rng.getstate()
-        self.next_id = tree._next_id
-        self.highwater = tree._n_highwater
-        self.stats = dict(tree.last_batch_stats)
-        self.root = tree.root
-        self._meta_seen: Set[int] = set()
-
-    # -- recording hooks ------------------------------------------------
-    def record_rebuild(self, node: Any, parent: Any, leaves: Sequence[Any]) -> None:
-        """Called by ``_rebuild_at`` before any mutation: capture the
-        splice link and the reused leaves' placement pre-images."""
-        self.entries.append(
-            (
-                "rebuild",
-                parent,
-                parent is not None and parent.left is node,
-                node,
-                [
-                    (lf, lf.parent, lf.depth, lf.summary, lf.shortcuts)
-                    for lf in leaves
-                ],
-            )
-        )
-
-    def record_meta(self, nodes: Sequence[Any]) -> None:
-        """Called by the upward/levelized repairs before mutating the
-        wound's ``n_leaves``/``height``/``summary``/``shortcuts``."""
-        seen = self._meta_seen
-        entries = self.entries
-        for v in nodes:
-            key = id(v)
-            if key not in seen:
-                seen.add(key)
-                entries.append(
-                    ("meta", v, v.n_leaves, v.height, v.summary, v.shortcuts)
-                )
-
-    def record_items(self, leaves: Sequence[Any]) -> None:
-        """Called by ``batch_update_items`` before relabelling."""
-        self.entries.append(
-            ("items", [(lf, lf.item, lf.summary) for lf in leaves])
-        )
-
-    # -- rollback -------------------------------------------------------
-    def rollback(self, tree: Any) -> None:
-        """Reverse-replay the log; the tree is bit-identical to its
-        pre-batch state afterwards (new nodes become garbage)."""
-        for entry in reversed(self.entries):
-            tag = entry[0]
-            if tag == "rebuild":
-                _, parent, was_left, node, pre = entry
-                for lf, p, d, summary, shortcuts in pre:
-                    lf.parent = p
-                    lf.depth = d
-                    lf.summary = summary
-                    lf.shortcuts = shortcuts
-                    lf.left = None
-                    lf.right = None
-                    lf.height = 0
-                    lf.n_leaves = 1
-                if parent is None:
-                    tree.root = node
-                    node.parent = None
-                else:
-                    if was_left:
-                        parent.left = node
-                    else:
-                        parent.right = node
-                    node.parent = parent
-            elif tag == "meta":
-                _, v, n, h, summary, shortcuts = entry
-                v.n_leaves = n
-                v.height = h
-                v.summary = summary
-                v.shortcuts = shortcuts
-            else:  # "items"
-                for lf, item, summary in entry[1]:
-                    lf.item = item
-                    lf.summary = summary
-        tree.root = self.root
-        tree._rng.setstate(self.rng_state)
-        tree._next_id = self.next_id
-        tree._n_highwater = self.highwater
-        tree.last_batch_stats = self.stats
+    __slots__ = ()
 
 
-# ---------------------------------------------------------------------------
-# flat-backend journal (array-epoch snapshot)
-# ---------------------------------------------------------------------------
-
-_FLAT_COLUMNS = (
-    "_parent",
-    "_left",
-    "_right",
-    "_n_leaves",
-    "_depth",
-    "_height",
-    "_shortcuts",
-    "_item",
-    "_summary",
-    "_active",
-    "_low",
-    "_handle",
-)
-
-
-class FlatJournal:
-    """Epoch snapshot + lazy per-slot pre-images for ``FlatRBSTS``.
+class FlatJournal(FlatSnapshot):
+    """Epoch snapshot + lazy per-slot pre-images for ``FlatRBSTS`` —
+    now an alias for :class:`repro.snapshots.core.FlatSnapshot`.
 
     Slots created during the transaction live past the snapshot length
     and are discarded by column truncation; pre-existing slots get one
@@ -388,87 +292,7 @@ class FlatJournal:
     list is restored with the min-length tail trick (module docstring).
     """
 
-    __slots__ = (
-        "snap_len",
-        "saved",
-        "free_floor",
-        "free_orig",
-        "root_index",
-        "rng_state",
-        "highwater",
-        "stats",
-    )
-
-    def __init__(self, tree: Any) -> None:
-        self.snap_len = len(tree._parent)
-        self.saved: Dict[int, Tuple[Any, ...]] = {}
-        self.free_floor = len(tree._free)
-        self.free_orig: List[int] = []  # F0[free_floor:len(F0)], index order
-        self.root_index = tree.root_index
-        self.rng_state = tree._rng.getstate()
-        self.highwater = tree._n_highwater
-        self.stats = dict(tree.last_batch_stats)
-
-    # -- recording hooks ------------------------------------------------
-    def save_slot(self, tree: Any, i: int) -> None:
-        """Capture slot ``i``'s 12-column pre-image (first call wins;
-        slots born inside the transaction need no image)."""
-        if i >= self.snap_len or i in self.saved:
-            return
-        self.saved[i] = (
-            tree._parent[i],
-            tree._left[i],
-            tree._right[i],
-            tree._n_leaves[i],
-            tree._depth[i],
-            tree._height[i],
-            tree._shortcuts[i],
-            tree._item[i],
-            tree._summary[i],
-            tree._active[i],
-            tree._low[i],
-            tree._handle[i],
-        )
-
-    def save_slots(self, tree: Any, slots: Sequence[int]) -> None:
-        for i in slots:
-            self.save_slot(tree, i)
-
-    def note_free_pops(self, free: List[int], take: int) -> None:
-        """Called *before* popping ``take`` entries off the free list:
-        record any original entries about to fall below the floor."""
-        end = len(free) - take
-        if end < self.free_floor:
-            self.free_orig[:0] = free[end : self.free_floor]
-            self.free_floor = end
-
-    # -- rollback -------------------------------------------------------
-    def rollback(self, tree: Any) -> None:
-        snap = self.snap_len
-        for name in _FLAT_COLUMNS:
-            del getattr(tree, name)[snap:]
-        for i, pre in self.saved.items():
-            (
-                tree._parent[i],
-                tree._left[i],
-                tree._right[i],
-                tree._n_leaves[i],
-                tree._depth[i],
-                tree._height[i],
-                tree._shortcuts[i],
-                tree._item[i],
-                tree._summary[i],
-                tree._active[i],
-                tree._low[i],
-                tree._handle[i],
-            ) = pre
-        free = tree._free
-        del free[self.free_floor :]
-        free.extend(self.free_orig)
-        tree.root_index = self.root_index
-        tree._rng.setstate(self.rng_state)
-        tree._n_highwater = self.highwater
-        tree.last_batch_stats = self.stats
+    __slots__ = ()
 
 
 # ---------------------------------------------------------------------------
@@ -547,14 +371,14 @@ def _apply_txn(
     apply: Callable[[Sequence[Any]], Tuple[Any, Optional[List[Any]]]],
 ) -> Tuple[Any, Optional[List[Any]]]:
     # Nested-transaction flattening: when an *outer* transaction is
-    # already open (``tree._journal`` set — e.g. the resilience layer's
+    # already open (``tree._txn`` set — e.g. the resilience layer's
     # batch checkpoint, see :mod:`repro.resilience.executor`), the inner
-    # batch records its pre-images into that journal and the outer owner
-    # decides commit vs. rollback.  Opening a second journal here would
-    # be wrong twice over: ``_txn_begin`` would overwrite the outer
-    # seam (orphaning its pre-images), and the inner commit would
-    # discard undo state the outer rollback still needs.
-    if getattr(tree, "_journal", None) is not None:
+    # batch records its pre-images into the open snapshot stack and the
+    # outer owner decides commit vs. rollback.  The snapshot layer does
+    # support genuine nesting (repro.snapshots.core.txn_begin), but a
+    # batch inside a checkpoint needs no independent rewind point of
+    # its own — flattening keeps the hot path at one snapshot.
+    if getattr(tree, "_txn", None) is not None:
         return apply(admitted)
     journal = tree._txn_begin()
     try:

@@ -1,0 +1,16 @@
+"""R004 snapshot-registry fixture: a crash-hooked class with no
+SnapshotSpec claiming it (and no exemption) must be flagged — a crash
+point inside an un-snapshottable structure is unrecoverable."""
+
+
+def _patch(cls, attr, replacement):
+    setattr(cls, attr, replacement)
+
+
+class Orphan:
+    def hook(self):
+        pass
+
+
+def install(ctl):
+    _patch(Orphan, "hook", lambda self: ctl.tick())

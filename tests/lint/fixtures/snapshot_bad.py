@@ -1,0 +1,30 @@
+"""R004 snapshot-coverage fixture.
+
+``relink`` mutates a *covered* column and stays clean; ``paint`` /
+``shade`` mutate a private container outside the declared snapshot
+coverage, and ``demote`` stores to a node ``__slots__`` field the
+snapshot does not restore — all three must be flagged: a snapshot
+restore would silently lose them.
+"""
+
+
+class Node:
+    __slots__ = ("left", "right", "color")
+
+
+class Tree:
+    def __init__(self):
+        self._left = []
+        self._color = []
+
+    def relink(self, i, j):
+        self._left[i] = j  # covered column: clean in snapshot mode
+
+    def paint(self, i):
+        self._color[i] = 1  # uncovered container: flagged
+
+    def shade(self, i):
+        self._color.append(i)  # uncovered container growth: flagged
+
+    def demote(self, node):
+        node.color = 1  # uncovered node field: flagged

@@ -13,6 +13,7 @@ from repro.lint.config import (
     LintConfig,
     ParityPair,
     REPO_CONFIG,
+    SnapshotSpec,
 )
 from repro.lint.engine import SCHEMA, run_lint
 from repro.lint.rules import (
@@ -293,6 +294,96 @@ def test_r004_allowlist_silences_with_justification():
     )
     report = _run(["journal_bad.py"], [JournalCoverageRule(config)])
     assert report.clean
+
+
+# ---------------------------------------------------------------------------
+# R004 — snapshot-coverage mode
+# ---------------------------------------------------------------------------
+
+_SNAPSHOT_SPEC = SnapshotSpec(
+    path="snapshot_bad.py",
+    class_name="Tree",
+    columns=frozenset({"_left"}),
+    node_class=("snapshot_bad.py", "Node"),
+    covered_fields=frozenset({"left", "right"}),
+)
+
+
+def test_r004_snapshot_mode_flags_uncovered_mutations():
+    config = LintConfig(journal_specs=(), snapshot_specs=(_SNAPSHOT_SPEC,))
+    report = _run(["snapshot_bad.py"], [JournalCoverageRule(config)])
+    flagged = sorted(f.message.split(" ")[0] for f in report.findings)
+    assert flagged == ["Tree.demote", "Tree.paint", "Tree.shade"], [
+        str(f) for f in report.findings
+    ]
+    joined = " ".join(f.message for f in report.findings)
+    assert "self._color" in joined
+    assert "uncovered node field .color" in joined
+    # `relink` mutates a covered column and stays clean.
+    assert "relink" not in joined
+
+
+def test_r004_snapshot_mode_allowlist():
+    spec = SnapshotSpec(
+        path=_SNAPSHOT_SPEC.path,
+        class_name=_SNAPSHOT_SPEC.class_name,
+        columns=_SNAPSHOT_SPEC.columns,
+        node_class=_SNAPSHOT_SPEC.node_class,
+        covered_fields=_SNAPSHOT_SPEC.covered_fields,
+        allowlist={"paint": "test", "shade": "test", "demote": "test"},
+    )
+    config = LintConfig(journal_specs=(), snapshot_specs=(spec,))
+    report = _run(["snapshot_bad.py"], [JournalCoverageRule(config)])
+    assert report.clean, [str(f) for f in report.findings]
+
+
+def test_r004_snapshot_registry_cross_check():
+    """A crash-hooked class with neither a SnapshotSpec nor an exemption
+    is flagged; the exemption registry silences it."""
+    config = LintConfig(
+        journal_specs=(),
+        snapshot_specs=(_SNAPSHOT_SPEC,),
+        snapshot_exempt=frozenset(),
+        crash_points_path="crashes_registry.py",
+    )
+    report = _run(
+        ["snapshot_bad.py", "crashes_registry.py"],
+        [JournalCoverageRule(config)],
+    )
+    orphan = [f for f in report.findings if "Orphan" in f.message]
+    assert len(orphan) == 1, [str(f) for f in report.findings]
+    assert "no SnapshotSpec covers it" in orphan[0].message
+
+    exempt = LintConfig(
+        journal_specs=(),
+        snapshot_specs=(_SNAPSHOT_SPEC,),
+        snapshot_exempt=frozenset({"Orphan"}),
+        crash_points_path="crashes_registry.py",
+    )
+    report = _run(
+        ["snapshot_bad.py", "crashes_registry.py"],
+        [JournalCoverageRule(exempt)],
+    )
+    assert all("Orphan" not in f.message for f in report.findings)
+
+
+def test_r004_repo_snapshot_specs_mirror_coverage_constants():
+    """The repo-level specs must stay literally the sets the snapshot
+    layer restores — coverage and lint cannot drift apart."""
+    from repro.snapshots.core import (
+        FLAT_SNAPSHOT_COLUMNS,
+        REFERENCE_SNAPSHOT_FIELDS,
+    )
+
+    specs = {s.class_name: s for s in REPO_CONFIG.snapshot_specs}
+    assert specs["FlatRBSTS"].columns == FLAT_SNAPSHOT_COLUMNS
+    assert specs["ParallelRBSTS"].columns == FLAT_SNAPSHOT_COLUMNS
+    assert specs["RBSTS"].covered_fields == REFERENCE_SNAPSHOT_FIELDS
+    assert specs["RBSTS"].node_class == (
+        "src/repro/splitting/node.py",
+        "BSTNode",
+    )
+    assert "SnapshotIO" in REPO_CONFIG.snapshot_exempt
 
 
 # ---------------------------------------------------------------------------

@@ -29,8 +29,14 @@ def test_corpus_entry_replays_clean(path):
     seq = load_entry(path)
     backend = seq.meta.get("backend", "both")
     crash_seed = seq.meta.get("crash_seed")
+    snapshot_seed = seq.meta.get("snapshot_seed")
     report = run_sequence(
-        seq, backend=backend, check_every=1, crash_seed=crash_seed
+        seq,
+        backend=backend,
+        check_every=1,
+        crash_seed=crash_seed,
+        snapshot_seed=snapshot_seed,
+        snapshot_mode=seq.meta.get("snapshot_mode", "state"),
     )
     assert report.ok, f"{os.path.basename(path)}: {report.failure}"
     if crash_seed is not None:
@@ -38,6 +44,28 @@ def test_corpus_entry_replays_clean(path):
         # recorded crash schedule still fires mid-batch.
         assert report.crashes > 0, (
             f"{os.path.basename(path)}: crash schedule no longer fires"
+        )
+    if snapshot_seed is not None:
+        # Snapshot reproducers must still drive the differential rig.
+        assert report.snapshots > 0, (
+            f"{os.path.basename(path)}: snapshot rig no longer samples"
+        )
+    exercise = seq.meta.get("snapshot_exercise")
+    if exercise is not None:
+        # Persistence reproducers re-run the recorded save/restore
+        # crash or corruption exercise; run_exercise raises on any
+        # contract violation.  The pinned entries record seeds whose
+        # crash schedule actually fires (not an overshoot).
+        from repro.snapshots.fuzz import run_exercise
+
+        outcome = run_exercise(
+            exercise,
+            int(seq.meta.get("exercise_seed", seq.seed)),
+            backend=seq.meta.get("exercise_backend", "flat"),
+        )
+        assert "overshoot" not in outcome, (
+            f"{os.path.basename(path)}: exercise crash no longer fires "
+            f"({outcome})"
         )
 
 
