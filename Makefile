@@ -6,8 +6,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-perf bench bench-smoke bench-regress regress lint \
-        fuzz-smoke fuzz-selftest fuzz-crash fuzz-faults fuzz-parallel \
-        fuzz-snapshots corpus-replay clean
+        lint-effects fuzz-smoke fuzz-selftest fuzz-crash fuzz-faults \
+        fuzz-parallel fuzz-snapshots corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
 test:
@@ -46,16 +46,23 @@ regress:
 	$(PYTHON) benchmarks/regress.py
 
 ## Static invariants: the repro.lint rule suite (R001-R005 +
-## the R101-R103 PRAM race detector) over src/repro, then strict mypy
-## on the typed core when mypy is importable (the CI lint job installs
-## it; local runs without mypy skip that half with a notice).
+## the R101-R103 PRAM race detector) over src/repro, then the
+## interprocedural effect pass (R201-R204), then strict mypy on the
+## typed core when mypy is importable (the CI lint job installs it;
+## local runs without mypy skip that half with a notice).
 lint:
 	$(PYTHON) -m repro.lint
+	$(PYTHON) -m repro.lint --effects
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy; \
 	else \
 		echo "repro.lint: mypy not installed locally; skipping strict type check (CI runs it)"; \
 	fi
+
+## Incremental effects pass alone: warm runs reuse the hash-keyed
+## summary cache in .lint-cache/ and skip parsing unchanged files.
+lint-effects:
+	$(PYTHON) -m repro.lint --effects
 
 ## Differential fuzz smoke (the CI load): 3 seeds x 2000 ops per
 ## scenario, both backends in lockstep, auditing after every op.
@@ -115,4 +122,4 @@ corpus-replay:
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
-	rm -rf .pytest_cache .hypothesis
+	rm -rf .pytest_cache .hypothesis .lint-cache

@@ -64,6 +64,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="repository root (default: auto-detected)",
     )
+    parser.add_argument(
+        "--effects",
+        action="store_true",
+        help=(
+            "run the interprocedural effect/determinism pass "
+            "(R201-R204) instead of the per-file rules; emits "
+            "repro-effects/1 with --json"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="(with --effects) ignore and do not write the summary cache",
+    )
     return parser
 
 
@@ -71,6 +85,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     root = Path(args.root).resolve() if args.root else repo_root()
     targets: List[str] = list(args.targets) or list(_DEFAULT_TARGETS)
+    if args.effects:
+        return _main_effects(
+            root,
+            targets,
+            use_cache=not args.no_cache,
+            as_json=bool(args.json),
+        )
     try:
         report = run_lint(root, targets, default_rules(REPO_CONFIG))
     except FileNotFoundError as exc:
@@ -80,6 +101,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: cannot parse target: {exc}", file=sys.stderr)
         return 2
     _render(report, as_json=bool(args.json))
+    return 0 if report.clean else 1
+
+
+def _main_effects(
+    root: Path,
+    targets: Sequence[str],
+    *,
+    use_cache: bool,
+    as_json: bool,
+) -> int:
+    from .effects import run_effects
+
+    try:
+        report = run_effects(root, targets, REPO_CONFIG, use_cache=use_cache)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"error: cannot parse target: {exc}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding)
+        counts = report.counts()
+        summary = (
+            ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+            or "none"
+        )
+        status = "clean" if report.clean else "FINDINGS"
+        print(
+            f"repro.lint --effects: {report.files} files, "
+            f"{len(report.functions)} functions, cache "
+            f"{report.cache_hits} hit/{report.cache_misses} miss -> "
+            f"{status} ({summary})"
+        )
     return 0 if report.clean else 1
 
 

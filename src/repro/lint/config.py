@@ -19,6 +19,7 @@ __all__ = [
     "ParityPair",
     "JournalSpec",
     "SnapshotSpec",
+    "EffectEntry",
     "LintConfig",
     "REPO_CONFIG",
 ]
@@ -518,6 +519,155 @@ R001_FORBIDDEN_BUILTINS: FrozenSet[str] = frozenset(
 
 
 # ---------------------------------------------------------------------------
+# R201-R204 — interprocedural effect analysis (repro.lint.effects)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EffectEntry:
+    """One public batch entry point the R2xx closure checks start from.
+
+    ``class_name`` may name a subclass that merely *inherits* the
+    method (``ParallelRBSTS``): entry resolution follows the
+    inheritance component, so the closure still includes every
+    override the dynamic dispatch could reach.  ``rules`` masks which
+    checks apply — the contraction entries run R201 only, because the
+    rake-tree's ``RTNode`` reuses the ``left``/``right``/``parent``
+    slot names without being snapshot-covered state (admission-only by
+    the PR 3 design), which would make every R202 path report a
+    non-restorable mutation by name collision.
+    """
+
+    path: str
+    class_name: str
+    method: str
+    rules: Tuple[str, ...] = ("R201", "R202")
+
+
+def _rbsts_entries(path: str, cls: str) -> Tuple[EffectEntry, ...]:
+    return tuple(
+        EffectEntry(path, cls, m)
+        for m in ("batch_insert", "batch_delete", "batch_update_items")
+    )
+
+
+EFFECT_ENTRY_POINTS: Tuple[EffectEntry, ...] = (
+    _rbsts_entries("src/repro/splitting/rbsts.py", "RBSTS")
+    + _rbsts_entries("src/repro/perf/flat_rbsts.py", "FlatRBSTS")
+    + _rbsts_entries("src/repro/perf/parallel/rbsts.py", "ParallelRBSTS")
+    + tuple(
+        EffectEntry("src/repro/listprefix/structure.py", "IncrementalListPrefix", m)
+        for m in ("batch_set", "batch_insert", "batch_delete")
+    )
+    + tuple(
+        EffectEntry(
+            "src/repro/contraction/dynamic.py",
+            "DynamicTreeContraction",
+            m,
+            rules=("R201",),
+        )
+        for m in (
+            "batch_set_leaf_values",
+            "batch_set_ops",
+            "batch_grow",
+            "batch_prune",
+            "apply_requests",
+        )
+    )
+    + tuple(
+        EffectEntry("src/repro/resilience/executor.py", "ResilientListSession", m)
+        for m in ("batch_insert", "batch_delete", "batch_set")
+    )
+)
+
+#: ``(path, qualname)`` roots of code that executes inside pool worker
+#: processes (R203).  ``_worker_main`` is the whole worker loop: every
+#: chunk kernel (``_compose_range``, ``_eval_family``) and slab attach
+#: runs under it.
+WORKER_KERNEL_ROOTS: Tuple[Tuple[str, str], ...] = (
+    ("src/repro/perf/parallel/pool.py", "_worker_main"),
+)
+
+#: ``path::qualname`` -> justification for functions that *are* a
+#: transaction seam even though no ``_txn_begin`` call appears in their
+#: own body.  These are the analysis's higher-order blind spots: the
+#: guard sits one call (or one callback indirection) below.
+TXN_GUARDS: Dict[str, str] = {
+    "src/repro/transactions.py::execute_batch": (
+        "every admitted mutation runs via _apply_txn's txn_begin/"
+        "rollback/commit bracket; the only direct apply() call is the "
+        "empty-strict-batch path, which is mutation-free by admission "
+        "(nothing was admitted)"
+    ),
+}
+
+#: rule -> (owning ``path::qualname`` -> justification).  The effects
+#: pass drops a finding when the function *performing* the effect is
+#: registered here; keying by owner (not entry) means one entry covers
+#: every entry point whose closure reaches the same helper.
+EFFECT_ALLOWLIST: Dict[str, Dict[str, str]] = {
+    "R202": {
+        "src/repro/perf/flat_rbsts.py::FlatRBSTS.handle": (
+            "lazy interning-cache fill (slot -> FlatLeaf) on the "
+            "post-commit return path; idempotent and derivable, exempt "
+            "from journaling under R004 for the same reason"
+        ),
+    },
+    "R204": {
+        "src/repro/resilience/executor.py::ResilientExecutor._heal": (
+            "repair failure is deliberately absorbed: the supervisor's "
+            "bounded retry (or the degradation ladder) handles state "
+            "that cannot be healed in place; the open checkpoint still "
+            "rewinds everything the failed repair touched"
+        ),
+        "src/repro/perf/parallel/engine.py::ParallelEngine._scratch_pair": (
+            "scratch slabs are transient per-round compute buffers "
+            "rebuilt by the next scan; no logical tree state lives in "
+            "them, so rollback has nothing to restore"
+        ),
+        # -- PRAM simulation state is per-attempt scratch: pram_sum
+        # constructs a fresh FaultyMachine inside each supervised
+        # attempt, so a rolled-back attempt discards the whole machine
+        # and the retry rebuilds it.  No pre-image exists to restore
+        # (the R004 _new_node argument, one level up).
+        "src/repro/pram/machine.py::Machine.spawn": (
+            "mutates the process table of a machine constructed inside "
+            "the supervised attempt itself; retry rebuilds the machine"
+        ),
+        "src/repro/pram/memory.py::SharedMemory.commit": (
+            "EREW/CRCW staging buffers of a per-attempt machine; "
+            "discarded wholesale with the machine on rollback"
+        ),
+        "src/repro/resilience/faults.py::FaultySharedMemory.commit": (
+            "fault-injecting subclass of SharedMemory.commit; same "
+            "per-attempt-machine argument"
+        ),
+        # -- outcome-classification boundaries: each of these handlers
+        # is the last stop of a differential/fuzz/resilience harness
+        # whose *job* is to turn any escape (taxonomy included) into a
+        # recorded verdict instead of a crash.
+        "src/repro/resilience/harness.py::run_resilience_program": (
+            "converts an unexpected escape into a failing "
+            "ResilienceReport entry — a resilience bug must be "
+            "reported by the harness, not crash it"
+        ),
+        "src/repro/snapshots/fuzz.py::fuzz_one": (
+            "crash-injection fuzzing classifies every outcome "
+            "(including taxonomy raises) as survive/die/diverge"
+        ),
+        "src/repro/testing/corpus.py::replay_corpus": (
+            "corpus replay records each case's outcome; a raising "
+            "case is a red verdict, not a replay abort"
+        ),
+        "src/repro/testing/executor.py::run_sequence": (
+            "the differential executor classifies construction and "
+            "per-op failures into verdicts for shrinking"
+        ),
+    },
+}
+
+
+# ---------------------------------------------------------------------------
 # the bundle rules receive
 # ---------------------------------------------------------------------------
 
@@ -536,6 +686,24 @@ class LintConfig:
     #: Modules exempt from R005's "must define __all__" requirement
     #: (entry-point shims with no importable surface).
     exports_exempt: FrozenSet[str] = frozenset()
+    # -- R201-R204 interprocedural effect analysis ----------------------
+    effect_entries: Tuple[EffectEntry, ...] = EFFECT_ENTRY_POINTS
+    worker_kernel_roots: Tuple[Tuple[str, str], ...] = WORKER_KERNEL_ROOTS
+    txn_guards: Mapping[str, str] = field(
+        default_factory=lambda: dict(TXN_GUARDS)
+    )
+    effect_allowlist: Mapping[str, Mapping[str, str]] = field(
+        default_factory=lambda: {
+            rule: dict(entries) for rule, entries in EFFECT_ALLOWLIST.items()
+        }
+    )
+    #: Mutation-target universes the R202/R204 coverage cross-check uses:
+    #: the same column/field sets the snapshot layer restores.
+    effect_columns: FrozenSet[str] = FLAT_SNAPSHOT_COLUMNS
+    effect_node_fields: FrozenSet[str] = REFERENCE_SNAPSHOT_FIELDS
+    #: Path prefixes whose mutations are the rollback seam itself
+    #: (journal/checkpoint bookkeeping) and are not atomized.
+    effect_seam_paths: Tuple[str, ...] = ("src/repro/snapshots/",)
 
 
 REPO_CONFIG = LintConfig()

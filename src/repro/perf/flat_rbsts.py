@@ -950,7 +950,7 @@ class FlatRBSTS:
         parent = self._parent
         site_set = set(sites)
         maximal: Dict[int, int] = {}
-        for s in site_set:
+        for s in sorted(site_set):
             top = s
             cur = parent[s]
             while cur != NIL:
@@ -1101,7 +1101,7 @@ class FlatRBSTS:
         # Phase 2 — merge nested sites; widen fully-doomed sites upward.
         site_set = set(sites)
         final_sites = set()
-        for s in site_set:
+        for s in sorted(site_set):
             top = s
             cur = parent[s]
             while cur != NIL:
@@ -1126,7 +1126,7 @@ class FlatRBSTS:
         changed = True
         while changed:
             changed = False
-            for site in list(final_sites):
+            for site in sorted(final_sites):
                 if not site_data(site)[0]:
                     if parent[site] == NIL:
                         raise TreeStructureError(
@@ -1135,7 +1135,7 @@ class FlatRBSTS:
                     final_sites.discard(site)
                     final_sites.add(parent[site])
                     changed = True
-            for site in list(final_sites):
+            for site in sorted(final_sites):
                 cur = parent[site]
                 while cur != NIL:
                     if cur in final_sites:

@@ -23,7 +23,7 @@ Any other behaviour is a :class:`RecoveryViolation` in the report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..algebra.monoid import sum_monoid
 from ..errors import CorruptionDetectedError, RetryExhaustedError
@@ -186,7 +186,7 @@ def _norm_positions(raw: Sequence[int], n: int, *, dedupe: bool) -> List[int]:
 
 
 def _apply_op(
-    session: ResilientListSession, seq: OpSequence, op: list
+    session: ResilientListSession, seq: OpSequence, op: List[Any]
 ) -> List[Tuple[str, Any]]:
     """Apply one raw op with the exact normalisation semantics of
     :class:`repro.testing.executor._ListRunner`; returns the query
@@ -363,7 +363,7 @@ def _run_one(
             )
 
 
-def _oracle_answers(seq: OpSequence, aborted: set) -> Dict[str, Any]:
+def _oracle_answers(seq: OpSequence, aborted: Set[int]) -> Dict[str, Any]:
     """Replay ``seq`` fault-free (skipping the ops the faulted run
     aborted — they mutated nothing there) and record what the answers
     *should* have been."""

@@ -40,7 +40,7 @@ before :class:`~repro.errors.RepairFailedError` propagates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import RepairFailedError
 from ..splitting.shortcuts import shortcut_target_depths, shortcuts_from_path
@@ -162,7 +162,7 @@ def scrub(tree: Any) -> ScrubReport:
     # Tolerant DFS: enumerate via left/right only; detect cycles and
     # half-connected internals as fatal.  ``path`` is the root path of
     # the node being entered, indexed by (shadow) depth.
-    seen: set = set()
+    seen: Set[Any] = set()
     path: List[Any] = []
     order: List[Tuple[Any, bool]] = [(root, True)]
     postorder: List[Any] = []

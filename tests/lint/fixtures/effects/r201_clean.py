@@ -1,0 +1,23 @@
+"""R201 clean twin: the same two-deep shape, but every draw goes
+through the sanctioned per-instance seeded rng and the set is sorted
+before iteration."""
+
+import random
+
+
+class Store:
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+        self._data = {}
+
+    def _coin(self):
+        return self._rng.random() < 0.5
+
+    def _plan(self, items):
+        keys = set(items)
+        return [k for k in sorted(keys) if self._coin()]
+
+    def batch_put(self, pairs):
+        for k in self._plan([k for k, _v in pairs]):
+            self._data[k] = None
+        return len(pairs)

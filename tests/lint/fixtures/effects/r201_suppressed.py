@@ -1,0 +1,18 @@
+"""R201 fixture with an inline pragma: same deep violation as
+``r201_deep``, silenced at the offending line."""
+
+import random
+
+
+def _shuffle(items):
+    random.shuffle(items)  # lint: ignore[R201]
+    return items
+
+
+class Store:
+    def __init__(self):
+        self._data = {}
+
+    def batch_put(self, pairs):
+        for k, v in _shuffle(list(pairs)):
+            self._data[k] = v

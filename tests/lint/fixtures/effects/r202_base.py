@@ -1,0 +1,18 @@
+"""R202 fixture, base half: the entry lives here and is *guarded* for
+the base implementation (the core references the journal seam), so the
+reference backend alone is clean."""
+
+
+class BaseTree:
+    def __init__(self):
+        self._journal = []
+        self.left = {}
+
+    def batch_link(self, edges):
+        return self._link_core(list(edges))
+
+    def _link_core(self, edges):
+        for u, v in edges:
+            self._journal.append((u, self.left.get(u)))
+            self.left[u] = v
+        return len(edges)

@@ -1,0 +1,13 @@
+"""R202 fixture, subclass half: ``FastTree`` inherits ``batch_link``
+but overrides ``_link_core`` *without* the journal seam — the violation
+is only visible across the subclass boundary, because the entry point's
+``self._link_core`` dispatch must include the override."""
+
+from r202_base import BaseTree
+
+
+class FastTree(BaseTree):
+    def _link_core(self, edges):
+        for u, v in edges:
+            self.left[u] = v
+        return len(edges)

@@ -1,0 +1,17 @@
+"""R203 clean twin: the kernel only writes slab columns (``parent`` is
+in the fixture policy's column universe) and reads the clock is *not*
+involved — pure chunk arithmetic."""
+
+
+def _kernel(parent, lo, hi):
+    for i in range(lo, hi):
+        parent[i] = i - lo
+    return hi - lo
+
+
+def worker_main(conn):
+    while True:
+        task = conn.recv()
+        if task is None:
+            break
+        conn.send(_kernel(task.parent, task.lo, task.hi))

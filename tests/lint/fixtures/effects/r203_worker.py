@@ -1,0 +1,27 @@
+"""R203 fixture: the worker loop's closure draws RNG and spawns — both
+forbidden inside a chunk kernel even when the draw is seeded (workers
+must be replayable from their task messages alone)."""
+
+import random
+
+
+def _audit(path, rows):
+    with open(path, "a") as fh:
+        fh.write(repr(rows))
+
+
+def _kernel(view, lo, hi):
+    acc = view[lo:hi]
+    _audit("/tmp/audit.log", acc)
+    return acc
+
+
+def worker_main(conn, seed):
+    rng = random.Random(seed)
+    while True:
+        task = conn.recv()
+        if task is None:
+            break
+        if rng.random() < 0.5:
+            continue
+        conn.send(_kernel(task.view, task.lo, task.hi))

@@ -1,0 +1,28 @@
+"""R204(b) fixture: the first handler swallows the whole taxonomy; the
+second is broad but re-raises, and the third catches narrowly — only
+the first is a finding."""
+
+
+class ReproError(Exception):
+    pass
+
+
+def swallow(op):
+    try:
+        return op()
+    except Exception:
+        return None
+
+
+def reraise(op):
+    try:
+        return op()
+    except Exception:
+        raise
+
+
+def narrow(op):
+    try:
+        return op()
+    except KeyError:
+        return None

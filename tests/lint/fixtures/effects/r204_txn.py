@@ -1,0 +1,29 @@
+"""R204(a) fixture: a mutation inside the transaction bracket targets
+state outside the coverage universe (``_stats`` is not a column or node
+field), so rollback would silently lose it.  The covered column write
+in ``_apply`` is fine."""
+
+
+class Tree:
+    def __init__(self):
+        self.parent = {}
+        self._stats = {}
+
+    def _txn_begin(self):
+        pass
+
+    def _txn_commit(self):
+        pass
+
+    def _apply(self, edges):
+        for u, v in edges:
+            self.parent[u] = v
+
+    def _count(self, edges):
+        self._stats["links"] = len(edges)
+
+    def batch_link(self, edges):
+        self._txn_begin()
+        self._apply(list(edges))
+        self._count(list(edges))
+        self._txn_commit()
