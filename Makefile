@@ -5,9 +5,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-perf bench bench-smoke bench-regress regress lint \
-        lint-effects fuzz-smoke fuzz-selftest fuzz-crash fuzz-faults \
-        fuzz-parallel fuzz-snapshots corpus-replay clean
+.PHONY: test test-perf bench bench-serve bench-smoke bench-regress \
+        regress lint lint-effects fuzz-smoke fuzz-selftest fuzz-crash \
+        fuzz-faults fuzz-parallel fuzz-snapshots fuzz-serve \
+        corpus-replay clean
 
 ## Tier-1 suite (the reproduction contract).
 test:
@@ -20,6 +21,12 @@ test-perf:
 ## Full perf harness: refresh BENCH_PR7.json at the repo root.
 bench:
 	$(PYTHON) benchmarks/perf_harness.py
+
+## Serve-layer window sweep: refresh BENCH_SERVE.json at the repo root
+## (throughput + latency quantiles per batch-window size; see
+## benchmarks/serve_harness.py and EXPERIMENTS.md).
+bench-serve:
+	$(PYTHON) benchmarks/serve_harness.py
 
 ## Smoke-size harness run: exercises the harness + regression gate on
 ## the quick grid (generous wall-clock threshold — the simulated-cost
@@ -115,6 +122,18 @@ fuzz-faults:
 ## crashes) appears across the runs.  See TESTING.md.
 fuzz-snapshots:
 	$(PYTHON) -m repro.snapshots.fuzz --seed 0 --runs 96 --require-coverage
+
+## Serve-layer chaos fuzz (the PR 10 CI load): 40 seeded configs
+## sweeping faults, poison, overload, deadlines and truncated ladders
+## through the sharded batch-serving frontend.  Each config runs twice
+## (decision-digest determinism) on top of the per-run gate: no lost or
+## double-applied acked batch, oracle/invariant parity, quarantine
+## isolates exactly the poisoned requests.  --require-coverage asserts
+## all nine behaviour classes (shed, timeout, quarantine, breaker-open,
+## demotion, ...) appear across the batch.  See TESTING.md.
+fuzz-serve:
+	$(PYTHON) -m repro.serve.chaos --seed 0 --runs 40 --requests 150 \
+		--no-save --require-coverage
 
 ## Replay every pinned regression reproducer in tests/corpus/.
 corpus-replay:

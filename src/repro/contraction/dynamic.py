@@ -130,6 +130,16 @@ class DynamicTreeContraction:
         (the fuzzer pins reference/flat RNG-consumption parity)."""
         return self.pt.rng_state()
 
+    def pinned_reader(self, *, monoid: Any = None):
+        """Context manager yielding a
+        :class:`~repro.snapshots.reader.PinnedReader` pinned to the
+        contraction parse tree's current epoch: ``values()`` through it
+        is the leaf-id sequence of PT at pin time, immune to later
+        ``batch_grow``/``batch_prune`` churn (flat family pins in O(1)
+        via ``FlatSnapshot.materialize``; the reference backend
+        deep-captures at pin time)."""
+        return self.pt.pinned_reader(monoid=monoid)
+
     def query_values(
         self,
         node_ids: Sequence[int],

@@ -578,6 +578,22 @@ EFFECT_ENTRY_POINTS: Tuple[EffectEntry, ...] = (
         EffectEntry("src/repro/resilience/executor.py", "ResilientListSession", m)
         for m in ("batch_insert", "batch_delete", "batch_set")
     )
+    # -- repro.serve (PR 10): the serving layer's decision paths must be
+    # as replayable as the structures they drive.  execute_window is the
+    # whole batch-apply path (admission, retry-budget, quarantine,
+    # breaker) and runs R201 only: its mutations are queue/stats/breaker
+    # bookkeeping on the shard object, not snapshot-covered tree state —
+    # the tree mutations all happen below _apply_admitted, which gets
+    # the full R201+R202 treatment, as does the quarantine prober (its
+    # probes subscript the same columns the snapshot layer restores).
+    + (
+        EffectEntry(
+            "src/repro/serve/shard.py", "Shard", "execute_window",
+            rules=("R201",),
+        ),
+        EffectEntry("src/repro/serve/shard.py", "Shard", "_apply_admitted"),
+        EffectEntry("src/repro/serve/quarantine.py", "", "quarantine_bisect"),
+    )
 )
 
 #: ``(path, qualname)`` roots of code that executes inside pool worker
@@ -606,6 +622,15 @@ TXN_GUARDS: Dict[str, str] = {
 #: registered here; keying by owner (not entry) means one entry covers
 #: every entry point whose closure reaches the same helper.
 EFFECT_ALLOWLIST: Dict[str, Dict[str, str]] = {
+    "R201": {
+        "src/repro/serve/clock.py::MonotonicClock.now": (
+            "the asyncio frontend's wall clock, injected at the event-"
+            "loop boundary only — the clock-free sync core takes `now` "
+            "as an argument (serve/clock.py docstring).  The one path "
+            "the closure reports is a name-collision phantom: the "
+            "engine's pool.submit() resolving to BatchService.submit"
+        ),
+    },
     "R202": {
         "src/repro/perf/flat_rbsts.py::FlatRBSTS.handle": (
             "lazy interning-cache fill (slot -> FlatLeaf) on the "
@@ -662,6 +687,36 @@ EFFECT_ALLOWLIST: Dict[str, Dict[str, str]] = {
         "src/repro/testing/executor.py::run_sequence": (
             "the differential executor classifies construction and "
             "per-op failures into verdicts for shrinking"
+        ),
+        # -- repro.serve (PR 10): the serving layer's contract is that
+        # NO payload crashes the service — every escape becomes a typed
+        # Response.  Each handler below is such a boundary; the chaos
+        # gate's exactly-once/oracle audits are what prove they never
+        # misclassify a committed batch.
+        "src/repro/serve/quarantine.py::_Prober.probe": (
+            "outcome-classification boundary: a probe's only question "
+            "is pass/fail — ANY escape (taxonomy included) means the "
+            "subset must not commit, and the probe txn is rolled back "
+            "unconditionally in the finally"
+        ),
+        "src/repro/serve/shard.py::Shard.execute_window": (
+            "outcome-classification boundary: the phase-apply triage "
+            "turns admission mismatches into rejections, exhausted "
+            "retries into failed responses, and any other escape into "
+            "the quarantine path — a window must answer every request, "
+            "never crash the shard worker"
+        ),
+        "src/repro/serve/shard.py::Shard._quarantine": (
+            "outcome-classification boundary: a good-subset re-commit "
+            "that fails after bisection downgrades the subset to "
+            "failed responses (the supervisor already rolled back); "
+            "raising would crash the worker with responses unsent"
+        ),
+        "src/repro/serve/chaos.py::run_chaos": (
+            "the chaos harness's invariant audit records a failing "
+            "shard as a red report entry — a robustness bug must be "
+            "reported by the gate, not crash it (run_resilience_program "
+            "precedent)"
         ),
     },
 }

@@ -1240,6 +1240,18 @@ class FlatRBSTS:
     def _txn_commit(self, journal: FlatJournal) -> None:
         txn_commit(self, journal)
 
+    def pinned_reader(self, *, monoid: Any = None):
+        """Context manager yielding a
+        :class:`~repro.snapshots.reader.PinnedReader` over the current
+        version: an O(1) epoch pin joins the transaction stack, and
+        queries through the reader answer from the pinned version
+        (``FlatSnapshot.materialize``) while later mutations — and
+        their rollbacks — proceed on the live slab.  ``monoid`` enables
+        the fold reads (``prefix``/``range_fold``/``total``)."""
+        from ..snapshots.reader import pinned_reader
+
+        return pinned_reader(self, monoid=monoid)
+
     # ------------------------------------------------------------------
     # shared helpers (cost accounting mirrors the reference)
     # ------------------------------------------------------------------

@@ -1,0 +1,614 @@
+"""Chaos harness: overload + faults + poison against the serving core.
+
+``python -m repro.serve.chaos`` (or :func:`chaos_one`) drives the
+*synchronous* serving core — :class:`~repro.serve.shard.Shard` under a
+:class:`~repro.serve.clock.VirtualClock` — with a seeded request
+stream (:mod:`repro.serve.loadgen`) whose knobs plant every failure
+mode at once: Zipf-skewed overload bursts against bounded queues,
+per-shard :class:`~repro.resilience.faults.FaultPlan` corruption,
+poisoned payloads, invalid positions and tight deadlines.
+
+The gate (one run = one verdict):
+
+* **never lose or double-apply an acked batch** — every request gets
+  exactly one response; a request acked ``applied`` appears in exactly
+  one ``applied_log`` entry of its shard, and a request acked anything
+  else appears in none;
+* **never corrupt shard state** — post-run ``check_invariants`` per
+  shard, plus oracle parity: replaying each shard's ``applied_log``
+  over its initial values with the sequential batch semantics must
+  reproduce the live structure bit-for-bit, and a final pinned read
+  must match the oracle's fold;
+* **quarantine isolates exactly the poisoned requests** — no
+  :class:`~repro.serve.loadgen.PoisonPill` ever commits, and every
+  quarantined ack names a request that carried one (under an
+  exhausted probe budget over-rejection is permitted, never
+  under-rejection);
+* **sheds and rejections are seed-deterministic** — the whole run is
+  condensed into a decision digest (every response + final state) and
+  the same config must produce the same digest twice.
+
+Exit codes mirror the other fuzzers: 0 clean, 1 contract violation
+(reproducer written to ``tests/corpus/`` with schema
+``repro-serve-corpus/1``), 2 usage / coverage failure.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.serve.chaos --seed 0 --runs 40
+    PYTHONPATH=src python -m repro.serve.chaos --runs 40 --require-coverage
+    PYTHONPATH=src python -m repro.serve.chaos --replay tests/corpus/pinned-serve-quarantine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..algebra.monoid import sum_monoid
+from ..algebra.rings import INTEGER
+from ..errors import InvalidParameterError
+from ..resilience.executor import ResiliencePolicy
+from ..resilience.faults import FaultPlan
+from ..testing.corpus import default_corpus_dir
+from .clock import VirtualClock
+from .loadgen import RAW, PoisonPill, generate_specs, spec_args
+from .quarantine import _seq_apply
+from .requests import Request, ServePolicy
+from .shard import Shard
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "COVERAGE_CLASSES",
+    "ChaosConfig",
+    "ChaosReport",
+    "config_for_seed",
+    "run_chaos",
+    "chaos_one",
+    "save_serve_entry",
+    "load_serve_entry",
+    "replay_serve_entry",
+    "main",
+]
+
+CORPUS_SCHEMA = "repro-serve-corpus/1"
+
+#: Behaviour classes ``--require-coverage`` demands across a batch of
+#: runs (each is reachable within a few dozen seeds of the default
+#: config sweep).
+COVERAGE_CLASSES = (
+    "applied",
+    "rejected",
+    "shed",
+    "timeout",
+    "quarantined",
+    "failed",
+    "breaker-open",
+    "demotion",
+    "fault-fired",
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything one chaos run depends on — JSON round-trippable, so
+    a failing config IS the reproducer."""
+
+    seed: int = 0
+    n_requests: int = 200
+    n_shards: int = 3
+    shard_size: int = 24
+    profile: str = "serve"
+    zipf_s: float = 1.1
+    fault_rate: float = 0.0
+    sticky_rate: float = 0.5
+    poison_rate: float = 0.0
+    invalid_rate: float = 0.06
+    deadline_s: Optional[float] = None
+    deadline_jitter: float = 0.5
+    burst: int = 8
+    drain_every: int = 2
+    max_batch: int = 8
+    max_wait_s: float = 0.005
+    queue_capacity: int = 16
+    shed_highwater: float = 0.5
+    breaker_threshold: int = 2
+    breaker_reset_s: float = 0.05
+    max_retries: int = 1
+    ladder: Tuple[str, ...] = ("flat", "reference", "sequential")
+    quarantine_max_probes: int = 64
+
+
+@dataclass
+class ChaosReport:
+    """Verdict + evidence for one chaos run."""
+
+    config: ChaosConfig
+    ok: bool
+    failure: str
+    digest: str
+    statuses: Dict[str, int]
+    observed: Dict[str, bool]
+    shed_ids: List[int]
+    quarantined_ids: List[int]
+    rungs: Dict[int, str]
+
+    def describe(self) -> str:
+        parts = "  ".join(
+            f"{k}={v}" for k, v in sorted(self.statuses.items()) if v
+        )
+        return (
+            f"seed={self.config.seed} digest={self.digest} {parts}  "
+            f"rungs={'/'.join(self.rungs[s] for s in sorted(self.rungs))}"
+        )
+
+
+def config_for_seed(seed: int, n_requests: int = 200) -> ChaosConfig:
+    """The default per-seed knob sweep: consecutive seeds cycle through
+    fault-heavy, poison-heavy, overload-heavy and deadline-tight
+    regimes (plus mixtures), so a modest ``--runs`` covers every class
+    in :data:`COVERAGE_CLASSES`."""
+    rng = random.Random(repr(("serve-chaos", seed)))
+    # A short ladder makes RetryExhausted reachable (the full ladder
+    # bottoms out at the fault-free sequential oracle, which never
+    # fails) — that is what drives the breaker classes.
+    ladder = rng.choice(
+        (
+            ("flat", "reference", "sequential"),
+            ("flat", "sequential"),
+            ("flat",),
+            ("reference", "sequential"),
+        )
+    )
+    return ChaosConfig(
+        seed=seed,
+        n_requests=n_requests,
+        n_shards=rng.choice((2, 3, 4)),
+        shard_size=rng.randint(12, 40),
+        fault_rate=rng.choice((0.0, 0.2, 0.45)),
+        sticky_rate=rng.choice((0.3, 0.6)),
+        poison_rate=rng.choice((0.0, 0.06, 0.15)),
+        invalid_rate=rng.choice((0.0, 0.08)),
+        deadline_s=rng.choice((None, 0.03, 0.15)),
+        burst=rng.choice((6, 8, 12)),
+        drain_every=rng.choice((1, 2, 3)),
+        queue_capacity=rng.choice((12, 16, 24)),
+        shed_highwater=rng.choice((0.4, 0.6)),
+        breaker_threshold=rng.choice((2, 3)),
+        max_retries=rng.choice((0, 1, 2)),
+        ladder=ladder,
+    )
+
+
+def _initial_values(cfg: ChaosConfig, sid: int) -> List[int]:
+    rng = random.Random(repr(("serve-init", cfg.seed, sid)))
+    return [rng.randrange(RAW) for _ in range(cfg.shard_size)]
+
+
+def _build_shards(cfg: ChaosConfig) -> Dict[int, Shard]:
+    monoid = sum_monoid(INTEGER)
+    policy = ServePolicy(
+        max_batch=cfg.max_batch,
+        max_wait_s=cfg.max_wait_s,
+        queue_capacity=cfg.queue_capacity,
+        shed_highwater=cfg.shed_highwater,
+        breaker_threshold=cfg.breaker_threshold,
+        breaker_reset_s=cfg.breaker_reset_s,
+        resilience=ResiliencePolicy(
+            max_retries=cfg.max_retries, ladder=tuple(cfg.ladder)
+        ),
+        quarantine_max_probes=cfg.quarantine_max_probes,
+    )
+    shards: Dict[int, Shard] = {}
+    for sid in range(cfg.n_shards):
+        plan = None
+        if cfg.fault_rate > 0.0:
+            plan_seed = random.Random(
+                repr(("serve-fault", cfg.seed, sid))
+            ).getrandbits(32)
+            plan = FaultPlan(
+                plan_seed, rate=cfg.fault_rate, sticky_rate=cfg.sticky_rate
+            )
+        shards[sid] = Shard(
+            sid,
+            monoid,
+            _initial_values(cfg, sid),
+            seed=cfg.seed,
+            policy=policy,
+            plan=plan,
+        )
+    return shards
+
+
+def run_chaos(cfg: ChaosConfig) -> ChaosReport:
+    """One full chaos run: pump, drain, audit (see module docstring)."""
+    clock = VirtualClock()
+    shards = _build_shards(cfg)
+    monoid = shards[0].session.monoid
+    initial = {sid: shards[sid].values() for sid in shards}
+    specs = generate_specs(
+        cfg.seed,
+        cfg.n_requests,
+        cfg.n_shards,
+        profile=cfg.profile,
+        zipf_s=cfg.zipf_s,
+        poison_rate=cfg.poison_rate,
+        invalid_rate=cfg.invalid_rate,
+        deadline_s=cfg.deadline_s,
+        deadline_jitter=cfg.deadline_jitter,
+    )
+    responses: Dict[int, Any] = {}
+    write_ids: Dict[int, bool] = {}
+    poison_ids: Dict[int, bool] = {}
+
+    def drain_once() -> None:
+        for shard in shards.values():
+            if shard.pending:
+                window = shard.take_window()
+                for rid, resp in shard.execute_window(
+                    window, clock.now()
+                ).items():
+                    responses[rid] = resp
+
+    # -- pump: bursts of arrivals, windows every ``drain_every`` bursts,
+    # so arrival rate outruns service rate and queues genuinely fill.
+    for req_id, spec in enumerate(specs):
+        now = clock.now()
+        shard = shards[spec.shard]
+        deadline = None if spec.deadline_s is None else now + spec.deadline_s
+        req = Request(
+            req_id=req_id,
+            shard=spec.shard,
+            kind=spec.kind,
+            args=spec_args(spec, len(shard)),
+            deadline=deadline,
+            arrival=now,
+        )
+        if req.is_write:
+            write_ids[req_id] = True
+            if isinstance(spec.value, PoisonPill):
+                poison_ids[req_id] = True
+            refusal = shard.offer(req, now)
+            if refusal is not None:
+                responses[req_id] = refusal
+        else:
+            responses[req_id] = shard.read(req, now)
+        if (req_id + 1) % cfg.burst == 0:
+            clock.advance(cfg.max_wait_s)
+            if ((req_id + 1) // cfg.burst) % cfg.drain_every == 0:
+                drain_once()
+    # -- final drain: windows until every queue is empty (the virtual
+    # clock keeps advancing, so open breakers half-open and deadlines
+    # expire rather than wedging the loop).
+    rounds = 0
+    while any(shard.pending for shard in shards.values()):
+        rounds += 1
+        if rounds > 10 * cfg.n_requests + 100:
+            return _report(
+                cfg, shards, responses, "final drain did not converge"
+            )
+        clock.advance(cfg.max_wait_s)
+        drain_once()
+
+    # -- audits ---------------------------------------------------------
+    failure = ""
+    for sid, shard in shards.items():
+        try:
+            shard.check_invariants()
+        except Exception as exc:  # outcome-classification boundary
+            failure = f"shard {sid}: invariant audit failed: {exc}"
+            break
+        model = list(initial[sid])
+        logged: Dict[int, bool] = {}
+        for verb, payload, req_ids in shard.applied_log:
+            for rid in req_ids:
+                if rid in logged:
+                    failure = f"shard {sid}: req {rid} applied twice"
+                if rid not in write_ids:
+                    failure = f"shard {sid}: unknown req {rid} in log"
+                if rid in poison_ids:
+                    failure = f"shard {sid}: poisoned req {rid} committed"
+                logged[rid] = True
+            _seq_apply(verb, model, payload)
+        if failure:
+            break
+        if model != shard.values():
+            failure = (
+                f"shard {sid}: oracle divergence (acked batches do not "
+                f"reproduce the live state)"
+            )
+            break
+        for rid, resp in responses.items():
+            if resp.shard != sid or rid not in write_ids:
+                continue
+            if resp.status == "applied" and rid not in logged:
+                failure = f"shard {sid}: req {rid} acked applied but lost"
+                break
+            if resp.status != "applied" and rid in logged:
+                failure = (
+                    f"shard {sid}: req {rid} acked {resp.status} but applied"
+                )
+                break
+        if failure:
+            break
+        # Final pinned read must agree with the oracle's own fold.
+        read = shard.read(
+            Request(req_id=10**9 + sid, shard=sid, kind="total"), clock.now()
+        )
+        expect = monoid.identity
+        for v in model:
+            expect = monoid.combine(expect, v)
+        if read.status != "applied" or read.result != expect:
+            failure = (
+                f"shard {sid}: pinned total {read.result!r} != oracle "
+                f"{expect!r}"
+            )
+            break
+    for req_id in range(len(specs)):
+        if failure:
+            break
+        if req_id not in responses:
+            failure = f"req {req_id} got no response"
+    return _report(cfg, shards, responses, failure)
+
+
+def _report(
+    cfg: ChaosConfig,
+    shards: Dict[int, Shard],
+    responses: Dict[int, Any],
+    failure: str,
+) -> ChaosReport:
+    statuses: Dict[str, int] = {}
+    for resp in responses.values():
+        statuses[resp.status] = statuses.get(resp.status, 0) + 1
+    observed = {
+        "applied": statuses.get("applied", 0) > 0,
+        "rejected": statuses.get("rejected", 0) > 0,
+        "shed": statuses.get("shed", 0) > 0,
+        "timeout": statuses.get("timeout", 0) > 0,
+        "quarantined": statuses.get("quarantined", 0) > 0,
+        "failed": statuses.get("failed", 0) > 0,
+        "circuit-open": statuses.get("circuit-open", 0) > 0,
+        "breaker-open": any(
+            s.stats["breaker_opens"] for s in shards.values()
+        ),
+        "demotion": any(s.session.events for s in shards.values()),
+        "fault-fired": any(
+            s.session.executor.fault_descriptions for s in shards.values()
+        ),
+    }
+    body = {
+        "responses": [
+            [rid, responses[rid].status, responses[rid].reason,
+             repr(responses[rid].result)]
+            for rid in sorted(responses)
+        ],
+        "values": {str(sid): shards[sid].values() for sid in shards},
+        "rungs": {str(sid): shards[sid].session.rung for sid in shards},
+        "breaker": {
+            str(sid): shards[sid].breaker_opened_count for sid in shards
+        },
+    }
+    digest = hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    return ChaosReport(
+        config=cfg,
+        ok=not failure,
+        failure=failure,
+        digest=digest,
+        statuses=statuses,
+        observed=observed,
+        shed_ids=sorted(
+            rid for rid, r in responses.items() if r.status == "shed"
+        ),
+        quarantined_ids=sorted(
+            rid for rid, r in responses.items() if r.status == "quarantined"
+        ),
+        rungs={sid: shards[sid].session.rung for sid in shards},
+    )
+
+
+def chaos_one(
+    seed: int,
+    n_requests: int = 200,
+    *,
+    config: Optional[ChaosConfig] = None,
+    save_dir: Optional[str] = None,
+    save: bool = True,
+    verbose: bool = True,
+) -> ChaosReport:
+    """One seeded chaos config, run TWICE: the second run must
+    reproduce the first's decision digest bit-for-bit (shed choices,
+    quarantine verdicts, final state — everything), on top of the
+    per-run gate.  Persists a reproducer on failure."""
+    cfg = config if config is not None else config_for_seed(seed, n_requests)
+    report = run_chaos(cfg)
+    rerun = run_chaos(cfg)
+    if report.ok and rerun.digest != report.digest:
+        report.ok = False
+        report.failure = (
+            f"nondeterministic: digest {report.digest} != rerun "
+            f"{rerun.digest} for identical config"
+        )
+    if verbose:
+        status = "ok" if report.ok else "FAIL"
+        print(f"[serve-chaos] {status:>4}  {report.describe()}")
+    if not report.ok:
+        if verbose:
+            print(f"[serve-chaos] violation: {report.failure}")
+        if save:
+            path = save_serve_entry(
+                cfg,
+                expect={
+                    "digest": report.digest,
+                    "statuses": report.statuses,
+                    "shed_ids": report.shed_ids,
+                    "quarantined_ids": report.quarantined_ids,
+                },
+                directory=save_dir,
+                prefix="serve-fail",
+                note=report.failure,
+            )
+            if verbose:
+                print(f"[serve-chaos] reproducer written to {path}")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# corpus round-trip (schema "repro-serve-corpus/1")
+# ---------------------------------------------------------------------------
+
+
+def save_serve_entry(
+    cfg: ChaosConfig,
+    expect: Dict[str, Any],
+    directory: Optional[str] = None,
+    *,
+    prefix: str = "pinned-serve",
+    note: str = "",
+) -> str:
+    """Write one replayable chaos entry; returns its path."""
+    directory = directory or default_corpus_dir()
+    os.makedirs(directory, exist_ok=True)
+    config = asdict(cfg)
+    config["ladder"] = list(config["ladder"])
+    body = {
+        "schema": CORPUS_SCHEMA,
+        "config": config,
+        "expect": expect,
+        "note": note,
+    }
+    digest = hashlib.sha256(
+        json.dumps(config, sort_keys=True).encode()
+    ).hexdigest()[:10]
+    path = os.path.join(directory, f"{prefix}-{digest}.json")
+    with open(path, "w") as fh:
+        json.dump(body, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_serve_entry(path: str) -> Tuple[ChaosConfig, Dict[str, Any]]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != CORPUS_SCHEMA:
+        raise InvalidParameterError(
+            f"{path}: schema {data.get('schema')!r} != {CORPUS_SCHEMA!r}"
+        )
+    config = dict(data["config"])
+    config["ladder"] = tuple(config["ladder"])
+    return ChaosConfig(**config), dict(data.get("expect", {}))
+
+
+def replay_serve_entry(path: str, *, verbose: bool = True) -> ChaosReport:
+    """Replay one corpus entry; the run must pass its gate AND
+    reproduce every pinned expectation (digest, shed/quarantine
+    decisions, status counts)."""
+    cfg, expect = load_serve_entry(path)
+    report = run_chaos(cfg)
+    checks = (
+        ("digest", report.digest),
+        ("statuses", report.statuses),
+        ("shed_ids", report.shed_ids),
+        ("quarantined_ids", report.quarantined_ids),
+    )
+    for key, got in checks:
+        want = expect.get(key)
+        if want is not None and got != want:
+            report.ok = False
+            report.failure = (
+                f"replay drift: {key} {got!r} != pinned {want!r}"
+            )
+            break
+    if verbose:
+        status = "ok" if report.ok else f"FAIL: {report.failure}"
+        print(f"[serve-replay] {os.path.basename(path)}: {status}")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve.chaos",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--seed", type=int, default=0, help="first seed")
+    ap.add_argument(
+        "--runs", type=int, default=1, metavar="K",
+        help="run K consecutive seeds starting at --seed",
+    )
+    ap.add_argument(
+        "--requests", type=int, default=200, help="requests per run",
+    )
+    ap.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="replay one serve corpus JSON entry",
+    )
+    ap.add_argument(
+        "--save-dir", default=None,
+        help="where to write reproducers (default tests/corpus/)",
+    )
+    ap.add_argument(
+        "--no-save", action="store_true", help="do not write reproducers",
+    )
+    ap.add_argument(
+        "--require-coverage", action="store_true",
+        help="fail unless every behaviour class "
+        f"({', '.join(COVERAGE_CLASSES)}) was observed across the runs",
+    )
+    ap.add_argument("--quiet", action="store_true", help="summary line only")
+    args = ap.parse_args(argv)
+
+    if args.replay:
+        report = replay_serve_entry(args.replay)
+        return 0 if report.ok else 1
+
+    seen: Dict[str, bool] = {k: False for k in COVERAGE_CLASSES}
+    rc = 0
+    t0 = time.perf_counter()
+    for run in range(max(1, args.runs)):
+        report = chaos_one(
+            args.seed + run,
+            args.requests,
+            save_dir=args.save_dir,
+            save=not args.no_save,
+            verbose=not args.quiet,
+        )
+        for key, hit in report.observed.items():
+            if key in seen and hit:
+                seen[key] = True
+        if not report.ok:
+            rc = 1
+    dt = time.perf_counter() - t0
+    hit = [k for k in COVERAGE_CLASSES if seen[k]]
+    print(
+        f"[serve-chaos] {max(1, args.runs)} runs in {dt:.1f}s: "
+        f"covered {len(hit)}/{len(COVERAGE_CLASSES)} classes "
+        f"({', '.join(hit)})"
+    )
+    if args.require_coverage and rc == 0:
+        missing = [k for k in COVERAGE_CLASSES if not seen[k]]
+        if missing:
+            print(
+                f"[serve-chaos] coverage failure: {'/'.join(missing)} never "
+                "observed — widen --runs",
+                file=sys.stderr,
+            )
+            return 2
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

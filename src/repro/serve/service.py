@@ -1,0 +1,185 @@
+"""Asyncio batch-serving frontend over the synchronous shard cores.
+
+:class:`BatchService` owns a forest of tree instances (one
+:class:`~repro.serve.shard.Shard` per shard id — the shard key *is*
+the tree id) and coalesces concurrently submitted write requests into
+per-shard batch windows.  A window fires on whichever trigger comes
+first:
+
+* **size** — the shard's queue reaches ``policy.max_batch``;
+* **latency** — ``policy.max_wait_s`` elapsed since the window opened.
+
+All robustness behaviour (admission, deadlines, shedding, breaker,
+quarantine, degradation ladder) lives in the clock-free sync core;
+this module only adds the event loop: per-shard worker coroutines,
+futures resolved when a window executes, and a real
+:class:`~repro.serve.clock.MonotonicClock` (injectable for tests).
+
+Usage::
+
+    async with BatchService(monoid, {0: values}) as svc:
+        resp = await svc.submit(0, "insert", 3, 40)
+        total = await svc.submit(0, "total")
+
+Reads (``prefix`` / ``range`` / ``total`` / ``len``) never queue: they
+answer immediately from a pinned epoch
+(:meth:`~repro.serve.shard.Shard.read`), so a read concurrent with an
+executing window sees either the pre- or the post-window state, never
+a torn cut.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import InvalidParameterError
+from ..resilience.faults import FaultPlan
+from .clock import MonotonicClock
+from .requests import Request, Response, ServePolicy
+from .shard import Shard
+
+__all__ = ["BatchService"]
+
+
+class BatchService:
+    """Sharded asyncio frontend (see module docstring).
+
+    ``shard_values`` maps shard id → initial value sequence; one
+    :class:`Shard` (and one worker coroutine) is created per entry.
+    ``plans`` optionally maps shard id → :class:`FaultPlan` for chaos
+    runs.  Must be started (``start()`` or ``async with``) before
+    ``submit``; writes submitted to a stopped service would wait
+    forever for a window.
+    """
+
+    def __init__(
+        self,
+        monoid: Any,
+        shard_values: Mapping[int, Sequence[Any]],
+        *,
+        seed: int = 0,
+        policy: Optional[ServePolicy] = None,
+        plans: Optional[Mapping[int, FaultPlan]] = None,
+        clock: Any = None,
+    ) -> None:
+        if not shard_values:
+            raise InvalidParameterError("BatchService needs >= 1 shard")
+        self.policy = policy if policy is not None else ServePolicy()
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.shards: Dict[int, Shard] = {
+            sid: Shard(
+                sid,
+                monoid,
+                values,
+                seed=seed,
+                policy=self.policy,
+                plan=plans.get(sid) if plans else None,
+            )
+            for sid, values in shard_values.items()
+        }
+        self._events: Dict[int, asyncio.Event] = {}
+        self._futures: Dict[int, "asyncio.Future[Response]"] = {}
+        self._workers: List["asyncio.Task[None]"] = []
+        self._next_req_id = 0
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._events = {sid: asyncio.Event() for sid in self.shards}
+        self._workers = [
+            asyncio.ensure_future(self._worker(sid)) for sid in self.shards
+        ]
+
+    async def close(self) -> None:
+        """Stop the workers; any still-queued write resolves as
+        ``failed (service-closed)``."""
+        if not self._running:
+            return
+        self._running = False
+        for event in self._events.values():
+            event.set()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        for req_id, fut in list(self._futures.items()):
+            if not fut.done():
+                fut.set_result(
+                    Response(req_id, -1, "failed", reason="service-closed")
+                )
+        self._futures.clear()
+
+    async def __aenter__(self) -> "BatchService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- client API -----------------------------------------------------
+    async def submit(
+        self,
+        shard: int,
+        kind: str,
+        *args: Any,
+        deadline_s: Optional[float] = None,
+    ) -> Response:
+        """Submit one request; resolves when the request is answered
+        (reads: immediately; writes: when its window executes or the
+        overload machinery refuses it)."""
+        if shard not in self.shards:
+            raise InvalidParameterError(f"unknown shard {shard!r}")
+        target = self.shards[shard]
+        now = self.clock.now()
+        budget = (
+            deadline_s if deadline_s is not None
+            else self.policy.default_deadline_s
+        )
+        req = Request(
+            req_id=self._next_req_id,
+            shard=shard,
+            kind=kind,
+            args=tuple(args),
+            deadline=None if budget is None else now + budget,
+            arrival=now,
+        )
+        self._next_req_id += 1
+        if not req.is_write:
+            return target.read(req, now)
+        refusal = target.offer(req, now)
+        if refusal is not None:
+            return refusal
+        loop = asyncio.get_event_loop()
+        fut: "asyncio.Future[Response]" = loop.create_future()
+        self._futures[req.req_id] = fut
+        self._events[shard].set()
+        return await fut
+
+    # -- stats ----------------------------------------------------------
+    def stats(self) -> Dict[int, Dict[str, int]]:
+        return {sid: dict(s.stats) for sid, s in self.shards.items()}
+
+    # -- per-shard window pump ------------------------------------------
+    async def _worker(self, sid: int) -> None:
+        shard = self.shards[sid]
+        event = self._events[sid]
+        while True:
+            while self._running and shard.pending == 0:
+                event.clear()
+                await event.wait()
+            if not self._running and shard.pending == 0:
+                return
+            if self._running and shard.pending < self.policy.max_batch:
+                # Latency trigger: hold the window open briefly so
+                # concurrent submitters coalesce into one batch.
+                await asyncio.sleep(self.policy.max_wait_s)
+            window = shard.take_window()
+            if not window:
+                continue
+            responses = shard.execute_window(window, self.clock.now())
+            for req_id, response in responses.items():
+                fut = self._futures.pop(req_id, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(response)

@@ -24,6 +24,7 @@ from .core import (
     txn_commit,
     txn_rollback,
 )
+from .reader import PinnedReader, pinned_reader
 from .persist import (
     IO_HOOKS,
     LoadResult,
@@ -48,6 +49,8 @@ __all__ = [
     "txn_begin",
     "txn_commit",
     "txn_rollback",
+    "PinnedReader",
+    "pinned_reader",
     "SnapshotIO",
     "IO_HOOKS",
     "LoadResult",

@@ -161,6 +161,13 @@ class Snapshot:
 
     __slots__ = ("_outer",)
 
+    #: ``True`` for observer-only snapshots (pinned-epoch readers, see
+    #: :mod:`repro.snapshots.reader`): they join the stack to record
+    #: pre-images but own no rollback duty, so
+    #: :func:`repro.transactions._apply_txn` must NOT flatten a writer
+    #: batch into them — the batch opens its own nested transaction.
+    pinned = False
+
     def __init__(self) -> None:
         # Next-outer open snapshot in the transaction stack (None when
         # this is the outermost); maintained by txn_begin/txn_commit.

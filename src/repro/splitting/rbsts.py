@@ -802,6 +802,18 @@ class RBSTS:
     def _txn_commit(self, journal: ReferenceJournal) -> None:
         txn_commit(self, journal)
 
+    def pinned_reader(self, *, monoid: Any = None):
+        """Context manager yielding a
+        :class:`~repro.snapshots.reader.PinnedReader` over the current
+        version: queries through it keep answering from this epoch
+        while later mutations (and their rollbacks) proceed on the
+        live tree.  The pointer-graph backend pays an O(n) deep capture
+        at pin time; the flat family pins in O(1).  ``monoid`` enables
+        the fold reads (``prefix``/``range_fold``/``total``)."""
+        from ..snapshots.reader import pinned_reader
+
+        return pinned_reader(self, monoid=monoid)
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import List, Optional
 from .ops import OpSequence
 from ..errors import InvalidParameterError
 
-__all__ = ["generate"]
+__all__ = ["generate", "list_profile"]
 
 _RAW = 1 << 16  # raw integers live in [0, 2^16); executor normalises
 
@@ -66,7 +66,29 @@ _LIST_PROFILES = {
         [4, 2, 26, 20, 22, 14, 12, 0],
         [2, 6, 10, 44, 20, 10, 8, 0],
     ),
+    # Serving-traffic profile (PR 10): single-request writes plus reads,
+    # in the shape the batch-serving frontend coalesces itself — no
+    # client-side batch ops (the window IS the batch) and no activate.
+    "serve": (
+        [30, 18, 0, 0, 22, 18, 12, 0],
+        [12, 38, 0, 0, 22, 16, 12, 0],
+    ),
 }
+
+
+def list_profile(name: str):
+    """Public accessor for a list-scenario profile's (steady,
+    delete-heavy) weight lists over the kinds ``[ins, del, bins, bdel,
+    bset, prefix, range, activate]`` — the serving load generator
+    (:mod:`repro.serve.loadgen`) reuses these weights to emit
+    :class:`~repro.serve.requests.Request` streams with the same op
+    mix the fuzzers use."""
+    if name not in _LIST_PROFILES:
+        raise InvalidParameterError(
+            f"unknown generator profile {name!r} for scenario 'list'"
+        )
+    steady, delete_heavy = _LIST_PROFILES[name]
+    return list(steady), list(delete_heavy)
 
 
 def _list_ops(

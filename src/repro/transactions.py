@@ -378,7 +378,13 @@ def _apply_txn(
     # support genuine nesting (repro.snapshots.core.txn_begin), but a
     # batch inside a checkpoint needs no independent rewind point of
     # its own — flattening keeps the hot path at one snapshot.
-    if getattr(tree, "_txn", None) is not None:
+    # Pinned-epoch readers (snapshots.reader) are observer-only stack
+    # members: flattening into one would leave a failing batch with no
+    # rollback owner, so the search for an open checkpoint skips them.
+    txn = getattr(tree, "_txn", None)
+    while txn is not None and getattr(txn, "pinned", False):
+        txn = txn._outer
+    if txn is not None:
         return apply(admitted)
     journal = tree._txn_begin()
     try:

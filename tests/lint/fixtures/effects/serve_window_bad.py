@@ -1,0 +1,29 @@
+"""Planted fixture: a serve-style shard whose batch-apply path reads
+the wall clock two calls down (R201 for the ``execute_window`` entry).
+
+Models the exact bug the ``repro.serve`` registration guards against:
+the sync core must take ``now`` as an argument — a clock read inside
+the window path would make shed/deadline decisions unreplayable.
+"""
+
+import time
+
+
+class MiniShard:
+    def __init__(self):
+        self.applied = []
+
+    def execute_window(self, window):
+        out = []
+        for req in window:
+            out.append(self._apply_one(req))
+        return out
+
+    def _apply_one(self, req):
+        if self._expired(req):
+            return "timeout"
+        self.applied.append(req)
+        return "applied"
+
+    def _expired(self, req):
+        return time.monotonic() > req[1]

@@ -166,6 +166,91 @@ def test_registry_drift_is_a_finding():
 
 
 # ---------------------------------------------------------------------------
+# the repro.serve registration (PR 10) — planted twins of the real shapes
+# ---------------------------------------------------------------------------
+
+
+def _serve_fixture_entries():
+    return (
+        EffectEntry(
+            "serve_window_bad.py", "MiniShard", "execute_window", ("R201",)
+        ),
+        # module-level entry (empty class_name), like quarantine_bisect
+        EffectEntry("serve_probe.py", "", "bisect", ("R201", "R202")),
+    )
+
+
+def test_serve_window_clock_read_fires_r201():
+    report = _run_fixtures(effect_entries=_serve_fixture_entries())
+    hits = [
+        f for f in _by_rule(report, "R201")
+        if f.path == "serve_window_bad.py"
+    ]
+    assert len(hits) == 1
+    (f,) = hits
+    assert "wall-clock read" in f.message
+    assert "MiniShard.execute_window" in f.message
+    assert "_expired" in f.message  # two calls down
+
+
+def test_serve_probe_module_entry_fires_r202():
+    report = _run_fixtures(effect_entries=_serve_fixture_entries())
+    hits = [
+        f for f in _by_rule(report, "R202") if f.path == "serve_probe.py"
+    ]
+    assert len(hits) == 1
+    (f,) = hits
+    assert "mut-col:parent" in f.message
+    assert "bisect" in f.message
+
+
+def test_serve_probe_swallow_fires_r204_unless_allowlisted():
+    report = _run_fixtures(effect_entries=_serve_fixture_entries())
+    hits = [
+        f for f in _by_rule(report, "R204") if f.path == "serve_probe.py"
+    ]
+    assert len(hits) == 1
+    assert "in probe" in hits[0].message
+    quiet = _run_fixtures(
+        effect_entries=_serve_fixture_entries(),
+        effect_allowlist={
+            "R204": {"serve_probe.py::probe": "fixture justification"},
+        },
+    )
+    assert not [
+        f for f in _by_rule(quiet, "R204") if f.path == "serve_probe.py"
+    ]
+
+
+def test_repo_config_registers_the_serve_paths():
+    """The real registry covers the serving layer's decision paths and
+    justifies its outcome-classification boundaries."""
+    fids = {
+        (e.path, e.class_name, e.method, e.rules)
+        for e in REPO_CONFIG.effect_entries
+    }
+    assert (
+        "src/repro/serve/shard.py", "Shard", "execute_window", ("R201",)
+    ) in fids
+    assert (
+        "src/repro/serve/shard.py", "Shard", "_apply_admitted",
+        ("R201", "R202"),
+    ) in fids
+    assert (
+        "src/repro/serve/quarantine.py", "", "quarantine_bisect",
+        ("R201", "R202"),
+    ) in fids
+    r204 = REPO_CONFIG.effect_allowlist["R204"]
+    for owner in (
+        "src/repro/serve/quarantine.py::_Prober.probe",
+        "src/repro/serve/shard.py::Shard.execute_window",
+        "src/repro/serve/shard.py::Shard._quarantine",
+        "src/repro/serve/chaos.py::run_chaos",
+    ):
+        assert owner in r204 and r204[owner]
+
+
+# ---------------------------------------------------------------------------
 # extraction & graph units
 # ---------------------------------------------------------------------------
 

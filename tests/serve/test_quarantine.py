@@ -1,0 +1,146 @@
+"""Poisoned-batch quarantine: bisection correctness and probe purity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.resilience.executor import ResiliencePolicy, ResilientListSession
+from repro.serve.loadgen import PoisonPill
+from repro.serve.quarantine import quarantine_bisect
+from repro.serve.requests import Request, ServePolicy
+from repro.serve.shard import Shard
+
+MONOID = sum_monoid(INTEGER)
+
+RUNGS = ("flat", "reference", "sequential")
+
+
+def session_on(rung, values=(1, 2, 3, 4, 5)):
+    return ResilientListSession(
+        MONOID, list(values), seed=5,
+        policy=ResiliencePolicy(ladder=(rung,)),
+    )
+
+
+@pytest.mark.parametrize("rung", RUNGS)
+def test_bisection_isolates_exactly_the_pills(rung):
+    session = session_on(rung)
+    payload = [
+        (0, 10), (1, PoisonPill(1)), (2, 30), (3, 40),
+        (4, PoisonPill(2)), (5, 60), (0, 70), (2, 80),
+    ]
+    before = session.values()
+    result = quarantine_bisect(session, "insert", payload, max_probes=64)
+    assert result.poisoned == (1, 4)
+    assert result.good == (0, 2, 3, 5, 6, 7)
+    assert not result.exhausted
+    # Probing left zero trace.
+    assert session.values() == before
+    session.check_invariants()
+
+
+@pytest.mark.parametrize("rung", RUNGS)
+@pytest.mark.parametrize("verb", ("insert", "set"))
+def test_single_pill_any_verb(rung, verb):
+    session = session_on(rung)
+    payload = [(0, 5), (1, PoisonPill(9)), (2, 6)]
+    result = quarantine_bisect(session, verb, payload, max_probes=64)
+    assert result.poisoned == (1,)
+    assert result.good == (0, 2)
+
+
+def test_all_good_batch_costs_one_probe():
+    session = session_on("flat")
+    result = quarantine_bisect(
+        session, "insert", [(0, 1), (1, 2)], max_probes=64
+    )
+    assert result.poisoned == ()
+    assert result.good == (0, 1)
+    # known-failing top level skips the first probe; the two halves +
+    # the joint re-check account for the rest.
+    assert result.probes <= 3
+
+
+def test_exhausted_budget_fails_safe():
+    """When probes run out, the unresolved remainder is classified
+    poisoned — the service may over-reject, never under-reject."""
+    session = session_on("flat")
+    payload = [(i, PoisonPill(i) if i % 3 == 0 else i) for i in range(12)]
+    result = quarantine_bisect(session, "insert", payload, max_probes=2)
+    assert result.exhausted
+    assert result.probes <= 2
+    # Everything either good-with-joint-probe-pass or poisoned; with a
+    # 2-probe budget nothing can clear, and no pill is ever in `good`.
+    pills = {i for i, (_, v) in enumerate(payload)
+             if isinstance(v, PoisonPill)}
+    assert pills <= set(result.poisoned)
+    assert set(result.good).isdisjoint(pills)
+
+
+def test_shard_quarantine_commits_exactly_the_oracle_subset():
+    """End-to-end: a window with pills commits precisely the innocent
+    requests (committed subset == oracle), acks the pills as
+    quarantined, and the shard state equals replaying only the good
+    subset."""
+    shard = Shard(
+        0, MONOID, [1, 2, 3, 4, 5], seed=0,
+        policy=ServePolicy(
+            resilience=ResiliencePolicy(ladder=("flat",))
+        ),
+    )
+    window = [
+        Request(req_id=0, shard=0, kind="insert", args=(0, 100)),
+        Request(req_id=1, shard=0, kind="insert", args=(1, PoisonPill(7))),
+        Request(req_id=2, shard=0, kind="insert", args=(2, 300)),
+        Request(req_id=3, shard=0, kind="set", args=(4, PoisonPill(8))),
+        Request(req_id=4, shard=0, kind="set", args=(0, 900)),
+    ]
+    out = shard.execute_window(window, now=0.0)
+    assert out[0].status == "applied"
+    assert out[1].status == "quarantined"
+    assert out[1].reason == "poisoned-payload"
+    assert out[2].status == "applied"
+    assert out[3].status == "quarantined"
+    assert out[4].status == "applied"
+    # Oracle replay of ONLY the good requests: set {0:900} ->
+    # [900,2,3,4,5]; insert 100@0, 300@2 -> [100,900,2,300,3,4,5].
+    assert shard.values() == [100, 900, 2, 300, 3, 4, 5]
+    shard.check_invariants()
+    assert shard.stats["quarantines"] == 2  # one per poisoned phase
+    assert shard.stats["quarantined"] == 2
+    # The applied log records exactly the committed req_ids.
+    logged = [rid for _, _, ids in shard.applied_log for rid in ids]
+    assert sorted(logged) == [0, 2, 4]
+
+
+def test_quarantine_preserves_rng_parity():
+    """Probes must not consume structure randomness: after quarantine,
+    committing the good subset leaves the tree in the same state as a
+    run that never saw the pills at all."""
+    shard = Shard(
+        0, MONOID, [1, 2, 3], seed=0,
+        policy=ServePolicy(resilience=ResiliencePolicy(ladder=("flat",))),
+    )
+    twin = Shard(
+        0, MONOID, [1, 2, 3], seed=0,
+        policy=ServePolicy(resilience=ResiliencePolicy(ladder=("flat",))),
+    )
+    shard.execute_window(
+        [
+            Request(req_id=0, shard=0, kind="insert", args=(0, 10)),
+            Request(req_id=1, shard=0, kind="insert", args=(1, PoisonPill())),
+            Request(req_id=2, shard=0, kind="insert", args=(2, 30)),
+        ],
+        now=0.0,
+    )
+    twin.execute_window(
+        [
+            Request(req_id=0, shard=0, kind="insert", args=(0, 10)),
+            Request(req_id=2, shard=0, kind="insert", args=(2, 30)),
+        ],
+        now=0.0,
+    )
+    assert shard.values() == twin.values()
+    assert shard.session.rng_state() == twin.session.rng_state()

@@ -1,0 +1,185 @@
+"""Asyncio BatchService end-to-end: coalescing, sharding, lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.algebra.monoid import sum_monoid
+from repro.algebra.rings import INTEGER
+from repro.errors import InvalidParameterError
+from repro.resilience.executor import ResiliencePolicy
+from repro.serve.loadgen import generate_specs, run_closed_loop, spec_args
+from repro.serve.requests import ServePolicy
+from repro.serve.service import BatchService
+
+MONOID = sum_monoid(INTEGER)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_policy(**kw):
+    kw.setdefault("resilience", ResiliencePolicy(ladder=("flat",)))
+    return ServePolicy(**kw)
+
+
+def test_writes_coalesce_into_batch_windows():
+    async def scenario():
+        policy = make_policy(max_batch=8, max_wait_s=0.01)
+        async with BatchService(
+            MONOID, {0: [1, 2, 3]}, policy=policy
+        ) as svc:
+            # Submit concurrently so the latency window catches them all.
+            responses = await asyncio.gather(
+                svc.submit(0, "insert", 0, 10),
+                svc.submit(0, "insert", 1, 20),
+                svc.submit(0, "set", 0, 99),
+            )
+            assert [r.status for r in responses] == ["applied"] * 3
+            total = await svc.submit(0, "total")
+            assert total.result == 99 + 20 + 2 + 3 + 10
+            stats = svc.stats()[0]
+            assert stats["applied"] == 3
+            # Coalescing: 3 concurrent writes used fewer than 3 windows.
+            assert stats["windows"] < 3
+        return True
+
+    assert run(scenario())
+
+
+def test_shards_are_isolated_trees():
+    async def scenario():
+        async with BatchService(
+            MONOID, {0: [1, 2], 7: [100, 200]}, policy=make_policy()
+        ) as svc:
+            await svc.submit(0, "insert", 0, 50)
+            t0 = await svc.submit(0, "total")
+            t7 = await svc.submit(7, "total")
+            assert t0.result == 53
+            assert t7.result == 300
+            assert svc.stats()[7]["windows"] == 0
+            with pytest.raises(InvalidParameterError):
+                await svc.submit(3, "total")
+        return True
+
+    assert run(scenario())
+
+
+def test_reads_never_queue_and_see_committed_state_only():
+    async def scenario():
+        policy = make_policy(max_batch=64, max_wait_s=0.02)
+        async with BatchService(MONOID, {0: [5, 5, 5]}, policy=policy) as svc:
+            write = asyncio.ensure_future(svc.submit(0, "insert", 0, 1000))
+            # A read racing the open window answers immediately from the
+            # pinned pre- or post-window epoch — never a torn state.
+            read = await svc.submit(0, "total")
+            assert read.result in (15, 1015)
+            await write
+            assert (await svc.submit(0, "total")).result == 1015
+        return True
+
+    assert run(scenario())
+
+
+def test_size_trigger_fires_before_latency_deadline():
+    async def scenario():
+        policy = make_policy(max_batch=2, max_wait_s=60.0)
+        async with BatchService(MONOID, {0: [1]}, policy=policy) as svc:
+            # max_wait_s is 60s: only the size trigger can fire in time.
+            responses = await asyncio.wait_for(
+                asyncio.gather(
+                    svc.submit(0, "insert", 0, 2),
+                    svc.submit(0, "insert", 0, 3),
+                ),
+                timeout=5.0,
+            )
+            assert [r.status for r in responses] == ["applied", "applied"]
+        return True
+
+    assert run(scenario())
+
+
+def test_close_resolves_stranded_writes():
+    async def scenario():
+        policy = make_policy(max_batch=64, max_wait_s=60.0)
+        svc = BatchService(MONOID, {0: [1, 2]}, policy=policy)
+        await svc.start()
+        pending = asyncio.ensure_future(svc.submit(0, "insert", 0, 9))
+        await asyncio.sleep(0)  # let the submit enqueue
+        await svc.close()
+        resp = await asyncio.wait_for(pending, timeout=5.0)
+        # Either the drain applied it or close refused it — never a hang.
+        assert resp.status in ("applied", "failed")
+        await svc.close()  # idempotent
+        return True
+
+    assert run(scenario())
+
+
+def test_rejections_and_refusals_propagate_to_awaiters():
+    async def scenario():
+        policy = make_policy(default_deadline_s=100.0)
+        async with BatchService(MONOID, {0: [1, 2, 3]}, policy=policy) as svc:
+            bad = await svc.submit(0, "insert", 99, 5)
+            assert bad.status == "rejected"
+            assert bad.reason == "position-out-of-range"
+            late = await svc.submit(0, "insert", 0, 5, deadline_s=-1.0)
+            assert late.status == "timeout"
+        return True
+
+    assert run(scenario())
+
+
+def test_closed_loop_loadgen_against_live_service():
+    async def scenario():
+        n_shards = 2
+        length = 8
+        policy = make_policy(max_batch=8, max_wait_s=0.002,
+                             queue_capacity=512, shed_highwater=1.0)
+        shard_values = {
+            sid: list(range(1, length + 1)) for sid in range(n_shards)
+        }
+        async with BatchService(MONOID, shard_values, policy=policy) as svc:
+            specs = generate_specs(
+                seed=17, n_requests=80, n_shards=n_shards, zipf_s=1.1
+            )
+            responses = await run_closed_loop(svc, specs, concurrency=8)
+            assert len(responses) == len(specs)
+            statuses = {r.status for r in responses}
+            # Headroom config: nothing shed, nothing failed.
+            assert statuses <= {"applied", "rejected"}
+            assert sum(r.status == "applied" for r in responses) > 0
+            for sid in range(n_shards):
+                svc.shards[sid].check_invariants()
+            # spec_args normalizes in-range positions, so rejections can
+            # only come from batch-level validation (e.g. dup deletes).
+            for r in responses:
+                if r.status == "rejected":
+                    assert r.reason in (
+                        "duplicate-handle", "delete-all-leaves"
+                    )
+        return True
+
+    assert run(scenario())
+
+
+def test_loadgen_specs_are_seed_stable():
+    a = generate_specs(seed=3, n_requests=40, n_shards=4, poison_rate=0.1)
+    b = generate_specs(seed=3, n_requests=40, n_shards=4, poison_rate=0.1)
+    assert [(s.shard, s.kind, s.raw, s.invalid) for s in a] == [
+        (s.shard, s.kind, s.raw, s.invalid) for s in b
+    ]
+    c = generate_specs(seed=4, n_requests=40, n_shards=4, poison_rate=0.1)
+    assert [(s.shard, s.kind) for s in a] != [(s.shard, s.kind) for s in c]
+    # Zipf skew: shard 0 is the hottest.
+    counts = [sum(s.shard == i for s in a) for i in range(4)]
+    assert counts[0] == max(counts)
+    # spec_args keeps valid specs in range.
+    for spec in a:
+        if spec.invalid or spec.kind in ("total", "len"):
+            continue
+        args = spec_args(spec, length=8)
+        assert all(0 <= p <= 8 for p in args[:1] if isinstance(p, int))
